@@ -1,0 +1,453 @@
+(* Benchmark harness: one Bechamel test (or test group) per figure and per
+   measurable claim of the paper — see DESIGN.md's per-experiment index and
+   EXPERIMENTS.md for the measured numbers.
+
+   F1  Figure 1  term syntax: parser / printer throughput
+   F2  Figure 2  program states: construction + canonical keys
+   F4  Figure 4  Concurrent-Haskell stepper throughput
+   F5  Figure 5  asynchronous-exception rules throughput
+   C1  §5.1/5.2  model-checking cost of the locking protocols
+   C4  §7        combinator overhead (timeout nesting, either, both)
+   C5  §8.1      mask-frame collapse ablation
+   C6  §8.2/§9   asynchronous vs synchronous throwTo
+   C7  §2        polling baseline vs fully-asynchronous cancellation
+   C8  §8        thunk policies: restart (revert) vs resume (freeze)
+   RT  —         runtime primitive costs (MVar, Chan, Sem, fork)
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+(* --- helpers -------------------------------------------------------------- *)
+
+let quiet_sem =
+  { Ch_semantics.Step.default_config with Ch_semantics.Step.stuck_io = false }
+
+let run_rr io =
+  match (Hio.Runtime.run io).Hio.Runtime.outcome with
+  | Hio.Runtime.Value v -> v
+  | _ -> failwith "bench program failed"
+
+let run_config config io =
+  match (Hio.Runtime.run ~config io).Hio.Runtime.outcome with
+  | Hio.Runtime.Value v -> v
+  | _ -> failwith "bench program failed"
+
+let stage = Staged.stage
+
+(* --- F1: Figure 1 — syntax ----------------------------------------------- *)
+
+let either_source = Ch_lang.Pretty.term_to_string Ch_corpus.Combinators.either_t
+
+let fig1 =
+  [
+    Test.make ~name:"fig1/parse-either" (stage (fun () ->
+        Ch_lang.Parser.parse either_source));
+    Test.make ~name:"fig1/print-either" (stage (fun () ->
+        Ch_lang.Pretty.term_to_string Ch_corpus.Combinators.either_t));
+    Test.make ~name:"fig1/subst-capture" (stage (fun () ->
+        Ch_lang.Subst.subst Ch_corpus.Combinators.either_t "a"
+          (Ch_lang.Term.Var "b")));
+  ]
+
+(* --- F2: Figure 2 — program states --------------------------------------- *)
+
+let mid_state =
+  (* a representative mid-execution state: the locking harness after 12
+     round-robin steps *)
+  let program = Ch_corpus.Locking.harness Ch_corpus.Locking.block_protected in
+  let run =
+    Ch_explore.Sched.run ~config:quiet_sem ~max_steps:12
+      Ch_explore.Sched.Round_robin
+      (Ch_semantics.State.initial program)
+  in
+  run.Ch_explore.Sched.final
+
+let fig2 =
+  [
+    Test.make ~name:"fig2/initial-state" (stage (fun () ->
+        Ch_semantics.State.initial Ch_corpus.Combinators.either_t));
+    Test.make ~name:"fig2/canonical-key" (stage (fun () ->
+        Ch_semantics.State.canonical_key mid_state));
+    Test.make ~name:"fig2/enumerate" (stage (fun () ->
+        Ch_semantics.Step.enumerate ~config:quiet_sem mid_state));
+  ]
+
+(* --- F4/F5: stepper throughput ------------------------------------------- *)
+
+let run_sem program =
+  let r =
+    Ch_explore.Sched.run ~config:quiet_sem ~max_steps:100_000
+      Ch_explore.Sched.Round_robin
+      (Ch_semantics.State.initial program)
+  in
+  assert (r.Ch_explore.Sched.outcome = Ch_explore.Sched.Terminated);
+  r.Ch_explore.Sched.steps
+
+let fig4 =
+  [
+    Test.make ~name:"fig4/counter-loop-20" (stage (fun () ->
+        run_sem (Ch_corpus.Programs.counter_loop 20)));
+    Test.make ~name:"fig4/ping-pong" (stage (fun () ->
+        run_sem Ch_corpus.Programs.ping_pong));
+    Test.make ~name:"fig4/pure-eval-fib10" (stage (fun () ->
+        Ch_pure.Eval.eval ~fuel:200_000
+          (Ch_lang.Parser.parse
+             "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in fib 10")));
+  ]
+
+let mask_heavy =
+  Ch_lang.Parser.parse
+    {|let rec go = \n ->
+        if n == 0 then return 0
+        else block (unblock (sleep 1)) >>= \u -> go (n - 1) in
+      go 10|}
+
+let fig5 =
+  [
+    Test.make ~name:"fig5/mask-loop" (stage (fun () -> run_sem mask_heavy));
+    Test.make ~name:"fig5/kill-sleeping" (stage (fun () ->
+        run_sem Ch_corpus.Programs.kill_sleeping));
+    Test.make ~name:"fig5/mask-interrupt" (stage (fun () ->
+        run_sem Ch_corpus.Programs.mask_interrupt));
+  ]
+
+(* --- C1/C2: model checking the §5 protocols ------------------------------- *)
+
+let check protocol =
+  let r =
+    Ch_explore.Space.explore ~config:quiet_sem
+      (Ch_semantics.State.initial (Ch_corpus.Locking.harness protocol))
+  in
+  r.Ch_explore.Space.visited
+
+let c1 =
+  [
+    Test.make ~name:"c1/check-unprotected" (stage (fun () ->
+        check Ch_corpus.Locking.unprotected));
+    Test.make ~name:"c1/check-catch-only" (stage (fun () ->
+        check Ch_corpus.Locking.catch_only));
+    Test.make ~name:"c1/check-block-protected" (stage (fun () ->
+        check Ch_corpus.Locking.block_protected));
+  ]
+
+(* --- C4: combinator overhead ---------------------------------------------- *)
+
+open Hio
+open Hio_std
+
+let rec nested_timeout depth =
+  if depth = 0 then Io.map (fun () -> true) (Io.sleep 1)
+  else
+    Io.map
+      (function Some b -> b | None -> false)
+      (Combinators.timeout 1_000 (nested_timeout (depth - 1)))
+
+let c4 =
+  [
+    Test.make ~name:"c4/timeout-depth1" (stage (fun () ->
+        run_rr (nested_timeout 1)));
+    Test.make ~name:"c4/timeout-depth4" (stage (fun () ->
+        run_rr (nested_timeout 4)));
+    Test.make ~name:"c4/either" (stage (fun () ->
+        run_rr (Combinators.either (Io.sleep 1) (Io.sleep 2))));
+    Test.make ~name:"c4/both" (stage (fun () ->
+        run_rr (Combinators.both (Io.sleep 1) (Io.sleep 2))));
+    Test.make ~name:"c4/bracket" (stage (fun () ->
+        run_rr
+          (Combinators.bracket (Io.return ())
+             (fun () -> Io.return 1)
+             (fun () -> Io.return ()))));
+  ]
+
+(* --- C5: §8.1 frame collapse ablation -------------------------------------- *)
+
+let rec mask_recursion n =
+  if n = 0 then Io.return 0 else Io.block (Io.unblock (mask_recursion (n - 1)))
+
+let no_collapse =
+  {
+    Runtime.Config.default with
+    Runtime.Config.collapse_mask_frames = false;
+  }
+
+let c5 =
+  [
+    Test.make ~name:"c5/collapse-on-500" (stage (fun () ->
+        run_rr (mask_recursion 500)));
+    Test.make ~name:"c5/collapse-off-500" (stage (fun () ->
+        run_config no_collapse (mask_recursion 500)));
+  ]
+
+(* --- C6: asynchronous vs synchronous throwTo -------------------------------- *)
+
+let throw_storm n =
+  (* a victim that perpetually catches; the main thread throws n times *)
+  let open Io in
+  fork
+    (let rec absorb () =
+       catch (Combinators.forever yield) (fun _ -> absorb ())
+     in
+     absorb ())
+  >>= fun t ->
+  Combinators.repeat n (throw_to t Io.Kill_thread >>= fun () -> yield)
+  >>= fun () -> return n
+
+let sync_cfg = { Runtime.Config.default with Runtime.Config.sync_throw_to = true }
+
+let c6 =
+  [
+    Test.make ~name:"c6/throwto-async-50" (stage (fun () ->
+        run_rr (throw_storm 50)));
+    Test.make ~name:"c6/throwto-sync-50" (stage (fun () ->
+        run_config sync_cfg (throw_storm 50)));
+  ]
+
+(* --- C7: polling vs asynchronous cancellation ------------------------------ *)
+
+let polling_run every =
+  let open Io in
+  Polling.create >>= fun token ->
+  Polling.polling_worker token ~every ~units:1_000
+
+let async_worker_run =
+  (* identical workload with the polls compiled out ([every:0] never
+     polls): what the fully-asynchronous design charges the target *)
+  polling_run 0
+
+let c7 =
+  [
+    Test.make ~name:"c7/poll-every-1" (stage (fun () -> run_rr (polling_run 1)));
+    Test.make ~name:"c7/poll-every-16" (stage (fun () -> run_rr (polling_run 16)));
+    Test.make ~name:"c7/poll-every-128" (stage (fun () -> run_rr (polling_run 128)));
+    Test.make ~name:"c7/async-no-polling" (stage (fun () -> run_rr async_worker_run));
+  ]
+
+(* --- C8: thunk policies — restart vs resume -------------------------------- *)
+
+let fib_term =
+  Ch_lang.Parser.parse
+    "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in fib 16"
+
+let thunk_policy_total policy =
+  let m = Ch_pure.Machine.create fib_term in
+  (match Ch_pure.Machine.run m ~steps:20_000 with
+  | Ch_pure.Machine.Running -> Ch_pure.Machine.interrupt m policy
+  | Ch_pure.Machine.Done _ | Ch_pure.Machine.Raised _ -> ());
+  match Ch_pure.Machine.force_deep m with
+  | Some _ -> Ch_pure.Machine.steps_taken m
+  | None -> failwith "budget"
+
+let gc_heavy_term =
+  Ch_lang.Parser.parse
+    {|let start = 4000 in
+      let rec go = \n -> if n == 0 then 0 else go (n - 1) in
+      go start|}
+
+let machine_with_gc threshold =
+  let m = Ch_pure.Machine.create gc_heavy_term in
+  Ch_pure.Machine.set_gc_threshold m threshold;
+  match Ch_pure.Machine.force_deep m with
+  | Some _ -> Ch_pure.Machine.heap_size m
+  | None -> failwith "budget"
+
+let c8 =
+  [
+    Test.make ~name:"c8/run-to-done" (stage (fun () ->
+        Ch_pure.Machine.eval_result fib_term));
+    Test.make ~name:"c8/revert-restart" (stage (fun () ->
+        thunk_policy_total Ch_pure.Machine.Revert));
+    Test.make ~name:"c8/freeze-resume" (stage (fun () ->
+        thunk_policy_total Ch_pure.Machine.Freeze));
+    Test.make ~name:"c8/gc-on-loop-4k" (stage (fun () ->
+        machine_with_gc (Some 1_000)));
+    Test.make ~name:"c8/gc-off-loop-4k" (stage (fun () ->
+        machine_with_gc None));
+  ]
+
+(* --- DN: denotation + equivalence-checking costs ---------------------------- *)
+
+let fib12_term =
+  Ch_lang.Parser.parse
+    "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in return (fib 12)"
+
+let dn =
+  [
+    Test.make ~name:"dn/denote-fib12" (stage (fun () ->
+        Ch_denote.Denote.run fib12_term));
+    Test.make ~name:"dn/bigstep-fib12" (stage (fun () ->
+        Ch_pure.Eval.eval ~fuel:2_000_000
+          (Ch_lang.Parser.parse
+             "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in fib 12")));
+    Test.make ~name:"dn/observe-lock-harness" (stage (fun () ->
+        Ch_explore.Equiv.observe ~config:quiet_sem
+          (Ch_corpus.Locking.harness Ch_corpus.Locking.block_protected)));
+  ]
+
+(* --- RT: runtime primitive costs ------------------------------------------- *)
+
+let mvar_pingpong n =
+  let open Io in
+  Mvar.new_empty >>= fun ping ->
+  Mvar.new_empty >>= fun pong ->
+  fork
+    (let rec echo () =
+       Mvar.take ping >>= fun v ->
+       Mvar.put pong v >>= fun () -> echo ()
+     in
+     echo ())
+  >>= fun _ ->
+  Combinators.repeat n
+    ( Mvar.put ping 1 >>= fun () ->
+      Mvar.take pong >>= fun _ -> return () )
+  >>= fun () -> return n
+
+let chan_stream n =
+  let open Io in
+  Chan.create () >>= fun c ->
+  fork (Combinators.repeat n (Chan.send c 1)) >>= fun _ ->
+  Combinators.repeat n (Chan.recv c >>= fun _ -> return ()) >>= fun () ->
+  return n
+
+let sem_cycle n =
+  let open Io in
+  Sem.create 1 >>= fun s ->
+  Combinators.repeat n (Sem.with_unit s (return ())) >>= fun () -> return n
+
+let fork_join n =
+  let open Io in
+  let rec go i =
+    if i = 0 then return n
+    else
+      Task.spawn (return ()) >>= fun t ->
+      Task.await t >>= fun () -> go (i - 1)
+  in
+  go n
+
+let rt =
+  [
+    Test.make ~name:"rt/mvar-pingpong-100" (stage (fun () ->
+        run_rr (mvar_pingpong 100)));
+    Test.make ~name:"rt/chan-stream-100" (stage (fun () ->
+        run_rr (chan_stream 100)));
+    Test.make ~name:"rt/sem-cycle-100" (stage (fun () -> run_rr (sem_cycle 100)));
+    Test.make ~name:"rt/fork-join-100" (stage (fun () -> run_rr (fork_join 100)));
+    Test.make ~name:"rt/bind-chain-10k" (stage (fun () ->
+        let open Io in
+        let rec loop i acc =
+          if i = 0 then return acc else return (acc + 1) >>= loop (i - 1)
+        in
+        run_rr (loop 10_000 0)));
+  ]
+
+(* --- DS: direct-style (effects) runtime vs the monadic runtime -------------- *)
+
+module D = Hio_direct.Direct
+
+let direct_pingpong n =
+  D.run (fun () ->
+      let ping = D.new_mvar () and pong = D.new_mvar () in
+      let _t =
+        D.fork (fun () ->
+            let rec echo () =
+              let v : int = D.take ping in
+              D.put pong v;
+              echo ()
+            in
+            echo ())
+      in
+      for _ = 1 to n do
+        D.put ping 1;
+        ignore (D.take pong)
+      done;
+      n)
+
+let ds =
+  [
+    Test.make ~name:"ds/direct-pingpong-100" (stage (fun () ->
+        direct_pingpong 100));
+    Test.make ~name:"ds/hio-pingpong-100" (stage (fun () ->
+        run_rr (mvar_pingpong 100)));
+  ]
+
+(* --- SV: the §11 server substrate -------------------------------------------- *)
+
+let server_roundtrips n =
+  let open Hserver in
+  let open Io in
+  run_rr
+    ( Server.start (Server.route [ ("/", fun _ -> Http.ok "x") ])
+    >>= fun server ->
+      Combinators.repeat n
+        ( Server.connect server >>= fun conn ->
+          Http.write_request conn
+            { Http.meth = "GET"; path = "/"; headers = []; body = "" }
+          >>= fun () ->
+          Http.read_response conn >>= fun _ -> Io.return () )
+      >>= fun () ->
+      Server.shutdown server >>= fun stats -> Io.return stats.Server.served )
+
+let sv =
+  [
+    Test.make ~name:"sv/request-roundtrips-10" (stage (fun () ->
+        server_roundtrips 10));
+  ]
+
+(* --- harness ---------------------------------------------------------------- *)
+
+let groups =
+  [
+    ("F1 Figure-1 syntax", fig1);
+    ("F2 Figure-2 states", fig2);
+    ("F4 Figure-4 stepper", fig4);
+    ("F5 Figure-5 stepper", fig5);
+    ("C1 model-check locking", c1);
+    ("C4 combinators", c4);
+    ("C5 frame collapse", c5);
+    ("C6 throwTo designs", c6);
+    ("C7 polling baseline", c7);
+    ("C8 thunk policies", c8);
+    ("DN denotation bridge", dn);
+    ("DS direct-style contrast", ds);
+    ("SV server substrate", sv);
+    ("RT runtime primitives", rt);
+  ]
+
+let ols =
+  Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+
+let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None ()
+let instances = Instance.[ monotonic_clock ]
+
+let pretty_time ns =
+  if ns >= 1_000_000. then Printf.sprintf "%10.2f ms" (ns /. 1_000_000.)
+  else if ns >= 1_000. then Printf.sprintf "%10.2f us" (ns /. 1_000.)
+  else Printf.sprintf "%10.1f ns" ns
+
+let () =
+  Printf.printf "benchmarks: %d groups, monotonic clock, OLS on run count\n"
+    (List.length groups);
+  List.iter
+    (fun (group, tests) ->
+      Printf.printf "\n-- %s --\n%!" group;
+      List.iter
+        (fun test ->
+          let results = Benchmark.all cfg instances test in
+          let analyzed = Analyze.all ols Instance.monotonic_clock results in
+          Hashtbl.iter
+            (fun name ols_result ->
+              let estimate =
+                match Analyze.OLS.estimates ols_result with
+                | Some (e :: _) -> pretty_time e
+                | Some [] | None -> "       n/a"
+              in
+              let r2 =
+                match Analyze.OLS.r_square ols_result with
+                | Some r -> Printf.sprintf "r²=%.3f" r
+                | None -> ""
+              in
+              Printf.printf "  %-28s %s/run  %s\n%!" name estimate r2)
+            analyzed)
+        tests)
+    groups

@@ -1,0 +1,376 @@
+(* chrun — run and model-check object-language programs from the command
+   line.
+
+     dune exec bin/chrun.exe -- run -e 'do { putChar (getChar ... ) }'
+     dune exec bin/chrun.exe -- run program.ch --policy random --seed 7
+     dune exec bin/chrun.exe -- check program.ch --max-states 100000
+     dune exec bin/chrun.exe -- parse -e '\x -> x + 1'
+
+   Programs get the §7 combinator prelude ([finally], [bracket], [either],
+   [both], [timeout], [safePoint]) bound around them. *)
+
+open Cmdliner
+open Ch_semantics
+open Ch_explore
+
+let read_program file expr prelude =
+  let source =
+    match (file, expr) with
+    | Some path, None ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+    | None, Some e -> e
+    | Some _, Some _ -> invalid_arg "give either a FILE or -e EXPR, not both"
+    | None, None -> invalid_arg "give a FILE or -e EXPR"
+  in
+  let term = Ch_lang.Parser.parse source in
+  if prelude then Ch_corpus.Combinators.with_prelude term else term
+
+let handle_syntax f =
+  match f () with
+  | () -> Ok ()
+  | exception Ch_lang.Lexer.Lex_error { line; col; message } ->
+      Error (Printf.sprintf "lexical error at %d:%d: %s" line col message)
+  | exception Ch_lang.Parser.Parse_error { line; col; message } ->
+      Error (Printf.sprintf "syntax error at %d:%d: %s" line col message)
+  | exception Invalid_argument m -> Error m
+  | exception Sys_error m -> Error m
+
+(* --- common flags --------------------------------------------------------- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Program file.")
+
+let expr_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "e"; "expr" ] ~docv:"EXPR" ~doc:"Inline program text.")
+
+let prelude_arg =
+  Arg.(
+    value & flag
+    & info [ "p"; "prelude" ]
+        ~doc:"Bind the §7 combinators (finally, bracket, either, both, \
+              timeout, safePoint) around the program.")
+
+let input_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "i"; "input" ] ~docv:"STRING" ~doc:"Standard input for getChar.")
+
+let fuel_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "fuel" ] ~docv:"N" ~doc:"Fuel for the inner semantics.")
+
+let stuck_io_arg =
+  Arg.(
+    value & flag
+    & info [ "stuck-io" ]
+        ~doc:"Enable the (Stuck PutChar)/(Stuck GetChar)/(Stuck Sleep) rules \
+              (enlarges the state space).")
+
+let config_of fuel stuck_io =
+  { Step.default_config with Step.fuel; stuck_io }
+
+(* --- chrun parse ----------------------------------------------------------- *)
+
+let parse_cmd =
+  let run file expr prelude =
+    handle_syntax (fun () ->
+        let term = read_program file expr prelude in
+        Fmt.pr "%a@." Ch_lang.Pretty.pp_term term)
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a program and print it back.")
+    Term.(term_result' (const run $ file_arg $ expr_arg $ prelude_arg))
+
+(* --- chrun run ------------------------------------------------------------- *)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (enum [ ("rr", `Rr); ("random", `Random); ("first", `First) ]) `Rr
+    & info [ "policy" ] ~docv:"POLICY"
+        ~doc:"Scheduling policy: $(b,rr), $(b,random) or $(b,first).")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random-policy seed.")
+
+let steps_arg =
+  Arg.(
+    value & opt int 100_000
+    & info [ "max-steps" ] ~docv:"N" ~doc:"Step bound for one execution.")
+
+let trace_arg =
+  Arg.(value & flag & info [ "trace" ] ~doc:"Print every transition taken.")
+
+let run_cmd =
+  let run file expr prelude input fuel stuck_io policy seed max_steps trace =
+    handle_syntax (fun () ->
+        let program = read_program file expr prelude in
+        let config = config_of fuel stuck_io in
+        let policy =
+          match policy with
+          | `Rr -> Sched.Round_robin
+          | `Random -> Sched.Random seed
+          | `First -> Sched.First
+        in
+        let result =
+          Sched.run ~config ~max_steps policy (State.initial ~input program)
+        in
+        if trace then Fmt.pr "%a@." Sched.pp_trace result.Sched.trace;
+        Fmt.pr "steps:  %d%s@." result.Sched.steps
+          (match result.Sched.outcome with
+          | Sched.Terminated -> ""
+          | Sched.Out_of_steps -> " (step bound hit)");
+        let output = State.output_string result.Sched.final in
+        if output <> "" then Fmt.pr "output: %S@." output;
+        match State.main_result result.Sched.final with
+        | Some (State.Done v) -> (
+            match Ch_pure.Eval.eval ~fuel v with
+            | Ch_pure.Eval.Value v' ->
+                Fmt.pr "result: %a@." Ch_lang.Pretty.pp_term v'
+            | _ -> Fmt.pr "result: %a@." Ch_lang.Pretty.pp_term v)
+        | Some (State.Threw e) -> Fmt.pr "uncaught exception: #%s@." e
+        | None -> Fmt.pr "main did not finish:@.%a@." State.pp result.Sched.final)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a program under a scheduler.")
+    Term.(
+      term_result'
+        (const run $ file_arg $ expr_arg $ prelude_arg $ input_arg $ fuel_arg
+       $ stuck_io_arg $ policy_arg $ seed_arg $ steps_arg $ trace_arg))
+
+(* --- chrun check ------------------------------------------------------------ *)
+
+let max_states_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "max-states" ] ~docv:"N" ~doc:"State bound for exploration.")
+
+let witness_arg =
+  Arg.(
+    value & flag
+    & info [ "witness" ]
+        ~doc:"Print a witness schedule for each kind of terminal state.")
+
+let dot_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Also write the reachable state graph in Graphviz format.")
+
+let check_cmd =
+  let run file expr prelude input fuel stuck_io max_states witness dot_file =
+    handle_syntax (fun () ->
+        let program = read_program file expr prelude in
+        let config = config_of fuel stuck_io in
+        (match dot_file with
+        | Some path ->
+            Dot.write ~path
+              (Dot.dot ~config ~max_states (State.initial ~input program));
+            Fmt.pr "state graph written to %s@." path
+        | None -> ());
+        let result =
+          Space.explore ~config ~max_states (State.initial ~input program)
+        in
+        Fmt.pr "states: %d   transitions: %d%s@." result.Space.visited
+          result.Space.edges
+          (if result.Space.truncated then "   (truncated!)" else "");
+        let kinds = Space.terminal_kinds result in
+        List.iter
+          (fun kind ->
+            Fmt.pr "terminal: %a@." Space.pp_terminal_kind kind;
+            if witness then
+              match
+                List.find_opt
+                  (fun t -> t.Space.kind = kind)
+                  result.Space.terminals
+              with
+              | Some t ->
+                  Fmt.pr "  @[<v>%a@]@."
+                    Fmt.(
+                      list (fun ppf (tr : Step.transition) ->
+                          Fmt.string ppf (Step.rule_name tr.Step.rule)))
+                    t.Space.path
+              | None -> ())
+          kinds)
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Exhaustively model-check a program.")
+    Term.(
+      term_result'
+        (const run $ file_arg $ expr_arg $ prelude_arg $ input_arg $ fuel_arg
+       $ stuck_io_arg $ max_states_arg $ witness_arg $ dot_arg))
+
+(* --- chrun equiv ------------------------------------------------------------- *)
+
+let equiv_cmd =
+  let left_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "l"; "left" ] ~docv:"EXPR" ~doc:"Left program.")
+  in
+  let right_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "r"; "right" ] ~docv:"EXPR" ~doc:"Right program.")
+  in
+  let relation_arg =
+    Arg.(
+      value
+      & opt
+          (enum
+             [ ("equiv", `Equiv); ("refines", `Refines);
+               ("committed", `Committed) ])
+          `Equiv
+      & info [ "relation" ] ~docv:"REL"
+          ~doc:
+            "$(b,equiv) (equal observation sets), $(b,refines) (left's \
+             observations are a subset of right's), or $(b,committed) \
+             (left is committed to performing right's operations — the \
+             paper's §11 ordering).")
+  in
+  let run left right prelude input fuel stuck_io max_states relation =
+    handle_syntax (fun () ->
+        let prep src =
+          let t = Ch_lang.Parser.parse src in
+          if prelude then Ch_corpus.Combinators.with_prelude t else t
+        in
+        let l = prep left and r = prep right in
+        let config = config_of fuel stuck_io in
+        let holds =
+          match relation with
+          | `Equiv -> Equiv.equivalent ~config ~max_states ~input l r
+          | `Refines -> Equiv.refines ~config ~max_states ~input l r
+          | `Committed -> Equiv.committed_to ~config ~max_states ~input l r
+        in
+        Fmt.pr "%s@." (if holds then "HOLDS" else "DOES NOT HOLD");
+        if not holds then
+          match Equiv.diff ~config ~max_states ~input l r with
+          | Some (only_l, only_r) ->
+              if only_l <> [] then
+                Fmt.pr "only left:  @[<v>%a@]@."
+                  Fmt.(list Equiv.pp_observation)
+                  only_l;
+              if only_r <> [] then
+                Fmt.pr "only right: @[<v>%a@]@."
+                  Fmt.(list Equiv.pp_observation)
+                  only_r
+          | None ->
+              Fmt.pr
+                "(observation sets agree; the relation failed for another \
+                 reason, e.g. cycles or truncation)@.")
+  in
+  Cmd.v
+    (Cmd.info "equiv"
+       ~doc:
+         "Decide observational equivalence / refinement / commitment (§11) \
+          between two programs by exhaustive exploration.")
+    Term.(
+      term_result'
+        (const run $ left_arg $ right_arg $ prelude_arg $ input_arg $ fuel_arg
+       $ stuck_io_arg $ max_states_arg $ relation_arg))
+
+(* --- chrun repl -------------------------------------------------------------- *)
+
+let repl_cmd =
+  let run fuel stuck_io =
+    handle_syntax (fun () ->
+        let config = config_of fuel stuck_io in
+        let eval_line line =
+          match String.trim line with
+          | "" -> ()
+          | line -> (
+              let checking, source =
+                match String.index_opt line ' ' with
+                | Some i when String.sub line 0 i = ":check" ->
+                    (true, String.sub line i (String.length line - i))
+                | _ -> (false, line)
+              in
+              match
+                Ch_corpus.Combinators.with_prelude (Ch_lang.Parser.parse source)
+              with
+              | exception Ch_lang.Lexer.Lex_error { line; col; message } ->
+                  Fmt.pr "lexical error at %d:%d: %s@." line col message
+              | exception Ch_lang.Parser.Parse_error { line; col; message } ->
+                  Fmt.pr "syntax error at %d:%d: %s@." line col message
+              | program ->
+                  if checking then begin
+                    let r = Space.explore ~config (State.initial program) in
+                    Fmt.pr "states: %d@." r.Space.visited;
+                    List.iter
+                      (fun k -> Fmt.pr "terminal: %a@." Space.pp_terminal_kind k)
+                      (Space.terminal_kinds r)
+                  end
+                  else if
+                    (* pure expressions print their value; IO values run *)
+                    match Ch_pure.Eval.eval ~fuel:config.Step.fuel program with
+                    | Ch_pure.Eval.Value
+                        ( Ch_lang.Term.Return _ | Bind _ | Catch _ | Block _
+                        | Unblock _ | Fork _ | Put_char _ | Get_char | New_mvar
+                        | Take_mvar _ | Put_mvar _ | Sleep _ | Throw _
+                        | Throw_to _ | My_tid ) ->
+                        false
+                    | Ch_pure.Eval.Value v ->
+                        Fmt.pr "%a@." Ch_lang.Pretty.pp_term v;
+                        true
+                    | Ch_pure.Eval.Raised e ->
+                        Fmt.pr "raised #%s@." e;
+                        true
+                    | Ch_pure.Eval.Diverged ->
+                        Fmt.pr "(diverges)@.";
+                        true
+                    | Ch_pure.Eval.Stuck msg ->
+                        Fmt.pr "stuck: %s@." msg;
+                        true
+                  then ()
+                  else
+                    let r =
+                      Sched.run ~config ~max_steps:200_000 Sched.Round_robin
+                        (State.initial program)
+                    in
+                    let output = State.output_string r.Sched.final in
+                    if output <> "" then Fmt.pr "output: %S@." output;
+                    (match State.main_result r.Sched.final with
+                    | Some (State.Done v) -> (
+                        match Ch_pure.Eval.eval ~fuel v with
+                        | Ch_pure.Eval.Value v' ->
+                            Fmt.pr "%a@." Ch_lang.Pretty.pp_term v'
+                        | _ -> Fmt.pr "%a@." Ch_lang.Pretty.pp_term v)
+                    | Some (State.Threw e) -> Fmt.pr "uncaught #%s@." e
+                    | None -> Fmt.pr "(no result: stuck or out of steps)@."))
+        in
+        let rec loop () =
+          match input_line stdin with
+          | ":quit" | ":q" -> ()
+          | line ->
+              eval_line line;
+              loop ()
+          | exception End_of_file -> ()
+        in
+        loop ())
+  in
+  Cmd.v
+    (Cmd.info "repl"
+       ~doc:
+         "Read programs line by line from standard input and run them (or \
+          model-check with a ':check' prefix). The §7 prelude is in scope.")
+    Term.(term_result' (const run $ fuel_arg $ stuck_io_arg))
+
+let () =
+  let info =
+    Cmd.info "chrun" ~version:"1.0"
+      ~doc:
+        "Run and model-check Concurrent-Haskell-with-asynchronous-exceptions \
+         programs (PLDI 2001 semantics)."
+  in
+  exit (Cmd.eval (Cmd.group info [ parse_cmd; run_cmd; check_cmd; equiv_cmd; repl_cmd ]))

@@ -1,0 +1,141 @@
+(* Dining philosophers, three ways — a stress test for the combination of
+   MVars (forks are locks!), timeouts, and asynchronous cancellation:
+
+   1. The naive protocol deadlocks; the runtime's deadlock detector
+      reports it.
+   2. A timeout-based protocol (§7.3): a philosopher who cannot get the
+      second fork within a budget puts the first one back — the paper's
+      composable timeouts making an unreliable protocol safe.
+   3. A waiter (quantity semaphore) admits at most N-1 philosophers to the
+      table, which removes the circular wait entirely.
+
+   Run with: dune exec examples/philosophers.exe *)
+
+open Hio
+open Hio_std
+open Hio.Io.Syntax
+open Hio.Io
+
+let n_philosophers = 5
+let meals_needed = 2
+
+(* A fork is an MVar holding unit; taking it is picking it up. *)
+let make_forks () =
+  Combinators.parallel (List.init n_philosophers (fun _ -> Mvar.new_filled ()))
+
+(* Everyone gets hungry at the same (virtual) moment — the adversarial
+   case: simultaneous contention for every fork. *)
+let think _i = sleep 7
+let eat _i = sleep 5
+
+(* 1. Naive: everyone grabs left then right. All schedules that let each
+   philosopher take their left fork first then deadlock. *)
+let naive_philosopher forks i =
+  let left = List.nth forks i
+  and right = List.nth forks ((i + 1) mod n_philosophers) in
+  let rec dine meals =
+    if meals = 0 then return ()
+    else
+      let* () = think i in
+      let* () = Mvar.take left in
+      (* force the doomed interleaving: let everyone grab their left *)
+      let* () = yield in
+      let* () = Mvar.take right in
+      let* () = eat i in
+      let* () = Mvar.put right () in
+      let* () = Mvar.put left () in
+      dine (meals - 1)
+  in
+  dine meals_needed
+
+(* 2. Timeout + back-off, exception-safe via bracket: the first fork is
+   always returned, whether we eat, time out, or are killed. *)
+let patient_philosopher stats forks i =
+  let left = List.nth forks i
+  and right = List.nth forks ((i + 1) mod n_philosophers) in
+  let try_once =
+    Combinators.bracket (Mvar.take left)
+      (fun () ->
+        let* got_right = Combinators.timeout 10 (Mvar.take right) in
+        match got_right with
+        | Some () ->
+            let* () = eat i in
+            let* () = Mvar.put right () in
+            return true
+        | None ->
+            let* () = lift (fun () -> stats.(i) <- stats.(i) + 1) in
+            (* back off for a philosopher-specific time: with symmetric
+               retries the table livelocks — everyone picks up, times out
+               and retries in lockstep forever *)
+            let* () = sleep (3 + (5 * i)) in
+            return false)
+      (fun () -> Mvar.put left ())
+  in
+  let rec dine meals =
+    if meals = 0 then return ()
+    else
+      let* () = think i in
+      let* ate = try_once in
+      dine (if ate then meals - 1 else meals)
+  in
+  dine meals_needed
+
+(* 3. The waiter: at most N-1 at the table. *)
+let waited_philosopher waiter forks i =
+  let left = List.nth forks i
+  and right = List.nth forks ((i + 1) mod n_philosophers) in
+  let rec dine meals =
+    if meals = 0 then return ()
+    else
+      let* () = think i in
+      let* () =
+        Sem.with_unit waiter
+          (Combinators.bracket_ (Mvar.take left)
+             (Combinators.bracket_ (Mvar.take right) (eat i) (Mvar.put right ()))
+             (Mvar.put left ()))
+      in
+      dine (meals - 1)
+  in
+  dine meals_needed
+
+let run_protocol name make =
+  let program =
+    let* forks = make_forks () in
+    make forks >>= fun tasks ->
+    let rec await_all = function
+      | [] -> return ()
+      | t :: rest ->
+          let* () = Task.await t in
+          await_all rest
+    in
+    await_all tasks
+  in
+  let r = Runtime.run program in
+  Printf.printf "%-22s %s (steps=%d, virtual time=%dus)\n" name
+    (match r.Runtime.outcome with
+    | Runtime.Value () -> "everyone ate        "
+    | Runtime.Deadlock -> "DEADLOCK            "
+    | Runtime.Uncaught e -> "uncaught " ^ Printexc.to_string e
+    | Runtime.Out_of_steps -> "ran out of steps    ")
+    r.Runtime.steps r.Runtime.time
+
+let spawn_all philosopher forks =
+  let rec go i acc =
+    if i = n_philosophers then return (List.rev acc)
+    else
+      let* t = Task.spawn ~name:(Printf.sprintf "phil-%d" i) (philosopher forks i) in
+      go (i + 1) (t :: acc)
+  in
+  go 0 []
+
+let () =
+  run_protocol "naive (left-right)" (spawn_all naive_philosopher);
+  let stats = Array.make n_philosophers 0 in
+  run_protocol "timeout + back-off" (spawn_all (patient_philosopher stats));
+  Printf.printf "  back-offs per philosopher: %s\n"
+    (String.concat " " (Array.to_list (Array.map string_of_int stats)));
+  let waited forks =
+    Sem.create (n_philosophers - 1) >>= fun waiter ->
+    spawn_all (waited_philosopher waiter) forks
+  in
+  run_protocol "waiter (semaphore)" waited

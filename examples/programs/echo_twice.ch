@@ -1,0 +1,9 @@
+-- Reads two characters and echoes them:
+--   chrun run examples/programs/echo_twice.ch -i hi
+do {
+  a <- getChar;
+  b <- getChar;
+  putChar a;
+  putChar b;
+  return (a == b)
+}

@@ -1,0 +1,10 @@
+-- Two writers race for one MVar slot; the checker shows both outcomes:
+--   chrun check examples/programs/race.ch
+do {
+  m <- newEmptyMVar;
+  t <- forkIO (putMVar m 1);
+  u <- forkIO (putMVar m 2);
+  a <- takeMVar m;
+  b <- takeMVar m;
+  return (10 * a + b)
+}

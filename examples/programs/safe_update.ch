@@ -1,0 +1,14 @@
+-- The §5.2 protected update, as a standalone program file:
+--   chrun check examples/programs/safe_update.ch
+do {
+  m <- newEmptyMVar;
+  putMVar m 0;
+  t <- forkIO (block (do {
+    a <- takeMVar m;
+    b <- catch (unblock (return (a + 1)))
+               (\e -> do { putMVar m a; throw e });
+    putMVar m b
+  }));
+  throwTo t #KillThread;
+  takeMVar m
+}

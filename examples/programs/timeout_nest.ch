@@ -1,0 +1,15 @@
+-- Sequential timeouts cannot interfere (§7.3). The formal semantics
+-- abstracts durations (rule (Sleep) is fully nondeterministic), so either
+-- outcome (0 or 42) may be observed depending on the schedule — but the
+-- first timeout's private Timeout exception can never leak into the
+-- second (test suite claims:C4 proves this exhaustively on the smaller
+-- single-timeout program).
+--   chrun run -p examples/programs/timeout_nest.ch
+do {
+  inner <- timeout 10 (sleep 100);
+  outer <- timeout 100 (sleep 10 >>= \u -> return 42);
+  case outer of {
+    Just v -> return v;
+    Nothing -> return 0
+  }
+}

@@ -1,0 +1,82 @@
+(* Quickstart: a tour of the hio API — threads, MVars, asynchronous
+   exceptions, masking, and the §7 combinators.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Hio
+open Hio_std
+open Hio.Io.Syntax
+open Hio.Io
+
+let section name = put_string (Printf.sprintf "\n== %s ==\n" name)
+
+(* 1. Threads communicate through MVars. *)
+let hello_mvars =
+  let* () = section "MVars" in
+  let* inbox = Mvar.new_empty in
+  let* _t = fork ~name:"greeter" (Mvar.put inbox "hello from a thread") in
+  let* msg = Mvar.take inbox in
+  put_string (msg ^ "\n")
+
+(* 2. throw_to cancels another thread; finally cleans up. *)
+let cancellation =
+  let* () = section "Cancellation" in
+  let* t =
+    fork ~name:"worker"
+      (Combinators.finally
+         (Combinators.forever yield)
+         (put_string "worker: cleaned up\n"))
+  in
+  let* () = yield in
+  let* () = put_string "main: killing the worker\n" in
+  let* () = throw_to t Kill_thread in
+  let* () = sleep 1 in
+  put_string "main: worker is gone\n"
+
+(* 3. block / unblock: the §5.2 safe-update protocol, packaged as
+   Mvar.modify. The update cannot lose the MVar even if killed. *)
+let safe_update =
+  let* () = section "Masked update" in
+  let* counter = Mvar.new_filled 41 in
+  let* t = fork (Mvar.modify counter (fun x -> return (x + 1))) in
+  let* () = throw_to t Kill_thread in
+  let* () = sleep 1 in
+  let* v = Mvar.take counter in
+  put_string (Printf.sprintf "counter survived: %d\n" v)
+
+(* 4. timeout is composable (§7.3). *)
+let timeouts =
+  let* () = section "Timeouts" in
+  let slow = sleep 500 >>= fun () -> return "finished" in
+  let* first = Combinators.timeout 100 slow in
+  let* second = Combinators.timeout 1_000 slow in
+  put_string
+    (Printf.sprintf "100us budget: %s; 1000us budget: %s\n"
+       (match first with Some s -> s | None -> "timed out")
+       (match second with Some s -> s | None -> "timed out"))
+
+(* 5. either races two computations and kills the loser (§7.2). *)
+let racing =
+  let* () = section "Racing" in
+  let* winner =
+    Combinators.either
+      (sleep 30 >>= fun () -> return "tortoise")
+      (sleep 10 >>= fun () -> return "hare")
+  in
+  put_string
+    (match winner with
+    | Either.Left s | Either.Right s -> Printf.sprintf "winner: %s\n" s)
+
+let main =
+  let* () = hello_mvars in
+  let* () = cancellation in
+  let* () = safe_update in
+  let* () = timeouts in
+  let* () = racing in
+  return ()
+
+let () =
+  let result = Runtime.run main in
+  print_string result.Runtime.output;
+  Printf.printf "\n(%d scheduler steps, %d threads, %dus virtual time)\n"
+    result.Runtime.steps result.Runtime.forks result.Runtime.time

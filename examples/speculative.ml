@@ -1,0 +1,106 @@
+(* Speculative computation — the paper's first motivation for asynchronous
+   exceptions: "A parent thread might start a child thread to compute some
+   value speculatively; later the parent may decide it does not need the
+   value so it may want to kill the child thread."
+
+   We search for a satisfying assignment of a small puzzle with three
+   different strategies racing in parallel; the first to answer wins and
+   the others are killed mid-flight. Then we run a portfolio where the
+   parent abandons the entire search when a cheap heuristic answers first.
+
+   Run with: dune exec examples/speculative.exe *)
+
+open Hio
+open Hio_std
+open Hio.Io.Syntax
+open Hio.Io
+
+(* The "puzzle": find n in [lo, hi) with  n*n mod 9973 = target.  Each probe
+   costs one virtual microsecond, so strategies differ only in their
+   search order. *)
+let target = 6_860
+let matches n = n * n mod 9973 = target
+
+let probe n =
+  let* () = sleep 1 in
+  return (matches n)
+
+let rec search name order = function
+  | [] -> return None
+  | n :: rest ->
+      let* hit = probe n in
+      if hit then
+        let* () = put_string (Printf.sprintf "  %s found %d\n" name order) in
+        return (Some n)
+      else search name order rest
+
+let upward = List.init 3000 (fun i -> i)
+let downward = List.init 3000 (fun i -> 2999 - i)
+let striding = List.init 3000 (fun i -> i * 7 mod 3000)
+
+(* Race the three strategies with nested either; the losers are killed. *)
+let race_three =
+  let* () = put_string "racing three search strategies...\n" in
+  let* result =
+    Combinators.either
+      (search "upward" 1 upward)
+      (Combinators.either
+         (search "downward" 2 downward)
+         (search "striding" 3 striding))
+  in
+  let flat =
+    match result with
+    | Either.Left r | Either.Right (Either.Left r) | Either.Right (Either.Right r)
+      -> r
+  in
+  match flat with
+  | Some n ->
+      put_string
+        (Printf.sprintf "winner: %d (%d*%d mod 9973 = %d)\n" n n n target)
+  | None -> put_string "no solution\n"
+
+(* Tasks make the same pattern first-class: spawn all, await the first via
+   a shared channel, cancel the rest explicitly. *)
+let portfolio =
+  let* () = put_string "\nportfolio with explicit cancellation...\n" in
+  let* results = Chan.create () in
+  let spawn_strategy (name, order) =
+    Task.spawn
+      (let* r = search name 0 order in
+       Chan.send results (name, r))
+  in
+  let* t1 = spawn_strategy ("upward", upward) in
+  let* t2 = spawn_strategy ("downward", downward) in
+  let* t3 = spawn_strategy ("striding", striding) in
+  let* name, first = Chan.recv results in
+  let* () = Task.cancel t1 in
+  let* () = Task.cancel t2 in
+  let* () = Task.cancel t3 in
+  match first with
+  | Some n ->
+      put_string (Printf.sprintf "portfolio winner: %s with %d\n" name n)
+  | None -> put_string "portfolio found nothing\n"
+
+(* Speculation abandoned by a timeout: if no strategy answers within the
+   budget we give up and use a default. *)
+let budgeted =
+  let* () = put_string "\nsearch under a 50us budget (will give up)...\n" in
+  let* r =
+    Combinators.timeout 50
+      (search "slowpoke" 0 (List.filter (fun n -> n > 2500) upward))
+  in
+  match r with
+  | Some (Some n) -> put_string (Printf.sprintf "found %d in time\n" n)
+  | Some None -> put_string "exhausted the space in time\n"
+  | None -> put_string "budget exceeded: using the default answer\n"
+
+let () =
+  let result =
+    Runtime.run
+      (let* () = race_three in
+       let* () = portfolio in
+       budgeted)
+  in
+  print_string result.Runtime.output;
+  Printf.printf "\n(steps=%d, threads=%d, virtual time=%dus)\n"
+    result.Runtime.steps result.Runtime.forks result.Runtime.time

@@ -1,0 +1,132 @@
+(* Internal shared representation of the hio runtime. Not part of the
+   public API: use {!Io}, {!Mvar} and {!Runtime}.
+
+   This module is the paper's §8 made concrete:
+   - threads carry a mask flag and a queue of pending asynchronous
+     exceptions;
+   - each thread's continuation is an explicit stack of frames; catch
+     frames record the mask state at push time, and mask frames restore it
+     on normal or exceptional exit (with the §8.1 adjacent-frame collapse);
+   - blocked threads can be woken normally or by raising an asynchronous
+     exception into them ((Interrupt) of Figure 5), in any masking
+     context. *)
+
+(* Three-level interrupt mask: the paper has two ([block]/[unblock]);
+   [Mask_uninterruptible] is the post-paper GHC extension
+   (uninterruptibleMask) under which even interruptible operations defer
+   delivery — see Io.uninterruptibly. *)
+type mask_level = Mask_none | Mask_block | Mask_uninterruptible
+
+type _ io =
+  | Pure : 'a -> 'a io
+  | Bind : 'a io * ('a -> 'b io) -> 'b io
+  | Catch : 'a io * (exn -> 'a io) -> 'a io
+  | Catch_sync : 'a io * (exn -> 'a io) -> 'a io
+      (* the §9 "alerts" alternative: does not intercept asynchronously
+         delivered exceptions *)
+  | Mask : mask_level * 'a io -> 'a io
+      (* [block] = Mask_block, [unblock] = Mask_none,
+         [uninterruptibly] = Mask_uninterruptible *)
+  | Throw : exn -> 'a io
+  | Throw_async : exn -> 'a io
+      (* internal: an exception in flight that was delivered
+         asynchronously; skips [F_catch_sync] frames *)
+  | Prim : 'a prim -> 'a io
+
+and _ prim =
+  | Fork : string option * unit io -> thread prim
+  | My_tid : thread prim
+  | New_mvar : 'a option -> 'a mvar prim
+  | Take_mvar : 'a mvar -> 'a prim
+  | Put_mvar : 'a mvar * 'a -> unit prim
+  | Try_take_mvar : 'a mvar -> 'a option prim
+  | Try_put_mvar : 'a mvar * 'a -> bool prim
+  | Throw_to : thread * exn -> unit prim
+  | Sleep : int -> unit prim
+  | Yield : unit prim
+  | Now : int prim
+  | Put_char : char -> unit prim
+  | Put_string : string -> unit prim
+  | Get_char : char prim
+  | Lift : (unit -> 'a) -> 'a prim
+  | Masked : bool prim
+  | Mask_state : mask_level prim
+  | Status_of : thread -> status prim
+  | Frame_depth : int prim
+
+and status = Status_running | Status_blocked of string | Status_dead
+
+(* Continuation frames. [F_catch] records the mask state when pushed
+   (paper §8.1: "extend the catch frame to include the state of
+   asynchronous exceptions"); [F_mask b] restores mask state [b] when
+   returned to, normally or exceptionally. *)
+and _ frames =
+  | F_stop : (('a, exn) result -> unit) -> 'a frames
+  | F_bind : ('a -> 'b io) * 'b frames -> 'a frames
+  | F_catch : (exn -> 'a io) * mask_level * 'a frames -> 'a frames
+  | F_catch_sync : (exn -> 'a io) * mask_level * 'a frames -> 'a frames
+  | F_mask : mask_level * 'a frames -> 'a frames
+
+and packed = Pack : 'a io * 'a frames -> packed
+
+and thread = {
+  t_id : int;
+  t_name : string option;
+  mutable t_mask : mask_level;
+  mutable t_pending : pending list;  (* FIFO: head delivered first *)
+  mutable t_state : t_state;
+  mutable t_frame_depth : int;
+  mutable t_max_frame_depth : int;
+}
+
+and pending = {
+  p_exn : exn;
+  mutable p_on_delivered : (unit -> unit) option;
+      (* synchronous throwTo (§9): wake the sender once raised; cleared if
+         the sender is itself interrupted while waiting *)
+}
+
+and t_state =
+  | T_run of packed
+  | T_blocked of blocked
+  | T_dead of exn option  (* [Some e]: died from uncaught exception [e] *)
+
+and blocked = {
+  b_why : string;
+  b_interrupt : exn -> packed;
+      (* resume by raising: implements rule (Interrupt) *)
+  b_cancel : unit -> unit;  (* withdraw the registration (waiter/timer) *)
+}
+
+and 'a mvar = {
+  mv_id : int;
+  mutable mv_contents : 'a option;
+  mv_takers : 'a taker Queue.t;
+  mv_putters : 'a putter Queue.t;
+}
+
+and 'a taker = {
+  tk_thread : thread;
+  tk_wake : 'a -> packed;
+  tk_raise : exn -> packed;
+  mutable tk_cancelled : bool;
+}
+
+and 'a putter = {
+  pt_thread : thread;
+  pt_value : 'a;
+  pt_wake : unit -> packed;
+  pt_raise : exn -> packed;
+  mutable pt_cancelled : bool;
+}
+
+let frames_depth frames =
+  let rec go : type a. int -> a frames -> int =
+   fun acc -> function
+    | F_stop _ -> acc
+    | F_bind (_, rest) -> go (acc + 1) rest
+    | F_catch (_, _, rest) -> go (acc + 1) rest
+    | F_catch_sync (_, _, rest) -> go (acc + 1) rest
+    | F_mask (_, rest) -> go (acc + 1) rest
+  in
+  go 0 frames

@@ -1,0 +1,67 @@
+open Hio_types
+
+type 'a t = 'a Hio_types.io
+type thread_id = Hio_types.thread
+
+exception Kill_thread
+exception Timeout
+exception Thread_not_found
+
+let return v = Pure v
+let bind m k = Bind (m, k)
+let map f m = Bind (m, fun v -> Pure (f v))
+let ( >>= ) = bind
+let ( >> ) a b = Bind (a, fun _ -> b)
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) m f = map f m
+  let ( and+ ) a b = Bind (a, fun x -> Bind (b, fun y -> Pure (x, y)))
+end
+
+let ignore_result m = Bind (m, fun _ -> Pure ())
+let throw e = Throw e
+let catch m h = Catch (m, h)
+let catch_sync m h = Catch_sync (m, h)
+let throw_to t e = Prim (Throw_to (t, e))
+let block m = Mask (Mask_block, m)
+let unblock m = Mask (Mask_none, m)
+let uninterruptibly m = Mask (Mask_uninterruptible, m)
+let blocked = Prim Masked
+
+type mask_level = Unmasked | Masked | Uninterruptible
+
+let mask_level =
+  Bind
+    ( Prim Mask_state,
+      fun l ->
+        Pure
+          (match l with
+          | Mask_none -> Unmasked
+          | Mask_block -> Masked
+          | Mask_uninterruptible -> Uninterruptible) )
+let fork ?name body = Prim (Fork (name, body))
+let my_thread_id = Prim My_tid
+let same_thread (a : thread_id) b = a.t_id = b.t_id
+let thread_name (t : thread_id) = t.t_name
+
+type thread_status = Running | Blocked_on of string | Dead
+
+let thread_status t =
+  Bind
+    ( Prim (Status_of t),
+      fun s ->
+        Pure
+          (match s with
+          | Status_running -> Running
+          | Status_blocked why -> Blocked_on why
+          | Status_dead -> Dead) )
+
+let sleep d = Prim (Sleep d)
+let yield = Prim Yield
+let now = Prim Now
+let put_char c = Prim (Put_char c)
+let put_string s = Prim (Put_string s)
+let get_char = Prim Get_char
+let lift f = Prim (Lift f)
+let frame_depth = Prim Frame_depth

@@ -1,0 +1,147 @@
+(** The IO monad of Concurrent Haskell with asynchronous exceptions
+    (paper §3–§5), embedded in OCaml.
+
+    A value of type ['a t] is a description of an IO computation that, when
+    performed by {!Runtime.run}, may fork threads, synchronize on MVars,
+    throw and catch exceptions — synchronous or asynchronous — and finally
+    deliver a value of type ['a].
+
+    Exceptions are ordinary OCaml [exn] values. {!throw_to} delivers one
+    asynchronously to another thread; {!block} and {!unblock} are the
+    paper's scoped combinators controlling delivery. Operations that can
+    wait indefinitely ({!Mvar.take}, {!Mvar.put}, {!sleep}, {!get_char})
+    are {e interruptible}: they can receive asynchronous exceptions even
+    inside {!block}, but only while the resource they wait for is
+    unavailable (§5.3). *)
+
+type 'a t = 'a Hio_types.io
+
+type thread_id = Hio_types.thread
+(** The paper's [ThreadId]: supports equality ({!same_thread}). *)
+
+exception Kill_thread
+(** The paper's [KillThread] exception. *)
+
+exception Timeout
+(** Thrown by sleeping deadlines; used by the [timeout] combinator. *)
+
+exception Thread_not_found
+(** Never raised by the runtime — reserved for user protocols. *)
+
+(** {1 Monad} *)
+
+val return : 'a -> 'a t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val ( >>= ) : 'a t -> ('a -> 'b t) -> 'b t
+val ( >> ) : 'a t -> 'b t -> 'b t
+
+(** [let*] / [let+] syntax for monadic code. *)
+module Syntax : sig
+  val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+  val ( let+ ) : 'a t -> ('a -> 'b) -> 'b t
+  val ( and+ ) : 'a t -> 'b t -> ('a * 'b) t
+end
+
+val ignore_result : 'a t -> unit t
+
+(** {1 Exceptions (§4, §5)} *)
+
+val throw : exn -> 'a t
+(** Raise a synchronous exception. *)
+
+val catch : 'a t -> (exn -> 'a t) -> 'a t
+(** [catch m h] runs [m]; if it raises — synchronously or asynchronously —
+    [h] receives the exception. The handler runs with the mask state in
+    force where the [catch] was entered (paper §8.1), so a handler inside
+    [block] cannot itself be interrupted before it gets going. *)
+
+val catch_sync : 'a t -> (exn -> 'a t) -> 'a t
+(** The §9 "two datatypes" design alternative: like {!catch}, but does NOT
+    intercept asynchronously delivered exceptions ("alerts") — they
+    propagate past the handler. Use it for universal handlers
+    ([catch_sync e (fun _ -> fallback)]) that must not swallow a [timeout]
+    or a kill aimed at the enclosing computation; the paper notes that with
+    only one [catch], such handlers "break the combinator". An exception
+    re-thrown from a {!catch} handler counts as synchronous from then on. *)
+
+val throw_to : thread_id -> exn -> unit t
+(** [throw_to t e] raises [e] in thread [t] "as soon as possible" and
+    returns immediately (the asynchronous design of §5/§8.2; see
+    {!Runtime.Config} for the §9 synchronous alternative). If [t] has
+    already died or completed, [throw_to] trivially succeeds. *)
+
+val block : 'a t -> 'a t
+(** Execute the argument with asynchronous-exception delivery blocked.
+    Scoped: the previous state is restored on exit, normal or exceptional.
+    Nesting does not count — [block (block m)] behaves as [block m]. *)
+
+val unblock : 'a t -> 'a t
+(** Execute the argument with delivery unblocked, regardless of context
+    (§5.2: "unblock always unblocks"). Scoped like {!block}. *)
+
+val uninterruptibly : 'a t -> 'a t
+(** {b Post-paper extension} (GHC's later [uninterruptibleMask]): execute
+    the argument with delivery blocked {e even at interruptible
+    operations} — a blocking [takeMVar] inside this scope simply waits,
+    with any [throwTo] left pending. The paper's release paths need the
+    catch/re-post/retry idiom ({!Hio_std.Combinators.critical_take})
+    precisely because this combinator did not exist; we provide it so the
+    two approaches can be compared. Use sparingly: a computation blocked
+    in here is unkillable. Scoped like {!block}. *)
+
+val blocked : bool t
+(** Whether delivery is currently blocked — introspection for tests. *)
+
+type mask_level = Unmasked | Masked | Uninterruptible
+
+val mask_level : mask_level t
+(** Current mask level, for tests. *)
+
+(** {1 Threads (§4)} *)
+
+val fork : ?name:string -> unit t -> thread_id t
+(** The paper's [forkIO]. The child inherits the parent's mask state by
+    default (the GHC refinement; configurable in {!Runtime.Config} —
+    Figure 5's (Fork) rule does not inherit). *)
+
+val my_thread_id : thread_id t
+val same_thread : thread_id -> thread_id -> bool
+val thread_name : thread_id -> string option
+
+type thread_status =
+  | Running
+  | Blocked_on of string  (** e.g. ["takeMVar"], ["sleep"] *)
+  | Dead
+
+val thread_status : thread_id -> thread_status t
+(** Test/diagnostic introspection. *)
+
+(** {1 Time and scheduling} *)
+
+val sleep : int -> unit t
+(** Sleep for the given number of (virtual) microseconds. Interruptible. *)
+
+val yield : unit t
+(** Offer the scheduler a switch point. *)
+
+val now : int t
+(** The current virtual time in microseconds. *)
+
+(** {1 Console} *)
+
+val put_char : char -> unit t
+val put_string : string -> unit t
+val get_char : char t
+(** Reads from the runtime's configured input; blocks (interruptibly) when
+    input is exhausted. *)
+
+(** {1 Escape hatch} *)
+
+val lift : (unit -> 'a) -> 'a t
+(** Embed an OCaml side effect as an atomic, non-interruptible step.
+    Intended for test instrumentation (counters, probes). *)
+
+val frame_depth : int t
+(** The current depth of this thread's continuation stack — instrumentation
+    for the §8.1 constant-stack claim. *)

@@ -1,0 +1,38 @@
+open Hio_types
+
+type 'a t = 'a Hio_types.mvar
+
+let new_empty = Prim (New_mvar None)
+let new_filled v = Prim (New_mvar (Some v))
+let take m = Prim (Take_mvar m)
+let put m v = Prim (Put_mvar (m, v))
+let try_take m = Prim (Try_take_mvar m)
+let try_put m v = Prim (Try_put_mvar (m, v))
+
+let read m = Bind (take m, fun v -> Bind (put m v, fun () -> Pure v))
+
+let modify m f =
+  Mask
+    ( Mask_block,
+      Bind
+       ( take m,
+         fun a ->
+           Bind
+             ( Catch
+                 ( Mask (Mask_none, f a),
+                   fun e -> Bind (put m a, fun () -> Throw e) ),
+               fun b -> put m b ) ))
+
+let with_mvar m f =
+  Mask
+    ( Mask_block,
+      Bind
+       ( take m,
+         fun a ->
+           Bind
+             ( Catch
+                 ( Mask (Mask_none, f a),
+                   fun e -> Bind (put m a, fun () -> Throw e) ),
+               fun b -> Bind (put m a, fun () -> Pure b) ) ))
+
+let id (m : 'a t) = m.mv_id

@@ -1,0 +1,46 @@
+(** MVars — the synchronization primitive of Concurrent Haskell (§4).
+
+    An ['a t] is a box that is either empty or holds a value of type ['a].
+    {!take} waits while the box is empty; {!put} waits while it is full
+    (the paper's revised [putMVar] semantics, footnote 3). Both are
+    {e interruptible}: inside {!Io.block} they can still receive an
+    asynchronous exception, but only while they are actually waiting
+    (§5.3) — once the resource is available the operation is atomic. *)
+
+type 'a t = 'a Hio_types.mvar
+
+val new_empty : 'a t Io.t
+(** The paper's [newEmptyMVar]. *)
+
+val new_filled : 'a -> 'a t Io.t
+(** [newMVar v] — create full. *)
+
+val take : 'a t -> 'a Io.t
+(** Remove and return the contents, waiting while empty. If putters are
+    queued, the longest-waiting putter's value fills the box as part of the
+    same step (no barging). *)
+
+val put : 'a t -> 'a -> unit Io.t
+(** Fill the box, waking the longest-waiting taker, waiting while full. *)
+
+val try_take : 'a t -> 'a option Io.t
+(** Non-blocking {!take}: [None] if empty. Never interruptible. *)
+
+val try_put : 'a t -> 'a -> bool Io.t
+(** Non-blocking {!put}: [false] if full. Never interruptible. *)
+
+val read : 'a t -> 'a Io.t
+(** [take] then [put] back — momentarily empties the box. *)
+
+val modify : 'a t -> ('a -> 'a Io.t) -> unit Io.t
+(** The §5.2 safe-update protocol:
+    [block (do a <- take m;
+              b <- catch (unblock (f a)) (\e -> put m a >> throw e);
+              put m b)]. *)
+
+val with_mvar : 'a t -> ('a -> 'b Io.t) -> 'b Io.t
+(** Like {!modify} but the state is restored unchanged and the body's
+    result returned: an exception-safe critical section. *)
+
+val id : 'a t -> int
+(** Unique id, for debugging. *)

@@ -1,0 +1,622 @@
+open Hio_types
+
+type event =
+  | Ev_fork of { parent : int; child : int; name : string option }
+  | Ev_exit of { tid : int; uncaught : exn option }
+  | Ev_throw_to of { source : int; target : int; exn : exn }
+  | Ev_deliver of { tid : int; exn : exn }
+  | Ev_blocked of { tid : int; why : string }
+  | Ev_mask of { tid : int; masked : bool }
+  | Ev_clock of { now : int }
+
+module Config = struct
+  type policy = Round_robin | Random of int
+
+  type t = {
+    policy : policy;
+    input : string;
+    collapse_mask_frames : bool;
+    fork_inherits_mask : bool;
+    sync_throw_to : bool;
+    max_steps : int;
+    tracer : (event -> unit) option;
+  }
+
+  let default =
+    {
+      policy = Round_robin;
+      input = "";
+      collapse_mask_frames = true;
+      fork_inherits_mask = true;
+      sync_throw_to = false;
+      max_steps = 50_000_000;
+      tracer = None;
+    }
+end
+
+let pp_event ppf = function
+  | Ev_fork { parent; child; name } ->
+      Fmt.pf ppf "fork t%d -> t%d%a" parent child
+        Fmt.(option (fmt " (%s)"))
+        name
+  | Ev_exit { tid; uncaught = None } -> Fmt.pf ppf "exit t%d" tid
+  | Ev_exit { tid; uncaught = Some e } ->
+      Fmt.pf ppf "exit t%d (uncaught %s)" tid (Printexc.to_string e)
+  | Ev_throw_to { source; target; exn } ->
+      Fmt.pf ppf "throwTo t%d -> t%d (%s)" source target
+        (Printexc.to_string exn)
+  | Ev_deliver { tid; exn } ->
+      Fmt.pf ppf "deliver %s at t%d" (Printexc.to_string exn) tid
+  | Ev_blocked { tid; why } -> Fmt.pf ppf "t%d blocked on %s" tid why
+  | Ev_mask { tid; masked } ->
+      Fmt.pf ppf "t%d %s" tid (if masked then "masked" else "unmasked")
+  | Ev_clock { now } -> Fmt.pf ppf "clock -> %dus" now
+
+let default_log_src = Logs.Src.create "hio.runtime" ~doc:"hio scheduler events"
+
+let logs_tracer ?(src = default_log_src) () event =
+  Logs.debug ~src (fun m -> m "%a" pp_event event)
+
+type 'a outcome = Value of 'a | Uncaught of exn | Deadlock | Out_of_steps
+
+type 'a result = {
+  outcome : 'a outcome;
+  output : string;
+  steps : int;
+  time : int;
+  forks : int;
+  max_frame_depth : int;
+}
+
+type timer = {
+  tm_deadline : int;
+  tm_thread : thread;
+  tm_wake : unit -> packed;
+  mutable tm_cancelled : bool;
+}
+
+type state = {
+  config : Config.t;
+  rng : Random.State.t option;
+  mutable now : int;
+  mutable runq : thread list;  (* FIFO: head runs next *)
+  mutable all_threads : thread list;  (* newest first *)
+  mutable timers : timer list;  (* unsorted; scanned when idle *)
+  mutable input : char list;
+  output : Buffer.t;
+  mutable steps : int;
+  mutable next_tid : int;
+  mutable next_mv : int;
+  mutable forks : int;
+  mutable finished : bool;  (* main thread done *)
+}
+
+let enqueue st t = st.runq <- st.runq @ [ t ]
+
+let emit st event =
+  match st.config.Config.tracer with Some f -> f event | None -> ()
+
+let bump_depth t k =
+  t.t_frame_depth <- t.t_frame_depth + k;
+  if t.t_frame_depth > t.t_max_frame_depth then
+    t.t_max_frame_depth <- t.t_frame_depth
+
+let set_run t packed = t.t_state <- T_run packed
+
+(* Pop the head of the pending queue and raise it at the thread's current
+   evaluation point — rules (Receive)/(Interrupt). *)
+let deliver_pending st t frames_of =
+  match t.t_pending with
+  | [] -> assert false
+  | p :: rest ->
+      t.t_pending <- rest;
+      emit st (Ev_deliver { tid = t.t_id; exn = p.p_exn });
+      (match p.p_on_delivered with Some f -> f () | None -> ());
+      frames_of p.p_exn
+
+(* Wake a blocked target by raising the head pending exception into it —
+   rule (Interrupt): applies in any masking context, because a blocked
+   thread is by definition waiting on an unavailable resource (§5.3). *)
+let interrupt_if_blocked st target =
+  match (target.t_state, target.t_pending) with
+  | T_blocked _, _ :: _ when target.t_mask = Mask_uninterruptible -> ()
+  | T_blocked b, _ :: _ ->
+      b.b_cancel ();
+      let packed = deliver_pending st target (fun e -> b.b_interrupt e) in
+      set_run target packed;
+      enqueue st target
+  | (T_run _ | T_dead _ | T_blocked _), _ -> ()
+
+(* --- MVar plumbing ------------------------------------------------------ *)
+
+let rec pop_taker q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some tk -> if tk.tk_cancelled then pop_taker q else Some tk
+
+let rec pop_putter q =
+  match Queue.take_opt q with
+  | None -> None
+  | Some pt -> if pt.pt_cancelled then pop_putter q else Some pt
+
+(* A waiter that would be woken but has a pending asynchronous exception
+   receives the exception instead (it is still at an interruptible wait, so
+   rule (Interrupt) applies in any masking context). This mirrors GHC: a
+   racing throwTo beats the wakeup, so the MVar value is never handed to a
+   resumption that an exception is about to discard. *)
+let wake_with_pending st thread raise_into =
+  let packed = deliver_pending st thread raise_into in
+  set_run thread packed;
+  enqueue st thread
+
+(* Remove a value from a full MVar; if a putter is waiting, its value fills
+   the box in the same atomic step (no barging past the queue). *)
+let rec mvar_remove st (m : _ mvar) v_now =
+  (match pop_putter m.mv_putters with
+  | Some pt
+    when pt.pt_thread.t_pending <> []
+         && pt.pt_thread.t_mask <> Mask_uninterruptible ->
+      wake_with_pending st pt.pt_thread pt.pt_raise;
+      ignore (mvar_remove st m v_now)
+  | Some pt ->
+      m.mv_contents <- Some pt.pt_value;
+      set_run pt.pt_thread (pt.pt_wake ());
+      enqueue st pt.pt_thread
+  | None -> m.mv_contents <- None);
+  v_now
+
+(* Insert into an empty MVar; a waiting taker receives the value directly
+   and the box stays empty. *)
+let rec mvar_insert st (m : _ mvar) v =
+  match pop_taker m.mv_takers with
+  | Some tk
+    when tk.tk_thread.t_pending <> []
+         && tk.tk_thread.t_mask <> Mask_uninterruptible ->
+      wake_with_pending st tk.tk_thread tk.tk_raise;
+      mvar_insert st m v
+  | Some tk ->
+      set_run tk.tk_thread (tk.tk_wake v);
+      enqueue st tk.tk_thread
+  | None -> m.mv_contents <- Some v
+
+(* --- One scheduler step -------------------------------------------------- *)
+
+let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
+ fun st t prim frames ->
+  let continue v = set_run t (Pack (Pure v, frames)) in
+  let raise_now e = set_run t (Pack (Throw_async e, frames)) in
+  (* An interruptible operation about to wait: pending exceptions are
+     delivered even inside [block] (§5.3). *)
+  let block_interruptibly ~why ~cancel =
+    if t.t_pending <> [] && t.t_mask <> Mask_uninterruptible then
+      set_run t (deliver_pending st t (fun e -> Pack (Throw_async e, frames)))
+    else begin
+      emit st (Ev_blocked { tid = t.t_id; why });
+      t.t_state <-
+        T_blocked
+          {
+            b_why = why;
+            b_interrupt = (fun e -> Pack (Throw_async e, frames));
+            b_cancel = cancel;
+          }
+    end
+  in
+  match prim with
+  | Fork (name, body) ->
+      let child =
+        {
+          t_id = st.next_tid;
+          t_name = name;
+          t_mask = (if st.config.fork_inherits_mask then t.t_mask else Mask_none);
+          t_pending = [];
+          t_state = T_run (Pack (body, F_stop (fun _ -> ())));
+          t_frame_depth = 1;
+          t_max_frame_depth = 1;
+        }
+      in
+      st.next_tid <- st.next_tid + 1;
+      st.forks <- st.forks + 1;
+      st.all_threads <- child :: st.all_threads;
+      enqueue st child;
+      emit st
+        (Ev_fork { parent = t.t_id; child = child.t_id; name });
+      continue child
+  | My_tid -> continue t
+  | New_mvar contents ->
+      let m =
+        {
+          mv_id = st.next_mv;
+          mv_contents = contents;
+          mv_takers = Queue.create ();
+          mv_putters = Queue.create ();
+        }
+      in
+      st.next_mv <- st.next_mv + 1;
+      continue m
+  | Take_mvar m -> (
+      match m.mv_contents with
+      | Some v -> continue (mvar_remove st m v)
+      | None ->
+          let tk =
+            {
+              tk_thread = t;
+              tk_wake = (fun v -> Pack (Pure v, frames));
+              tk_raise = (fun e -> Pack (Throw_async e, frames));
+              tk_cancelled = false;
+            }
+          in
+          block_interruptibly ~why:"takeMVar" ~cancel:(fun () ->
+              tk.tk_cancelled <- true);
+          (* Register only if we actually blocked. *)
+          (match t.t_state with
+          | T_blocked _ -> Queue.add tk m.mv_takers
+          | T_run _ | T_dead _ -> ()))
+  | Put_mvar (m, v) -> (
+      match m.mv_contents with
+      | None ->
+          mvar_insert st m v;
+          continue ()
+      | Some _ ->
+          let pt =
+            {
+              pt_thread = t;
+              pt_value = v;
+              pt_wake = (fun () -> Pack (Pure (), frames));
+              pt_raise = (fun e -> Pack (Throw_async e, frames));
+              pt_cancelled = false;
+            }
+          in
+          block_interruptibly ~why:"putMVar" ~cancel:(fun () ->
+              pt.pt_cancelled <- true);
+          (match t.t_state with
+          | T_blocked _ -> Queue.add pt m.mv_putters
+          | T_run _ | T_dead _ -> ()))
+  | Try_take_mvar m -> (
+      match m.mv_contents with
+      | Some v -> continue (Some (mvar_remove st m v))
+      | None -> continue None)
+  | Try_put_mvar (m, v) -> (
+      match m.mv_contents with
+      | None ->
+          mvar_insert st m v;
+          continue true
+      | Some _ -> continue false)
+  | Throw_to (target, e) -> (
+      match target.t_state with
+      | T_dead _ -> continue () (* trivially succeeds (§5) *)
+      | T_run _ | T_blocked _ ->
+          emit st (Ev_throw_to { source = t.t_id; target = target.t_id; exn = e });
+          if st.config.sync_throw_to then
+            if target == t then
+              (* §9: the synchronous version needs a special case for a
+                 thread throwing to itself: raise immediately. *)
+              raise_now e
+            else begin
+              (* Block first, then register, so that an immediate delivery
+                 (blocked target) finds the sender already waiting. *)
+              let entry = { p_exn = e; p_on_delivered = None } in
+              t.t_state <-
+                T_blocked
+                  {
+                    b_why = "throwTo";
+                    b_interrupt = (fun ex -> Pack (Throw_async ex, frames));
+                    b_cancel = (fun () -> entry.p_on_delivered <- None);
+                  };
+              let sender = t in
+              entry.p_on_delivered <-
+                Some
+                  (fun () ->
+                    match sender.t_state with
+                    | T_blocked _ ->
+                        set_run sender (Pack (Pure (), frames));
+                        enqueue st sender
+                    | T_run _ | T_dead _ -> ());
+              target.t_pending <- target.t_pending @ [ entry ];
+              interrupt_if_blocked st target
+            end
+          else begin
+            (* §8.2: place the exception on the target's pending queue and
+               return immediately. *)
+            target.t_pending <-
+              target.t_pending @ [ { p_exn = e; p_on_delivered = None } ];
+            interrupt_if_blocked st target;
+            continue ()
+          end)
+  | Sleep d ->
+      if d <= 0 then continue ()
+      else begin
+        let tm =
+          {
+            tm_deadline = st.now + d;
+            tm_thread = t;
+            tm_wake = (fun () -> Pack (Pure (), frames));
+            tm_cancelled = false;
+          }
+        in
+        block_interruptibly ~why:"sleep" ~cancel:(fun () ->
+            tm.tm_cancelled <- true);
+        match t.t_state with
+        | T_blocked _ -> st.timers <- tm :: st.timers
+        | T_run _ | T_dead _ -> ()
+      end
+  | Yield -> continue ()
+  | Now -> continue st.now
+  | Put_char c ->
+      Buffer.add_char st.output c;
+      continue ()
+  | Put_string s ->
+      Buffer.add_string st.output s;
+      continue ()
+  | Get_char -> (
+      match st.input with
+      | c :: rest ->
+          st.input <- rest;
+          continue c
+      | [] -> block_interruptibly ~why:"getChar" ~cancel:(fun () -> ()))
+  | Lift f -> continue (f ())
+  | Masked -> continue (t.t_mask <> Mask_none)
+  | Mask_state -> continue t.t_mask
+  | Status_of u ->
+      continue
+        (match u.t_state with
+        | T_run _ -> Status_running
+        | T_blocked b -> Status_blocked b.b_why
+        | T_dead _ -> Status_dead)
+  | Frame_depth -> continue t.t_frame_depth
+
+let enter_mask st t new_mask body frames =
+  if t.t_mask = new_mask then set_run t (Pack (body, frames))
+  else begin
+    let old_mask = t.t_mask in
+    t.t_mask <- new_mask;
+    emit st (Ev_mask { tid = t.t_id; masked = new_mask <> Mask_none });
+    match frames with
+    | F_mask (b, rest) when st.config.Config.collapse_mask_frames && b = new_mask ->
+        (* §8.1: the frame on top would restore exactly the state we just
+           set — remove it instead of pushing its cancelling twin, so
+           patterns like [let rec f = block (unblock f)] run in constant
+           stack space. *)
+        bump_depth t (-1);
+        set_run t (Pack (body, rest))
+    | _ ->
+        bump_depth t 1;
+        set_run t (Pack (body, F_mask (old_mask, frames)))
+  end
+
+let exec_step : state -> thread -> packed -> unit =
+ fun st t (Pack (io, frames)) ->
+  match io with
+  | Pure v -> (
+      match frames with
+      | F_stop sink ->
+          t.t_state <- T_dead None;
+          emit st (Ev_exit { tid = t.t_id; uncaught = None });
+          sink (Ok v)
+      | F_bind (k, rest) ->
+          bump_depth t (-1);
+          set_run t (Pack (k v, rest))
+      | F_catch (_, _, rest) | F_catch_sync (_, _, rest) ->
+          (* rule (Handle) *)
+          bump_depth t (-1);
+          set_run t (Pack (Pure v, rest))
+      | F_mask (b, rest) ->
+          (* rules (Block Return)/(Unblock Return) *)
+          bump_depth t (-1);
+          if t.t_mask <> b then
+            emit st (Ev_mask { tid = t.t_id; masked = b <> Mask_none });
+          t.t_mask <- b;
+          set_run t (Pack (Pure v, rest)))
+  | Throw e -> (
+      match frames with
+      | F_stop sink ->
+          t.t_state <- T_dead (Some e);
+          emit st (Ev_exit { tid = t.t_id; uncaught = Some e });
+          sink (Error e)
+      | F_bind (_, rest) ->
+          (* rule (Propagate) *)
+          bump_depth t (-1);
+          set_run t (Pack (Throw e, rest))
+      | F_catch (h, saved_mask, rest) | F_catch_sync (h, saved_mask, rest) ->
+          (* rule (Catch): the handler runs with the mask state saved when
+             the catch frame was pushed (§8.1) *)
+          bump_depth t (-1);
+          if t.t_mask <> saved_mask then
+            emit st (Ev_mask { tid = t.t_id; masked = saved_mask <> Mask_none });
+          t.t_mask <- saved_mask;
+          set_run t (Pack (h e, rest))
+      | F_mask (b, rest) ->
+          (* rules (Block Throw)/(Unblock Throw) *)
+          bump_depth t (-1);
+          if t.t_mask <> b then
+            emit st (Ev_mask { tid = t.t_id; masked = b <> Mask_none });
+          t.t_mask <- b;
+          set_run t (Pack (Throw e, rest)))
+  | Throw_async e -> (
+      (* an asynchronously delivered exception: the §9 "alerts" reading —
+         plain [Catch] intercepts it, [Catch_sync] does not *)
+      match frames with
+      | F_stop sink ->
+          t.t_state <- T_dead (Some e);
+          emit st (Ev_exit { tid = t.t_id; uncaught = Some e });
+          sink (Error e)
+      | F_bind (_, rest) ->
+          bump_depth t (-1);
+          set_run t (Pack (Throw_async e, rest))
+      | F_catch (h, saved_mask, rest) ->
+          bump_depth t (-1);
+          if t.t_mask <> saved_mask then
+            emit st (Ev_mask { tid = t.t_id; masked = saved_mask <> Mask_none });
+          t.t_mask <- saved_mask;
+          set_run t (Pack (h e, rest))
+      | F_catch_sync (_, _, rest) ->
+          (* alerts pass through synchronous-only handlers *)
+          bump_depth t (-1);
+          set_run t (Pack (Throw_async e, rest))
+      | F_mask (b, rest) ->
+          bump_depth t (-1);
+          if t.t_mask <> b then
+            emit st (Ev_mask { tid = t.t_id; masked = b <> Mask_none });
+          t.t_mask <- b;
+          set_run t (Pack (Throw_async e, rest)))
+  | Bind (m, k) ->
+      bump_depth t 1;
+      set_run t (Pack (m, F_bind (k, frames)))
+  | Catch (m, h) ->
+      bump_depth t 1;
+      set_run t (Pack (m, F_catch (h, t.t_mask, frames)))
+  | Catch_sync (m, h) ->
+      bump_depth t 1;
+      set_run t (Pack (m, F_catch_sync (h, t.t_mask, frames)))
+  | Mask (level, m) -> enter_mask st t level m frames
+  | Prim p -> exec_prim st t p frames
+
+(* Run one scheduling slice of [t]: the step-boundary delivery check of
+   §8.1 ("at regular intervals during execution inside unblock, the pending
+   exceptions queue must be checked"), then one step. *)
+let run_slice st t =
+  match t.t_state with
+  | T_blocked _ | T_dead _ -> () (* stale queue entry *)
+  | T_run packed ->
+      let packed =
+        if t.t_mask = Mask_none && t.t_pending <> [] then
+          deliver_pending st t (fun e ->
+              let (Pack (_, frames)) = packed in
+              Pack (Throw_async e, frames))
+        else packed
+      in
+      st.steps <- st.steps + 1;
+      exec_step st t packed;
+      (match t.t_state with
+      | T_run _ -> enqueue st t
+      | T_blocked _ | T_dead _ -> ())
+
+let pick st =
+  match st.runq with
+  | [] -> None
+  | first :: rest -> (
+      match st.rng with
+      | None ->
+          st.runq <- rest;
+          Some first
+      | Some rng ->
+          let n = List.length st.runq in
+          let i = Random.State.int rng n in
+          let chosen = List.nth st.runq i in
+          st.runq <- List.filteri (fun j _ -> j <> i) st.runq;
+          Some chosen)
+
+(* Advance the virtual clock to the earliest live deadline and wake every
+   timer due at that instant. Returns false if no timer is pending. *)
+let advance_clock st =
+  let live = List.filter (fun tm -> not tm.tm_cancelled) st.timers in
+  match live with
+  | [] ->
+      st.timers <- [];
+      false
+  | _ :: _ ->
+      let earliest =
+        List.fold_left (fun acc tm -> min acc tm.tm_deadline) max_int live
+      in
+      st.now <- max st.now earliest;
+      emit st (Ev_clock { now = st.now });
+      let due, rest =
+        List.partition (fun tm -> tm.tm_deadline <= st.now) live
+      in
+      List.iter
+        (fun tm ->
+          set_run tm.tm_thread (tm.tm_wake ());
+          enqueue st tm.tm_thread)
+        due;
+      st.timers <- rest;
+      true
+
+let run ?(config = Config.default) main_io =
+  let result = ref None in
+  let st =
+    {
+      config;
+      rng =
+        (match config.policy with
+        | Config.Round_robin -> None
+        | Config.Random seed -> Some (Random.State.make [| seed |]));
+      now = 0;
+      runq = [];
+      all_threads = [];
+      timers = [];
+      input = List.init (String.length config.input) (String.get config.input);
+      output = Buffer.create 64;
+      steps = 0;
+      next_tid = 1;
+      next_mv = 0;
+      forks = 1;
+      finished = false;
+    }
+  in
+  let main_thread =
+    {
+      t_id = 0;
+      t_name = Some "main";
+      t_mask = Mask_none;
+      t_pending = [];
+      t_state =
+        T_run
+          (Pack
+             ( main_io,
+               F_stop
+                 (fun r ->
+                   result := Some r;
+                   st.finished <- true) ));
+      t_frame_depth = 1;
+      t_max_frame_depth = 1;
+    }
+  in
+  st.all_threads <- [ main_thread ];
+  enqueue st main_thread;
+  let outcome = ref Out_of_steps in
+  let running = ref true in
+  while !running do
+    if st.finished then begin
+      running := false;
+      outcome :=
+        match !result with
+        | Some (Ok v) -> Value v
+        | Some (Error e) -> Uncaught e
+        | None -> assert false
+    end
+    else if st.steps >= config.max_steps then begin
+      running := false;
+      outcome := Out_of_steps
+    end
+    else
+      match pick st with
+      | Some t -> run_slice st t
+      | None ->
+          if not (advance_clock st) then begin
+            running := false;
+            outcome := Deadlock
+          end
+  done;
+  {
+    outcome = !outcome;
+    output = Buffer.contents st.output;
+    steps = st.steps;
+    time = st.now;
+    forks = st.forks;
+    max_frame_depth =
+      List.fold_left
+        (fun acc t -> max acc t.t_max_frame_depth)
+        0 st.all_threads;
+  }
+
+let run_value ?config io =
+  match (run ?config io).outcome with
+  | Value v -> v
+  | Uncaught e -> raise e
+  | Deadlock -> failwith "hio: deadlock"
+  | Out_of_steps -> failwith "hio: out of steps"
+
+let pp_outcome pp_value ppf = function
+  | Value v -> Fmt.pf ppf "Value %a" pp_value v
+  | Uncaught e -> Fmt.pf ppf "Uncaught %s" (Printexc.to_string e)
+  | Deadlock -> Fmt.string ppf "Deadlock"
+  | Out_of_steps -> Fmt.string ppf "Out_of_steps"

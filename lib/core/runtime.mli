@@ -1,0 +1,80 @@
+(** The hio runtime: a green-thread scheduler implementing the paper's §8.
+
+    Substitutions with respect to the paper's GHC substrate (see DESIGN.md):
+    the scheduler runs inside one OCaml thread with a scheduling point at
+    {e every} monadic step (strictly more preemption points than a real
+    RTS time-slice), and [sleep] uses a virtual clock that advances only
+    when no thread is runnable, making timing-dependent programs
+    deterministic under the round-robin policy. *)
+
+(** Scheduler events, observable through {!Config.tracer}: the runtime's
+    analogue of the semantics' rule applications, for tests, debugging and
+    visualization. *)
+type event =
+  | Ev_fork of { parent : int; child : int; name : string option }
+  | Ev_exit of { tid : int; uncaught : exn option }
+  | Ev_throw_to of { source : int; target : int; exn : exn }
+  | Ev_deliver of { tid : int; exn : exn }
+      (** an asynchronous exception is raised at [tid]'s current point *)
+  | Ev_blocked of { tid : int; why : string }
+  | Ev_mask of { tid : int; masked : bool }
+  | Ev_clock of { now : int }  (** virtual time advanced while idle *)
+
+module Config : sig
+  type policy =
+    | Round_robin  (** deterministic FIFO *)
+    | Random of int  (** uniformly random runnable thread, seeded *)
+
+  type t = {
+    policy : policy;
+    input : string;  (** what {!Io.get_char} reads *)
+    collapse_mask_frames : bool;
+        (** the §8.1 adjacent block/unblock frame collapse; [true] in
+            normal operation, switchable for the C5 ablation benchmark *)
+    fork_inherits_mask : bool;
+        (** [true] (GHC refinement): a child forked inside [block] starts
+            blocked, closing the window before its first [catch] frame is
+            pushed. [false] matches Figure 5's (Fork) literally. *)
+    sync_throw_to : bool;
+        (** the §9 design alternative: [throw_to] waits until the exception
+            has been raised in the target (and is itself interruptible) *)
+    max_steps : int;  (** runaway-program bound *)
+    tracer : (event -> unit) option;  (** scheduler event hook *)
+  }
+
+  val default : t
+end
+
+val pp_event : Format.formatter -> event -> unit
+
+val logs_tracer : ?src:Logs.src -> unit -> event -> unit
+(** A ready-made tracer that reports every event at [Logs.Debug] level
+    (default src ["hio.runtime"]); plug it into {!Config.tracer} to watch
+    the scheduler through the logs infrastructure. *)
+
+type 'a outcome =
+  | Value of 'a  (** the main computation returned *)
+  | Uncaught of exn  (** an exception escaped the main computation *)
+  | Deadlock
+      (** no thread runnable, no timer pending: every thread is blocked *)
+  | Out_of_steps  (** [max_steps] exceeded *)
+
+type 'a result = {
+  outcome : 'a outcome;
+  output : string;  (** everything written with [put_char]/[put_string] *)
+  steps : int;  (** scheduler steps executed *)
+  time : int;  (** final virtual time, microseconds *)
+  forks : int;  (** threads created, incl. main *)
+  max_frame_depth : int;
+      (** high-water continuation-stack depth over all threads (§8.1) *)
+}
+
+val run : ?config:Config.t -> 'a Io.t -> 'a result
+
+val run_value : ?config:Config.t -> 'a Io.t -> 'a
+(** Convenience for tests: {!run} and require a {!Value} outcome.
+    @raise Failure describing the outcome otherwise (an [Uncaught e]
+    re-raises [e]). *)
+
+val pp_outcome :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a outcome -> unit

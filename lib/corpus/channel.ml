@@ -1,0 +1,46 @@
+open Ch_lang
+
+let new_chan_t =
+  Parser.parse
+    {|do {
+        hole <- newEmptyMVar;
+        readEnd <- newEmptyMVar;
+        writeEnd <- newEmptyMVar;
+        putMVar readEnd hole;
+        putMVar writeEnd hole;
+        return (Chan readEnd writeEnd)
+      }|}
+
+let write_chan_t =
+  Parser.parse
+    {|\c -> \v -> case c of {
+        Chan readEnd writeEnd -> block (do {
+          newHole <- newEmptyMVar;
+          oldHole <- takeMVar writeEnd;
+          putMVar oldHole (Item v newHole);
+          putMVar writeEnd newHole
+        })
+      }|}
+
+let read_chan_t =
+  Parser.parse
+    {|\c -> case c of {
+        Chan readEnd writeEnd -> block (do {
+          stream <- takeMVar readEnd;
+          item <- catch (unblock (takeMVar stream))
+                        (\e -> do { putMVar readEnd stream; throw e });
+          case item of {
+            Item v rest -> do { putMVar readEnd rest; return v }
+          }
+        })
+      }|}
+
+let with_channel_prelude program =
+  List.fold_left
+    (fun body (name, def) -> Term.Let (name, def, body))
+    program
+    [
+      ("newChan", new_chan_t);
+      ("writeChan", write_chan_t);
+      ("readChan", read_chan_t);
+    ]

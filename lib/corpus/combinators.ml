@@ -1,0 +1,122 @@
+open Ch_lang
+
+let finally_t =
+  Parser.parse
+    {|\a -> \b -> block (do {
+        r <- catch (unblock a) (\e -> do { b; throw e });
+        b;
+        return r
+      })|}
+
+let finally_unmasked_t =
+  Parser.parse
+    {|\a -> \b -> do {
+        r <- catch a (\e -> do { b; throw e });
+        b;
+        return r
+      }|}
+
+let bracket_t =
+  Parser.parse
+    {|\acquire -> \use -> \release -> block (do {
+        a <- acquire;
+        r <- catch (unblock (use a)) (\e -> do { release a; throw e });
+        release a;
+        return r
+      })|}
+
+(* §7.2, verbatim from the paper (with [EitherRet] constructors A/B/X):
+   fork both computations, take whichever result lands first, propagating
+   any exception we receive meanwhile to both children, then kill both
+   children — non-interruptibly, since we are inside [block] and the
+   children are guaranteed alive-or-finished. *)
+let either_t =
+  Parser.parse
+    {|\a -> \b -> do {
+        m <- newEmptyMVar;
+        block (do {
+          aid <- forkIO (catch (do { r <- unblock a; putMVar m (A r) })
+                               (\e -> putMVar m (X e)));
+          bid <- forkIO (catch (do { r <- unblock b; putMVar m (B r) })
+                               (\e -> putMVar m (X e)));
+          let rec loop =
+            catch (takeMVar m)
+                  (\e -> do { throwTo aid e; throwTo bid e; loop }) in
+          do {
+            r <- loop;
+            throwTo aid #KillThread;
+            throwTo bid #KillThread;
+            case r of {
+              A x -> return (Left x);
+              B x -> return (Right x);
+              X e -> throw e
+            }
+          }
+        })
+      }|}
+
+let both_t =
+  Parser.parse
+    {|\a -> \b -> do {
+        ma <- newEmptyMVar;
+        mb <- newEmptyMVar;
+        block (do {
+          aid <- forkIO (catch (do { r <- unblock a; putMVar ma (Ok r) })
+                               (\e -> putMVar ma (Err e)));
+          bid <- forkIO (catch (do { r <- unblock b; putMVar mb (Ok r) })
+                               (\e -> putMVar mb (Err e)));
+          let rec waitFor =
+            \m -> catch (takeMVar m)
+                        (\e -> do { throwTo aid e; throwTo bid e; waitFor m }) in
+          do {
+            ra <- waitFor ma;
+            case ra of {
+              Err e -> do { throwTo bid #KillThread; throw e };
+              Ok x -> do {
+                rb <- waitFor mb;
+                case rb of {
+                  Err e -> throw e;
+                  Ok y -> return (x, y)
+                }
+              }
+            }
+          }
+        })
+      }|}
+
+let timeout_t =
+  Term.Let
+    ( "either",
+      either_t,
+      Parser.parse
+        {|\t -> \a -> do {
+            r <- either (sleep t) a;
+            case r of {
+              Left u -> return Nothing;
+              Right x -> return (Just x)
+            }
+          }|} )
+
+let safe_point_t = Parser.parse "unblock (return ())"
+
+let put_str_t =
+  Parser.parse
+    {|fix (\putStr -> \s ->
+        case s of {
+          Nil -> return ();
+          Cons c rest -> putChar c >>= \u -> putStr rest
+        })|}
+
+let with_prelude program =
+  List.fold_left
+    (fun body (name, def) -> Term.Let (name, def, body))
+    program
+    [
+      ("finally", finally_t);
+      ("bracket", bracket_t);
+      ("either", either_t);
+      ("both", both_t);
+      ("timeout", timeout_t);
+      ("safePoint", safe_point_t);
+      ("putStr", put_str_t);
+    ]

@@ -1,0 +1,91 @@
+open Ch_lang
+
+let p = Parser.parse
+
+let definitions =
+  [
+    ( "map",
+      p
+        {|fix (\map -> \f -> \xs ->
+            case xs of {
+              Nil -> Nil;
+              Cons x rest -> Cons (f x) (map f rest)
+            })|} );
+    ( "filter",
+      p
+        {|fix (\filter -> \pred -> \xs ->
+            case xs of {
+              Nil -> Nil;
+              Cons x rest ->
+                if pred x then Cons x (filter pred rest)
+                else filter pred rest
+            })|} );
+    ( "foldr",
+      p
+        {|fix (\foldr -> \f -> \z -> \xs ->
+            case xs of {
+              Nil -> z;
+              Cons x rest -> f x (foldr f z rest)
+            })|} );
+    ( "foldl",
+      p
+        {|fix (\foldl -> \f -> \acc -> \xs ->
+            case xs of {
+              Nil -> acc;
+              Cons x rest -> foldl f (f acc x) rest
+            })|} );
+    ( "append",
+      p
+        {|fix (\append -> \xs -> \ys ->
+            case xs of {
+              Nil -> ys;
+              Cons x rest -> Cons x (append rest ys)
+            })|} );
+    ("length", p {|foldl (\n -> \x -> n + 1) 0|});
+    ( "take",
+      p
+        {|fix (\take -> \n -> \xs ->
+            if n <= 0 then Nil
+            else case xs of {
+              Nil -> Nil;
+              Cons x rest -> Cons x (take (n - 1) rest)
+            })|} );
+    ( "drop",
+      p
+        {|fix (\drop -> \n -> \xs ->
+            if n <= 0 then xs
+            else case xs of {
+              Nil -> Nil;
+              Cons x rest -> drop (n - 1) rest
+            })|} );
+    ("head", p {|\xs -> case xs of { Cons x rest -> x }|});
+    ("tail", p {|\xs -> case xs of { Cons x rest -> rest }|});
+    ("repeat", p {|fix (\repeat -> \x -> Cons x (repeat x))|});
+    ( "iterate",
+      p {|fix (\iterate -> \f -> \x -> Cons x (iterate f (f x)))|} );
+    ( "zipWith",
+      p
+        {|fix (\zipWith -> \f -> \xs -> \ys ->
+            case xs of {
+              Nil -> Nil;
+              Cons x xrest ->
+                case ys of {
+                  Nil -> Nil;
+                  Cons y yrest -> Cons (f x y) (zipWith f xrest yrest)
+                }
+            })|} );
+    ( "range",
+      p
+        {|fix (\range -> \lo -> \hi ->
+            if hi < lo then Nil else Cons lo (range (lo + 1) hi))|} );
+    ("sum", p {|foldl (\a -> \b -> a + b) 0|});
+    ( "reverse",
+      p {|foldl (\acc -> \x -> Cons x acc) Nil|} );
+  ]
+
+let with_list_prelude program =
+  (* earlier definitions must be in scope for later ones, so the first
+     binding is outermost *)
+  List.fold_right
+    (fun (name, def) body -> Term.Let (name, def, body))
+    definitions program

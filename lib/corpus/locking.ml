@@ -1,0 +1,46 @@
+open Ch_lang
+
+(* The shared-state update: [compute a = return (a + 1)]. Pure and quick,
+   but the race windows around it are what the paper is about. *)
+
+let unprotected =
+  Parser.parse "\\m -> do { a <- takeMVar m; putMVar m (a + 1) }"
+
+let catch_only =
+  Parser.parse
+    {|\m -> do {
+        a <- takeMVar m;
+        b <- catch (return (a + 1)) (\e -> do { putMVar m a; throw e });
+        putMVar m b
+      }|}
+
+let block_protected =
+  Parser.parse
+    {|\m -> block (do {
+        a <- takeMVar m;
+        b <- catch (unblock (return (a + 1)))
+                   (\e -> do { putMVar m a; throw e });
+        putMVar m b
+      })|}
+
+let blocked_compute =
+  Parser.parse
+    {|\m -> block (do {
+        a <- takeMVar m;
+        b <- catch (return (a + 1)) (\e -> do { putMVar m a; throw e });
+        putMVar m b
+      })|}
+
+let harness protocol =
+  Term.Let
+    ( "protocol",
+      protocol,
+      Parser.parse
+        {|do {
+            m <- newEmptyMVar;
+            putMVar m 0;
+            t <- forkIO (protocol m);
+            throwTo t #KillThread;
+            a <- takeMVar m;
+            return a
+          }|} )

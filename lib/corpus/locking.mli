@@ -1,0 +1,41 @@
+(** The locking protocols of paper §5.1–§5.2, as object-language programs.
+
+    Each protocol is a function [\m -> io-action] that takes the lock
+    (an MVar holding the shared state), computes a new state, and puts it
+    back, with increasing degrees of protection against asynchronous
+    exceptions. {!harness} wraps a protocol in the adversarial scenario the
+    paper describes: a worker runs the protocol while another thread
+    [throwTo]s it at an arbitrary moment; if the protocol loses the lock,
+    the harness deadlocks — which the model checker then finds (or proves
+    absent). *)
+
+open Ch_lang
+
+val unprotected : Term.term
+(** [\m -> do { a <- takeMVar m; putMVar m (a+1) }] — no handler at all;
+    any exception between take and put loses the lock. *)
+
+val catch_only : Term.term
+(** The first code fragment of §5.1: a [catch] restores the lock on
+    synchronous exceptions, but there are race windows before the [catch]
+    is installed and after it expires. *)
+
+val block_protected : Term.term
+(** The final fragment of §5.2:
+    [block (do { a <- takeMVar m;
+                 b <- catch (unblock (compute a)) (\e -> do { putMVar m a; throw e });
+                 putMVar m b })] — no vulnerable window remains. *)
+
+val blocked_compute : Term.term
+(** §7.4 variant: like {!block_protected} but without [unblock] around the
+    compute, for mutable structures that must not be disturbed at all. *)
+
+val harness : Term.term -> Term.term
+(** [harness protocol] is the closed program
+    {v
+    do { m <- newEmptyMVar; putMVar m 0;
+         t <- forkIO (protocol m);
+         throwTo t #KillThread;
+         a <- takeMVar m;     -- deadlocks iff the protocol lost the lock
+         return a }
+    v} *)

@@ -1,0 +1,73 @@
+open Ch_lang
+
+let hello = Parser.parse "do { putChar 'h'; putChar 'i'; return () }"
+let echo = Parser.parse "do { c <- getChar; putChar c; d <- getChar; putChar d; return () }"
+
+let ping_pong =
+  Parser.parse
+    {|do {
+        ping <- newEmptyMVar;
+        pong <- newEmptyMVar;
+        t <- forkIO (let rec go =
+                       do { x <- takeMVar ping; putMVar pong (x + 1); go } in
+                     go);
+        putMVar ping 1;
+        a <- takeMVar pong;
+        putMVar ping (a + 1);
+        b <- takeMVar pong;
+        putMVar ping (b + 1);
+        c <- takeMVar pong;
+        throwTo t #KillThread;
+        return c
+      }|}
+
+let producer_consumer =
+  Parser.parse
+    {|do {
+        box <- newEmptyMVar;
+        t <- forkIO (do { putMVar box 1; putMVar box 2; putMVar box 3 });
+        x <- takeMVar box;
+        y <- takeMVar box;
+        z <- takeMVar box;
+        return (x + y + z)
+      }|}
+
+let diverge = Parser.parse "let rec spin = spin in spin"
+
+let kill_sleeping =
+  Parser.parse
+    {|do {
+        t <- forkIO (sleep 1000);
+        throwTo t #Timeout;
+        return ()
+      }|}
+
+let mask_interrupt =
+  Parser.parse
+    {|do {
+        done_ <- newEmptyMVar;
+        t <- forkIO (catch (block (let rec go =
+                                     do { unblock (return ()); go } in
+                                   go))
+                           (\e -> putMVar done_ Caught));
+        throwTo t #KillThread;
+        r <- takeMVar done_;
+        return r
+      }|}
+
+let counter_loop n =
+  Term.Let
+    ( "start",
+      Term.Lit_int n,
+      Parser.parse
+        {|do {
+            box <- newEmptyMVar;
+            putMVar box start;
+            let rec go =
+              do {
+                x <- takeMVar box;
+                if x == 0 then return 0
+                else do { putMVar box (x - 1); go }
+              } in
+            go
+          }|} )

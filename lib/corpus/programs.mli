@@ -1,0 +1,34 @@
+(** Miscellaneous closed corpus programs used by tests, examples and
+    benchmarks. *)
+
+open Ch_lang
+
+val hello : Term.term
+(** Prints ["hi"] and returns [()]. *)
+
+val echo : Term.term
+(** Copies two characters from input to output. *)
+
+val ping_pong : Term.term
+(** Two threads bounce a counter through two MVars three times; the main
+    thread returns the final count (6). *)
+
+val producer_consumer : Term.term
+(** A producer pushes 1..3 through an MVar, a consumer sums them; main
+    returns the sum (6). *)
+
+val diverge : Term.term
+(** [let rec spin = spin in spin] — pure divergence at the redex. *)
+
+val kill_sleeping : Term.term
+(** Forks a sleeper, kills it, returns [()] — the (Interrupt) rule on a
+    stuck thread. *)
+
+val mask_interrupt : Term.term
+(** A masked infinite loop with a [safePoint]-style [unblock] window: shows
+    that delivery happens only inside the window. Returns [Caught] when the
+    loop thread converts the exception to a result. *)
+
+val counter_loop : int -> Term.term
+(** [counter_loop n]: a single thread counts down from [n] via an MVar; used
+    by the stepper benchmarks. Returns [0]. *)

@@ -1,0 +1,138 @@
+open Ch_lang
+
+let p = Parser.parse
+
+(* Shared pieces: the state is [Pair count waiters] in an MVar; waiter
+   lists are Cons/Nil lists of private unit-MVars, compared with the
+   object language's MVar equality. *)
+
+let new_sem =
+  p
+    {|\n -> do {
+        s <- newEmptyMVar;
+        putMVar s (Pair n Nil);
+        return s
+      }|}
+
+let signal_sem =
+  p
+    {|\s -> block (do {
+        st <- takeMVar s;
+        case st of {
+          Pair c ws ->
+            case ws of {
+              Nil -> putMVar s (Pair (c + 1) Nil);
+              Cons b rest -> do { putMVar b (); putMVar s (Pair c rest) }
+            }
+        }
+      })|}
+
+(* The robust signal: [takeMVar s] is interruptible while another thread
+   holds the state (§5.3), and a signaller killed there loses the unit it
+   was returning. With only the paper's primitives the fix is the
+   critical-take idiom: catch the asynchronous exception, re-post it to
+   ourselves with the asynchronous throwTo (we are masked, so it just goes
+   back on our pending queue), and retry. *)
+let robust_signal =
+  p
+    {|\s -> block (
+        let rec acquire =
+          catch (takeMVar s)
+                (\e -> do { me <- myThreadId; throwTo me e; acquire }) in
+        do {
+          st <- acquire;
+          case st of {
+            Pair c ws ->
+              case ws of {
+                Nil -> putMVar s (Pair (c + 1) Nil);
+                Cons b rest -> do { putMVar b (); putMVar s (Pair c rest) }
+              }
+          }
+        })|}
+
+(* The 2001-era waiter: it unblocks around the private take (copying the
+   lock example's pattern where it does not apply) and installs no
+   cleanup. Two distinct schedules lose a unit: a kill between handoff and
+   pickup discards the unit with the abandoned continuation, and a kill
+   while queued leaves a ghost registration that a later signal feeds. *)
+let naive_wait =
+  p
+    {|\s -> block (do {
+        st <- takeMVar s;
+        case st of {
+          Pair c ws ->
+            if 0 < c then putMVar s (Pair (c - 1) ws)
+            else do {
+              b <- newEmptyMVar;
+              putMVar s (Pair c (Cons b ws));
+              unblock (takeMVar b)
+            }
+        }
+      })|}
+
+(* The §5.3-correct waiter: the private take stays MASKED — interruptible
+   exactly while the unit has not been handed over (the resource is
+   unavailable), atomic once it has — and the handler withdraws the
+   registration or passes a concurrently-dedicated unit on. *)
+let robust_wait =
+  p
+    {|\s -> block (
+        let rec elemMV = \b -> \ws ->
+          case ws of {
+            Nil -> False;
+            Cons w rest -> if w == b then True else elemMV b rest
+          } in
+        let rec removeMV = \b -> \ws ->
+          case ws of {
+            Nil -> Nil;
+            Cons w rest -> if w == b then rest else Cons w (removeMV b rest)
+          } in
+        do {
+          st <- takeMVar s;
+          case st of {
+            Pair c ws ->
+              if 0 < c then putMVar s (Pair (c - 1) ws)
+              else do {
+                b <- newEmptyMVar;
+                putMVar s (Pair c (Cons b ws));
+                catch (takeMVar b)
+                      (\e -> do {
+                         st2 <- takeMVar s;
+                         case st2 of {
+                           Pair c2 ws2 ->
+                             if elemMV b ws2
+                             then do {
+                               putMVar s (Pair c2 (removeMV b ws2));
+                               throw e
+                             }
+                             else do {
+                               -- a signal already dedicated a unit to us:
+                               -- it is still inside b (the masked take is
+                               -- atomic once full), so pass it on
+                               u <- takeMVar b;
+                               case ws2 of {
+                                 Nil -> do { putMVar s (Pair (c2 + 1) Nil); throw e };
+                                 Cons b2 rest -> do {
+                                   putMVar b2 ();
+                                   putMVar s (Pair c2 rest);
+                                   throw e
+                                 }
+                               }
+                             }
+                         }
+                       })
+              }
+          }
+        })|}
+
+let naive =
+  [ ("newSem", new_sem); ("signalSem", signal_sem); ("waitSem", naive_wait) ]
+
+let robust =
+  [ ("newSem", new_sem); ("signalSem", robust_signal); ("waitSem", robust_wait) ]
+
+let with_sem_prelude ~variant program =
+  let defs = match variant with `Naive -> naive | `Robust -> robust in
+  List.fold_right
+    (fun (name, def) body -> Term.Let (name, def, body))
+    defs program

@@ -1,0 +1,23 @@
+(** Quantity semaphores in the object language — the other structure §4
+    promises can be built "using only MVars". Two variants:
+
+    - {!naive}: the straightforward 2001-era implementation — a waiter
+      enqueues a private MVar and takes it, with no cleanup on
+      interruption. Under asynchronous exceptions it {e loses capacity}:
+      a signal can hand a unit to a waiter that a kill has already doomed.
+      The model checker exhibits the losing schedule.
+    - {!robust}: the waiter withdraws its registration on interruption
+      (and passes a concurrently-handed unit on), following the §5.2
+      discipline — the fix GHC eventually needed uninterruptibleMask for,
+      written here with the paper's own primitives.
+
+    Both are records of terms: bind them with {!with_sem_prelude} and call
+    [newSem n], [waitSem s], [signalSem s] from corpus programs. *)
+
+open Ch_lang
+
+val naive : (string * Term.term) list
+val robust : (string * Term.term) list
+
+val with_sem_prelude :
+  variant:[ `Naive | `Robust ] -> Term.term -> Term.term

@@ -1,0 +1,56 @@
+(** Denotation of object-language terms into the hio runtime.
+
+    This is the bridge between the paper's two artifacts: a Figure-1 term
+    can be {e model-checked} against the formal semantics
+    ({!Ch_semantics} / {!Ch_explore}) or {e executed} on the §8 runtime via
+    this module — and the differential test suite checks that every
+    runtime execution is one of the behaviours the semantics admits.
+
+    The translation is call-by-name: variables bind suspended evaluations,
+    constructors and MVar payloads hold thunks, and [return M] does not
+    force [M] — mirroring the inner semantics. Object-level exceptions
+    [#E] become the OCaml exception {!Obj_exn}; [#KillThread] and
+    [#Timeout] are identified with {!Hio.Io.Kill_thread} and
+    {!Hio.Io.Timeout} so that object programs and host combinators can
+    interoperate. *)
+
+open Ch_lang
+
+exception Obj_exn of Term.exn_name
+(** An object-language exception in flight on the runtime. *)
+
+exception Ill_typed of string
+(** Raised (as a host exception escaping {!Hio.Runtime.run}) when an
+    ill-typed object program applies an integer, scrutinizes a function,
+    etc. Well-typed programs never trigger it. *)
+
+type value
+(** A weak-head-normal object value. *)
+
+val io_of_term : Term.term -> value Hio.Io.t
+(** The denotation of a closed term of IO type: performing the action runs
+    the program on the hio runtime. *)
+
+val readback : ?budget:int -> value -> Term.term Hio.Io.t
+(** Deeply force a value and render it as a term (for observation), with a
+    step budget against divergent components.
+    @raise Ill_typed on open results. *)
+
+type observation = {
+  ending : ending;
+  output : string;
+  time : int;
+  steps : int;
+}
+
+and ending =
+  | Returned of Term.term  (** main's result, deeply normalized *)
+  | Uncaught of Term.exn_name
+  | Deadlocked
+  | Out_of_steps
+
+val run :
+  ?config:Hio.Runtime.Config.t -> ?readback_budget:int -> Term.term ->
+  observation
+(** Denote, run, and observe a closed program whose result is a first-order
+    value (integers, characters, constructors of such, ...). *)

@@ -1,0 +1,388 @@
+open Effect
+open Effect.Deep
+
+exception Kill_thread
+
+type thread = {
+  id : int;
+  name : string option;
+  mutable masked : bool;
+  mutable pending : exn list;
+  mutable dead : bool;
+  mutable blocked_cancel : (unit -> unit) option;
+      (* withdraw a wait registration when interrupted while blocked *)
+  mutable blocked_interrupt : (exn -> unit) option;
+      (* resume the blocked continuation by raising *)
+}
+
+type thread_id = thread
+
+type 'a taker = {
+  tk_resume : ('a, unit) result_resume;
+  mutable tk_cancelled : bool;
+}
+
+and ('a, 'r) result_resume = { rs_value : 'a -> unit; rs_raise : exn -> unit }
+
+type 'a putter = {
+  pt_value : 'a;
+  pt_resume : (unit, unit) result_resume;
+  mutable pt_cancelled : bool;
+}
+
+type 'a mvar = {
+  mutable contents : 'a option;
+  takers : 'a taker Queue.t;
+  putters : 'a putter Queue.t;
+}
+
+(* --- effects -------------------------------------------------------------- *)
+
+type _ Effect.t +=
+  | E_yield : unit Effect.t
+  | E_fork : string option * (unit -> unit) -> thread Effect.t
+  | E_self : thread Effect.t
+  | E_sleep : int -> unit Effect.t
+  | E_now : int Effect.t
+  | E_take : 'a mvar -> 'a Effect.t
+  | E_put : 'a mvar * 'a -> unit Effect.t
+  | E_throw_to : thread * exn -> unit Effect.t
+
+let fork ?name body = perform (E_fork (name, body))
+let my_thread_id () = perform E_self
+let yield () = perform E_yield
+let sleep d = perform (E_sleep d)
+let now () = perform E_now
+
+let new_mvar () =
+  { contents = None; takers = Queue.create (); putters = Queue.create () }
+
+let new_mvar_filled v =
+  { contents = Some v; takers = Queue.create (); putters = Queue.create () }
+
+let take mv = perform (E_take mv)
+let put mv v = perform (E_put (mv, v))
+let throw_to t e = perform (E_throw_to (t, e))
+
+(* The current thread, set by the scheduler around every resumption. Masking
+   is plain dynamic scoping over it — no effect needed, which is itself the
+   point: between effects the scheduler cannot see the thread at all. *)
+let current : thread option ref = ref None
+
+let self () =
+  match !current with
+  | Some t -> t
+  | None -> failwith "hio_direct: used outside run"
+
+let deliver_pending_now t =
+  if not t.masked then
+    match t.pending with
+    | e :: rest ->
+        t.pending <- rest;
+        raise e
+    | [] -> ()
+
+let with_mask value f =
+  let t = self () in
+  let old = t.masked in
+  t.masked <- value;
+  let restore () =
+    t.masked <- old;
+    (* leaving the scope is a delivery point (paper §8.1) *)
+    deliver_pending_now t
+  in
+  match f () with
+  | result ->
+      restore ();
+      result
+  | exception e ->
+      t.masked <- old;
+      raise e
+
+let block f = with_mask true f
+let unblock f = with_mask false f
+let blocked () = (self ()).masked
+
+(* --- scheduler ------------------------------------------------------------ *)
+
+type 'a outcome = Value of 'a | Uncaught of exn | Deadlock
+type 'a result = { outcome : 'a outcome; steps : int; time : int }
+
+type timer = {
+  tm_deadline : int;
+  tm_resume : (unit, unit) result_resume;
+  mutable tm_cancelled : bool;
+}
+
+type sched = {
+  mutable runq : (unit -> unit) list;
+  mutable timers : timer list;
+  mutable clock : int;
+  mutable steps : int;
+  mutable next_id : int;
+  mutable finished : bool;
+}
+
+let enqueue st thunk = st.runq <- st.runq @ [ thunk ]
+
+(* Resume a continuation in thread [t], delivering a pending exception
+   instead when the thread is unmasked: the effect boundary is the only
+   delivery point this runtime has. *)
+let resume_in st t (rs : ('a, unit) result_resume) (v : 'a) =
+  ignore st;
+  t.blocked_cancel <- None;
+  t.blocked_interrupt <- None;
+  match t.pending with
+  | e :: rest when not t.masked ->
+      t.pending <- rest;
+      rs.rs_raise e
+  | _ -> rs.rs_value v
+
+let rec spawn st (t : thread) (body : unit -> unit) =
+  let handler =
+    {
+      retc = (fun () -> t.dead <- true);
+      exnc = (fun _e -> t.dead <- true);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | E_yield ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  enqueue st (fun () ->
+                      run_slice st t
+                        { rs_value = continue k; rs_raise = discontinue k }
+                        ()))
+          | E_self ->
+              Some (fun (k : (a, unit) continuation) ->
+                  run_slice st t
+                    { rs_value = continue k; rs_raise = discontinue k }
+                    t)
+          | E_now ->
+              Some (fun (k : (a, unit) continuation) ->
+                  run_slice st t
+                    { rs_value = continue k; rs_raise = discontinue k }
+                    st.clock)
+          | E_fork (name, child_body) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let child =
+                    {
+                      id = st.next_id;
+                      name;
+                      masked = t.masked (* GHC-style inheritance *);
+                      pending = [];
+                      dead = false;
+                      blocked_cancel = None;
+                      blocked_interrupt = None;
+                    }
+                  in
+                  st.next_id <- st.next_id + 1;
+                  enqueue st (fun () -> spawn st child child_body);
+                  run_slice st t
+                    { rs_value = continue k; rs_raise = discontinue k }
+                    child)
+          | E_sleep d ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let rs =
+                    { rs_value = continue k; rs_raise = discontinue k }
+                  in
+                  if d <= 0 then run_slice st t rs ()
+                  else
+                    block_on st t rs ~register:(fun resume ->
+                        let tm =
+                          {
+                            tm_deadline = st.clock + d;
+                            tm_resume = resume;
+                            tm_cancelled = false;
+                          }
+                        in
+                        st.timers <- tm :: st.timers;
+                        fun () -> tm.tm_cancelled <- true))
+          | E_take mv ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let rs =
+                    { rs_value = continue k; rs_raise = discontinue k }
+                  in
+                  match mv.contents with
+                  | Some v ->
+                      serve_putter st mv;
+                      run_slice st t rs v
+                  | None ->
+                      block_on st t rs ~register:(fun resume ->
+                          let tk = { tk_resume = resume; tk_cancelled = false } in
+                          Queue.add tk mv.takers;
+                          fun () -> tk.tk_cancelled <- true))
+          | E_put (mv, v) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let rs =
+                    { rs_value = continue k; rs_raise = discontinue k }
+                  in
+                  match mv.contents with
+                  | None ->
+                      (match pop_taker mv with
+                      | Some tk ->
+                          let taker_thread_resume = tk.tk_resume in
+                          enqueue st (fun () -> taker_thread_resume.rs_value v)
+                      | None -> mv.contents <- Some v);
+                      run_slice st t rs ()
+                  | Some _ ->
+                      block_on st t rs ~register:(fun resume ->
+                          let pt =
+                            { pt_value = v; pt_resume = resume;
+                              pt_cancelled = false }
+                          in
+                          Queue.add pt mv.putters;
+                          fun () -> pt.pt_cancelled <- true))
+          | E_throw_to (target, e) ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let rs =
+                    { rs_value = continue k; rs_raise = discontinue k }
+                  in
+                  if not target.dead then begin
+                    target.pending <- target.pending @ [ e ];
+                    (* a blocked target is interruptible immediately, in any
+                       masking context (§5.3) *)
+                    match (target.blocked_interrupt, target.pending) with
+                    | Some interrupt, p :: rest ->
+                        (match target.blocked_cancel with
+                        | Some cancel -> cancel ()
+                        | None -> ());
+                        target.blocked_cancel <- None;
+                        target.blocked_interrupt <- None;
+                        target.pending <- rest;
+                        enqueue st (fun () -> interrupt p)
+                    | _ -> ()
+                  end;
+                  run_slice st t rs ())
+          | _ -> None);
+    }
+  in
+  current := Some t;
+  match_with body () handler
+
+(* Pop waiter queues skipping cancelled entries. *)
+and pop_taker : type a. a mvar -> a taker option =
+ fun mv ->
+  match Queue.take_opt mv.takers with
+  | None -> None
+  | Some tk -> if tk.tk_cancelled then pop_taker mv else Some tk
+
+and pop_putter : type a. a mvar -> a putter option =
+ fun mv ->
+  match Queue.take_opt mv.putters with
+  | None -> None
+  | Some pt -> if pt.pt_cancelled then pop_putter mv else Some pt
+
+(* After a take empties the box, let the longest-waiting putter fill it. *)
+and serve_putter : type a. sched -> a mvar -> unit =
+ fun st mv ->
+  match pop_putter mv with
+  | Some pt ->
+      mv.contents <- Some pt.pt_value;
+      enqueue st (fun () -> pt.pt_resume.rs_value ())
+  | None -> mv.contents <- None
+
+(* Suspend the current thread on an external resource. [register] installs
+   the wake-up and returns the cancellation; interruptible per §5.3. *)
+and block_on :
+    type a. sched -> thread -> (a, unit) result_resume -> register:((a, unit) result_resume -> unit -> unit) -> unit =
+ fun st t rs ~register ->
+  match t.pending with
+  | e :: rest ->
+      (* about to wait on an unavailable resource: deliver even if masked *)
+      t.pending <- rest;
+      rs.rs_raise e
+  | [] ->
+      let resume =
+        {
+          rs_value = (fun v -> run_slice_resumed st t (fun () -> rs.rs_value v));
+          rs_raise = (fun e -> run_slice_resumed st t (fun () -> rs.rs_raise e));
+        }
+      in
+      let cancel = register resume in
+      t.blocked_cancel <- Some cancel;
+      t.blocked_interrupt <- Some resume.rs_raise
+
+(* Run one resumption with [current] set. *)
+and run_slice : type a. sched -> thread -> (a, unit) result_resume -> a -> unit
+    =
+ fun st t rs v ->
+  st.steps <- st.steps + 1;
+  current := Some t;
+  resume_in st t rs v
+
+and run_slice_resumed st t thunk =
+  st.steps <- st.steps + 1;
+  current := Some t;
+  t.blocked_cancel <- None;
+  t.blocked_interrupt <- None;
+  thunk ()
+
+let advance_clock st =
+  let live = List.filter (fun tm -> not tm.tm_cancelled) st.timers in
+  match live with
+  | [] ->
+      st.timers <- [];
+      false
+  | _ :: _ ->
+      let earliest =
+        List.fold_left (fun acc tm -> min acc tm.tm_deadline) max_int live
+      in
+      st.clock <- max st.clock earliest;
+      let due, rest =
+        List.partition (fun tm -> tm.tm_deadline <= st.clock) live
+      in
+      List.iter (fun tm -> enqueue st (fun () -> tm.tm_resume.rs_value ())) due;
+      st.timers <- rest;
+      true
+
+let run main =
+  let st =
+    {
+      runq = [];
+      timers = [];
+      clock = 0;
+      steps = 0;
+      next_id = 1;
+      finished = false;
+    }
+  in
+  let outcome = ref Deadlock in
+  let main_thread =
+    {
+      id = 0;
+      name = Some "main";
+      masked = false;
+      pending = [];
+      dead = false;
+      blocked_cancel = None;
+      blocked_interrupt = None;
+    }
+  in
+  enqueue st (fun () ->
+      spawn st main_thread (fun () ->
+          match main () with
+          | v ->
+              outcome := Value v;
+              st.finished <- true
+          | exception e ->
+              outcome := Uncaught e;
+              st.finished <- true));
+  let rec loop () =
+    if st.finished then ()
+    else
+      match st.runq with
+      | thunk :: rest ->
+          st.runq <- rest;
+          thunk ();
+          loop ()
+      | [] -> if advance_clock st then loop () else ()
+  in
+  loop ();
+  current := None;
+  { outcome = !outcome; steps = st.steps; time = st.clock }

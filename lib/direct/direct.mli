@@ -1,0 +1,61 @@
+(** A {e direct-style} green-thread runtime on OCaml 5 effect handlers,
+    built to make the paper's §2 argument concrete on OCaml itself.
+
+    The paper argues that fully-asynchronous exceptions are only safe and
+    only {e necessary} in a purely-functional setting: imperative languages
+    fall back to semi-asynchronous (polling / safe-point) mechanisms, and
+    its related-work section notes that "OCaml provides support for
+    concurrency, but does not support asynchronous signaling".
+
+    This module demonstrates why. It implements the same surface API as
+    {!Hio} — fork, MVars, sleep, throwTo, block/unblock — but in direct
+    style: ordinary OCaml code runs between effect performances, and the
+    scheduler can only deliver a pending exception {e at an effect
+    boundary} (an MVar operation, [yield], [sleep], …). A tight OCaml loop
+    performs no effects and is therefore unkillable — delivery here is
+    semi-asynchronous by construction, exactly the situation the paper's
+    monadic IO (where {e every} bind is a delivery point) escapes.
+
+    The test suite runs the same scenarios on both runtimes and measures
+    the difference in delivery granularity. *)
+
+type thread_id
+
+type 'a mvar
+
+exception Kill_thread
+
+(** {1 Operations — callable only inside {!run}} *)
+
+val fork : ?name:string -> (unit -> unit) -> thread_id
+val my_thread_id : unit -> thread_id
+val yield : unit -> unit
+val sleep : int -> unit
+val now : unit -> int
+val new_mvar : unit -> 'a mvar
+val new_mvar_filled : 'a -> 'a mvar
+val take : 'a mvar -> 'a
+val put : 'a mvar -> 'a -> unit
+
+val throw_to : thread_id -> exn -> unit
+(** Asynchronous in intent, but deliverable only at the target's next
+    effect performance (or immediately if the target is blocked) — the
+    semi-asynchronous compromise of §2. *)
+
+val block : (unit -> 'a) -> 'a
+(** Scoped masking, as in the paper; restores on normal or exceptional
+    exit. *)
+
+val unblock : (unit -> 'a) -> 'a
+
+val blocked : unit -> bool
+
+(** {1 Running} *)
+
+type 'a outcome = Value of 'a | Uncaught of exn | Deadlock
+
+type 'a result = { outcome : 'a outcome; steps : int; time : int }
+
+val run : (unit -> 'a) -> 'a result
+(** Cooperative round-robin scheduler with a virtual clock, like
+    {!Hio.Runtime.run}. *)

@@ -1,0 +1,92 @@
+open Ch_semantics
+
+type ending =
+  | Returned of Ch_lang.Term.term
+  | Uncaught of Ch_lang.Term.exn_name
+  | Deadlocked
+  | Diverged
+
+type observation = { output : string; consumed : int; ending : ending }
+
+(* A wedged (ill-typed) terminal is folded into [Diverged]: the checker is
+   meant for well-typed programs, where the case does not arise. *)
+let ending_of_kind = function
+  | Space.Completed (State.Done v) -> Returned v
+  | Space.Completed (State.Threw e) -> Uncaught e
+  | Space.Deadlock -> Deadlocked
+  | Space.Divergent | Space.Wedged _ -> Diverged
+
+let observe ?(config = Step.default_config) ?max_states ?(input = "") program
+    =
+  let initial = State.initial ~input program in
+  let result = Space.explore ~config ?max_states initial in
+  let total_input = List.length initial.State.input in
+  let observations =
+    List.map
+      (fun (t : Space.terminal) ->
+        {
+          output = State.output_string t.Space.state;
+          consumed = total_input - List.length t.Space.state.State.input;
+          ending = ending_of_kind t.Space.kind;
+        })
+      result.Space.terminals
+  in
+  (* incompleteness: a truncated exploration misses states; a cycle means
+     infinite executions exist that produce no terminal observation *)
+  ( List.sort_uniq compare observations,
+    result.Space.truncated || result.Space.has_cycle )
+
+let equivalent ?config ?max_states ?input p q =
+  let obs_p, trunc_p = observe ?config ?max_states ?input p in
+  let obs_q, trunc_q = observe ?config ?max_states ?input q in
+  (not trunc_p) && (not trunc_q) && obs_p = obs_q
+
+let refines ?config ?max_states ?input p q =
+  let obs_p, trunc_p = observe ?config ?max_states ?input p in
+  let obs_q, trunc_q = observe ?config ?max_states ?input q in
+  (not trunc_p) && (not trunc_q)
+  && List.for_all (fun o -> List.mem o obs_q) obs_p
+
+(* [sub] appears in [super] as a (not necessarily contiguous)
+   subsequence. *)
+let is_subsequence sub super =
+  let n = String.length sub and m = String.length super in
+  let rec go i j =
+    if i >= n then true
+    else if j >= m then false
+    else if sub.[i] = super.[j] then go (i + 1) (j + 1)
+    else go i (j + 1)
+  in
+  go 0 0
+
+let committed_to ?config ?max_states ?input q p =
+  (* "q is committed to performing at least the operations of p": every
+     operation sequence a non-divergent run of [p] exhibits is contained
+     (as a subsequence of the output) in some run of [q]. *)
+  let obs_p, trunc_p = observe ?config ?max_states ?input p in
+  let obs_q, trunc_q = observe ?config ?max_states ?input q in
+  (not trunc_p) && (not trunc_q)
+  && List.for_all
+       (fun op ->
+         match op.ending with
+         | Deadlocked | Diverged -> true
+         | Returned _ | Uncaught _ ->
+             List.exists (fun oq -> is_subsequence op.output oq.output) obs_q)
+       obs_p
+
+let pp_ending ppf = function
+  | Returned v -> Fmt.pf ppf "returned %a" Ch_lang.Pretty.pp_term v
+  | Uncaught e -> Fmt.pf ppf "uncaught #%s" e
+  | Deadlocked -> Fmt.string ppf "deadlock"
+  | Diverged -> Fmt.string ppf "divergence"
+
+let pp_observation ppf o =
+  Fmt.pf ppf "@[out=%S consumed=%d %a@]" o.output o.consumed pp_ending
+    o.ending
+
+let diff ?config ?max_states ?input p q =
+  let obs_p, _ = observe ?config ?max_states ?input p in
+  let obs_q, _ = observe ?config ?max_states ?input q in
+  let only_p = List.filter (fun o -> not (List.mem o obs_q)) obs_p in
+  let only_q = List.filter (fun o -> not (List.mem o obs_p)) obs_q in
+  if only_p = [] && only_q = [] then None else Some (only_p, only_q)

@@ -1,0 +1,97 @@
+(** Observational equivalence and the commitment ordering (paper §11).
+
+    The paper closes by sketching "two useful theories that arise from the
+    semantics: a simple equational theory, and a more subtle theory based
+    on a commitment ordering, where a process will approximate another if
+    the latter is committed to performing at least the same operations as
+    the former. … [this] would allow us to prove, for example, that
+    [finally a b] is committed to performing the same operations as
+    [block b]." This module makes both checkable for finite-state programs.
+
+    An {e observation} of a closed program is everything its environment
+    can see of one maximal execution: the characters written, the
+    characters consumed, and how the run ended (main's value or uncaught
+    exception, deadlock, divergence). {!observe} computes the {e set} of
+    observations over all schedules by exhaustive exploration.
+
+    Two programs are {e observationally equivalent} when their observation
+    sets coincide; [p] {e refines} [q] when every observation of [p] is an
+    observation of [q] (all of [p]'s behaviours are behaviours [q] already
+    admits). Commitment — "q is committed to performing at least the
+    operations of p" — is checked on the success observations: every
+    output-prefix [p] can produce, [q] can extend to one of its own
+    observations. These are whole-program (trace-style) notions, decidable
+    here because exploration is exhaustive; they are coarser than a
+    congruence but sound for the paper's examples, and the test suite uses
+    them to verify the §11 laws. *)
+
+open Ch_semantics
+
+type ending =
+  | Returned of Ch_lang.Term.term  (** main's value, normalized *)
+  | Uncaught of Ch_lang.Term.exn_name
+  | Deadlocked
+  | Diverged  (** includes fuel exhaustion of the inner semantics *)
+
+type observation = {
+  output : string;  (** characters written, in order *)
+  consumed : int;  (** how much of the input was read *)
+  ending : ending;
+}
+
+val observe :
+  ?config:Step.config ->
+  ?max_states:int ->
+  ?input:string ->
+  Ch_lang.Term.term ->
+  observation list * bool
+(** All observations of the program over every schedule, sorted and
+    deduplicated, paired with an incompleteness flag: [true] when the state
+    bound was hit {e or} the state graph contains a cycle (the program has
+    infinite executions, whose non-observations the set cannot include).
+    {!equivalent}, {!refines} and {!committed_to} all answer [false] when
+    either side is incomplete. *)
+
+val equivalent :
+  ?config:Step.config ->
+  ?max_states:int ->
+  ?input:string ->
+  Ch_lang.Term.term ->
+  Ch_lang.Term.term ->
+  bool
+(** Equal observation sets. Meaningless if either side truncates — the
+    checker treats truncation as inequivalence. *)
+
+val refines :
+  ?config:Step.config ->
+  ?max_states:int ->
+  ?input:string ->
+  Ch_lang.Term.term ->
+  Ch_lang.Term.term ->
+  bool
+(** [refines p q]: every observation of [p] is one of [q]. *)
+
+val committed_to :
+  ?config:Step.config ->
+  ?max_states:int ->
+  ?input:string ->
+  Ch_lang.Term.term ->
+  Ch_lang.Term.term ->
+  bool
+(** [committed_to q p] (read: "[q] is committed to performing at least the
+    operations of [p]"): for every non-divergent observation of [p], [q]
+    has an observation whose output contains it as a subsequence. The §11
+    example [committed_to (finally a b) (block b)] holds: whatever
+    [finally a b] does, it performs [b]'s operations. *)
+
+val pp_observation : Format.formatter -> observation -> unit
+
+val diff :
+  ?config:Step.config ->
+  ?max_states:int ->
+  ?input:string ->
+  Ch_lang.Term.term ->
+  Ch_lang.Term.term ->
+  (observation list * observation list) option
+(** [None] if equivalent; otherwise the observations unique to each side —
+    for test failure messages. *)

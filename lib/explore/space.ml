@@ -1,0 +1,182 @@
+open Ch_semantics
+
+type terminal_kind =
+  | Completed of State.finished
+  | Deadlock
+  | Divergent
+  | Wedged of string
+
+type terminal = {
+  state : State.t;
+  kind : terminal_kind;
+  path : Step.transition list;
+}
+
+type result = {
+  visited : int;
+  edges : int;
+  terminals : terminal list;
+  truncated : bool;
+  watch_hits : terminal list;
+  has_cycle : bool;
+}
+
+let classify config (st : State.t) =
+  let stalls =
+    List.filter_map
+      (fun (tid, th) ->
+        match th with
+        | State.Active _ -> Step.thread_stall config st tid
+        | State.Finished _ -> None)
+      st.State.threads
+  in
+  let any_active =
+    List.exists
+      (fun (_, th) ->
+        match th with State.Active _ -> true | State.Finished _ -> false)
+      st.State.threads
+  in
+  if not any_active then
+    match State.main_result st with
+    | Some (State.Done v) -> (
+        (* Normalize the recorded result with the inner semantics so that
+           observably equal outcomes (e.g. [0 + 1] and [1]) coincide. *)
+        match Ch_pure.Eval.eval ~fuel:config.Step.fuel v with
+        | Ch_pure.Eval.Value v' -> Completed (State.Done v')
+        | Raised _ | Diverged | Stuck _ -> Completed (State.Done v))
+    | Some (State.Threw e) -> Completed (State.Threw e)
+    | None -> Wedged "main thread vanished"
+  else
+    let wedged =
+      List.find_map
+        (function Step.Ill_typed m -> Some m | _ -> None)
+        stalls
+    in
+    match wedged with
+    | Some m -> Wedged m
+    | None ->
+        if List.mem Step.Diverging stalls then Divergent else Deadlock
+
+let explore ?(config = Step.default_config) ?(max_states = 200_000) ?watch
+    init =
+  let visited : (string, int) Hashtbl.t = Hashtbl.create 1024 in
+  let adjacency : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
+  let next_id = ref 0 in
+  (* parent edges for witness-path reconstruction *)
+  let parent : (string, string * Step.transition) Hashtbl.t =
+    Hashtbl.create 1024
+  in
+  let queue = Queue.create () in
+  let terminals = ref [] and watch_hits = ref [] in
+  let edges = ref 0 and truncated = ref false in
+  let path_to key =
+    let rec go key acc =
+      match Hashtbl.find_opt parent key with
+      | Some (parent_key, t) -> go parent_key (t :: acc)
+      | None -> acc
+    in
+    go key []
+  in
+  let init_key = State.canonical_key init in
+  Hashtbl.add visited init_key !next_id;
+  incr next_id;
+  Queue.add (init, init_key) queue;
+  while not (Queue.is_empty queue) do
+    let state, key = Queue.pop queue in
+    (match watch with
+    | Some pred when pred state ->
+        watch_hits :=
+          { state; kind = classify config state; path = path_to key }
+          :: !watch_hits
+    | Some _ | None -> ());
+    let my_id = Hashtbl.find visited key in
+    match Step.enumerate ~config state with
+    | [] ->
+        terminals :=
+          { state; kind = classify config state; path = path_to key }
+          :: !terminals
+    | transitions ->
+        let successors = ref [] in
+        List.iter
+          (fun (t : Step.transition) ->
+            incr edges;
+            let next_key = State.canonical_key t.Step.next in
+            match Hashtbl.find_opt visited next_key with
+            | Some id -> successors := id :: !successors
+            | None ->
+                if Hashtbl.length visited >= max_states then truncated := true
+                else begin
+                  Hashtbl.add visited next_key !next_id;
+                  successors := !next_id :: !successors;
+                  incr next_id;
+                  Hashtbl.add parent next_key (key, t);
+                  Queue.add (t.Step.next, next_key) queue
+                end)
+          transitions;
+        Hashtbl.replace adjacency my_id !successors
+  done;
+  (* Cycle detection: iterative three-colour DFS over the collected graph.
+     A back edge means some execution never terminates. *)
+  let has_cycle =
+    let colour : (int, [ `Grey | `Black ]) Hashtbl.t =
+      Hashtbl.create (Hashtbl.length adjacency)
+    in
+    let found = ref false in
+    let rec visit stack =
+      match stack with
+      | [] -> ()
+      | `Enter node :: rest -> (
+          match Hashtbl.find_opt colour node with
+          | Some _ -> visit rest
+          | None ->
+              Hashtbl.add colour node `Grey;
+              let succs =
+                Option.value (Hashtbl.find_opt adjacency node) ~default:[]
+              in
+              let pushes =
+                List.filter_map
+                  (fun s ->
+                    match Hashtbl.find_opt colour s with
+                    | Some `Grey ->
+                        found := true;
+                        None
+                    | Some `Black -> None
+                    | None -> Some (`Enter s))
+                  succs
+              in
+              visit (pushes @ (`Exit node :: rest)))
+      | `Exit node :: rest ->
+          Hashtbl.replace colour node `Black;
+          visit rest
+    in
+    visit [ `Enter 0 ];
+    !found
+  in
+  {
+    visited = Hashtbl.length visited;
+    edges = !edges;
+    terminals = List.rev !terminals;
+    truncated = !truncated;
+    watch_hits = List.rev !watch_hits;
+    has_cycle;
+  }
+
+let terminal_kinds result =
+  List.sort_uniq compare (List.map (fun t -> t.kind) result.terminals)
+
+let pp_terminal_kind ppf = function
+  | Completed (State.Done v) ->
+      Fmt.pf ppf "completed(%s)" (Ch_lang.Pretty.term_to_string v)
+  | Completed (State.Threw e) -> Fmt.pf ppf "uncaught(#%s)" e
+  | Deadlock -> Fmt.string ppf "deadlock"
+  | Divergent -> Fmt.string ppf "divergent"
+  | Wedged m -> Fmt.pf ppf "wedged(%s)" m
+
+let pp_summary ppf result =
+  Fmt.pf ppf "@[<v>states=%d edges=%d%s%s@,terminals: %a@]" result.visited
+    result.edges
+    (if result.truncated then " (truncated)" else "")
+    (if result.has_cycle then " (has cycles: infinite executions exist)"
+     else "")
+    Fmt.(list ~sep:comma pp_terminal_kind)
+    (terminal_kinds result)

@@ -1,0 +1,53 @@
+(** Exhaustive state-space exploration: the executable counterpart of the
+    paper's semantics used to {e prove} its claims about races.
+
+    The checker performs a breadth-first search over the quotient of program
+    states by structural congruence and α-equivalence (via
+    {!Ch_semantics.State.canonical_key}), following {e every} transition of
+    Figures 4 and 5 — in particular every possible delivery point of every
+    asynchronous exception. A claim like "this locking protocol never loses
+    the lock" (paper §5.1–5.2) is checked over all schedules, which no
+    concrete run of a real runtime could establish. *)
+
+open Ch_semantics
+
+type terminal_kind =
+  | Completed of State.finished  (** only the main thread remains, finished *)
+  | Deadlock  (** active threads remain, all waiting on resources *)
+  | Divergent  (** a thread's redex exhausted the inner semantics' fuel *)
+  | Wedged of string  (** an ill-typed evaluation site was reached *)
+
+type terminal = {
+  state : State.t;
+  kind : terminal_kind;
+  path : Step.transition list;  (** a witness path from the initial state *)
+}
+
+type result = {
+  visited : int;  (** distinct states (mod congruence) explored *)
+  edges : int;  (** transitions followed *)
+  terminals : terminal list;
+  truncated : bool;  (** hit [max_states]: results are a lower bound *)
+  watch_hits : terminal list;
+      (** states satisfying the [watch] predicate, with witness paths *)
+  has_cycle : bool;
+      (** some transition re-enters an already-visited state: the program
+          has infinite executions (e.g. a spinning thread), which produce
+          no terminal — consumers like {!Equiv} must account for them *)
+}
+
+val explore :
+  ?config:Step.config ->
+  ?max_states:int ->
+  ?watch:(State.t -> bool) ->
+  State.t ->
+  result
+(** Breadth-first exploration from the initial state (default [max_states]
+    is [200_000]). [watch] collects non-terminal witness states, e.g. "the
+    thread died while the MVar is empty". *)
+
+val terminal_kinds : result -> terminal_kind list
+(** The distinct terminal kinds, deduplicated, for concise assertions. *)
+
+val pp_terminal_kind : Format.formatter -> terminal_kind -> unit
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,358 @@
+type token =
+  | INT of int
+  | CHAR of char
+  | LIDENT of string
+  | UIDENT of string
+  | EXN of string
+  | STRING of string
+  | MVAR_NAME of int
+  | TID_NAME of int
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | BACKSLASH
+  | ARROW
+  | LARROW
+  | EQUALS
+  | OP_BIND
+  | OP_THEN
+  | OP_PLUS
+  | OP_MINUS
+  | OP_STAR
+  | OP_SLASH
+  | OP_EQ
+  | OP_NE
+  | OP_LT
+  | OP_LE
+  | KW_LET
+  | KW_REC
+  | KW_IN
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_CASE
+  | KW_OF
+  | KW_DO
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+type located = { token : token; line : int; col : int }
+
+let keyword_of_string = function
+  | "let" -> Some KW_LET
+  | "rec" -> Some KW_REC
+  | "in" -> Some KW_IN
+  | "if" -> Some KW_IF
+  | "then" -> Some KW_THEN
+  | "else" -> Some KW_ELSE
+  | "case" -> Some KW_CASE
+  | "of" -> Some KW_OF
+  | "do" -> Some KW_DO
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || c = '_'
+let is_upper c = c >= 'A' && c <= 'Z'
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable pos : int; mutable line : int;
+                mutable col : int }
+
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos]
+               else None
+
+let peek2 cur =
+  if cur.pos + 1 < String.length cur.src then Some cur.src.[cur.pos + 1]
+  else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let error cur message = raise (Lex_error { line = cur.line; col = cur.col;
+                                           message })
+
+let take_while cur pred =
+  let start = cur.pos in
+  let rec go () =
+    match peek cur with
+    | Some c when pred c ->
+        advance cur;
+        go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  String.sub cur.src start (cur.pos - start)
+
+(* Skips whitespace, [--] line comments and nested [{- -}] block comments. *)
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance cur;
+      skip_trivia cur
+  | Some '-' when peek2 cur = Some '-' ->
+      let rec to_eol () =
+        match peek cur with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance cur;
+            to_eol ()
+      in
+      to_eol ();
+      skip_trivia cur
+  | Some '{' when peek2 cur = Some '-' ->
+      advance cur;
+      advance cur;
+      let rec block depth =
+        match (peek cur, peek2 cur) with
+        | Some '-', Some '}' ->
+            advance cur;
+            advance cur;
+            if depth > 1 then block (depth - 1)
+        | Some '{', Some '-' ->
+            advance cur;
+            advance cur;
+            block (depth + 1)
+        | Some _, _ ->
+            advance cur;
+            block depth
+        | None, _ -> error cur "unterminated block comment"
+      in
+      block 1;
+      skip_trivia cur
+  | Some _ | None -> ()
+
+let char_literal cur =
+  (* Opening quote already consumed. *)
+  let c =
+    match peek cur with
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some 'n' ->
+            advance cur;
+            '\n'
+        | Some 't' ->
+            advance cur;
+            '\t'
+        | Some '\\' ->
+            advance cur;
+            '\\'
+        | Some '\'' ->
+            advance cur;
+            '\''
+        | Some c -> error cur (Printf.sprintf "bad escape '\\%c'" c)
+        | None -> error cur "unterminated character literal")
+    | Some c ->
+        advance cur;
+        c
+    | None -> error cur "unterminated character literal"
+  in
+  match peek cur with
+  | Some '\'' ->
+      advance cur;
+      c
+  | Some _ | None -> error cur "expected closing quote in character literal"
+
+let next_token cur =
+  skip_trivia cur;
+  let line = cur.line and col = cur.col in
+  let emit token = { token; line; col } in
+  match peek cur with
+  | None -> emit EOF
+  | Some c when is_digit c -> emit (INT (int_of_string (take_while cur is_digit)))
+  | Some c when is_ident_start c ->
+      let word = take_while cur is_ident_char in
+      emit
+        (match keyword_of_string word with
+        | Some kw -> kw
+        | None -> LIDENT word)
+  | Some c when is_upper c -> emit (UIDENT (take_while cur is_ident_char))
+  | Some '#' -> (
+      advance cur;
+      match peek cur with
+      | Some c when is_upper c -> emit (EXN (take_while cur is_ident_char))
+      | Some _ | None -> error cur "expected exception name after '#'")
+  | Some '%' -> (
+      advance cur;
+      match peek cur with
+      | Some (('m' | 't') as kind) -> (
+          advance cur;
+          match take_while cur is_digit with
+          | "" -> error cur "expected digits after '%m' / '%t'"
+          | digits ->
+              let n = int_of_string digits in
+              emit (if kind = 'm' then MVAR_NAME n else TID_NAME n))
+      | Some _ | None -> error cur "expected 'm' or 't' after '%'")
+  | Some '\'' ->
+      advance cur;
+      emit (CHAR (char_literal cur))
+  | Some '"' ->
+      advance cur;
+      let buf = Buffer.create 16 in
+      let rec chars () =
+        match peek cur with
+        | Some '"' -> advance cur
+        | Some '\\' -> (
+            advance cur;
+            match peek cur with
+            | Some 'n' ->
+                advance cur;
+                Buffer.add_char buf '\n';
+                chars ()
+            | Some 't' ->
+                advance cur;
+                Buffer.add_char buf '\t';
+                chars ()
+            | Some '\\' ->
+                advance cur;
+                Buffer.add_char buf '\\';
+                chars ()
+            | Some '"' ->
+                advance cur;
+                Buffer.add_char buf '"';
+                chars ()
+            | Some c -> error cur (Printf.sprintf "bad escape '\\%c'" c)
+            | None -> error cur "unterminated string literal")
+        | Some c ->
+            advance cur;
+            Buffer.add_char buf c;
+            chars ()
+        | None -> error cur "unterminated string literal"
+      in
+      chars ();
+      emit (STRING (Buffer.contents buf))
+  | Some '(' ->
+      advance cur;
+      emit LPAREN
+  | Some ')' ->
+      advance cur;
+      emit RPAREN
+  | Some '{' ->
+      advance cur;
+      emit LBRACE
+  | Some '}' ->
+      advance cur;
+      emit RBRACE
+  | Some ';' ->
+      advance cur;
+      emit SEMI
+  | Some ',' ->
+      advance cur;
+      emit COMMA
+  | Some '\\' ->
+      advance cur;
+      emit BACKSLASH
+  | Some '+' ->
+      advance cur;
+      emit OP_PLUS
+  | Some '*' ->
+      advance cur;
+      emit OP_STAR
+  | Some '-' -> (
+      advance cur;
+      match peek cur with
+      | Some '>' ->
+          advance cur;
+          emit ARROW
+      | Some _ | None -> emit OP_MINUS)
+  | Some '/' -> (
+      advance cur;
+      match peek cur with
+      | Some '=' ->
+          advance cur;
+          emit OP_NE
+      | Some _ | None -> emit OP_SLASH)
+  | Some '=' -> (
+      advance cur;
+      match peek cur with
+      | Some '=' ->
+          advance cur;
+          emit OP_EQ
+      | Some _ | None -> emit EQUALS)
+  | Some '>' -> (
+      advance cur;
+      match peek cur with
+      | Some '>' -> (
+          advance cur;
+          match peek cur with
+          | Some '=' ->
+              advance cur;
+              emit OP_BIND
+          | Some _ | None -> emit OP_THEN)
+      | Some _ | None -> error cur "expected '>>' or '>>='")
+  | Some '<' -> (
+      advance cur;
+      match peek cur with
+      | Some '=' ->
+          advance cur;
+          emit OP_LE
+      | Some '-' ->
+          advance cur;
+          emit LARROW
+      | Some _ | None -> emit OP_LT)
+  | Some c -> error cur (Printf.sprintf "unexpected character %C" c)
+
+let tokenize src =
+  let cur = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let tok = next_token cur in
+    match tok.token with
+    | EOF -> List.rev (tok :: acc)
+    | _ -> go (tok :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | CHAR c -> Printf.sprintf "%C" c
+  | LIDENT s | UIDENT s -> s
+  | EXN s -> "#" ^ s
+  | STRING s -> Printf.sprintf "%S" s
+  | MVAR_NAME n -> Printf.sprintf "%%m%d" n
+  | TID_NAME n -> Printf.sprintf "%%t%d" n
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | BACKSLASH -> "\\"
+  | ARROW -> "->"
+  | LARROW -> "<-"
+  | EQUALS -> "="
+  | OP_BIND -> ">>="
+  | OP_THEN -> ">>"
+  | OP_PLUS -> "+"
+  | OP_MINUS -> "-"
+  | OP_STAR -> "*"
+  | OP_SLASH -> "/"
+  | OP_EQ -> "=="
+  | OP_NE -> "/="
+  | OP_LT -> "<"
+  | OP_LE -> "<="
+  | KW_LET -> "let"
+  | KW_REC -> "rec"
+  | KW_IN -> "in"
+  | KW_IF -> "if"
+  | KW_THEN -> "then"
+  | KW_ELSE -> "else"
+  | KW_CASE -> "case"
+  | KW_OF -> "of"
+  | KW_DO -> "do"
+  | EOF -> "<eof>"

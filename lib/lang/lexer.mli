@@ -1,0 +1,56 @@
+(** Hand-written lexer for the surface syntax (a tiny Haskell: do-notation
+    with explicit braces, lambdas, [let]/[let rec], [if], [case], operators
+    [>>=], [>>], arithmetic and comparisons, [--] line comments and nested
+    [{- -}] block comments). *)
+
+type token =
+  | INT of int
+  | CHAR of char
+  | LIDENT of string
+  | UIDENT of string  (** constructor name *)
+  | EXN of string  (** [#Name], an exception constant *)
+  | STRING of string
+      (** ["..."], desugared by the parser to a [Cons]/[Nil] list of
+          character literals *)
+  | MVAR_NAME of int  (** [%m3], a runtime MVar name *)
+  | TID_NAME of int  (** [%t3], a runtime thread name *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | SEMI
+  | COMMA
+  | BACKSLASH
+  | ARROW  (** [->] *)
+  | LARROW  (** [<-] *)
+  | EQUALS
+  | OP_BIND  (** [>>=] *)
+  | OP_THEN  (** [>>] *)
+  | OP_PLUS
+  | OP_MINUS
+  | OP_STAR
+  | OP_SLASH
+  | OP_EQ  (** [==] *)
+  | OP_NE  (** [/=] *)
+  | OP_LT
+  | OP_LE
+  | KW_LET
+  | KW_REC
+  | KW_IN
+  | KW_IF
+  | KW_THEN
+  | KW_ELSE
+  | KW_CASE
+  | KW_OF
+  | KW_DO
+  | EOF
+
+exception Lex_error of { line : int; col : int; message : string }
+
+type located = { token : token; line : int; col : int }
+
+val tokenize : string -> located list
+(** Tokenize a whole source string; the result always ends with {!EOF}.
+    @raise Lex_error on malformed input. *)
+
+val token_to_string : token -> string

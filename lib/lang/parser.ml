@@ -1,0 +1,383 @@
+open Term
+
+exception Parse_error of { line : int; col : int; message : string }
+
+type stream = { mutable toks : Lexer.located list }
+
+let peek st =
+  match st.toks with
+  | t :: _ -> t
+  | [] -> assert false (* tokenize always ends with EOF *)
+
+let peek_token st = (peek st).token
+
+let peek2_token st =
+  match st.toks with _ :: t :: _ -> Some t.token | _ -> None
+
+let advance st = match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let fail st message =
+  let t = peek st in
+  raise (Parse_error { line = t.line; col = t.col; message })
+
+let expect st token =
+  if peek_token st = token then advance st
+  else
+    fail st
+      (Printf.sprintf "expected '%s' but found '%s'"
+         (Lexer.token_to_string token)
+         (Lexer.token_to_string (peek_token st)))
+
+(* Primitive names: arity and constructor. *)
+let builtins : (string * (int * (term list -> term))) list =
+  [
+    ("return", (1, function [ a ] -> Return a | _ -> assert false));
+    ("raise", (1, function [ a ] -> Raise a | _ -> assert false));
+    ("fix", (1, function [ a ] -> Fix a | _ -> assert false));
+    ("putChar", (1, function [ a ] -> Put_char a | _ -> assert false));
+    ("getChar", (0, function [] -> Get_char | _ -> assert false));
+    ("newEmptyMVar", (0, function [] -> New_mvar | _ -> assert false));
+    ("takeMVar", (1, function [ a ] -> Take_mvar a | _ -> assert false));
+    ("putMVar", (2, function [ a; b ] -> Put_mvar (a, b) | _ -> assert false));
+    ("sleep", (1, function [ a ] -> Sleep a | _ -> assert false));
+    ("throw", (1, function [ a ] -> Throw a | _ -> assert false));
+    ("catch", (2, function [ a; b ] -> Catch (a, b) | _ -> assert false));
+    ("throwTo", (2, function [ a; b ] -> Throw_to (a, b) | _ -> assert false));
+    ("block", (1, function [ a ] -> Block a | _ -> assert false));
+    ("unblock", (1, function [ a ] -> Unblock a | _ -> assert false));
+    ("forkIO", (1, function [ a ] -> Fork a | _ -> assert false));
+    ("myThreadId", (0, function [] -> My_tid | _ -> assert false));
+  ]
+
+let is_builtin name = List.mem_assoc name builtins
+
+(* Saturate a builtin of the given arity with the supplied arguments:
+   missing arguments are eta-expanded, surplus ones become applications. *)
+let apply_builtin arity build args =
+  let supplied = List.length args in
+  if supplied >= arity then
+    let rec split n = function
+      | rest when n = 0 -> ([], rest)
+      | a :: rest ->
+          let taken, surplus = split (n - 1) rest in
+          (a :: taken, surplus)
+      | [] -> assert false
+    in
+    let taken, surplus = split arity args in
+    apps (build taken) surplus
+  else begin
+    let missing = List.init (arity - supplied) (fun _ -> Subst.fresh "eta") in
+    lams missing (build (args @ List.map (fun x -> Var x) missing))
+  end
+
+let starts_atom = function
+  | Lexer.INT _ | CHAR _ | EXN _ | STRING _ | MVAR_NAME _ | TID_NAME _
+  | LIDENT _ | UIDENT _ | LPAREN ->
+      true
+  | _ -> false
+
+let starts_open_ended = function
+  | Lexer.BACKSLASH | KW_LET | KW_IF | KW_CASE | KW_DO -> true
+  | _ -> false
+
+let rec parse_expr st =
+  match peek_token st with
+  | Lexer.BACKSLASH ->
+      advance st;
+      let rec params acc =
+        match peek_token st with
+        | Lexer.LIDENT x when is_builtin x ->
+            fail st (Printf.sprintf "'%s' is a reserved primitive name" x)
+        | Lexer.LIDENT x ->
+            advance st;
+            params (x :: acc)
+        | Lexer.ARROW ->
+            advance st;
+            List.rev acc
+        | _ -> fail st "expected parameter or '->' in lambda"
+      in
+      let xs = params [] in
+      if xs = [] then fail st "lambda needs at least one parameter"
+      else lams xs (parse_expr st)
+  | Lexer.KW_LET ->
+      advance st;
+      let recursive =
+        if peek_token st = Lexer.KW_REC then begin
+          advance st;
+          true
+        end
+        else false
+      in
+      let x = parse_lident st in
+      expect st Lexer.EQUALS;
+      let def = parse_expr st in
+      expect st Lexer.KW_IN;
+      let body = parse_expr st in
+      if recursive then let_rec x def body else Let (x, def, body)
+  | Lexer.KW_IF ->
+      advance st;
+      let c = parse_expr st in
+      expect st Lexer.KW_THEN;
+      let t = parse_expr st in
+      expect st Lexer.KW_ELSE;
+      let e = parse_expr st in
+      If (c, t, e)
+  | Lexer.KW_CASE ->
+      advance st;
+      let scrutinee = parse_expr st in
+      expect st Lexer.KW_OF;
+      expect st Lexer.LBRACE;
+      let alts = parse_alts st in
+      expect st Lexer.RBRACE;
+      Case (scrutinee, alts)
+  | Lexer.KW_DO ->
+      advance st;
+      expect st Lexer.LBRACE;
+      let body = parse_do st in
+      expect st Lexer.RBRACE;
+      body
+  | _ -> parse_bind st
+
+and parse_lident st =
+  match peek_token st with
+  | Lexer.LIDENT x ->
+      advance st;
+      if is_builtin x then
+        fail st (Printf.sprintf "'%s' is a reserved primitive name" x)
+      else x
+  | _ -> fail st "expected identifier"
+
+and parse_alts st =
+  let alt () =
+    match peek_token st with
+    | Lexer.UIDENT c ->
+        advance st;
+        let rec params acc =
+          match peek_token st with
+          | Lexer.LIDENT x when is_builtin x ->
+              fail st (Printf.sprintf "'%s' is a reserved primitive name" x)
+          | Lexer.LIDENT x ->
+              advance st;
+              params (x :: acc)
+          | _ -> List.rev acc
+        in
+        let xs = params [] in
+        expect st Lexer.ARROW;
+        Alt (c, xs, parse_expr st)
+    | Lexer.LIDENT x ->
+        advance st;
+        expect st Lexer.ARROW;
+        Default (x, parse_expr st)
+    | _ -> fail st "expected case alternative"
+  in
+  let rec more acc =
+    if peek_token st = Lexer.SEMI then begin
+      advance st;
+      if peek_token st = Lexer.RBRACE then List.rev acc
+      else more (alt () :: acc)
+    end
+    else List.rev acc
+  in
+  more [ alt () ]
+
+and parse_do st =
+  (* A do block is a ';'-separated statement list whose last statement must
+     be an expression; desugars to [>>=] / [let]. *)
+  let stmt () =
+    match (peek_token st, peek2_token st) with
+    | Lexer.LIDENT x, Some Lexer.LARROW ->
+        if is_builtin x then
+          fail st (Printf.sprintf "'%s' is a reserved primitive name" x);
+        advance st;
+        advance st;
+        `Bind_to (x, parse_expr st)
+    | Lexer.KW_LET, _ -> (
+        advance st;
+        let recursive =
+          if peek_token st = Lexer.KW_REC then begin
+            advance st;
+            true
+          end
+          else false
+        in
+        let x = parse_lident st in
+        expect st Lexer.EQUALS;
+        let def = parse_expr st in
+        (* [let x = e in body] is also allowed as the final statement. *)
+        match peek_token st with
+        | Lexer.KW_IN ->
+            advance st;
+            let body = parse_expr st in
+            `Expr (if recursive then let_rec x def body else Let (x, def, body))
+        | _ ->
+            if recursive then `Let_rec_eq (x, def) else `Let_eq (x, def))
+    | _ -> `Expr (parse_expr st)
+  in
+  let rec stmts acc =
+    let s = stmt () in
+    if peek_token st = Lexer.SEMI then begin
+      advance st;
+      if peek_token st = Lexer.RBRACE then List.rev (s :: acc)
+      else stmts (s :: acc)
+    end
+    else List.rev (s :: acc)
+  in
+  let rec desugar = function
+    | [ `Expr e ] -> e
+    | [ (`Bind_to _ | `Let_eq _ | `Let_rec_eq _) ] | [] ->
+        fail st "a do block must end with an expression"
+    | `Expr e :: rest -> then_ e (desugar rest)
+    | `Bind_to (x, e) :: rest -> Bind (e, Lam (x, desugar rest))
+    | `Let_eq (x, e) :: rest -> Let (x, e, desugar rest)
+    | `Let_rec_eq (x, e) :: rest -> let_rec x e (desugar rest)
+  in
+  desugar (stmts [])
+
+and parse_bind st =
+  let rec loop left =
+    match peek_token st with
+    | Lexer.OP_BIND ->
+        advance st;
+        if starts_open_ended (peek_token st) then Bind (left, parse_expr st)
+        else loop (Bind (left, parse_cmp st))
+    | Lexer.OP_THEN ->
+        advance st;
+        if starts_open_ended (peek_token st) then then_ left (parse_expr st)
+        else loop (then_ left (parse_cmp st))
+    | _ -> left
+  in
+  loop (parse_cmp st)
+
+and parse_cmp st =
+  let left = parse_add st in
+  let op =
+    match peek_token st with
+    | Lexer.OP_EQ -> Some Eq
+    | Lexer.OP_NE -> Some Ne
+    | Lexer.OP_LT -> Some Lt
+    | Lexer.OP_LE -> Some Le
+    | _ -> None
+  in
+  match op with
+  | None -> left
+  | Some op ->
+      advance st;
+      Prim (op, left, parse_add st)
+
+and parse_add st =
+  let rec loop left =
+    match peek_token st with
+    | Lexer.OP_PLUS ->
+        advance st;
+        loop (Prim (Add, left, parse_mul st))
+    | Lexer.OP_MINUS ->
+        advance st;
+        loop (Prim (Sub, left, parse_mul st))
+    | _ -> left
+  in
+  loop (parse_mul st)
+
+and parse_mul st =
+  let rec loop left =
+    match peek_token st with
+    | Lexer.OP_STAR ->
+        advance st;
+        loop (Prim (Mul, left, parse_app st))
+    | Lexer.OP_SLASH ->
+        advance st;
+        loop (Prim (Div, left, parse_app st))
+    | _ -> left
+  in
+  loop (parse_app st)
+
+and parse_app st =
+  let head_tok = peek_token st in
+  let head_name =
+    match head_tok with
+    | Lexer.LIDENT x when is_builtin x -> `Builtin x
+    | Lexer.UIDENT c -> `Con c
+    | _ -> `Plain
+  in
+  (match head_name with `Builtin _ | `Con _ -> advance st | `Plain -> ());
+  let rec args acc =
+    if starts_atom (peek_token st) then args (parse_atom st :: acc)
+    else List.rev acc
+  in
+  match head_name with
+  | `Builtin x ->
+      let arity, build = List.assoc x builtins in
+      apply_builtin arity build (args [])
+  | `Con c -> Con (c, args [])
+  | `Plain ->
+      let head = parse_atom st in
+      apps head (args [])
+
+and parse_atom st =
+  match peek_token st with
+  | Lexer.INT i ->
+      advance st;
+      Lit_int i
+  | Lexer.CHAR c ->
+      advance st;
+      Lit_char c
+  | Lexer.EXN e ->
+      advance st;
+      Lit_exn e
+  | Lexer.STRING s ->
+      advance st;
+      String.fold_right
+        (fun c rest -> Con ("Cons", [ Lit_char c; rest ]))
+        s
+        (Con ("Nil", []))
+  | Lexer.MVAR_NAME n ->
+      advance st;
+      Mvar n
+  | Lexer.TID_NAME n ->
+      advance st;
+      Tid n
+  | Lexer.LIDENT x ->
+      advance st;
+      if is_builtin x then
+        let arity, build = List.assoc x builtins in
+        apply_builtin arity build []
+      else Var x
+  | Lexer.UIDENT c ->
+      advance st;
+      Con (c, [])
+  | Lexer.LPAREN -> (
+      advance st;
+      match peek_token st with
+      | Lexer.RPAREN ->
+          advance st;
+          unit_v
+      | Lexer.OP_MINUS when
+          (match peek2_token st with Some (Lexer.INT _) -> true | _ -> false)
+        -> (
+          advance st;
+          match peek_token st with
+          | Lexer.INT i ->
+              advance st;
+              expect st Lexer.RPAREN;
+              Lit_int (-i)
+          | _ -> assert false)
+      | _ -> (
+          let e = parse_expr st in
+          match peek_token st with
+          | Lexer.COMMA ->
+              advance st;
+              let e2 = parse_expr st in
+              expect st Lexer.RPAREN;
+              pair e e2
+          | _ ->
+              expect st Lexer.RPAREN;
+              e))
+  | _ ->
+      fail st
+        (Printf.sprintf "unexpected token '%s'"
+           (Lexer.token_to_string (peek_token st)))
+
+let parse src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = parse_expr st in
+  expect st Lexer.EOF;
+  e

@@ -1,0 +1,7 @@
+(** Pretty-printer for terms, producing the concrete syntax accepted by
+    {!Parser} (so that [parse (print m)] round-trips modulo sugar). *)
+
+val pp_term : Format.formatter -> Term.term -> unit
+val term_to_string : Term.term -> string
+
+val pp_prim_op : Format.formatter -> Term.prim_op -> unit

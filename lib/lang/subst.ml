@@ -1,0 +1,134 @@
+open Term
+
+let counter = ref 0
+
+let fresh base =
+  incr counter;
+  (* Strip a previous freshness suffix so repeated freshening stays short. *)
+  let base =
+    match String.index_opt base '\'' with
+    | Some i -> String.sub base 0 i
+    | None -> base
+  in
+  Printf.sprintf "%s'%d" base !counter
+
+let rec subst_many body pairs =
+  match pairs with
+  | [] -> body
+  | _ ->
+      let fvs = List.concat_map (fun (_, arg) -> free_vars arg) pairs in
+      go fvs pairs body
+
+(* [go fvs pairs m] substitutes simultaneously; [fvs] over-approximates the
+   free variables of all substituted terms, so any binder in [fvs] must be
+   renamed before descending. *)
+and go fvs pairs m =
+  let drop x = List.filter (fun (y, _) -> not (String.equal x y)) pairs in
+  match m with
+  | Var x -> (
+      match List.assoc_opt x pairs with Some arg -> arg | None -> m)
+  | Lam (x, body) ->
+      let pairs' = drop x in
+      if pairs' = [] then m
+      else if List.mem x fvs then begin
+        let x' = fresh x in
+        Lam (x', go fvs pairs' (go [ x' ] [ (x, Var x') ] body))
+      end
+      else Lam (x, go fvs pairs' body)
+  | App (a, b) -> App (go fvs pairs a, go fvs pairs b)
+  | Con (c, ms) -> Con (c, List.map (go fvs pairs) ms)
+  | Lit_int _ | Lit_char _ | Lit_exn _ | Mvar _ | Tid _ | Get_char | New_mvar
+  | My_tid ->
+      m
+  | Prim (op, a, b) -> Prim (op, go fvs pairs a, go fvs pairs b)
+  | If (c, t, e) -> If (go fvs pairs c, go fvs pairs t, go fvs pairs e)
+  | Case (s, alts) ->
+      let subst_alt = function
+        | Alt (c, xs, body) ->
+            let pairs' =
+              List.filter (fun (y, _) -> not (List.mem y xs)) pairs
+            in
+            if pairs' = [] then Alt (c, xs, body)
+            else if List.exists (fun x -> List.mem x fvs) xs then begin
+              let renaming = List.map (fun x -> (x, fresh x)) xs in
+              let body' =
+                go
+                  (List.map snd renaming)
+                  (List.map (fun (x, x') -> (x, Var x')) renaming)
+                  body
+              in
+              Alt (c, List.map snd renaming, go fvs pairs' body')
+            end
+            else Alt (c, xs, go fvs pairs' body)
+        | Default (x, body) ->
+            let pairs' = drop x in
+            if pairs' = [] then Default (x, body)
+            else if List.mem x fvs then begin
+              let x' = fresh x in
+              Default (x', go fvs pairs' (go [ x' ] [ (x, Var x') ] body))
+            end
+            else Default (x, go fvs pairs' body)
+      in
+      Case (go fvs pairs s, List.map subst_alt alts)
+  | Let (x, def, body) ->
+      let def' = go fvs pairs def in
+      let pairs' = drop x in
+      if pairs' = [] then Let (x, def', body)
+      else if List.mem x fvs then begin
+        let x' = fresh x in
+        Let (x', def', go fvs pairs' (go [ x' ] [ (x, Var x') ] body))
+      end
+      else Let (x, def', go fvs pairs' body)
+  | Fix a -> Fix (go fvs pairs a)
+  | Raise a -> Raise (go fvs pairs a)
+  | Return a -> Return (go fvs pairs a)
+  | Bind (a, b) -> Bind (go fvs pairs a, go fvs pairs b)
+  | Put_char a -> Put_char (go fvs pairs a)
+  | Take_mvar a -> Take_mvar (go fvs pairs a)
+  | Put_mvar (a, b) -> Put_mvar (go fvs pairs a, go fvs pairs b)
+  | Sleep a -> Sleep (go fvs pairs a)
+  | Throw a -> Throw (go fvs pairs a)
+  | Catch (a, b) -> Catch (go fvs pairs a, go fvs pairs b)
+  | Throw_to (a, b) -> Throw_to (go fvs pairs a, go fvs pairs b)
+  | Block a -> Block (go fvs pairs a)
+  | Unblock a -> Unblock (go fvs pairs a)
+  | Fork a -> Fork (go fvs pairs a)
+
+let subst body x arg = subst_many body [ (x, arg) ]
+
+let rec rename_names ~mvar_of ~tid_of m =
+  let r = rename_names ~mvar_of ~tid_of in
+  match m with
+  | Var _ | Lit_int _ | Lit_char _ | Lit_exn _ | Get_char | New_mvar | My_tid
+    ->
+      m
+  | Mvar i -> Mvar (mvar_of i)
+  | Tid t -> Tid (tid_of t)
+  | Lam (x, a) -> Lam (x, r a)
+  | App (a, b) -> App (r a, r b)
+  | Con (c, ms) -> Con (c, List.map r ms)
+  | Prim (op, a, b) -> Prim (op, r a, r b)
+  | If (c, t, e) -> If (r c, r t, r e)
+  | Case (s, alts) ->
+      Case
+        ( r s,
+          List.map
+            (function
+              | Alt (c, xs, b) -> Alt (c, xs, r b)
+              | Default (x, b) -> Default (x, r b))
+            alts )
+  | Let (x, a, b) -> Let (x, r a, r b)
+  | Fix a -> Fix (r a)
+  | Raise a -> Raise (r a)
+  | Return a -> Return (r a)
+  | Bind (a, b) -> Bind (r a, r b)
+  | Put_char a -> Put_char (r a)
+  | Take_mvar a -> Take_mvar (r a)
+  | Put_mvar (a, b) -> Put_mvar (r a, r b)
+  | Sleep a -> Sleep (r a)
+  | Throw a -> Throw (r a)
+  | Catch (a, b) -> Catch (r a, r b)
+  | Throw_to (a, b) -> Throw_to (r a, r b)
+  | Block a -> Block (r a)
+  | Unblock a -> Unblock (r a)
+  | Fork a -> Fork (r a)

@@ -1,0 +1,22 @@
+(** Capture-avoiding substitution over {!Term.term}.
+
+    The inner semantics is call-by-name: [App (Lam (x, body), arg)] steps to
+    [subst body x arg] with [arg] unevaluated, so substitution is the
+    workhorse of evaluation. Bound variables that would capture a free
+    variable of the substituted term are freshened with {!fresh}. *)
+
+val fresh : string -> string
+(** A variable name not produced by any previous call, derived from the
+    given base name (e.g. [fresh "x"] gives ["x'3"]). *)
+
+val subst : Term.term -> Term.var -> Term.term -> Term.term
+(** [subst body x arg] is [body\[arg/x\]]. *)
+
+val subst_many : Term.term -> (Term.var * Term.term) list -> Term.term
+(** Simultaneous substitution, used for [case] alternatives binding several
+    variables at once. *)
+
+val rename_names :
+  mvar_of:(int -> int) -> tid_of:(int -> int) -> Term.term -> Term.term
+(** Rename every MVar name and thread name in the term. Used by the state
+    canonicalizer implementing structural congruence (Figure 3). *)

@@ -1,0 +1,191 @@
+type var = string
+type exn_name = string
+type tid = int
+type mvar_name = int
+type prim_op = Add | Sub | Mul | Div | Eq | Ne | Lt | Le
+
+type term =
+  | Var of var
+  | Lam of var * term
+  | App of term * term
+  | Con of string * term list
+  | Lit_int of int
+  | Lit_char of char
+  | Lit_exn of exn_name
+  | Mvar of mvar_name
+  | Tid of tid
+  | Prim of prim_op * term * term
+  | If of term * term * term
+  | Case of term * alt list
+  | Let of var * term * term
+  | Fix of term
+  | Raise of term
+  | Return of term
+  | Bind of term * term
+  | Put_char of term
+  | Get_char
+  | New_mvar
+  | Take_mvar of term
+  | Put_mvar of term * term
+  | Sleep of term
+  | Throw of term
+  | Catch of term * term
+  | Throw_to of term * term
+  | Block of term
+  | Unblock of term
+  | Fork of term
+  | My_tid
+
+and alt = Alt of string * var list * term | Default of var * term
+
+let is_char_lit = function Lit_char _ -> true | _ -> false
+let is_int_lit = function Lit_int _ -> true | _ -> false
+let is_exn_lit = function Lit_exn _ -> true | _ -> false
+let is_mvar_name = function Mvar _ -> true | _ -> false
+let is_tid_name = function Tid _ -> true | _ -> false
+
+let is_value = function
+  | Var _ | Lam _ | Con _ | Lit_int _ | Lit_char _ | Lit_exn _ | Mvar _
+  | Tid _ ->
+      true
+  | Return _ | Bind _ | Catch _ | Block _ | Unblock _ | Fork _ | Get_char
+  | New_mvar | My_tid ->
+      true
+  | Put_char m -> is_char_lit m
+  | Take_mvar m -> is_mvar_name m
+  | Put_mvar (m, _) -> is_mvar_name m
+  | Sleep m -> is_int_lit m
+  | Throw m -> is_exn_lit m
+  | Throw_to (t, e) -> is_tid_name t && is_exn_lit e
+  | App _ | Prim _ | If _ | Case _ | Let _ | Fix _ | Raise _ -> false
+
+let free_vars term =
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let rec go bound = function
+    | Var x ->
+        if (not (List.mem x bound)) && not (Hashtbl.mem seen x) then begin
+          Hashtbl.add seen x ();
+          out := x :: !out
+        end
+    | Lam (x, m) -> go (x :: bound) m
+    | App (m, n) | Prim (_, m, n) | Bind (m, n) | Put_mvar (m, n)
+    | Catch (m, n) | Throw_to (m, n) ->
+        go bound m;
+        go bound n
+    | Con (_, ms) -> List.iter (go bound) ms
+    | Lit_int _ | Lit_char _ | Lit_exn _ | Mvar _ | Tid _ | Get_char
+    | New_mvar | My_tid ->
+        ()
+    | If (c, t, e) ->
+        go bound c;
+        go bound t;
+        go bound e
+    | Case (s, alts) ->
+        go bound s;
+        List.iter
+          (function
+            | Alt (_, xs, b) -> go (xs @ bound) b
+            | Default (x, b) -> go (x :: bound) b)
+          alts
+    | Let (x, m, n) ->
+        go bound m;
+        go (x :: bound) n
+    | Fix m | Raise m | Return m | Put_char m | Take_mvar m | Sleep m
+    | Throw m | Block m | Unblock m | Fork m ->
+        go bound m
+  in
+  go [] term;
+  List.rev !out
+
+let alpha_eq a b =
+  (* Bound variables are compared via de-Bruijn-style environments mapping
+     each name to its binding depth. *)
+  let rec go depth enva envb a b =
+    let var_eq x y =
+      match (List.assoc_opt x enva, List.assoc_opt y envb) with
+      | Some i, Some j -> i = j
+      | None, None -> String.equal x y
+      | Some _, None | None, Some _ -> false
+    in
+    match (a, b) with
+    | Var x, Var y -> var_eq x y
+    | Lam (x, m), Lam (y, n) ->
+        go (depth + 1) ((x, depth) :: enva) ((y, depth) :: envb) m n
+    | App (m1, n1), App (m2, n2)
+    | Bind (m1, n1), Bind (m2, n2)
+    | Put_mvar (m1, n1), Put_mvar (m2, n2)
+    | Catch (m1, n1), Catch (m2, n2)
+    | Throw_to (m1, n1), Throw_to (m2, n2) ->
+        go depth enva envb m1 m2 && go depth enva envb n1 n2
+    | Prim (o1, m1, n1), Prim (o2, m2, n2) ->
+        o1 = o2 && go depth enva envb m1 m2 && go depth enva envb n1 n2
+    | Con (c1, ms), Con (c2, ns) ->
+        String.equal c1 c2
+        && List.length ms = List.length ns
+        && List.for_all2 (go depth enva envb) ms ns
+    | Lit_int i, Lit_int j -> i = j
+    | Lit_char c, Lit_char d -> c = d
+    | Lit_exn e, Lit_exn f -> String.equal e f
+    | Mvar m, Mvar n -> m = n
+    | Tid t, Tid u -> t = u
+    | If (c1, t1, e1), If (c2, t2, e2) ->
+        go depth enva envb c1 c2 && go depth enva envb t1 t2
+        && go depth enva envb e1 e2
+    | Case (s1, alts1), Case (s2, alts2) ->
+        go depth enva envb s1 s2
+        && List.length alts1 = List.length alts2
+        && List.for_all2
+             (fun alt1 alt2 ->
+               match (alt1, alt2) with
+               | Alt (c1, xs, b1), Alt (c2, ys, b2) ->
+                   String.equal c1 c2
+                   && List.length xs = List.length ys
+                   && (let n = List.length xs in
+                       let enva' =
+                         List.mapi (fun i x -> (x, depth + i)) xs @ enva
+                       and envb' =
+                         List.mapi (fun i y -> (y, depth + i)) ys @ envb
+                       in
+                       go (depth + n) enva' envb' b1 b2)
+               | Default (x, b1), Default (y, b2) ->
+                   go (depth + 1) ((x, depth) :: enva) ((y, depth) :: envb) b1
+                     b2
+               | Alt _, Default _ | Default _, Alt _ -> false)
+             alts1 alts2
+    | Let (x, m1, n1), Let (y, m2, n2) ->
+        go depth enva envb m1 m2
+        && go (depth + 1) ((x, depth) :: enva) ((y, depth) :: envb) n1 n2
+    | Fix m, Fix n
+    | Raise m, Raise n
+    | Return m, Return n
+    | Put_char m, Put_char n
+    | Take_mvar m, Take_mvar n
+    | Sleep m, Sleep n
+    | Throw m, Throw n
+    | Block m, Block n
+    | Unblock m, Unblock n
+    | Fork m, Fork n ->
+        go depth enva envb m n
+    | Get_char, Get_char | New_mvar, New_mvar | My_tid, My_tid -> true
+    | ( ( Var _ | Lam _ | App _ | Con _ | Lit_int _ | Lit_char _ | Lit_exn _
+        | Mvar _ | Tid _ | Prim _ | If _ | Case _ | Let _ | Fix _ | Raise _
+        | Return _ | Bind _ | Put_char _ | Get_char | New_mvar | Take_mvar _
+        | Put_mvar _ | Sleep _ | Throw _ | Catch _ | Throw_to _ | Block _
+        | Unblock _ | Fork _ | My_tid ),
+        _ ) ->
+        false
+  in
+  go 0 [] [] a b
+
+let unit_v = Con ("()", [])
+let pair a b = Con ("(,)", [ a; b ])
+let true_v = Con ("True", [])
+let false_v = Con ("False", [])
+let nothing = Con ("Nothing", [])
+let just m = Con ("Just", [ m ])
+let lams xs body = List.fold_right (fun x m -> Lam (x, m)) xs body
+let apps f args = List.fold_left (fun m a -> App (m, a)) f args
+let then_ a b = Bind (a, Lam ("_then", b))
+let binds ms k = List.fold_right then_ ms k
+let let_rec f def body = Let (f, Fix (Lam (f, def)), body)

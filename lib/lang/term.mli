@@ -1,0 +1,93 @@
+(** Abstract syntax of the object language — Figure 1 of the paper.
+
+    Terms cover both the purely-functional fragment (variables, lambdas,
+    applications, constructors, literals, [case], [if], [let], fixpoints,
+    pure [raise]) and the monadic IO fragment ([return], [>>=], [putChar],
+    [getChar], MVar operations, [sleep], [throw], [catch]) together with the
+    asynchronous-exception extension of Figure 5 ([throwTo], [block],
+    [unblock], plus [forkIO] and [myThreadId] from Concurrent Haskell).
+
+    Following the paper, several monadic operations are "strict data
+    constructors": [putChar M] is a term, and only [putChar ch] (with a
+    literal character argument) is a value. {!is_value} implements exactly
+    the value grammar of Figure 1. *)
+
+type var = string
+
+(** Names of exception constants ([e] in the paper's grammar). *)
+type exn_name = string
+
+(** Thread names [t] and MVar names [m]. These are introduced at runtime by
+    [forkIO] and [newEmptyMVar]; the parser never produces them. *)
+type tid = int
+
+type mvar_name = int
+
+type prim_op = Add | Sub | Mul | Div | Eq | Ne | Lt | Le
+
+type term =
+  | Var of var
+  | Lam of var * term
+  | App of term * term
+  | Con of string * term list  (** lazy constructor application, curryable *)
+  | Lit_int of int
+  | Lit_char of char
+  | Lit_exn of exn_name
+  | Mvar of mvar_name
+  | Tid of tid
+  | Prim of prim_op * term * term
+  | If of term * term * term
+  | Case of term * alt list
+  | Let of var * term * term
+  | Fix of term  (** [Fix M] evaluates as [M (Fix M)]; used for recursion *)
+  | Raise of term  (** pure [raise :: Exception -> a] of the inner semantics *)
+  | Return of term
+  | Bind of term * term
+  | Put_char of term
+  | Get_char
+  | New_mvar
+  | Take_mvar of term
+  | Put_mvar of term * term
+  | Sleep of term
+  | Throw of term
+  | Catch of term * term
+  | Throw_to of term * term
+  | Block of term
+  | Unblock of term
+  | Fork of term
+  | My_tid
+
+and alt =
+  | Alt of string * var list * term  (** [C x1 .. xn -> body] *)
+  | Default of var * term  (** [x -> body], catch-all *)
+
+val is_value : term -> bool
+(** [is_value m] holds exactly when [m] matches the value grammar [V] of
+    Figures 1 and 5: lambdas, constructors, literals, names, and monadic
+    operations whose strict arguments are already literals/names. *)
+
+val free_vars : term -> var list
+(** Free variables, each listed once, in first-occurrence order. *)
+
+val alpha_eq : term -> term -> bool
+(** Equality up to renaming of bound variables. *)
+
+val unit_v : term
+(** The unit value [()], i.e. [Con ("()", [])]. *)
+
+val pair : term -> term -> term
+val true_v : term
+val false_v : term
+val nothing : term
+val just : term -> term
+val lams : var list -> term -> term
+val apps : term -> term list -> term
+val binds : term list -> term -> term
+(** [binds [a; b] k] is [a >>= \_ -> b >>= \_ -> k] (sequencing, ignoring
+    results). *)
+
+val then_ : term -> term -> term
+(** [then_ a b] is [a >>= \_ -> b], Haskell's [>>]. *)
+
+val let_rec : var -> term -> term -> term
+(** [let_rec f def body] is [let f = fix (\f -> def) in body]. *)

@@ -1,0 +1,178 @@
+open Ch_lang
+open Ch_lang.Term
+
+type outcome =
+  | Value of term
+  | Raised of exn_name
+  | Diverged
+  | Stuck of string
+
+let default_fuel = 100_000
+let pattern_match_fail = "PatternMatchFail"
+let divide_by_zero = "DivideByZero"
+
+(* The public entry point charges every node visit against one shared
+   budget, so [fuel] bounds total evaluation *work* (not merely recursion
+   depth) and [Diverged] is a genuine cost bound. *)
+
+let rec eval_budget budget m =
+  if !budget <= 0 then Diverged
+  else begin
+    decr budget;
+    match m with
+    | Var x -> Stuck (Printf.sprintf "unbound variable '%s'" x)
+    | Lam _ | Con _ | Lit_int _ | Lit_char _ | Lit_exn _ | Mvar _ | Tid _
+    | Return _ | Bind _ | Catch _ | Block _ | Unblock _ | Fork _ | Get_char
+    | New_mvar | My_tid ->
+        Value m
+    | App (f, a) -> (
+        match eval_budget budget f with
+        | Value (Lam (x, body)) -> eval_budget budget (Subst.subst body x a)
+        | Value (Con (c, args)) -> Value (Con (c, args @ [ a ]))
+        | Value v ->
+            Stuck
+              (Printf.sprintf "application of non-function %s"
+                 (Pretty.term_to_string v))
+        | (Raised _ | Diverged | Stuck _) as r -> r)
+    | Prim (op, a, b) -> eval_prim budget op a b
+    | If (c, t, e) -> (
+        match eval_budget budget c with
+        | Value (Con ("True", [])) -> eval_budget budget t
+        | Value (Con ("False", [])) -> eval_budget budget e
+        | Value v ->
+            Stuck
+              (Printf.sprintf "if on non-boolean %s" (Pretty.term_to_string v))
+        | (Raised _ | Diverged | Stuck _) as r -> r)
+    | Case (s, alts) -> (
+        match eval_budget budget s with
+        | Value scrut -> eval_case budget scrut alts
+        | (Raised _ | Diverged | Stuck _) as r -> r)
+    | Let (x, def, body) -> eval_budget budget (Subst.subst body x def)
+    | Fix f -> eval_budget budget (App (f, Fix f))
+    | Raise e -> (
+        match eval_budget budget e with
+        | Value (Lit_exn name) -> Raised name
+        | Value v ->
+            Stuck
+              (Printf.sprintf "raise of non-exception %s"
+                 (Pretty.term_to_string v))
+        | (Raised _ | Diverged | Stuck _) as r -> r)
+    (* Monadic operations with strict arguments (paper: "as if putChar is a
+       strict data constructor"). *)
+    | Put_char a ->
+        strict1 budget a "putChar expects a character"
+          (function Lit_char _ -> true | _ -> false)
+          (fun v -> Put_char v)
+    | Take_mvar a ->
+        strict1 budget a "takeMVar expects an MVar"
+          (function Mvar _ -> true | _ -> false)
+          (fun v -> Take_mvar v)
+    | Put_mvar (a, payload) ->
+        strict1 budget a "putMVar expects an MVar"
+          (function Mvar _ -> true | _ -> false)
+          (fun v -> Put_mvar (v, payload))
+    | Sleep a ->
+        strict1 budget a "sleep expects an integer"
+          (function Lit_int _ -> true | _ -> false)
+          (fun v -> Sleep v)
+    | Throw a ->
+        strict1 budget a "throw expects an exception"
+          (function Lit_exn _ -> true | _ -> false)
+          (fun v -> Throw v)
+    | Throw_to (a, b) -> (
+        match eval_budget budget a with
+        | Value (Tid _ as t) ->
+            strict1 budget b "throwTo expects an exception"
+              (function Lit_exn _ -> true | _ -> false)
+              (fun e -> Throw_to (t, e))
+        | Value v ->
+            Stuck
+              (Printf.sprintf "throwTo expects a ThreadId, got %s"
+                 (Pretty.term_to_string v))
+        | (Raised _ | Diverged | Stuck _) as r -> r)
+  end
+
+and eval_case budget scrut alts =
+  let rec go = function
+    | [] -> Raised pattern_match_fail
+    | Alt (c, xs, body) :: rest -> (
+        match scrut with
+        | Con (c', args)
+          when String.equal c c' && List.length xs = List.length args ->
+            eval_budget budget (Subst.subst_many body (List.combine xs args))
+        | _ -> go rest)
+    | Default (x, body) :: _ -> eval_budget budget (Subst.subst body x scrut)
+  in
+  go alts
+
+and strict1 budget arg message ok rebuild =
+  match eval_budget budget arg with
+  | Value v when ok v -> Value (rebuild v)
+  | Value v ->
+      Stuck (Printf.sprintf "%s, got %s" message (Pretty.term_to_string v))
+  | (Raised _ | Diverged | Stuck _) as r -> r
+
+and eval_prim budget op a b =
+  match eval_budget budget a with
+  | Value va -> (
+      match eval_budget budget b with
+      | Value vb -> apply_prim op va vb
+      | (Raised _ | Diverged | Stuck _) as r -> r)
+  | (Raised _ | Diverged | Stuck _) as r -> r
+
+and apply_prim op va vb =
+  let bool_v b = if b then true_v else false_v in
+  let arith f =
+    match (va, vb) with
+    | Lit_int x, Lit_int y -> Value (Lit_int (f x y))
+    | _ ->
+        Stuck
+          (Printf.sprintf "arithmetic on non-integers %s, %s"
+             (Pretty.term_to_string va) (Pretty.term_to_string vb))
+  in
+  let compare_values f_int =
+    match (va, vb) with
+    | Lit_int x, Lit_int y -> Value (bool_v (f_int (compare x y) 0))
+    | Lit_char x, Lit_char y -> Value (bool_v (f_int (compare x y) 0))
+    | _ ->
+        Stuck
+          (Printf.sprintf "comparison on %s, %s" (Pretty.term_to_string va)
+             (Pretty.term_to_string vb))
+  in
+  match op with
+  | Add -> arith ( + )
+  | Sub -> arith ( - )
+  | Mul -> arith ( * )
+  | Div -> (
+      match (va, vb) with
+      | Lit_int _, Lit_int 0 -> Raised divide_by_zero
+      | Lit_int x, Lit_int y -> Value (Lit_int (x / y))
+      | _ ->
+          Stuck
+            (Printf.sprintf "division on non-integers %s, %s"
+               (Pretty.term_to_string va) (Pretty.term_to_string vb)))
+  | Eq -> equality va vb true
+  | Ne -> equality va vb false
+  | Lt -> compare_values ( < )
+  | Le -> compare_values ( <= )
+
+(* Equality is defined on literal-like values only: integers, characters,
+   exception constants, thread names (the paper: "ThreadIds support
+   equality"), MVar names and nullary constructors. *)
+and equality va vb positive =
+  let bool_v b =
+    if b = positive then Term.true_v else Term.false_v
+  in
+  match (va, vb) with
+  | Lit_int x, Lit_int y -> Value (bool_v (x = y))
+  | Lit_char x, Lit_char y -> Value (bool_v (x = y))
+  | Lit_exn x, Lit_exn y -> Value (bool_v (String.equal x y))
+  | Tid x, Tid y -> Value (bool_v (x = y))
+  | Mvar x, Mvar y -> Value (bool_v (x = y))
+  | Con (x, []), Con (y, []) -> Value (bool_v (String.equal x y))
+  | _ ->
+      Stuck
+        (Printf.sprintf "equality on %s, %s" (Pretty.term_to_string va)
+           (Pretty.term_to_string vb))
+
+let eval ~fuel m = eval_budget (ref fuel) m

@@ -1,0 +1,37 @@
+(** The inner, purely-functional semantics (paper §6.2, following [11, 15]).
+
+    Defines convergence [M ⇓ V] and exceptional convergence [M ⇓ e] for
+    closed terms, by call-by-name evaluation. As in the paper, the two are
+    mutually exclusive; our implementation is additionally deterministic,
+    which is a sound refinement of the imprecise-exception semantics (it
+    picks one member of the set of exceptions a term may raise).
+
+    Evaluation is fuel-bounded so that the outer semantics and the model
+    checker can handle divergent terms: the fuel is a bound on total
+    evaluation {e work} (every node visit is charged against one shared
+    budget), and running out yields {!outcome.Diverged}, never a wrong
+    answer. *)
+
+type outcome =
+  | Value of Ch_lang.Term.term  (** [M ⇓ V]: the term is (now) a value *)
+  | Raised of Ch_lang.Term.exn_name  (** [M ⇓ e]: exceptional convergence *)
+  | Diverged  (** fuel exhausted; the term may diverge *)
+  | Stuck of string
+      (** an ill-typed program, e.g. applying an integer; well-typed
+          programs never get stuck (pattern-match failure and division by
+          zero instead raise the imprecise exceptions [#PatternMatchFail]
+          and [#DivideByZero]) *)
+
+val eval : fuel:int -> Ch_lang.Term.term -> outcome
+(** Evaluate a term to a value of Figure 1's value grammar, including the
+    strict arguments of monadic operations (so [putChar (chr 65)] evaluates
+    to [putChar 'A']). A term that is already a value evaluates to itself in
+    zero steps. *)
+
+val default_fuel : int
+(** Fuel used by the outer semantics when not specified: large enough for
+    every program in the corpus, small enough that accidental divergence is
+    caught quickly. *)
+
+val pattern_match_fail : Ch_lang.Term.exn_name
+val divide_by_zero : Ch_lang.Term.exn_name

@@ -1,0 +1,427 @@
+open Ch_lang
+open Ch_lang.Term
+
+type addr = int
+type env = (Term.var * addr) list
+
+(* Weak-head normal forms. Constructor arguments are heap addresses, which
+   is what makes thunks shared and interruption interesting. *)
+type value =
+  | V_lam of Term.var * Term.term * env
+  | V_con of string * addr list
+  | V_int of int
+  | V_char of char
+  | V_exn of Term.exn_name
+  | V_mvar of int
+  | V_tid of int
+
+type control =
+  | C_eval of Term.term * env
+  | C_return of value
+  | C_raise of Term.exn_name
+  | C_demand of addr
+
+type frame =
+  | F_app of addr
+  | F_update of addr
+  | F_prim_left of Term.prim_op * Term.term * env
+  | F_prim_right of Term.prim_op * value
+  | F_if of Term.term * Term.term * env
+  | F_case of Term.alt list * env
+  | F_raise
+
+type node =
+  | Thunk of Term.term * env
+  | Value_node of value
+  | Raised_node of Term.exn_name
+  | Blackhole of Term.term * env  (* original closure, for Revert *)
+  | Frozen of control * frame list * (Term.term * env)
+      (* paused state, its stack segment, and the original closure *)
+
+type t = {
+  heap : (addr, node) Hashtbl.t;
+  mutable next : addr;
+  mutable control : control;
+  mutable stack : frame list;
+  mutable steps : int;
+  root : addr;
+  mutable gc_threshold : int option;
+  mutable allocs_since_gc : int;
+}
+
+type policy = Revert | Freeze | Poison of Term.exn_name
+type outcome = Done of Term.term | Raised of Term.exn_name | Running
+
+let non_termination = "NonTermination"
+let pure_machine_io = "IOTermInPureMachine"
+
+let alloc m node =
+  let a = m.next in
+  m.next <- a + 1;
+  m.allocs_since_gc <- m.allocs_since_gc + 1;
+  Hashtbl.replace m.heap a node;
+  a
+
+let create term =
+  let m =
+    {
+      heap = Hashtbl.create 64;
+      next = 0;
+      control = C_demand 0;
+      stack = [];
+      steps = 0;
+      root = 0;
+      gc_threshold = Some 50_000;
+      allocs_since_gc = 0;
+    }
+  in
+  let root = alloc m (Thunk (term, [])) in
+  assert (root = 0);
+  m
+
+(* Render a machine value back into a term; used once evaluation is done.
+   Only heap references already in WHNF or fully evaluated are followed —
+   [force_deep] arranges that. *)
+let rec readback m v =
+  match v with
+  | V_int i -> Lit_int i
+  | V_char c -> Lit_char c
+  | V_exn e -> Lit_exn e
+  | V_mvar i -> Mvar i
+  | V_tid i -> Tid i
+  | V_lam (x, body, _env) -> Lam (x, body)
+  | V_con (c, addrs) ->
+      Con
+        ( c,
+          List.map
+            (fun a ->
+              match Hashtbl.find m.heap a with
+              | Value_node v -> readback m v
+              | Thunk (t, _) | Blackhole (t, _) -> t
+              | Frozen (_, _, (t, _)) -> t
+              | Raised_node e -> Raise (Lit_exn e))
+            addrs )
+
+let lookup env x = List.assoc_opt x env
+
+(* One machine transition. *)
+let step m =
+  m.steps <- m.steps + 1;
+  match m.control with
+  | C_demand a -> (
+      match Hashtbl.find m.heap a with
+      | Value_node v -> m.control <- C_return v
+      | Raised_node e -> m.control <- C_raise e
+      | Thunk (t, env) ->
+          Hashtbl.replace m.heap a (Blackhole (t, env));
+          m.stack <- F_update a :: m.stack;
+          m.control <- C_eval (t, env)
+      | Blackhole _ ->
+          (* demanding a thunk already under evaluation: a loop *)
+          m.control <- C_raise non_termination
+      | Frozen (ctrl, frames, orig) ->
+          (* resumable black holes [17]: splice the saved stack back in *)
+          Hashtbl.replace m.heap a (Blackhole (fst orig, snd orig));
+          m.stack <- frames @ (F_update a :: m.stack);
+          m.control <- ctrl)
+  | C_eval (t, env) -> (
+      match t with
+      | Var x -> (
+          match lookup env x with
+          | Some a -> m.control <- C_demand a
+          | None -> m.control <- C_raise "UnboundVariable")
+      | Lam (x, body) -> m.control <- C_return (V_lam (x, body, env))
+      | Lit_int i -> m.control <- C_return (V_int i)
+      | Lit_char c -> m.control <- C_return (V_char c)
+      | Lit_exn e -> m.control <- C_return (V_exn e)
+      | Mvar i -> m.control <- C_return (V_mvar i)
+      | Tid i -> m.control <- C_return (V_tid i)
+      | Con (c, args) ->
+          let addrs = List.map (fun arg -> alloc m (Thunk (arg, env))) args in
+          m.control <- C_return (V_con (c, addrs))
+      | App (f, arg) ->
+          let a = alloc m (Thunk (arg, env)) in
+          m.stack <- F_app a :: m.stack;
+          m.control <- C_eval (f, env)
+      | Let (x, def, body) ->
+          let a = alloc m (Thunk (def, env)) in
+          m.control <- C_eval (body, (x, a) :: env)
+      | Fix f ->
+          (* knot-tying: allocate x with x = f x, sharing the result *)
+          let a = m.next in
+          let self = Printf.sprintf "%%self%d" a in
+          let a' =
+            alloc m (Thunk (App (f, Var self), (self, a) :: env))
+          in
+          assert (a = a');
+          m.control <- C_demand a
+      | Prim (op, l, r) ->
+          m.stack <- F_prim_left (op, r, env) :: m.stack;
+          m.control <- C_eval (l, env)
+      | If (c, th, el) ->
+          m.stack <- F_if (th, el, env) :: m.stack;
+          m.control <- C_eval (c, env)
+      | Case (s, alts) ->
+          m.stack <- F_case (alts, env) :: m.stack;
+          m.control <- C_eval (s, env)
+      | Raise e ->
+          m.stack <- F_raise :: m.stack;
+          m.control <- C_eval (e, env)
+      | Return _ | Bind _ | Put_char _ | Get_char | New_mvar | Take_mvar _
+      | Put_mvar _ | Sleep _ | Throw _ | Catch _ | Throw_to _ | Block _
+      | Unblock _ | Fork _ | My_tid ->
+          m.control <- C_raise pure_machine_io)
+  | C_return v -> (
+      match m.stack with
+      | [] -> () (* terminal: Done; [run] notices *)
+      | F_app a :: rest -> (
+          m.stack <- rest;
+          match v with
+          | V_lam (x, body, env) -> m.control <- C_eval (body, (x, a) :: env)
+          | V_con (c, addrs) -> m.control <- C_return (V_con (c, addrs @ [ a ]))
+          | V_int _ | V_char _ | V_exn _ | V_mvar _ | V_tid _ ->
+              m.control <- C_raise "AppliedNonFunction")
+      | F_update a :: rest ->
+          m.stack <- rest;
+          Hashtbl.replace m.heap a (Value_node v)
+      | F_prim_left (op, r, env) :: rest ->
+          m.stack <- F_prim_right (op, v) :: rest;
+          m.control <- C_eval (r, env)
+      | F_prim_right (op, lv) :: rest -> (
+          m.stack <- rest;
+          let arith f =
+            match (lv, v) with
+            | V_int a, V_int b -> m.control <- C_return (V_int (f a b))
+            | _ -> m.control <- C_raise "ArithmeticTypeError"
+          in
+          let boolean b =
+            m.control <-
+              C_return (V_con ((if b then "True" else "False"), []))
+          in
+          let compare_lits f =
+            match (lv, v) with
+            | V_int a, V_int b -> boolean (f (compare a b) 0)
+            | V_char a, V_char b -> boolean (f (compare a b) 0)
+            | _ -> m.control <- C_raise "ComparisonTypeError"
+          in
+          match op with
+          | Add -> arith ( + )
+          | Sub -> arith ( - )
+          | Mul -> arith ( * )
+          | Div -> (
+              match (lv, v) with
+              | V_int _, V_int 0 -> m.control <- C_raise Eval.divide_by_zero
+              | V_int a, V_int b -> m.control <- C_return (V_int (a / b))
+              | _ -> m.control <- C_raise "ArithmeticTypeError")
+          | Eq | Ne -> (
+              let positive = op = Eq in
+              match (lv, v) with
+              | V_int a, V_int b -> boolean ((a = b) = positive)
+              | V_char a, V_char b -> boolean ((a = b) = positive)
+              | V_exn a, V_exn b -> boolean (String.equal a b = positive)
+              | V_mvar a, V_mvar b -> boolean ((a = b) = positive)
+              | V_tid a, V_tid b -> boolean ((a = b) = positive)
+              | V_con (a, []), V_con (b, []) ->
+                  boolean (String.equal a b = positive)
+              | _ -> m.control <- C_raise "EqualityTypeError")
+          | Lt -> compare_lits ( < )
+          | Le -> compare_lits ( <= ))
+      | F_if (th, el, env) :: rest -> (
+          m.stack <- rest;
+          match v with
+          | V_con ("True", []) -> m.control <- C_eval (th, env)
+          | V_con ("False", []) -> m.control <- C_eval (el, env)
+          | _ -> m.control <- C_raise "IfTypeError")
+      | F_case (alts, env) :: rest ->
+          m.stack <- rest;
+          let rec try_alts = function
+            | [] -> m.control <- C_raise Eval.pattern_match_fail
+            | Alt (c, xs, body) :: more -> (
+                match v with
+                | V_con (c', addrs)
+                  when String.equal c c' && List.length xs = List.length addrs
+                  ->
+                    let env' = List.combine xs addrs @ env in
+                    m.control <- C_eval (body, env')
+                | _ -> try_alts more)
+            | Default (x, body) :: _ ->
+                let a = alloc m (Value_node v) in
+                m.control <- C_eval (body, (x, a) :: env)
+          in
+          try_alts alts
+      | F_raise :: rest -> (
+          m.stack <- rest;
+          match v with
+          | V_exn e -> m.control <- C_raise e
+          | _ -> m.control <- C_raise "RaiseTypeError"))
+  | C_raise e -> (
+      match m.stack with
+      | [] -> () (* terminal: Raised; [run] notices *)
+      | F_update a :: rest ->
+          (* a synchronous exception inside this thunk's evaluation:
+             §8 — "it is safe to overwrite the thunk with a closure which
+             will immediately raise the same exception" *)
+          Hashtbl.replace m.heap a (Raised_node e);
+          m.stack <- rest
+      | (F_app _ | F_prim_left _ | F_prim_right _ | F_if _ | F_case _
+        | F_raise)
+        :: rest ->
+          m.stack <- rest)
+
+(* --- garbage collection -------------------------------------------------- *)
+
+let heap_size m = Hashtbl.length m.heap
+let set_gc_threshold m threshold = m.gc_threshold <- threshold
+
+(* Mark-and-sweep from the machine roots: the root address, the control,
+   the stack, and (transitively) everything the heap nodes reference. *)
+let gc m =
+  let live = Hashtbl.create (Hashtbl.length m.heap) in
+  let pending = Stack.create () in
+  let mark_addr a =
+    if not (Hashtbl.mem live a) then begin
+      Hashtbl.add live a ();
+      Stack.push a pending
+    end
+  in
+  let mark_env env = List.iter (fun (_, a) -> mark_addr a) env in
+  let mark_value = function
+    | V_lam (_, _, env) -> mark_env env
+    | V_con (_, addrs) -> List.iter mark_addr addrs
+    | V_int _ | V_char _ | V_exn _ | V_mvar _ | V_tid _ -> ()
+  in
+  let mark_frame = function
+    | F_app a -> mark_addr a
+    | F_update a -> mark_addr a
+    | F_prim_left (_, _, env) -> mark_env env
+    | F_prim_right (_, v) -> mark_value v
+    | F_if (_, _, env) -> mark_env env
+    | F_case (_, env) -> mark_env env
+    | F_raise -> ()
+  in
+  let mark_control = function
+    | C_eval (_, env) -> mark_env env
+    | C_return v -> mark_value v
+    | C_raise _ -> ()
+    | C_demand a -> mark_addr a
+  in
+  mark_addr m.root;
+  mark_control m.control;
+  List.iter mark_frame m.stack;
+  while not (Stack.is_empty pending) do
+    let a = Stack.pop pending in
+    match Hashtbl.find_opt m.heap a with
+    | None -> ()
+    | Some (Thunk (_, env)) | Some (Blackhole (_, env)) -> mark_env env
+    | Some (Value_node v) -> mark_value v
+    | Some (Raised_node _) -> ()
+    | Some (Frozen (ctrl, frames, (_, env))) ->
+        mark_control ctrl;
+        List.iter mark_frame frames;
+        mark_env env
+  done;
+  Hashtbl.filter_map_inplace
+    (fun a node -> if Hashtbl.mem live a then Some node else None)
+    m.heap;
+  m.allocs_since_gc <- 0
+
+let maybe_gc m =
+  match m.gc_threshold with
+  | Some threshold when m.allocs_since_gc > threshold -> gc m
+  | Some _ | None -> ()
+
+let terminal m =
+  match (m.control, m.stack) with
+  | C_return v, [] -> Some (Done (readback m v))
+  | C_raise e, [] -> Some (Raised e)
+  | (C_eval _ | C_demand _ | C_return _ | C_raise _), _ -> None
+
+let run m ~steps =
+  let budget = ref steps in
+  let rec go () =
+    match terminal m with
+    | Some outcome -> outcome
+    | None ->
+        if !budget <= 0 then Running
+        else begin
+          decr budget;
+          step m;
+          maybe_gc m;
+          go ()
+        end
+  in
+  go ()
+
+let interrupt m policy =
+  (* Apply the policy to each under-evaluation thunk: the stack is a nest
+     of segments, each owned by the next F_update frame. *)
+  let rec unwind control segment stack =
+    match stack with
+    | [] -> ()
+    | F_update a :: rest ->
+        (match Hashtbl.find m.heap a with
+        | Blackhole (t, env) -> (
+            match policy with
+            | Revert -> Hashtbl.replace m.heap a (Thunk (t, env))
+            | Freeze ->
+                Hashtbl.replace m.heap a
+                  (Frozen (control, List.rev segment, (t, env)))
+            | Poison e -> Hashtbl.replace m.heap a (Raised_node e))
+        | Thunk _ | Value_node _ | Raised_node _ | Frozen _ ->
+            (* an update frame always points at a black hole *)
+            assert false);
+        unwind (C_demand a) [] rest
+    | frame :: rest -> unwind control (frame :: segment) rest
+  in
+  unwind m.control [] m.stack;
+  m.stack <- [];
+  m.control <- C_demand m.root
+
+let steps_taken m = m.steps
+
+let rec force_value m budget a =
+  (* Fully evaluate the value at [a], returning the remaining budget. *)
+  m.control <- C_demand a;
+  m.stack <- [];
+  let before = m.steps in
+  match run m ~steps:budget with
+  | Running -> None
+  | Raised e -> failwith e
+  | Done _ -> (
+      let budget = budget - (m.steps - before) in
+      match Hashtbl.find m.heap a with
+      | Value_node (V_con (_, addrs)) ->
+          List.fold_left
+            (fun remaining arg ->
+              match remaining with
+              | None -> None
+              | Some budget -> force_value m budget arg)
+            (Some budget) addrs
+      | Value_node _ | Raised_node _ | Thunk _ | Blackhole _ | Frozen _ ->
+          Some budget)
+
+let rec force_deep ?(budget = 2_000_000) m =
+  match force_value m budget m.root with
+  | None -> None
+  | Some _ -> (
+      match Hashtbl.find m.heap m.root with
+      | Value_node v -> Some (deep_readback m v)
+      | Raised_node e -> failwith e
+      | Thunk _ | Blackhole _ | Frozen _ -> None)
+
+and deep_readback m v =
+  match v with
+  | V_con (c, addrs) ->
+      Con
+        ( c,
+          List.map
+            (fun a ->
+              match Hashtbl.find m.heap a with
+              | Value_node v -> deep_readback m v
+              | Raised_node e -> Raise (Lit_exn e)
+              | Thunk (t, _) | Blackhole (t, _) -> t
+              | Frozen (_, _, (t, _)) -> t)
+            addrs )
+  | v -> readback m v
+
+let eval_result ?budget term = force_deep ?budget (create term)

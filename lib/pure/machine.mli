@@ -1,0 +1,76 @@
+(** A lazy graph-reduction machine for the purely-functional fragment,
+    built to study §8's treatment of "computations in progress" (thunks)
+    when an exception arrives.
+
+    Unlike {!Eval} (big-step, substitution-based, no sharing), this machine
+    has an explicit heap of shared thunks and an explicit step counter, so
+    evaluation can be {e interrupted} after any number of steps — modelling
+    an asynchronous exception arriving mid-evaluation — and the
+    under-evaluation thunks (the "black holes") can then be handled by one
+    of the paper's policies:
+
+    - {!policy.Revert}: restore each black hole to its original
+      unevaluated closure; re-demanding it restarts from scratch
+      (the paper's first async option).
+    - {!policy.Freeze}: record the machine state inside the black hole; a
+      later demand resumes where evaluation stopped (the paper's second
+      async option, Reid's resumable black holes [17]).
+    - {!policy.Poison}: overwrite the black hole with the exception, so
+      re-demanding re-raises it. The paper prescribes this for
+      {e synchronous} exceptions only ("re-evaluating this thunk would
+      yield the same exception") — using it for an asynchronous exception
+      is observably wrong, which {!Test_thunks} demonstrates.
+
+    The paper claims Revert and Freeze are observationally equivalent and
+    differ only operationally; the test suite checks the former and the
+    benchmark harness measures the latter (restart vs resume cost). *)
+
+open Ch_lang
+
+type t
+(** A machine evaluating one root term. *)
+
+type policy = Revert | Freeze | Poison of Term.exn_name
+
+type outcome =
+  | Done of Term.term  (** weak-head normal form reached (heap references
+                           resolved shallowly, constructor args may be
+                           addresses — use {!force_deep}) *)
+  | Raised of Term.exn_name
+  | Running  (** the step budget was exhausted before WHNF *)
+
+val create : Term.term -> t
+(** Load a closed term. *)
+
+val run : t -> steps:int -> outcome
+(** Execute up to [steps] machine transitions; can be called repeatedly to
+    continue. *)
+
+val interrupt : t -> policy -> unit
+(** Model an asynchronous exception arriving now: abandon the current
+    evaluation, applying the policy to every thunk under evaluation. The
+    machine is reset to re-demand the root. *)
+
+val steps_taken : t -> int
+(** Total transitions executed so far (across interrupts). *)
+
+val heap_size : t -> int
+(** Live heap entries (for tests and benchmarks). *)
+
+val gc : t -> unit
+(** Mark-and-sweep collection of unreachable heap nodes. Safe between
+    steps; {!run} triggers it automatically via {!set_gc_threshold}. *)
+
+val set_gc_threshold : t -> int option -> unit
+(** Collect automatically whenever more than this many allocations have
+    happened since the last collection ([None] disables auto-GC; the
+    default is [Some 50_000]). *)
+
+val force_deep : ?budget:int -> t -> Term.term option
+(** Run to completion (bounded by [budget], default 2 million steps) and
+    read back the full value, following heap references through
+    constructor arguments. [None] on budget exhaustion.
+    @raise Failure with the exception name if evaluation raises. *)
+
+val eval_result : ?budget:int -> Term.term -> Term.term option
+(** Convenience: [force_deep] of a fresh machine. *)

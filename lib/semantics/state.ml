@@ -1,0 +1,304 @@
+open Ch_lang
+open Ch_lang.Term
+
+type status = Runnable | Stuck_thread
+type finished = Done of Term.term | Threw of Term.exn_name
+type thread = Active of Term.term * status | Finished of finished
+type inflight = { target : Term.tid; exn : Term.exn_name }
+
+type t = {
+  threads : (Term.tid * thread) list;
+  mvars : (Term.mvar_name * Term.term option) list;
+  inflight : (int * inflight) list;
+  input : char list;
+  output : char list;
+  next_tid : int;
+  next_mvar : int;
+  next_inflight : int;
+  main : Term.tid;
+}
+
+let initial ?(input = "") m =
+  {
+    threads = [ (0, Active (m, Runnable)) ];
+    mvars = [];
+    inflight = [];
+    input = List.init (String.length input) (String.get input);
+    output = [];
+    next_tid = 1;
+    next_mvar = 0;
+    next_inflight = 0;
+    main = 0;
+  }
+
+let main_result st =
+  match List.assoc_opt st.main st.threads with
+  | Some (Finished f) -> Some f
+  | Some (Active _) | None -> None
+
+let output_string st =
+  let chars = List.rev st.output in
+  String.init (List.length chars) (List.nth chars)
+
+let thread st tid = List.assoc_opt tid st.threads
+let mvar st m = List.assoc_opt m st.mvars
+
+let set_thread st tid th =
+  {
+    st with
+    threads =
+      List.map (fun (i, t) -> if i = tid then (i, th) else (i, t)) st.threads;
+  }
+
+let set_mvar st m v =
+  {
+    st with
+    mvars = List.map (fun (i, c) -> if i = m then (i, v) else (i, c)) st.mvars;
+  }
+
+(* --- Canonical keys (structural congruence + α-equivalence) ------------- *)
+
+(* Renaming maps are built by first occurrence: threads in creation order,
+   then MVar/thread names as they appear inside the terms, then any
+   remaining declared names. *)
+let build_renaming st =
+  let tid_map = Hashtbl.create 8 and mvar_map = Hashtbl.create 8 in
+  let next_t = ref 0 and next_m = ref 0 in
+  let see_tid t =
+    if not (Hashtbl.mem tid_map t) then begin
+      Hashtbl.add tid_map t !next_t;
+      incr next_t
+    end
+  in
+  let see_mvar m =
+    if not (Hashtbl.mem mvar_map m) then begin
+      Hashtbl.add mvar_map m !next_m;
+      incr next_m
+    end
+  in
+  let rec scan = function
+    | Mvar m -> see_mvar m
+    | Tid t -> see_tid t
+    | Var _ | Lit_int _ | Lit_char _ | Lit_exn _ | Get_char | New_mvar
+    | My_tid ->
+        ()
+    | Lam (_, a) | Fix a | Raise a | Return a | Put_char a | Take_mvar a
+    | Sleep a | Throw a | Block a | Unblock a | Fork a ->
+        scan a
+    | App (a, b) | Prim (_, a, b) | Bind (a, b) | Put_mvar (a, b)
+    | Catch (a, b) | Throw_to (a, b) ->
+        scan a;
+        scan b
+    | Con (_, ms) -> List.iter scan ms
+    | If (a, b, c) ->
+        scan a;
+        scan b;
+        scan c
+    | Case (s, alts) ->
+        scan s;
+        List.iter
+          (function Alt (_, _, b) -> scan b | Default (_, b) -> scan b)
+          alts
+    | Let (_, a, b) ->
+        scan a;
+        scan b
+  in
+  List.iter
+    (fun (tid, th) ->
+      see_tid tid;
+      match th with
+      | Active (m, _) -> scan m
+      | Finished (Done m) -> scan m
+      | Finished (Threw _) -> ())
+    st.threads;
+  List.iter
+    (fun (m, contents) ->
+      see_mvar m;
+      match contents with Some v -> scan v | None -> ())
+    st.mvars;
+  List.iter (fun (_, i) -> see_tid i.target) st.inflight;
+  let tid_of t = match Hashtbl.find_opt tid_map t with
+    | Some t' -> t'
+    | None -> t
+  and mvar_of m = match Hashtbl.find_opt mvar_map m with
+    | Some m' -> m'
+    | None -> m
+  in
+  (tid_of, mvar_of)
+
+(* Renders a term into [buf] with bound variables as de-Bruijn levels and
+   runtime names renamed, so the result is α-insensitive. *)
+let render_term ~tid_of ~mvar_of buf term =
+  let add = Buffer.add_string buf in
+  let rec go env depth m =
+    match m with
+    | Var x -> (
+        match List.assoc_opt x env with
+        | Some i -> add (Printf.sprintf "b%d" i)
+        | None ->
+            add "v:";
+            add x)
+    | Lam (x, a) ->
+        add (Printf.sprintf "(\\%d." depth);
+        go ((x, depth) :: env) (depth + 1) a;
+        add ")"
+    | App (a, b) -> binary "@" a b env depth
+    | Con (c, ms) ->
+        add "(C:";
+        add c;
+        List.iter
+          (fun m ->
+            add " ";
+            go env depth m)
+          ms;
+        add ")"
+    | Lit_int i -> add (string_of_int i)
+    | Lit_char c -> add (Printf.sprintf "%C" c)
+    | Lit_exn e ->
+        add "#";
+        add e
+    | Mvar m -> add (Printf.sprintf "m%d" (mvar_of m))
+    | Tid t -> add (Printf.sprintf "t%d" (tid_of t))
+    | Prim (op, a, b) -> binary (Fmt.str "%a" Pretty.pp_prim_op op) a b env depth
+    | If (a, b, c) ->
+        add "(if ";
+        go env depth a;
+        add " ";
+        go env depth b;
+        add " ";
+        go env depth c;
+        add ")"
+    | Case (s, alts) ->
+        add "(case ";
+        go env depth s;
+        List.iter
+          (function
+            | Alt (c, xs, b) ->
+                add (Printf.sprintf " [%s/%d " c (List.length xs));
+                let env' =
+                  List.mapi (fun i x -> (x, depth + i)) xs @ env
+                in
+                go env' (depth + List.length xs) b;
+                add "]"
+            | Default (x, b) ->
+                add (Printf.sprintf " [_%d " depth);
+                go ((x, depth) :: env) (depth + 1) b;
+                add "]")
+          alts;
+        add ")"
+    | Let (x, a, b) ->
+        add (Printf.sprintf "(let%d " depth);
+        go env depth a;
+        add " ";
+        go ((x, depth) :: env) (depth + 1) b;
+        add ")"
+    | Fix a -> unary "fix" a env depth
+    | Raise a -> unary "raise" a env depth
+    | Return a -> unary "ret" a env depth
+    | Bind (a, b) -> binary ">>=" a b env depth
+    | Put_char a -> unary "putc" a env depth
+    | Get_char -> add "getc"
+    | New_mvar -> add "newmv"
+    | Take_mvar a -> unary "take" a env depth
+    | Put_mvar (a, b) -> binary "put" a b env depth
+    | Sleep a -> unary "sleep" a env depth
+    | Throw a -> unary "throw" a env depth
+    | Catch (a, b) -> binary "catch" a b env depth
+    | Throw_to (a, b) -> binary "thto" a b env depth
+    | Block a -> unary "blk" a env depth
+    | Unblock a -> unary "ublk" a env depth
+    | Fork a -> unary "fork" a env depth
+    | My_tid -> add "mytid"
+  and unary tag a env depth =
+    add "(";
+    add tag;
+    add " ";
+    go env depth a;
+    add ")"
+  and binary tag a b env depth =
+    add "(";
+    add tag;
+    add " ";
+    go env depth a;
+    add " ";
+    go env depth b;
+    add ")"
+  in
+  go [] 0 term
+
+let canonical_key st =
+  let tid_of, mvar_of = build_renaming st in
+  let buf = Buffer.create 256 in
+  let add = Buffer.add_string buf in
+  let render = render_term ~tid_of ~mvar_of buf in
+  List.iter
+    (fun (tid, th) ->
+      add (Printf.sprintf "T%d" (tid_of tid));
+      (match th with
+      | Active (m, Runnable) ->
+          add "o:";
+          render m
+      | Active (m, Stuck_thread) ->
+          add "x:";
+          render m
+      | Finished (Done m) ->
+          add "d:";
+          render m
+      | Finished (Threw e) ->
+          add "e:";
+          add e);
+      add ";")
+    st.threads;
+  List.iter
+    (fun (m, contents) ->
+      add (Printf.sprintf "M%d" (mvar_of m));
+      (match contents with
+      | None -> add "()"
+      | Some v ->
+          add ":";
+          render v);
+      add ";")
+    st.mvars;
+  (* In-flight exceptions whose target has finished are inert; drop them and
+     sort the rest so delivery bookkeeping does not distinguish states. *)
+  let live =
+    List.filter_map
+      (fun (_, i) ->
+        match List.assoc_opt i.target st.threads with
+        | Some (Finished _) -> None
+        | Some (Active _) -> Some (tid_of i.target, i.exn)
+        | None -> None)
+      st.inflight
+  in
+  List.iter
+    (fun (t, e) -> add (Printf.sprintf "F%d<=%s;" t e))
+    (List.sort compare live);
+  add "I:";
+  List.iter (Buffer.add_char buf) st.input;
+  add ";O:";
+  List.iter (Buffer.add_char buf) (List.rev st.output);
+  Buffer.contents buf
+
+let pp ppf st =
+  let pp_thread ppf (tid, th) =
+    match th with
+    | Active (m, Runnable) ->
+        Fmt.pf ppf "@[<2>⟨%a⟩t%d/○@]" Pretty.pp_term m tid
+    | Active (m, Stuck_thread) ->
+        Fmt.pf ppf "@[<2>⟨%a⟩t%d/⊗@]" Pretty.pp_term m tid
+    | Finished (Done m) -> Fmt.pf ppf "⊙t%d(=%a)" tid Pretty.pp_term m
+    | Finished (Threw e) -> Fmt.pf ppf "⊙t%d(#%s)" tid e
+  in
+  let pp_mvar ppf (m, contents) =
+    match contents with
+    | None -> Fmt.pf ppf "⟨⟩m%d" m
+    | Some v -> Fmt.pf ppf "@[<2>⟨%a⟩m%d@]" Pretty.pp_term v m
+  in
+  let pp_inflight ppf (_, i) = Fmt.pf ppf "⟦t%d ⇐ %s⟧" i.target i.exn in
+  let sep = Fmt.any "@ | " in
+  Fmt.pf ppf "@[<hv>%a" Fmt.(list ~sep pp_thread) st.threads;
+  if st.mvars <> [] then Fmt.pf ppf " |@ %a" Fmt.(list ~sep pp_mvar) st.mvars;
+  if st.inflight <> [] then
+    Fmt.pf ppf " |@ %a" Fmt.(list ~sep pp_inflight) st.inflight;
+  if st.output <> [] then Fmt.pf ppf " |@ out=%S" (output_string st);
+  Fmt.pf ppf "@]"

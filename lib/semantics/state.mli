@@ -1,0 +1,71 @@
+(** Program states — Figure 2 of the paper.
+
+    A program state is a parallel composition of processes: threads of
+    computation [⟨M⟩t] (runnable [○] or stuck [⊗]), finished threads [⊙t],
+    empty MVars [⟨⟩m], full MVars [⟨M⟩m], and in-flight asynchronous
+    exceptions [⟦t ⇐ e⟧] (Figure 5). Restriction [νx.P] is represented by
+    the fresh-name counters: every name in the state is implicitly
+    restricted, and structural congruence (Figure 3) is handled by keeping
+    the composition in a canonical collection form (associativity and
+    commutativity are free) together with {!canonical_key} (α-renaming of
+    names, scope extrusion).
+
+    The standard input and output streams record the environment side of
+    the labelled transitions [?c] and [!c]. *)
+
+open Ch_lang
+
+type status =
+  | Runnable  (** [○] *)
+  | Stuck_thread  (** [⊗] — may be interrupted in any context (Fig 5) *)
+
+type finished =
+  | Done of Term.term  (** finished via [(Return GC)], value recorded *)
+  | Threw of Term.exn_name  (** finished via [(Throw GC)] *)
+
+type thread =
+  | Active of Term.term * status
+  | Finished of finished  (** [⊙t] *)
+
+type inflight = { target : Term.tid; exn : Term.exn_name }
+(** [⟦t ⇐ e⟧]: an exception thrown to [t] but not yet received. *)
+
+type t = {
+  threads : (Term.tid * thread) list;  (** in thread-creation order *)
+  mvars : (Term.mvar_name * Term.term option) list;
+      (** [None] is [⟨⟩m], [Some v] is [⟨v⟩m] *)
+  inflight : (int * inflight) list;  (** keyed for transition identity *)
+  input : char list;
+  output : char list;  (** reversed: most recent first *)
+  next_tid : int;
+  next_mvar : int;
+  next_inflight : int;
+  main : Term.tid;
+}
+
+val initial : ?input:string -> Term.term -> t
+(** [initial m] is the state [⟨m⟩main] with no MVars and the given standard
+    input. *)
+
+val main_result : t -> finished option
+(** The main thread's outcome, if it has finished. *)
+
+val output_string : t -> string
+(** Characters written so far, oldest first. *)
+
+val thread : t -> Term.tid -> thread option
+val mvar : t -> Term.mvar_name -> Term.term option option
+val set_thread : t -> Term.tid -> thread -> t
+val set_mvar : t -> Term.mvar_name -> Term.term option -> t
+
+val canonical_key : t -> string
+(** A string determining the state up to structural congruence (Figure 3)
+    and α-equivalence: thread and MVar names are renumbered by first
+    occurrence, bound variables are printed as de-Bruijn indices, and
+    in-flight exceptions whose target has finished are dropped (they are
+    inert: no rule can ever consume them). Two states with equal keys are
+    behaviourally identical. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render the state in the paper's notation, e.g.
+    [⟨takeMVar %m0⟩t0/○ | ⟨⟩m0 | ⟦t0 ⇐ KillThread⟧]. *)

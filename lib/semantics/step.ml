@@ -1,0 +1,408 @@
+open Ch_lang
+open Ch_lang.Term
+open Context
+
+type rule =
+  | R_bind
+  | R_put_char
+  | R_get_char
+  | R_sleep
+  | R_put_mvar
+  | R_take_mvar
+  | R_new_mvar
+  | R_fork
+  | R_thread_id
+  | R_propagate
+  | R_catch
+  | R_handle
+  | R_return_gc
+  | R_throw_gc
+  | R_proc_gc
+  | R_eval
+  | R_raise
+  | R_block_return
+  | R_unblock_return
+  | R_block_throw
+  | R_unblock_throw
+  | R_throw_to
+  | R_receive
+  | R_interrupt
+  | R_stuck_put_char
+  | R_stuck_get_char
+  | R_stuck_sleep
+  | R_stuck_put_mvar
+  | R_stuck_take_mvar
+
+let rule_name = function
+  | R_bind -> "(Bind)"
+  | R_put_char -> "(PutChar)"
+  | R_get_char -> "(GetChar)"
+  | R_sleep -> "(Sleep)"
+  | R_put_mvar -> "(PutMVar)"
+  | R_take_mvar -> "(TakeMVar)"
+  | R_new_mvar -> "(NewMVar)"
+  | R_fork -> "(Fork)"
+  | R_thread_id -> "(ThreadId)"
+  | R_propagate -> "(Propagate)"
+  | R_catch -> "(Catch)"
+  | R_handle -> "(Handle)"
+  | R_return_gc -> "(Return GC)"
+  | R_throw_gc -> "(Throw GC)"
+  | R_proc_gc -> "(Proc GC)"
+  | R_eval -> "(Eval)"
+  | R_raise -> "(Raise)"
+  | R_block_return -> "(Block Return)"
+  | R_unblock_return -> "(Unblock Return)"
+  | R_block_throw -> "(Block Throw)"
+  | R_unblock_throw -> "(Unblock Throw)"
+  | R_throw_to -> "(ThrowTo)"
+  | R_receive -> "(Receive)"
+  | R_interrupt -> "(Interrupt)"
+  | R_stuck_put_char -> "(Stuck PutChar)"
+  | R_stuck_get_char -> "(Stuck GetChar)"
+  | R_stuck_sleep -> "(Stuck Sleep)"
+  | R_stuck_put_mvar -> "(Stuck PutMVar)"
+  | R_stuck_take_mvar -> "(Stuck TakeMVar)"
+
+let rule_figure = function
+  | R_bind | R_put_char | R_get_char | R_sleep | R_put_mvar | R_take_mvar
+  | R_new_mvar | R_fork | R_thread_id | R_propagate | R_catch | R_handle
+  | R_return_gc | R_throw_gc | R_proc_gc | R_eval | R_raise ->
+      4
+  | R_block_return | R_unblock_return | R_block_throw | R_unblock_throw
+  | R_throw_to | R_receive | R_interrupt | R_stuck_put_char | R_stuck_get_char
+  | R_stuck_sleep | R_stuck_put_mvar | R_stuck_take_mvar ->
+      5
+
+let all_rules =
+  [
+    R_bind; R_put_char; R_get_char; R_sleep; R_put_mvar; R_take_mvar;
+    R_new_mvar; R_fork; R_thread_id; R_propagate; R_catch; R_handle;
+    R_return_gc; R_throw_gc; R_proc_gc; R_eval; R_raise; R_block_return;
+    R_unblock_return; R_block_throw; R_unblock_throw; R_throw_to; R_receive;
+    R_interrupt; R_stuck_put_char; R_stuck_get_char; R_stuck_sleep;
+    R_stuck_put_mvar; R_stuck_take_mvar;
+  ]
+
+type label = Out_char of char | In_char of char | Time of int
+type actor = Thread_step of Term.tid | Delivery of int | Global
+
+type transition = {
+  rule : rule;
+  actor : actor;
+  label : label option;
+  next : State.t;
+}
+
+type config = {
+  fuel : int;
+  default_mask : Context.mask;
+  fork_inherits_mask : bool;
+  stuck_io : bool;
+}
+
+let default_config =
+  {
+    fuel = Ch_pure.Eval.default_fuel;
+    default_mask = Unmasked;
+    fork_inherits_mask = false;
+    stuck_io = true;
+  }
+
+(* Transitions of one thread's evaluation site. Action rules apply to both
+   runnable and stuck threads (completing the operation wakes a stuck
+   thread); the stuckness rules move a runnable thread to the stuck state so
+   that (Interrupt) — which works in any masking context — becomes
+   applicable. *)
+let thread_transitions config (st : State.t) tid code status =
+  let z = decompose code in
+  let step ?label rule redex' =
+    {
+      rule;
+      actor = Thread_step tid;
+      label;
+      next = State.set_thread st tid (State.Active (with_redex z redex', Runnable));
+    }
+  in
+  let finish rule outcome =
+    {
+      rule;
+      actor = Thread_step tid;
+      label = None;
+      next = State.set_thread st tid (State.Finished outcome);
+    }
+  in
+  let stuck rule =
+    (* Only offered from the runnable state: a stuck-to-stuck transition
+       would be an identity self-loop. *)
+    if status = State.Runnable then
+      [
+        {
+          rule;
+          actor = Thread_step tid;
+          label = None;
+          next = State.set_thread st tid (State.Active (code, State.Stuck_thread));
+        };
+      ]
+    else []
+  in
+  let io_stuck rule = if config.stuck_io then stuck rule else [] in
+  match z.redex with
+  | Return n -> (
+      match z.frames with
+      | F_bind m :: frames ->
+          [ { (step R_bind (Return n)) with
+              next =
+                State.set_thread st tid
+                  (State.Active (recompose { frames; redex = App (m, n) },
+                                 Runnable)) } ]
+      | F_catch _ :: frames ->
+          [ { (step R_handle (Return n)) with
+              next =
+                State.set_thread st tid
+                  (State.Active (recompose { frames; redex = Return n },
+                                 Runnable)) } ]
+      | F_block :: frames ->
+          [ { (step R_block_return (Return n)) with
+              next =
+                State.set_thread st tid
+                  (State.Active (recompose { frames; redex = Return n },
+                                 Runnable)) } ]
+      | F_unblock :: frames ->
+          [ { (step R_unblock_return (Return n)) with
+              next =
+                State.set_thread st tid
+                  (State.Active (recompose { frames; redex = Return n },
+                                 Runnable)) } ]
+      | [] -> [ finish R_return_gc (State.Done n) ])
+  | Throw (Lit_exn e) -> (
+      match z.frames with
+      | F_bind _ :: frames ->
+          [ { (step R_propagate (Return unit_v)) with
+              next =
+                State.set_thread st tid
+                  (State.Active
+                     (recompose { frames; redex = Throw (Lit_exn e) },
+                      Runnable)) } ]
+      | F_catch h :: frames ->
+          [ { (step R_catch (Return unit_v)) with
+              next =
+                State.set_thread st tid
+                  (State.Active
+                     (recompose { frames; redex = App (h, Lit_exn e) },
+                      Runnable)) } ]
+      | F_block :: frames ->
+          [ { (step R_block_throw (Return unit_v)) with
+              next =
+                State.set_thread st tid
+                  (State.Active
+                     (recompose { frames; redex = Throw (Lit_exn e) },
+                      Runnable)) } ]
+      | F_unblock :: frames ->
+          [ { (step R_unblock_throw (Return unit_v)) with
+              next =
+                State.set_thread st tid
+                  (State.Active
+                     (recompose { frames; redex = Throw (Lit_exn e) },
+                      Runnable)) } ]
+      | [] -> [ finish R_throw_gc (State.Threw e) ])
+  | Put_char (Lit_char c) ->
+      let write =
+        { (step ~label:(Out_char c) R_put_char (Return unit_v)) with
+          next =
+            (let st = { st with State.output = c :: st.State.output } in
+             State.set_thread st tid
+               (State.Active (with_redex z (Return unit_v), Runnable))) }
+      in
+      write :: io_stuck R_stuck_put_char
+  | Get_char ->
+      let read =
+        match st.State.input with
+        | c :: input ->
+            [ { (step ~label:(In_char c) R_get_char (Return (Lit_char c))) with
+                next =
+                  (let st = { st with State.input = input } in
+                   State.set_thread st tid
+                     (State.Active (with_redex z (Return (Lit_char c)),
+                                    Runnable))) } ]
+        | [] -> []
+      in
+      read @ io_stuck R_stuck_get_char
+  | Sleep (Lit_int d) ->
+      step ~label:(Time d) R_sleep (Return unit_v) :: io_stuck R_stuck_sleep
+  | Take_mvar (Mvar m) -> (
+      match State.mvar st m with
+      | Some (Some v) ->
+          [ { (step R_take_mvar (Return v)) with
+              next =
+                (let st = State.set_mvar st m None in
+                 State.set_thread st tid
+                   (State.Active (with_redex z (Return v), Runnable))) } ]
+      | Some None -> stuck R_stuck_take_mvar
+      | None -> [] (* reference to an unknown MVar: ill-typed *))
+  | Put_mvar (Mvar m, payload) -> (
+      match State.mvar st m with
+      | Some None ->
+          [ { (step R_put_mvar (Return unit_v)) with
+              next =
+                (let st = State.set_mvar st m (Some payload) in
+                 State.set_thread st tid
+                   (State.Active (with_redex z (Return unit_v), Runnable))) } ]
+      | Some (Some _) -> stuck R_stuck_put_mvar
+      | None -> [])
+  | New_mvar ->
+      let m = st.State.next_mvar in
+      [ { (step R_new_mvar (Return (Mvar m))) with
+          next =
+            (let st =
+               { st with
+                 State.mvars = st.State.mvars @ [ (m, None) ];
+                 next_mvar = m + 1 }
+             in
+             State.set_thread st tid
+               (State.Active (with_redex z (Return (Mvar m)), Runnable))) } ]
+  | Fork body ->
+      let u = st.State.next_tid in
+      let child =
+        if config.fork_inherits_mask
+           && mask_of ~default:config.default_mask z.frames = Masked
+        then Block body
+        else body
+      in
+      [ { (step R_fork (Return (Tid u))) with
+          next =
+            (let st =
+               { st with
+                 State.threads =
+                   st.State.threads @ [ (u, State.Active (child, State.Runnable)) ];
+                 next_tid = u + 1 }
+             in
+             State.set_thread st tid
+               (State.Active (with_redex z (Return (Tid u)), Runnable))) } ]
+  | My_tid -> [ step R_thread_id (Return (Tid tid)) ]
+  | Throw_to (Tid u, Lit_exn e) ->
+      let k = st.State.next_inflight in
+      [ { (step R_throw_to (Return unit_v)) with
+          next =
+            (let st =
+               { st with
+                 State.inflight =
+                   st.State.inflight @ [ (k, { State.target = u; exn = e }) ];
+                 next_inflight = k + 1 }
+             in
+             State.set_thread st tid
+               (State.Active (with_redex z (Return unit_v), Runnable))) } ]
+  | redex when not (is_value redex) -> (
+      match Ch_pure.Eval.eval ~fuel:config.fuel redex with
+      | Value v -> [ step R_eval v ]
+      | Raised e -> [ step R_raise (Throw (Lit_exn e)) ]
+      | Diverged | Stuck _ -> [])
+  | _ -> [] (* a value at the evaluation site that no rule matches *)
+
+let receive_transitions config (st : State.t) =
+  List.concat_map
+    (fun (k, { State.target; exn }) ->
+      match State.thread st target with
+      | Some (State.Active (code, State.Runnable)) ->
+          let z = decompose code in
+          if mask_of ~default:config.default_mask z.frames = Unmasked then
+            [
+              {
+                rule = R_receive;
+                actor = Delivery k;
+                label = None;
+                next =
+                  (let st =
+                     {
+                       st with
+                       State.inflight =
+                         List.remove_assoc k st.State.inflight;
+                     }
+                   in
+                   State.set_thread st target
+                     (State.Active
+                        (with_redex z (Throw (Lit_exn exn)), State.Runnable)));
+              };
+            ]
+          else []
+      | Some (State.Active (code, State.Stuck_thread)) ->
+          let z = decompose code in
+          [
+            {
+              rule = R_interrupt;
+              actor = Delivery k;
+              label = None;
+              next =
+                (let st =
+                   {
+                     st with
+                     State.inflight = List.remove_assoc k st.State.inflight;
+                   }
+                 in
+                 State.set_thread st target
+                   (State.Active
+                      (with_redex z (Throw (Lit_exn exn)), State.Runnable)));
+            };
+          ]
+      | Some (State.Finished _) | None -> [])
+    st.State.inflight
+
+let proc_gc_transition (st : State.t) =
+  match State.main_result st with
+  | Some _
+    when List.length st.State.threads > 1
+         || st.State.mvars <> [] || st.State.inflight <> [] ->
+      [
+        {
+          rule = R_proc_gc;
+          actor = Global;
+          label = None;
+          next =
+            {
+              st with
+              State.threads =
+                List.filter (fun (t, _) -> t = st.State.main) st.State.threads;
+              mvars = [];
+              inflight = [];
+            };
+        };
+      ]
+  | Some _ | None -> []
+
+let enumerate ?(config = default_config) (st : State.t) =
+  let per_thread =
+    List.concat_map
+      (fun (tid, th) ->
+        match th with
+        | State.Active (code, status) ->
+            thread_transitions config st tid code status
+        | State.Finished _ -> [])
+      st.State.threads
+  in
+  per_thread @ receive_transitions config st @ proc_gc_transition st
+
+type stall = Waiting | Diverging | Ill_typed of string
+
+let thread_stall config (st : State.t) tid =
+  match State.thread st tid with
+  | None | Some (State.Finished _) -> None
+  | Some (State.Active (code, status)) -> (
+      if thread_transitions config st tid code status <> [] then None
+      else
+        let z = decompose code in
+        match z.redex with
+        | Take_mvar (Mvar m) | Put_mvar (Mvar m, _) -> (
+            match State.mvar st m with
+            | Some _ -> Some Waiting
+            | None -> Some (Ill_typed "reference to unknown MVar"))
+        | Get_char -> Some Waiting
+        | redex when not (is_value redex) -> (
+            match Ch_pure.Eval.eval ~fuel:config.fuel redex with
+            | Diverged -> Some Diverging
+            | Stuck msg -> Some (Ill_typed msg)
+            | Value _ | Raised _ -> None)
+        | redex ->
+            Some
+              (Ill_typed
+                 (Printf.sprintf "no rule matches value %s at evaluation site"
+                    (Pretty.term_to_string redex))))

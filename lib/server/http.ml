@@ -1,0 +1,162 @@
+open Hio_std
+open Hio.Io
+
+module Conn = struct
+  (* Each direction is a bounded byte channel: writers feel back-pressure
+     from slow readers, and a reader blocked on a trickling writer is
+     interruptible — which is what makes timeouts effective. *)
+  type t = { incoming : char Bchan.t; outgoing : char Bchan.t }
+
+  let pipe ?(capacity = 64) () =
+    Bchan.create capacity >>= fun a_to_b ->
+    Bchan.create capacity >>= fun b_to_a ->
+    return
+      ( { incoming = b_to_a; outgoing = a_to_b },
+        { incoming = a_to_b; outgoing = b_to_a } )
+
+  let send_string conn s =
+    let rec go i =
+      if i >= String.length s then return ()
+      else Bchan.send conn.outgoing s.[i] >>= fun () -> go (i + 1)
+    in
+    go 0
+
+  let recv_char conn = Bchan.recv conn.incoming
+
+  let recv_line conn =
+    let buf = Buffer.create 32 in
+    let rec go () =
+      recv_char conn >>= function
+      | '\n' -> return (Buffer.contents buf)
+      | '\r' -> (
+          (* expect \n next; tolerate a bare \r *)
+          recv_char conn >>= function
+          | '\n' -> return (Buffer.contents buf)
+          | c ->
+              Buffer.add_char buf '\r';
+              Buffer.add_char buf c;
+              go ())
+      | c ->
+          Buffer.add_char buf c;
+          go ()
+    in
+    go ()
+
+  let drain_available conn =
+    let buf = Buffer.create 32 in
+    let rec go () =
+      Bchan.try_recv conn.incoming >>= function
+      | Some c ->
+          Buffer.add_char buf c;
+          go ()
+      | None -> return (Buffer.contents buf)
+    in
+    go ()
+end
+
+type request = {
+  meth : string;
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; reason : string; body : string }
+
+exception Bad_request of string
+
+let split_header line =
+  match String.index_opt line ':' with
+  | None -> raise (Bad_request ("malformed header: " ^ line))
+  | Some i ->
+      let key = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+      let value =
+        String.trim (String.sub line (i + 1) (String.length line - i - 1))
+      in
+      (key, value)
+
+let read_request conn =
+  Conn.recv_line conn >>= fun request_line ->
+  (match String.split_on_char ' ' (String.trim request_line) with
+  | [ meth; path; _version ] -> return (meth, path)
+  | [ meth; path ] -> return (meth, path)
+  | _ -> throw (Bad_request ("malformed request line: " ^ request_line)))
+  >>= fun (meth, path) ->
+  let rec read_headers acc =
+    Conn.recv_line conn >>= fun line ->
+    if String.trim line = "" then return (List.rev acc)
+    else
+      match split_header line with
+      | header -> read_headers (header :: acc)
+      | exception Bad_request m -> throw (Bad_request m)
+  in
+  read_headers [] >>= fun headers ->
+  let content_length =
+    match List.assoc_opt "content-length" headers with
+    | Some v -> ( match int_of_string_opt v with Some n -> n | None -> -1)
+    | None -> 0
+  in
+  if content_length < 0 then throw (Bad_request "bad content-length")
+  else
+    let rec read_body n acc =
+      if n = 0 then return (String.concat "" (List.rev acc))
+      else
+        Conn.recv_char conn >>= fun c ->
+        read_body (n - 1) (String.make 1 c :: acc)
+    in
+    read_body content_length [] >>= fun body ->
+    return { meth; path; headers; body }
+
+let write_response conn { status; reason; body } =
+  Conn.send_string conn
+    (Printf.sprintf "HTTP/1.0 %d %s\r\ncontent-length: %d\r\n\r\n%s" status
+       reason (String.length body) body)
+
+let write_request conn { meth; path; headers; body } =
+  let header_lines =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
+  let content =
+    if body = "" then ""
+    else Printf.sprintf "content-length: %d\r\n" (String.length body)
+  in
+  Conn.send_string conn
+    (Printf.sprintf "%s %s HTTP/1.0\r\n%s%s\r\n%s" meth path header_lines
+       content body)
+
+let read_response conn =
+  Conn.recv_line conn >>= fun status_line ->
+  (match String.split_on_char ' ' (String.trim status_line) with
+  | _version :: code :: reason -> (
+      match int_of_string_opt code with
+      | Some status -> return (status, String.concat " " reason)
+      | None -> throw (Bad_request ("bad status line: " ^ status_line)))
+  | _ -> throw (Bad_request ("bad status line: " ^ status_line)))
+  >>= fun (status, reason) ->
+  let rec read_headers acc =
+    Conn.recv_line conn >>= fun line ->
+    if String.trim line = "" then return (List.rev acc)
+    else read_headers (split_header line :: acc)
+  in
+  read_headers [] >>= fun headers ->
+  let content_length =
+    match List.assoc_opt "content-length" headers with
+    | Some v -> int_of_string v
+    | None -> 0
+  in
+  let rec read_body n acc =
+    if n = 0 then return (String.concat "" (List.rev acc))
+    else
+      Conn.recv_char conn >>= fun c ->
+      read_body (n - 1) (String.make 1 c :: acc)
+  in
+  read_body content_length [] >>= fun body -> return { status; reason; body }
+
+let ok body = { status = 200; reason = "OK"; body }
+let not_found = { status = 404; reason = "Not Found"; body = "not found" }
+
+let timeout_response =
+  { status = 504; reason = "Gateway Timeout"; body = "timed out" }
+
+let bad_request m = { status = 400; reason = "Bad Request"; body = m }

@@ -1,0 +1,57 @@
+(** A minimal HTTP/1.0-style message layer over simulated byte streams —
+    the substrate for the fault-tolerant web server the paper's conclusion
+    reports building ("a prototype fault-tolerant HTTP server which makes
+    heavy use of time-outs, multithreading and exceptions", §11/[8]).
+
+    The "network" is a pair of bounded byte channels per connection
+    ({!Conn}); requests are parsed incrementally from the stream, so a
+    slow-writing client occupies a worker until a timeout kills the read —
+    exactly the scenario the §7.3 composable [timeout] exists for. *)
+
+open Hio
+
+module Conn : sig
+  type t
+  (** One side of a bidirectional byte stream. *)
+
+  val pipe : ?capacity:int -> unit -> (t * t) Io.t
+  (** A connected pair (client side, server side); each side's writes
+      appear on the other side's reads, with back-pressure at [capacity]
+      (default 64) bytes. *)
+
+  val send_string : t -> string -> unit Io.t
+  val recv_char : t -> char Io.t
+  val recv_line : t -> string Io.t
+  (** Reads up to a ["\r\n"] or ["\n"] terminator (not included). *)
+
+  val drain_available : t -> string Io.t
+  (** Everything currently buffered, without blocking. *)
+end
+
+type request = {
+  meth : string;  (** e.g. "GET" *)
+  path : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = { status : int; reason : string; body : string }
+
+exception Bad_request of string
+
+val read_request : Conn.t -> request Io.t
+(** Parse ["METH /path HTTP/1.0\r\n" headers "\r\n" body?]; a
+    [Content-Length] header drives body reading.
+    @raise Bad_request (synchronously) on malformed input. *)
+
+val write_response : Conn.t -> response -> unit Io.t
+val write_request : Conn.t -> request -> unit Io.t
+(** Client-side helper for tests. *)
+
+val read_response : Conn.t -> response Io.t
+(** Client-side helper for tests. *)
+
+val ok : string -> response
+val not_found : response
+val timeout_response : response
+val bad_request : string -> response

@@ -1,0 +1,126 @@
+open Hio
+open Hio_std
+open Hio.Io
+
+type handler = Http.request -> Http.response Io.t
+
+type config = {
+  request_timeout : int;
+  max_concurrent : int;
+  accept_queue : int;
+}
+
+let default_config =
+  { request_timeout = 200; max_concurrent = 4; accept_queue = 8 }
+
+type stats = {
+  served : int;
+  timeouts : int;
+  bad_requests : int;
+  rejected : int;
+}
+
+type counters = {
+  mutable c_served : int;
+  mutable c_timeouts : int;
+  mutable c_bad : int;
+  mutable c_rejected : int;
+  mutable c_inflight : int;
+}
+
+exception Server_stopped
+
+type t = {
+  listener : Io.thread_id;
+  backlog : Http.Conn.t Bchan.t;
+  counters : counters;
+  config : config;
+  mutable accepting : bool;
+}
+
+(* Serve one connection end to end: the composable timeout covers the
+   admission wait, the (possibly trickling) request read, and the handler;
+   the connection is always answered. *)
+let serve config counters admission handler conn =
+  let count f = lift (fun () -> f counters) in
+  Combinators.timeout config.request_timeout
+    (Sem.with_unit admission
+       (catch
+          ( Http.read_request conn >>= fun request ->
+            handler request >>= fun response -> return (`Reply response) )
+          (fun e ->
+            match e with
+            | Http.Bad_request m -> return (`Bad m)
+            | e -> throw e)))
+  >>= fun outcome ->
+  match outcome with
+  | Some (`Reply response) ->
+      count (fun c -> c.c_served <- c.c_served + 1) >>= fun () ->
+      Http.write_response conn response
+  | Some (`Bad m) ->
+      count (fun c -> c.c_bad <- c.c_bad + 1) >>= fun () ->
+      Http.write_response conn (Http.bad_request m)
+  | None ->
+      count (fun c -> c.c_timeouts <- c.c_timeouts + 1) >>= fun () ->
+      Http.write_response conn Http.timeout_response
+
+let start ?(config = default_config) handler =
+  Bchan.create config.accept_queue >>= fun backlog ->
+  Sem.create config.max_concurrent >>= fun admission ->
+  let counters =
+    { c_served = 0; c_timeouts = 0; c_bad = 0; c_rejected = 0; c_inflight = 0 }
+  in
+  let accept_loop =
+    Combinators.forever
+      ( Bchan.recv backlog >>= fun conn ->
+        fork ~name:"conn-worker"
+          (Combinators.bracket_
+             (lift (fun () -> counters.c_inflight <- counters.c_inflight + 1))
+             (serve config counters admission handler conn)
+             (lift (fun () -> counters.c_inflight <- counters.c_inflight - 1)))
+        >>= fun _tid -> return () )
+  in
+  fork ~name:"listener" (catch accept_loop (fun _ -> return ()))
+  >>= fun listener ->
+  return { listener; backlog; counters; config; accepting = true }
+
+let connect server =
+  if not server.accepting then throw Server_stopped
+  else
+    Http.Conn.pipe () >>= fun (client_side, server_side) ->
+    Bchan.send server.backlog server_side >>= fun () -> return client_side
+
+let shutdown server =
+  lift (fun () -> server.accepting <- false) >>= fun () ->
+  throw_to server.listener Kill_thread >>= fun () ->
+  (* reject anything still queued *)
+  let rec drain () =
+    Bchan.try_recv server.backlog >>= function
+    | Some conn ->
+        lift (fun () ->
+            server.counters.c_rejected <- server.counters.c_rejected + 1)
+        >>= fun () ->
+        Http.write_response conn
+          { Http.status = 503; reason = "Service Unavailable"; body = "" }
+        >>= fun () -> drain ()
+    | None -> return ()
+  in
+  drain () >>= fun () ->
+  (* wait for in-flight workers; each is bounded by the request timeout *)
+  let rec wait_drained () =
+    if server.counters.c_inflight = 0 then return ()
+    else sleep 5 >>= fun () -> wait_drained ()
+  in
+  wait_drained () >>= fun () ->
+  return
+    {
+      served = server.counters.c_served;
+      timeouts = server.counters.c_timeouts;
+      bad_requests = server.counters.c_bad;
+      rejected = server.counters.c_rejected;
+    }
+
+let route table request =
+  match List.assoc_opt request.Http.path table with
+  | Some f -> return (f request.Http.body)
+  | None -> return Http.not_found

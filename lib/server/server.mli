@@ -1,0 +1,48 @@
+(** The fault-tolerant server of the paper's §11 prototype [8]: one thread
+    per connection, a quantity semaphore bounding concurrency, a composable
+    per-request timeout covering both the (interruptible, possibly
+    trickling) read and the handler, and graceful shutdown by [throwTo].
+
+    Every robustness property comes from a §7 combinator: workers release
+    their admission slot via [bracket]; a killed or timed-out worker
+    cannot wedge a connection (channel ends are restored per §5.2); and
+    shutdown is a plain asynchronous exception into the accept loop. *)
+
+open Hio
+
+type handler = Http.request -> Http.response Io.t
+
+type config = {
+  request_timeout : int;  (** virtual µs per request, end to end *)
+  max_concurrent : int;
+  accept_queue : int;  (** listener backlog *)
+}
+
+val default_config : config
+
+type stats = {
+  served : int;
+  timeouts : int;
+  bad_requests : int;
+  rejected : int;  (** connections that arrived after shutdown *)
+}
+
+type t
+(** A running server. *)
+
+exception Server_stopped
+
+val start : ?config:config -> handler -> t Io.t
+(** Fork the accept loop and return a handle. *)
+
+val connect : t -> Http.Conn.t Io.t
+(** Create a client connection to the server (the simulated [accept]).
+    @raise Server_stopped (as a synchronous throw) after {!shutdown}. *)
+
+val shutdown : t -> stats Io.t
+(** Kill the accept loop, wait for in-flight workers to finish (each is
+    bounded by the request timeout), and return final statistics. *)
+
+val route : (string * (string -> Http.response)) list -> handler
+(** A tiny router over exact paths; the handler value receives the request
+    body. Unknown paths get 404. *)

@@ -1,0 +1,43 @@
+open Hio
+open Io
+
+(* State: arrivals so far this round and their private gates. The last
+   arrival releases every gate and resets the round. *)
+type t = { parties : int; state : (int * unit Mvar.t list) Mvar.t }
+
+let create n =
+  assert (n >= 1);
+  Mvar.new_filled (0, []) >>= fun state -> return { parties = n; state }
+
+let parties b = b.parties
+
+let release_all waiters =
+  let rec go = function
+    | [] -> return ()
+    | w :: rest -> Mvar.put w () >>= fun () -> go rest
+  in
+  go waiters
+
+let await b =
+  block
+    ( Mvar.take b.state >>= fun (count, waiters) ->
+      if count = b.parties - 1 then
+        release_all waiters >>= fun () ->
+        Mvar.put b.state (0, []) >>= fun () -> return count
+      else
+        Mvar.new_empty >>= fun gate ->
+        Mvar.put b.state (count + 1, gate :: waiters) >>= fun () ->
+        catch
+          (unblock (Mvar.take gate) >>= fun () -> return count)
+          (fun e ->
+            (* withdraw the arrival — unless the round already tripped, in
+               which case the barrier has reset and nothing is owed *)
+            Combinators.critical_take b.state >>= fun (c, ws) ->
+            let still_waiting =
+              List.exists (fun w -> Mvar.id w = Mvar.id gate) ws
+            in
+            let ws' =
+              List.filter (fun w -> Mvar.id w <> Mvar.id gate) ws
+            in
+            Mvar.put b.state ((if still_waiting then c - 1 else c), ws')
+            >>= fun () -> throw e) )

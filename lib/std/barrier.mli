@@ -1,0 +1,17 @@
+(** Cyclic barriers on MVars: [n] threads meet; the last arrival releases
+    everyone; the barrier then resets for the next round. Waiting is
+    interruptible (§5.3) and a killed waiter withdraws its arrival, so the
+    barrier is not poisoned by cancellation. *)
+
+open Hio
+
+type t
+
+val create : int -> t Io.t
+(** [create n] for parties of [n >= 1] threads. *)
+
+val await : t -> int Io.t
+(** Block until all [n] parties have arrived; returns the arrival index
+    (0 for the first, [n-1] for the releasing arrival). *)
+
+val parties : t -> int

@@ -1,0 +1,57 @@
+open Hio
+open Io
+
+(* A ring of cell MVars plus cursor MVars serializing senders and
+   receivers. A full cell blocks the sender that reaches it (back
+   pressure); an empty cell blocks the receiver. Cursors count
+   monotonically; the cell index is the cursor modulo capacity. *)
+type 'a t = {
+  cells : 'a Mvar.t array;
+  write_pos : int Mvar.t;
+  read_pos : int Mvar.t;
+}
+
+let create capacity =
+  assert (capacity >= 1);
+  let rec make_cells i acc =
+    if i = 0 then return (Array.of_list (List.rev acc))
+    else Mvar.new_empty >>= fun mv -> make_cells (i - 1) (mv :: acc)
+  in
+  make_cells capacity [] >>= fun cells ->
+  Mvar.new_filled 0 >>= fun write_pos ->
+  Mvar.new_filled 0 >>= fun read_pos -> return { cells; write_pos; read_pos }
+
+let capacity c = Array.length c.cells
+
+let cell c i = c.cells.(i mod Array.length c.cells)
+
+let send c v =
+  block
+    ( Mvar.take c.write_pos >>= fun i ->
+      catch
+        (unblock (Mvar.put (cell c i) v))
+        (fun e -> Mvar.put c.write_pos i >>= fun () -> throw e)
+      >>= fun () -> Mvar.put c.write_pos (i + 1) )
+
+let recv c =
+  block
+    ( Mvar.take c.read_pos >>= fun i ->
+      catch
+        (unblock (Mvar.take (cell c i)))
+        (fun e -> Mvar.put c.read_pos i >>= fun () -> throw e)
+      >>= fun v -> Mvar.put c.read_pos (i + 1) >>= fun () -> return v )
+
+let try_send c v =
+  block
+    ( Mvar.take c.write_pos >>= fun i ->
+      Mvar.try_put (cell c i) v >>= fun accepted ->
+      Mvar.put c.write_pos (if accepted then i + 1 else i) >>= fun () ->
+      return accepted )
+
+let try_recv c =
+  block
+    ( Mvar.take c.read_pos >>= fun i ->
+      Mvar.try_take (cell c i) >>= function
+      | Some v ->
+          Mvar.put c.read_pos (i + 1) >>= fun () -> return (Some v)
+      | None -> Mvar.put c.read_pos i >>= fun () -> return None )

@@ -1,0 +1,24 @@
+(** Bounded channels (buffered, blocking at capacity), built from MVars in
+    the style of §4. A bounded channel of capacity 1 is a classic mailbox;
+    capacity [n] gives producer/consumer pipelines with back-pressure.
+
+    Exception safety follows the §5.2 discipline throughout: both
+    endpoints' cursor MVars are restored when a blocked sender or receiver
+    is interrupted, so a kill never wedges the channel. *)
+
+open Hio
+
+type 'a t
+
+val create : int -> 'a t Io.t
+(** [create capacity] with [capacity >= 1]. *)
+
+val send : 'a t -> 'a -> unit Io.t
+(** Blocks (interruptibly) while the channel holds [capacity] items. *)
+
+val recv : 'a t -> 'a Io.t
+(** Blocks (interruptibly) while the channel is empty. *)
+
+val try_send : 'a t -> 'a -> bool Io.t
+val try_recv : 'a t -> 'a option Io.t
+val capacity : 'a t -> int

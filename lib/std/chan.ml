@@ -1,0 +1,43 @@
+open Hio
+open Io
+
+(* The classic Concurrent Haskell channel: a stream of items terminated by
+   an empty hole; [read] and [write] point at the first full cell and the
+   hole respectively. *)
+type 'a item = Item of 'a * 'a stream
+and 'a stream = 'a item Mvar.t
+
+type 'a t = { read : 'a stream Mvar.t; write : 'a stream Mvar.t }
+
+let create () =
+  Mvar.new_empty >>= fun hole ->
+  Mvar.new_filled hole >>= fun read ->
+  Mvar.new_filled hole >>= fun write -> return { read; write }
+
+let send c v =
+  block
+    ( Mvar.new_empty >>= fun new_hole ->
+      Mvar.take c.write >>= fun old_hole ->
+      Mvar.put old_hole (Item (v, new_hole)) >>= fun () ->
+      Mvar.put c.write new_hole )
+
+let recv c =
+  block
+    ( Mvar.take c.read >>= fun stream ->
+      catch
+        (unblock (Mvar.take stream))
+        (fun e -> Mvar.put c.read stream >>= fun () -> throw e)
+      >>= fun (Item (v, rest)) ->
+      Mvar.put c.read rest >>= fun () -> return v )
+
+let try_recv c =
+  block
+    ( Mvar.take c.read >>= fun stream ->
+      Mvar.try_take stream >>= function
+      | Some (Item (v, rest)) ->
+          Mvar.put c.read rest >>= fun () -> return (Some v)
+      | None -> Mvar.put c.read stream >>= fun () -> return None )
+
+let rec send_list c = function
+  | [] -> return ()
+  | v :: rest -> send c v >>= fun () -> send_list c rest

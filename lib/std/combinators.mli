@@ -1,0 +1,76 @@
+(** The paper's §7 library: robust abstractions layered on the low-level
+    primitives. None of these require runtime support beyond [block] /
+    [unblock] / [throwTo] — they are written exactly as in the paper. *)
+
+open Hio
+
+val finally : 'a Io.t -> unit Io.t -> 'a Io.t
+(** [finally a b]: "do [a], then whatever happens do [b]" (§7.1). The
+    cleanup [b] runs inside [block], like a signal handler running with
+    signals disabled. *)
+
+val later : unit Io.t -> 'a Io.t -> 'a Io.t
+(** [finally] with the arguments reversed (§7.1). *)
+
+val on_exception : 'a Io.t -> unit Io.t -> 'a Io.t
+(** [on_exception a b] runs [b] only if [a] raises; the exception is
+    re-thrown. *)
+
+val bracket : 'a Io.t -> ('a -> 'b Io.t) -> ('a -> 'c Io.t) -> 'b Io.t
+(** [bracket acquire use release] (§7.1, the paper's argument order):
+    acquisition is atomic — either the resource is acquired or an
+    exception is raised and it is not; release runs on every exit path. *)
+
+val bracket_ : 'a Io.t -> 'b Io.t -> 'c Io.t -> 'b Io.t
+(** [bracket] ignoring the resource value. *)
+
+val either : 'a Io.t -> 'b Io.t -> ('a, 'b) Either.t Io.t
+(** §7.2: run both computations concurrently and return the first result,
+    killing the other computation. Asynchronous exceptions received while
+    waiting are propagated to both children; an exception raised by either
+    child before a result arrives is re-thrown. *)
+
+val both : 'a Io.t -> 'b Io.t -> ('a * 'b) Io.t
+(** §7.2: run both computations concurrently and wait for both. If either
+    raises, the other is killed and the exception re-thrown; received
+    asynchronous exceptions are propagated to both children. *)
+
+val race : 'a Io.t list -> 'a Io.t
+(** N-ary {!either} over a non-empty list: the first result wins, the rest
+    are killed; a child's exception (or an empty list's
+    [Invalid_argument]) is re-thrown; received asynchronous exceptions are
+    propagated to every child. *)
+
+val parallel : 'a Io.t list -> 'a list Io.t
+(** N-ary {!both}: run all computations concurrently and collect the
+    results in order. If any raises, the others are killed and the
+    exception re-thrown. *)
+
+val parallel_map : ('a -> 'b Io.t) -> 'a list -> 'b list Io.t
+(** [parallel] over [List.map]. *)
+
+val timeout : int -> 'a Io.t -> 'a option Io.t
+(** §7.3: [timeout t a] is [Just r] if [a] finishes within [t] (virtual)
+    microseconds, [Nothing] otherwise. Composable: timeouts may be
+    arbitrarily nested and cannot interfere with each other, because the
+    clock thread is private to each call. *)
+
+val safe_point : unit Io.t
+(** §7.4: a checkpoint at which a masked long computation briefly accepts
+    pending asynchronous exceptions: [unblock (return ())]. *)
+
+val critical_take : 'a Mvar.t -> 'a Io.t
+(** [takeMVar] for release paths that must not abandon a held resource:
+    [Mvar.take] is interruptible while the MVar is held by another thread
+    (§5.3), so a cleanup handler using a bare take can itself be killed
+    mid-release. The paper's primitives have no uninterruptible mask (GHC
+    added one years later, for exactly this); the equivalent idiom —
+    usable only under {!Io.block} — is to catch the asynchronous
+    exception, re-post it to ourselves with the asynchronous {!Io.throw_to}
+    (masked, it just returns to our pending queue), and retry. *)
+
+val forever : unit Io.t -> 'a Io.t
+(** Repeat an action indefinitely (convenience; ends only by exception). *)
+
+val repeat : int -> unit Io.t -> unit Io.t
+(** Run an action [n] times in sequence. *)

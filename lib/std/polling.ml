@@ -1,0 +1,29 @@
+open Hio
+open Io
+
+exception Cancelled
+
+type token = bool ref
+
+let create = lift (fun () -> ref false)
+let request_cancel token = lift (fun () -> token := true)
+let is_requested token = lift (fun () -> !token)
+
+let poll token =
+  is_requested token >>= fun cancelled ->
+  if cancelled then throw Cancelled else return ()
+
+let polling_worker token ~every ~units =
+  lift (fun () -> ref 0) >>= fun counter ->
+  let rec go completed =
+    lift (fun () -> counter := completed) >>= fun () ->
+    if completed >= units then return completed
+    else
+      (if every > 0 && completed mod every = 0 then poll token
+       else return ())
+      >>= fun () ->
+      (* one unit of work = one scheduler step *)
+      yield >>= fun () -> go (completed + 1)
+  in
+  catch (go 0) (fun e ->
+      match e with Cancelled -> lift (fun () -> !counter) | e -> throw e)

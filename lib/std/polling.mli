@@ -1,0 +1,29 @@
+(** The semi-asynchronous baseline the paper argues against (§2): a
+    cancellation flag that the target must poll, as in POSIX deferred
+    cancellation, Modula-3 alerts, and Java's interrupt flag.
+
+    Implemented on top of hio so the benchmark harness can compare, in the
+    same runtime, (a) the overhead the target pays per poll when nobody
+    cancels it, and (b) the cancellation latency as a function of polling
+    interval — against fully asynchronous [throwTo], which costs the
+    target nothing and delivers at the next step. *)
+
+open Hio
+
+exception Cancelled
+
+type token
+
+val create : token Io.t
+val request_cancel : token -> unit Io.t
+val is_requested : token -> bool Io.t
+
+val poll : token -> unit Io.t
+(** Throws {!Cancelled} (synchronously) if cancellation was requested. *)
+
+val polling_worker : token -> every:int -> units:int -> int Io.t
+(** A synthetic workload of [units] work items (one scheduler step each)
+    that calls {!poll} every [every] items; returns the number of items
+    completed: [units] when never cancelled, or the progress made when the
+    cancellation was detected. Used by bench C7 to measure cancellation
+    latency against polling interval. *)

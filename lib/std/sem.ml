@@ -1,0 +1,55 @@
+open Hio
+open Io
+
+(* State: available units plus the queue of waiters, each waiting on a
+   private one-shot MVar that [signal] fills. *)
+type t = { state : (int * unit Mvar.t list) Mvar.t }
+
+(* Release paths must take the state MVar without dropping a held unit if
+   a kill races the take: see {!Combinators.critical_take}. *)
+let take_state_critical s = Combinators.critical_take s.state
+
+let create n =
+  assert (n >= 0);
+  Mvar.new_filled (n, []) >>= fun state -> return { state }
+
+(* Hand one unit to the head waiter, or bank it. Call with the state MVar
+   held; returns the new state. *)
+let release_one (count, waiters) =
+  match waiters with
+  | w :: rest -> Mvar.put w () >>= fun () -> return (count, rest)
+  | [] -> return (count + 1, [])
+
+let signal s =
+  block
+    ( take_state_critical s >>= fun st ->
+      release_one st >>= fun st' -> Mvar.put s.state st' )
+
+(* A waiter interrupted while blocked on its private MVar must undo its
+   registration. If [b] is no longer in the waiter list, a signaller
+   already dedicated a unit to us — it is either still inside [b], or was
+   handed to our discarded resumption — so we pass one unit on instead of
+   losing it. *)
+let withdraw s b =
+  take_state_critical s >>= fun (count, waiters) ->
+  if List.exists (fun w -> Mvar.id w = Mvar.id b) waiters then
+    let waiters' = List.filter (fun w -> Mvar.id w <> Mvar.id b) waiters in
+    Mvar.put s.state (count, waiters')
+  else
+    Mvar.try_take b >>= fun _leftover ->
+    release_one (count, waiters) >>= fun st' -> Mvar.put s.state st'
+
+let wait s =
+  block
+    ( Mvar.take s.state >>= fun (count, waiters) ->
+      if count > 0 then Mvar.put s.state (count - 1, waiters)
+      else
+        Mvar.new_empty >>= fun b ->
+        Mvar.put s.state (count, waiters @ [ b ]) >>= fun () ->
+        catch (unblock (Mvar.take b)) (fun e ->
+            withdraw s b >>= fun () -> throw e) )
+
+let available s = Mvar.read s.state >>= fun (count, _) -> return count
+
+let with_unit s action =
+  Combinators.bracket_ (wait s) action (signal s)

@@ -1,0 +1,25 @@
+(** Quantity semaphores built from MVars (§4), exception-safe in the sense
+    of §5: a waiter interrupted by an asynchronous exception withdraws its
+    registration — or, if a unit was already handed to it concurrently,
+    passes the unit on — so no capacity is ever lost. *)
+
+open Hio
+
+type t
+
+val create : int -> t Io.t
+(** [create n] — a semaphore with [n] initial units; [n >= 0]. *)
+
+val wait : t -> unit Io.t
+(** Acquire one unit, waiting if none is available. Interruptible while
+    waiting; atomic once a unit is available. *)
+
+val signal : t -> unit Io.t
+(** Release one unit, waking the longest-waiting waiter. Never blocks;
+    non-interruptible. *)
+
+val available : t -> int Io.t
+(** Units currently free (racy snapshot, for monitoring and tests). *)
+
+val with_unit : t -> 'a Io.t -> 'a Io.t
+(** [bracket]-protected acquire/release around the action. *)

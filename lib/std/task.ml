@@ -1,0 +1,27 @@
+open Hio
+open Io
+
+type 'a t = { cell : ('a, exn) Stdlib.result Mvar.t; tid : Io.thread_id }
+
+let spawn ?name io =
+  Mvar.new_empty >>= fun cell ->
+  block
+    ( fork ?name
+        (catch
+           (unblock io >>= fun v -> Mvar.put cell (Stdlib.Ok v))
+           (fun e -> Mvar.put cell (Stdlib.Error e)))
+    >>= fun tid -> return { cell; tid } )
+
+let await t =
+  Mvar.read t.cell >>= function
+  | Stdlib.Ok v -> return v
+  | Stdlib.Error e -> throw e
+
+let poll t =
+  block
+    ( Mvar.try_take t.cell >>= function
+      | Some r -> Mvar.put t.cell r >>= fun () -> return (Some r)
+      | None -> return None )
+
+let cancel t = throw_to t.tid Kill_thread
+let thread t = t.tid

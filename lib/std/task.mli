@@ -1,0 +1,25 @@
+(** Futures ("async/await") built on [forkIO] + MVars + [throwTo]: the
+    speculative-computation pattern of the paper's introduction ("a parent
+    thread might start a child thread to compute some value speculatively;
+    later [it] may want to kill the child"). *)
+
+open Hio
+
+type 'a t
+
+val spawn : ?name:string -> 'a Io.t -> 'a t Io.t
+(** Start the computation in its own thread. The result (value or
+    exception) is recorded for any number of {!await}ers. *)
+
+val await : 'a t -> 'a Io.t
+(** Wait for the task; re-throws the task's exception if it failed.
+    Interruptible while waiting. *)
+
+val poll : 'a t -> ('a, exn) Stdlib.result option Io.t
+(** [None] while still running. *)
+
+val cancel : 'a t -> unit Io.t
+(** [throwTo] the task's thread with {!Io.Kill_thread}. Awaiting a
+    cancelled task re-throws {!Io.Kill_thread}. *)
+
+val thread : 'a t -> Io.thread_id

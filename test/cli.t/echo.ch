@@ -1,0 +1,1 @@
+do { a <- getChar; b <- getChar; putChar a; putChar b; return (a == b) }

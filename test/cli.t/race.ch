@@ -1,0 +1,2 @@
+do { m <- newEmptyMVar; t <- forkIO (putMVar m 1); u <- forkIO (putMVar m 2);
+     a <- takeMVar m; b <- takeMVar m; return (10 * a + b) }

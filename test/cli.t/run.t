@@ -1,0 +1,108 @@
+The chrun CLI parses, runs, and model-checks object-language programs.
+
+Parsing echoes the program back:
+
+  $ chrun parse -e 'do { c <- getChar; putChar c }'
+  getChar >>= (\c -> putChar c)
+
+Running a deterministic program:
+
+  $ chrun run -e "do { c <- getChar; putChar c; return (c == 'x') }" -i x
+  steps:  7
+  output: "x"
+  result: True
+
+The prelude provides the paper's combinators:
+
+  $ chrun run -p -e 'timeout 10 (sleep 100)'
+  steps:  41
+  result: Nothing
+
+  $ chrun run -p -e 'putStr "hi"'
+  steps:  8
+  output: "hi"
+  result: ()
+
+Model checking finds every outcome; the protected lock protocol never
+deadlocks:
+
+  $ chrun check -e 'do { m <- newEmptyMVar; putMVar m 0; t <- forkIO (block (do { a <- takeMVar m; b <- catch (unblock (return (a + 1))) (\e -> do { putMVar m a; throw e }); putMVar m b })); throwTo t #KillThread; takeMVar m }'
+  states: 161   transitions: 289
+  terminal: completed(0)
+  terminal: completed(1)
+
+The catch-only variant can lose the lock:
+
+  $ chrun check -e 'do { m <- newEmptyMVar; putMVar m 0; t <- forkIO (do { a <- takeMVar m; b <- catch (return (a + 1)) (\e -> do { putMVar m a; throw e }); putMVar m b }); throwTo t #KillThread; takeMVar m }'
+  states: 154   transitions: 294
+  terminal: deadlock
+  terminal: completed(0)
+  terminal: completed(1)
+
+Deadlocks are classified:
+
+  $ chrun run -e 'newEmptyMVar >>= \m -> takeMVar m'
+  steps:  4
+  main did not finish:
+  ⟨takeMVar %m0⟩t0/⊗ | ⟨⟩m0
+
+Syntax errors are reported with positions:
+
+  $ chrun parse -e 'do { x <- }'
+  chrun: syntax error at 1:11: unexpected token '}'
+  [124]
+
+The state graph can be exported to Graphviz:
+
+  $ chrun check -e "putChar 'a'" --dot graph.dot
+  state graph written to graph.dot
+  states: 3   transitions: 2
+  terminal: completed(())
+  $ head -1 graph.dot
+  digraph lts {
+
+The repl evaluates pure expressions, runs IO, and checks on request:
+
+  $ printf '1 + 2 * 3\nputStr "yo"\n:check newEmptyMVar >>= takeMVar\n:q\n' | chrun repl
+  7
+  output: "yo"
+  ()
+  states: 6
+  terminal: deadlock
+
+The §11 equivalence checker is available from the CLI:
+
+  $ chrun equiv -l "block (block (putChar 'a'))" -r "block (putChar 'a')"
+  HOLDS
+
+  $ chrun equiv -l "putChar 'a'" -r "putChar 'b'"
+  DOES NOT HOLD
+  only left:  out="a" consumed=0 returned ()
+  only right: out="b" consumed=0 returned ()
+
+The commitment ordering (finally a b is committed to block b):
+
+  $ chrun equiv --relation committed -p -l "finally (putChar 'a') (putChar 'b')" -r "block (putChar 'b')"
+  HOLDS
+
+Program files work too:
+
+  $ chrun run echo.ch -i hi
+  steps:  13
+  output: "hi"
+  result: False
+
+  $ chrun check race.ch
+  states: 147   transitions: 294
+  terminal: completed(12)
+  terminal: completed(21)
+
+Alternative scheduling policies:
+
+  $ chrun run race.ch --policy random --seed 3
+  steps:  24
+  result: 12
+
+  $ chrun run race.ch --policy first
+  steps:  24
+  result: 12

@@ -1,0 +1,298 @@
+(* The paper's claims (C1–C4 of DESIGN.md), verified by exhaustive
+   exploration of the formal semantics: every possible delivery point of
+   every asynchronous exception is covered. *)
+
+open Ch_semantics
+open Ch_explore
+open Ch_lang.Term
+open Helpers
+
+let kinds_of program = kinds (explore program)
+
+let has_deadlock ks = List.mem Space.Deadlock ks
+let only_completions ks =
+  List.for_all (function Space.Completed _ -> true | _ -> false) ks
+
+(* C1: the §5.1 protocols have schedules that lose the lock. *)
+let c1_tests =
+  [
+    slow_case "C1a: unprotected update loses the lock on some schedule"
+      (fun () ->
+        let ks = kinds_of (Ch_corpus.Locking.harness Ch_corpus.Locking.unprotected) in
+        Alcotest.(check bool) "deadlock reachable" true (has_deadlock ks));
+    slow_case "C1b: catch alone still loses the lock (race windows around it)"
+      (fun () ->
+        let ks = kinds_of (Ch_corpus.Locking.harness Ch_corpus.Locking.catch_only) in
+        Alcotest.(check bool) "deadlock reachable" true (has_deadlock ks));
+    slow_case "C1c: the lost-lock state itself is reachable" (fun () ->
+        let program = Ch_corpus.Locking.harness Ch_corpus.Locking.catch_only in
+        let watch (st : State.t) =
+          match (State.thread st 1, State.mvar st 0) with
+          | Some (State.Finished (State.Threw _)), Some None -> true
+          | _ -> false
+        in
+        let r = explore ~watch program in
+        Alcotest.(check bool) "witness exists" true (r.Space.watch_hits <> []));
+  ]
+
+(* C2: the §5.2 block-protected protocol never loses the lock. *)
+let c2_tests =
+  [
+    slow_case "C2a: block-protected update never deadlocks" (fun () ->
+        let ks =
+          kinds_of (Ch_corpus.Locking.harness Ch_corpus.Locking.block_protected)
+        in
+        Alcotest.(check bool) "no deadlock" true (only_completions ks));
+    slow_case "C2b: fully-blocked variant (no unblock window) is also safe"
+      (fun () ->
+        let ks =
+          kinds_of (Ch_corpus.Locking.harness Ch_corpus.Locking.blocked_compute)
+        in
+        Alcotest.(check bool) "no deadlock" true (only_completions ks));
+    slow_case "C2c: protected protocol completes with 0 or 1 only" (fun () ->
+        let ks =
+          kinds_of (Ch_corpus.Locking.harness Ch_corpus.Locking.block_protected)
+        in
+        List.iter
+          (fun k ->
+            match k with
+            | Space.Completed (State.Done (Lit_int (0 | 1))) -> ()
+            | k ->
+                Alcotest.failf "unexpected terminal %a" Space.pp_terminal_kind k)
+          ks);
+  ]
+
+(* C3: interruptibility — takeMVar inside block can be interrupted exactly
+   while the MVar is empty (§5.3). *)
+let c3_tests =
+  [
+    slow_case "C3a: blocked takeMVar inside block is interruptible" (fun () ->
+        (* worker waits forever on an empty MVar inside block; main kills
+           it; the program can always finish *)
+        let program =
+          parse
+            {|do {
+                m <- newEmptyMVar;
+                t <- forkIO (block (takeMVar m >>= \x -> return ()));
+                throwTo t #KillThread;
+                return 1
+              }|}
+        in
+        let ks = kinds_of program in
+        Alcotest.(check (list kind_testable)) "finishes" [ completed_int 1 ] ks);
+    slow_case
+      "C3b: takeMVar of an available MVar inside block is NOT interruptible"
+      (fun () ->
+        (* the mvar is already full; the masked worker must always win the
+           take and put back before any exception can land *)
+        let program =
+          parse
+            {|do {
+                m <- newEmptyMVar;
+                putMVar m 7;
+                t <- forkIO (block (takeMVar m >>= \x -> putMVar m x));
+                throwTo t #KillThread;
+                takeMVar m
+              }|}
+        in
+        let ks = kinds_of program in
+        Alcotest.(check (list kind_testable)) "always 7" [ completed_int 7 ] ks);
+    slow_case
+      "C3c: putMVar to a guaranteed-empty MVar in a handler is safe (§5.3)"
+      (fun () ->
+        (* This is the paper's subtle point: the handler's putMVar is
+           non-interruptible because the MVar is known empty, so the
+           restore cannot itself be interrupted. Exhausting schedules with
+           TWO exceptions thrown at the worker. *)
+        let program =
+          parse
+            {|do {
+                m <- newEmptyMVar;
+                putMVar m 0;
+                t <- forkIO (block (do {
+                  a <- takeMVar m;
+                  b <- catch (unblock (return (a + 1)))
+                             (\e -> do { putMVar m a; throw e });
+                  putMVar m b
+                }));
+                throwTo t #KillThread;
+                throwTo t #KillThread;
+                takeMVar m
+              }|}
+        in
+        let ks = kinds_of program in
+        Alcotest.(check bool) "never deadlocks" true (only_completions ks));
+  ]
+
+(* C4: the §7 combinators, model-checked at the term level. *)
+let c4_tests =
+  [
+    slow_case "C4a: either returns the first result and kills the loser"
+      (fun () ->
+        let program =
+          apps Ch_corpus.Combinators.either_t
+            [ parse "return 1"; parse "return 2" ]
+        in
+        let r = explore program in
+        List.iter
+          (fun k ->
+            match k with
+            | Space.Completed (State.Done (Con (("Left" | "Right"), [ Lit_int (1 | 2) ]))) -> ()
+            | k -> Alcotest.failf "unexpected %a" Space.pp_terminal_kind k)
+          (kinds r));
+    slow_case "C4b: either rethrows a child's exception" (fun () ->
+        let program =
+          apps Ch_corpus.Combinators.either_t
+            [ parse "throw #Boom";
+              parse "newEmptyMVar >>= \\m -> takeMVar m" ]
+        in
+        let ks = kinds (explore program) in
+        Alcotest.(check bool) "Boom escapes on some schedule" true
+          (List.mem (Space.Completed (State.Threw "Boom")) ks);
+        Alcotest.(check bool) "no deadlock" true
+          (not (has_deadlock ks)));
+    slow_case "C4g: both pairs the results under all schedules" (fun () ->
+        let program =
+          Bind
+            ( apps Ch_corpus.Combinators.both_t
+                [ parse "return 1"; parse "return 2" ],
+              parse "\\r -> case r of { p -> return p }" )
+        in
+        let ks = kinds_of program in
+        List.iter
+          (fun k ->
+            match k with
+            | Space.Completed
+                (State.Done (Con ("(,)", [ Lit_int 1; Lit_int 2 ]))) ->
+                ()
+            | k -> Alcotest.failf "unexpected %a" Space.pp_terminal_kind k)
+          ks);
+    slow_case "C4h: both kills the sibling when one side throws" (fun () ->
+        let program =
+          apps Ch_corpus.Combinators.both_t
+            [ parse "throw #Boom";
+              parse "newEmptyMVar >>= \\m -> takeMVar m" ]
+        in
+        let ks = kinds_of program in
+        Alcotest.(check bool) "no deadlock" true (not (has_deadlock ks));
+        Alcotest.(check bool) "Boom escapes" true
+          (List.mem (Space.Completed (State.Threw "Boom")) ks));
+    slow_case "C4c: finally runs the cleanup on both paths" (fun () ->
+        (* cleanup writes to an MVar; body may throw *)
+        let program =
+          Let
+            ( "finally",
+              Ch_corpus.Combinators.finally_t,
+              parse
+                {|do {
+                    m <- newEmptyMVar;
+                    catch (finally (throw #Boom) (putMVar m 1))
+                          (\e -> return ());
+                    takeMVar m
+                  }|} )
+        in
+        Alcotest.(check (list kind_testable)) "cleanup ran" [ completed_int 1 ]
+          (kinds_of program));
+    slow_case
+      "C4i: finally's block is necessary — the unmasked variant loses its \
+       cleanup under a double kill"
+      (fun () ->
+        (* the worker signals that the protected body has started (cleanup
+           is only owed from then on), and main throws twice. With the
+           paper's finally, the cleanup (inside block) always completes;
+           without the block, the second kill can land after the handler
+           fires but before the cleanup, and main's takeMVar deadlocks. *)
+        let scenario combinator =
+          Let
+            ( "finally",
+              combinator,
+              parse
+                {|do {
+                    started <- newEmptyMVar;
+                    done_ <- newEmptyMVar;
+                    t <- forkIO (finally (do { putMVar started (); sleep 5 })
+                                         (putMVar done_ 1));
+                    takeMVar started;
+                    throwTo t #KillThread;
+                    throwTo t #KillThread;
+                    takeMVar done_
+                  }|} )
+        in
+        let ks_good = kinds_of (scenario Ch_corpus.Combinators.finally_t) in
+        Alcotest.(check (list kind_testable)) "paper's finally: cleanup always"
+          [ completed_int 1 ] ks_good;
+        let ks_bad =
+          kinds_of (scenario Ch_corpus.Combinators.finally_unmasked_t)
+        in
+        Alcotest.(check bool) "unmasked variant can lose the cleanup" true
+          (has_deadlock ks_bad));
+    slow_case "C4d: timeout of an instant action is Just under all schedules"
+      (fun () ->
+        let program =
+          Bind
+            ( apps Ch_corpus.Combinators.timeout_t
+                [ Lit_int 10; parse "return 5" ],
+              parse
+                "\\r -> case r of { Just x -> return x; Nothing -> return 0 }"
+            )
+        in
+        let ks = kinds_of program in
+        (* Both outcomes are legitimate: the semantics' clock is fully
+           nondeterministic, so the sleep may always beat the action. What
+           must NOT happen is deadlock or a leaked Timeout exception. *)
+        List.iter
+          (fun k ->
+            match k with
+            | Space.Completed (State.Done (Lit_int (5 | 0))) -> ()
+            | k -> Alcotest.failf "unexpected %a" Space.pp_terminal_kind k)
+          ks);
+    slow_case
+      "C4f: either survives an external kill on every schedule (92k states)"
+      (fun () ->
+        (* The subtle point this certifies: rule (Receive) could discard a
+           result just taken from the collection MVar — losing it and
+           deadlocking the loop — but either's [block] keeps the loop's
+           takeMVar masked, so only (Interrupt)-while-stuck can fire, and
+           no value is ever consumed-then-discarded. *)
+        let program =
+          Let
+            ( "either",
+              Ch_corpus.Combinators.either_t,
+              parse
+                {|do {
+                    p <- forkIO (either (return 1) (return 2) >>= \r -> return ());
+                    throwTo p #KillThread;
+                    return 0
+                  }|} )
+        in
+        let r = explore ~max_states:400_000 program in
+        Alcotest.(check bool) "complete exploration" false r.Space.truncated;
+        Alcotest.(check (list kind_testable)) "only completion"
+          [ completed_int 0 ] (kinds r));
+    slow_case "C4e: bracket releases under an adversary exception" (fun () ->
+        let program =
+          Let
+            ( "bracket",
+              Ch_corpus.Combinators.bracket_t,
+              parse
+                {|do {
+                    m <- newEmptyMVar;
+                    putMVar m 1;
+                    t <- forkIO (bracket (takeMVar m)
+                                         (\a -> return a)
+                                         (\a -> putMVar m a));
+                    throwTo t #KillThread;
+                    takeMVar m
+                  }|} )
+        in
+        Alcotest.(check (list kind_testable)) "resource restored"
+          [ completed_int 1 ] (kinds_of program));
+  ]
+
+let suites =
+  [
+    ("claims:C1-races-exist", c1_tests);
+    ("claims:C2-block-safe", c2_tests);
+    ("claims:C3-interruptible", c3_tests);
+    ("claims:C4-combinators", c4_tests);
+  ]

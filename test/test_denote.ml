@@ -1,0 +1,188 @@
+(* Differential testing: every execution of a term on the hio runtime (via
+   Denote) must be a behaviour the formal semantics admits (computed by the
+   model checker). This ties all the layers of the reproduction together. *)
+
+open Ch_lang.Term
+open Helpers
+
+let quiet =
+  { Ch_semantics.Step.default_config with
+    Ch_semantics.Step.stuck_io = false;
+    fuel = 50_000 }
+
+(* Deep-normalize a term with the inner semantics so that semantics-side
+   results (WHNF with lazy constructor arguments) compare against the
+   runtime's deeply-forced read-back. *)
+let rec deep_norm fuel t =
+  match Ch_pure.Eval.eval ~fuel t with
+  | Ch_pure.Eval.Value (Con (c, args)) ->
+      Con (c, List.map (deep_norm fuel) args)
+  | Ch_pure.Eval.Value v -> v
+  | Ch_pure.Eval.Raised e -> Raise (Lit_exn e)
+  | Ch_pure.Eval.Diverged | Ch_pure.Eval.Stuck _ -> t
+
+let semantics_observations ?(input = "") program =
+  (* Like Equiv.observe, but cycles are fine here: the runtime run under
+     test terminated, so it must match one of the *terminal* observations;
+     only truncation would make the admitted set unsound. *)
+  let result =
+    Ch_explore.Space.explore ~config:quiet
+      (Ch_semantics.State.initial ~input program)
+  in
+  Alcotest.(check bool) "exploration not truncated" false
+    result.Ch_explore.Space.truncated;
+  List.map
+    (fun (t : Ch_explore.Space.terminal) ->
+      let ending =
+        match t.Ch_explore.Space.kind with
+        | Ch_explore.Space.Completed (Ch_semantics.State.Done v) ->
+            `Returned (deep_norm 50_000 v)
+        | Ch_explore.Space.Completed (Ch_semantics.State.Threw e) ->
+            `Uncaught e
+        | Ch_explore.Space.Deadlock -> `Deadlocked
+        | Ch_explore.Space.Divergent | Ch_explore.Space.Wedged _ -> `Diverged
+      in
+      ( ending,
+        Ch_semantics.State.output_string t.Ch_explore.Space.state ))
+    result.Ch_explore.Space.terminals
+
+let runtime_observation ?(policy = Hio.Runtime.Config.Round_robin) ?(input = "")
+    program =
+  let config = { Hio.Runtime.Config.default with policy; input } in
+  let o = Ch_denote.Denote.run ~config program in
+  let ending =
+    match o.Ch_denote.Denote.ending with
+    | Ch_denote.Denote.Returned t -> `Returned t
+    | Ch_denote.Denote.Uncaught e -> `Uncaught e
+    | Ch_denote.Denote.Deadlocked -> `Deadlocked
+    | Ch_denote.Denote.Out_of_steps -> `Diverged
+  in
+  (ending, o.Ch_denote.Denote.output)
+
+(* The runtime's observation must be in the semantics' admitted set. *)
+let check_admitted ?input name program =
+  let admitted = semantics_observations ?input program in
+  List.iter
+    (fun policy ->
+      let got = runtime_observation ~policy ?input program in
+      if not (List.mem got admitted) then
+        Alcotest.failf "%s: runtime produced an inadmissible behaviour" name)
+    (Hio.Runtime.Config.Round_robin
+    :: List.map (fun s -> Hio.Runtime.Config.Random s) [ 1; 2; 3; 4; 5 ])
+
+let differential_case ?input src =
+  slow_case ("semantics admits runtime: " ^ src) (fun () ->
+      check_admitted ?input src (parse src))
+
+let value_case src expected =
+  case ("denote: " ^ src) (fun () ->
+      match runtime_observation (parse src) with
+      | `Returned v, _ -> Alcotest.check term src (parse expected) v
+      | _ -> Alcotest.fail "did not return")
+
+let basic_tests =
+  [
+    value_case "return (1 + 2 * 3)" "7";
+    value_case "return (Just (1 + 1))" "Just 2";
+    value_case
+      "do { m <- newEmptyMVar; putMVar m 5; a <- takeMVar m; return (a * 2) }"
+      "10";
+    value_case "catch (throw #E) (\\e -> return e)" "#E";
+    value_case "catch (return 1) (\\e -> return 2)" "1";
+    value_case
+      "let rec fac = \\n -> if n == 0 then 1 else n * fac (n - 1) in return (fac 5)"
+      "120";
+    value_case "block (unblock (return ((), 'x')))" "((), 'x')";
+    value_case "return (case (1, 2) of { p -> case p of { Pair -> 0; q -> 9 } })"
+      "9";
+    case "denote: laziness — return does not force" (fun () ->
+        match runtime_observation (parse "return 5 >>= \\x -> return 7") with
+        | `Returned (Lit_int 7), _ -> ()
+        | _ -> Alcotest.fail "wrong");
+    case "denote: lazy payload — diverging putMVar payload never forced"
+      (fun () ->
+        let src =
+          "do { m <- newEmptyMVar; putMVar m (fix (\\x -> x)); v <- takeMVar m; return 3 }"
+        in
+        match runtime_observation (parse src) with
+        | `Returned (Lit_int 3), _ -> ()
+        | _ -> Alcotest.fail "payload was forced");
+    case "denote: output is produced in order" (fun () ->
+        match
+          runtime_observation ~input:"q"
+            (parse "do { putChar 'h'; c <- getChar; putChar c; return () }")
+        with
+        | `Returned _, "hq" -> ()
+        | _, out -> Alcotest.failf "wrong output %S" out);
+    case "denote: deadlock detected" (fun () ->
+        match
+          runtime_observation (parse "newEmptyMVar >>= \\m -> takeMVar m")
+        with
+        | `Deadlocked, _ -> ()
+        | _ -> Alcotest.fail "expected deadlock");
+    case "denote: uncaught object exception" (fun () ->
+        match runtime_observation (parse "throw #Boom") with
+        | `Uncaught "Boom", _ -> ()
+        | _ -> Alcotest.fail "expected Boom");
+    case "denote: pure raise becomes a runtime throw" (fun () ->
+        match runtime_observation (parse "return (1 / 0) >>= \\x -> putChar 'a' >>= \\u -> sleep x") with
+        | `Uncaught "DivideByZero", "a" -> ()
+        | e, out ->
+            Alcotest.failf "wrong: %s %S"
+              (match e with
+              | `Uncaught n -> n
+              | `Returned _ -> "returned"
+              | `Deadlocked -> "deadlock"
+              | `Diverged -> "diverged")
+              out);
+  ]
+
+let differential_tests =
+  [
+    differential_case "return (40 + 2)";
+    differential_case "do { putChar 'h'; putChar 'i'; return 0 }";
+    differential_case ~input:"ab"
+      "do { c <- getChar; putChar c; d <- getChar; putChar d; return 0 }";
+    differential_case
+      "do { m <- newEmptyMVar; t <- forkIO (putMVar m 1); v <- takeMVar m; return v }";
+    differential_case
+      "do { m <- newEmptyMVar; putMVar m 0; t <- forkIO (takeMVar m >>= \\a -> putMVar m (a + 1)); throwTo t #KillThread; takeMVar m }";
+    differential_case
+      "do { m <- newEmptyMVar; putMVar m 0; t <- forkIO (block (do { a <- takeMVar m; b <- catch (unblock (return (a + 1))) (\\e -> do { putMVar m a; throw e }); putMVar m b })); throwTo t #KillThread; takeMVar m }";
+    differential_case
+      "do { t <- forkIO (sleep 5); throwTo t #Timeout; return 1 }";
+    differential_case "catch (block (unblock (throw #E))) (\\e -> return e)";
+    differential_case
+      "do { done_ <- newEmptyMVar; t <- forkIO (catch (takeMVar done_ >>= \\x -> return ()) (\\e -> putMVar done_ 9)); throwTo t #KillThread; takeMVar done_ }";
+  ]
+
+let corpus_tests =
+  [
+    slow_case "semantics admits runtime: ping_pong" (fun () ->
+        check_admitted "ping_pong" Ch_corpus.Programs.ping_pong);
+    slow_case "semantics admits runtime: producer_consumer" (fun () ->
+        check_admitted "producer_consumer" Ch_corpus.Programs.producer_consumer);
+    slow_case "semantics admits runtime: mask_interrupt" (fun () ->
+        check_admitted "mask_interrupt" Ch_corpus.Programs.mask_interrupt);
+    slow_case "semantics admits runtime: either of returns" (fun () ->
+        check_admitted "either"
+          (apps Ch_corpus.Combinators.either_t
+             [ parse "return 1"; parse "return 2" ]));
+    slow_case "semantics admits runtime: finally under self-kill" (fun () ->
+        check_admitted "finally"
+          (Let
+             ( "finally",
+               Ch_corpus.Combinators.finally_t,
+               parse
+                 {|do { m <- newEmptyMVar;
+                       t <- forkIO (finally (sleep 5) (putMVar m 1));
+                       throwTo t #KillThread;
+                       takeMVar m }|} )));
+  ]
+
+let suites =
+  [
+    ("denote:basics", basic_tests);
+    ("denote:differential", differential_tests);
+    ("denote:corpus", corpus_tests);
+  ]

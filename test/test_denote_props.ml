@@ -1,0 +1,203 @@
+(* Randomized differential testing across the whole stack: generate small
+   well-formed concurrent programs (MVars, fork, throwTo, block/unblock,
+   catch, putChar), run each on the hio runtime via the denotation, and
+   check the observation is admitted by the exhaustive formal semantics.
+
+   The generator tracks which MVar and ThreadId variables are in scope, so
+   every generated program is closed and well-typed; programs are small
+   enough that exploration stays comfortably bounded. *)
+
+open Ch_lang.Term
+
+(* --- generator ------------------------------------------------------------ *)
+
+type genv = { mvars : string list; tids : string list; fuel : int }
+
+let gen_program : Ch_lang.Term.term QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let fresh_mvar env = Printf.sprintf "m%d" (List.length env.mvars) in
+  let fresh_tid env = Printf.sprintf "t%d" (List.length env.tids) in
+  let gen_int_expr env =
+    match env.mvars with
+    | [] -> map (fun i -> Lit_int i) (int_bound 9)
+    | _ -> map (fun i -> Lit_int i) (int_bound 9)
+  in
+  (* a statement returns (binder option, action term, new env) *)
+  let rec gen_body env : Ch_lang.Term.term t =
+    if env.fuel <= 0 then gen_final env
+    else
+      let continue_with binder action env' =
+        map
+          (fun rest ->
+            match binder with
+            | Some x -> Bind (action, Lam (x, rest))
+            | None -> then_ action rest)
+          (gen_body { env' with fuel = env.fuel - 1 })
+      in
+      let stmt_choices =
+        [
+          (* new mvar *)
+          ( 2,
+            let x = fresh_mvar env in
+            continue_with (Some x) New_mvar
+              { env with mvars = x :: env.mvars } );
+          (* putChar *)
+          ( 2,
+            bind (char_range 'a' 'c') (fun c ->
+                continue_with None (Put_char (Lit_char c)) env) );
+          (* sleep *)
+          (1, continue_with None (Sleep (Lit_int 1)) env);
+          (* catch of a small sub-body *)
+          ( 2,
+            bind
+              (gen_body { env with fuel = env.fuel / 2 })
+              (fun sub ->
+                bind (gen_final env) (fun handler_body ->
+                    continue_with None
+                      (Catch (sub, Lam ("e", handler_body)))
+                      env)) );
+          (* block / unblock around a sub-body *)
+          ( 2,
+            bind
+              (gen_body { env with fuel = env.fuel / 2 })
+              (fun sub ->
+                bind bool (fun masked ->
+                    continue_with None
+                      (if masked then Block sub else Unblock sub)
+                      env)) );
+          (* throw *)
+          (1, continue_with None (Throw (Lit_exn "E")) env);
+        ]
+        @ (match env.mvars with
+          | [] -> []
+          | _ :: _ ->
+              [
+                (* put to a random mvar in scope *)
+                ( 3,
+                  bind (oneofl env.mvars) (fun m ->
+                      bind (gen_int_expr env) (fun v ->
+                          continue_with None (Put_mvar (Var m, v)) env)) );
+                (* take from a random mvar *)
+                ( 3,
+                  bind (oneofl env.mvars) (fun m ->
+                      continue_with (Some "x") (Take_mvar (Var m)) env) );
+              ])
+        @ (match env.tids with
+          | [] -> []
+          | _ :: _ ->
+              [
+                ( 2,
+                  bind (oneofl env.tids) (fun t ->
+                      continue_with None
+                        (Throw_to (Var t, Lit_exn "K"))
+                        env) );
+              ])
+        @
+        (* one fork max, with a small body *)
+        if List.length env.tids >= 1 then []
+        else
+          [
+            ( 3,
+              let tid = fresh_tid env in
+              bind
+                (gen_body { env with fuel = env.fuel / 2; tids = [] })
+                (fun child ->
+                  continue_with (Some tid)
+                    (Fork (ignore_returns child))
+                    { env with tids = tid :: env.tids }) );
+          ]
+      in
+      frequency stmt_choices
+  and gen_final env =
+    match env.mvars with
+    | [] -> QCheck2.Gen.return (Return (Lit_int 0))
+    | _ -> QCheck2.Gen.return (Return (Lit_int 0))
+  and ignore_returns body = then_ body (Return unit_v)
+  in
+  QCheck2.Gen.(
+    bind (int_range 2 6) (fun fuel ->
+        gen_body { mvars = []; tids = []; fuel }))
+
+(* --- the differential property --------------------------------------------- *)
+
+let quiet =
+  {
+    Ch_semantics.Step.default_config with
+    Ch_semantics.Step.stuck_io = false;
+    fuel = 20_000;
+  }
+
+type obs = (string * string, string) Stdlib.result
+(* Ok (result-or-kind, output) simplified to strings for comparison *)
+
+let norm_ending = function
+  | `Returned t -> "ret:" ^ Ch_lang.Pretty.term_to_string t
+  | `Uncaught e -> "exn:" ^ e
+  | `Deadlocked -> "deadlock"
+  | `Diverged -> "diverged"
+
+let semantics_set program : (string * string) list option =
+  let result =
+    Ch_explore.Space.explore ~config:quiet ~max_states:60_000
+      (Ch_semantics.State.initial program)
+  in
+  if result.Ch_explore.Space.truncated then None
+  else
+    Some
+      (List.map
+         (fun (t : Ch_explore.Space.terminal) ->
+           let ending =
+             match t.Ch_explore.Space.kind with
+             | Ch_explore.Space.Completed (Ch_semantics.State.Done v) ->
+                 norm_ending (`Returned v)
+             | Ch_explore.Space.Completed (Ch_semantics.State.Threw e) ->
+                 norm_ending (`Uncaught e)
+             | Ch_explore.Space.Deadlock -> norm_ending `Deadlocked
+             | Ch_explore.Space.Divergent | Ch_explore.Space.Wedged _ ->
+                 norm_ending `Diverged
+           in
+           ( ending,
+             Ch_semantics.State.output_string t.Ch_explore.Space.state ))
+         result.Ch_explore.Space.terminals)
+
+let runtime_obs policy program : string * string =
+  let config = { Hio.Runtime.Config.default with Hio.Runtime.Config.policy } in
+  let o = Ch_denote.Denote.run ~config program in
+  let ending =
+    match o.Ch_denote.Denote.ending with
+    | Ch_denote.Denote.Returned t -> norm_ending (`Returned t)
+    | Ch_denote.Denote.Uncaught e -> norm_ending (`Uncaught e)
+    | Ch_denote.Denote.Deadlocked -> norm_ending `Deadlocked
+    | Ch_denote.Denote.Out_of_steps -> norm_ending `Diverged
+  in
+  (ending, o.Ch_denote.Denote.output)
+
+let qtest name ?(count = 120) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let props =
+  [
+    qtest "random programs: runtime behaviour admitted by the semantics"
+      gen_program (fun program ->
+        match semantics_set program with
+        | None -> true (* state space too large: skip *)
+        | Some admitted ->
+            let policies =
+              Hio.Runtime.Config.Round_robin
+              :: List.map (fun s -> Hio.Runtime.Config.Random s) [ 1; 2; 3 ]
+            in
+            List.for_all
+              (fun policy ->
+                let got = runtime_obs policy program in
+                if List.mem got admitted then true
+                else
+                  QCheck2.Test.fail_reportf
+                    "program %s@.runtime produced (%s, %S), admitted: %a"
+                    (Ch_lang.Pretty.term_to_string program)
+                    (fst got) (snd got)
+                    Fmt.(Dump.list (Dump.pair string string))
+                    admitted)
+              policies);
+  ]
+
+let suites = [ ("props:denote-differential", props) ]

@@ -1,0 +1,155 @@
+(* The direct-style effects runtime: same API surface, but delivery only at
+   effect boundaries — OCaml-the-direct-style-language is semi-asynchronous
+   by construction, which is the paper's §2 argument (and its §10 remark
+   that OCaml "does not support asynchronous signaling"). *)
+
+open Helpers
+module D = Hio_direct.Direct
+
+let int_v = Alcotest.int
+
+let value prog =
+  match (D.run prog).D.outcome with
+  | D.Value v -> v
+  | D.Uncaught e -> Alcotest.failf "uncaught %s" (Printexc.to_string e)
+  | D.Deadlock -> Alcotest.fail "deadlock"
+
+let basics =
+  [
+    case "direct: fork and mvar handoff" (fun () ->
+        Alcotest.check int_v "value" 42
+          (value (fun () ->
+               let mv = D.new_mvar () in
+               let _t = D.fork (fun () -> D.put mv 42) in
+               D.take mv)));
+    case "direct: sleep advances the virtual clock" (fun () ->
+        let r = D.run (fun () -> D.sleep 70) in
+        Alcotest.check int_v "time" 70 r.D.time);
+    case "direct: deadlock detected" (fun () ->
+        match (D.run (fun () -> D.take (D.new_mvar () : int D.mvar))).D.outcome with
+        | D.Deadlock -> ()
+        | _ -> Alcotest.fail "expected deadlock");
+    case "direct: throw_to kills a blocked thread" (fun () ->
+        Alcotest.check int_v "handled" 1
+          (value (fun () ->
+               let mv : int D.mvar = D.new_mvar () in
+               let out = D.new_mvar () in
+               let t =
+                 D.fork (fun () ->
+                     try ignore (D.take mv) with D.Kill_thread -> D.put out 1)
+               in
+               D.yield ();
+               D.throw_to t D.Kill_thread;
+               D.take out)));
+    case "direct: block defers, unblock delivers" (fun () ->
+        Alcotest.check int_v "deferred" 1
+          (value (fun () ->
+               let out = D.new_mvar () in
+               let t =
+                 D.fork (fun () ->
+                     try
+                       D.block (fun () ->
+                           for _ = 1 to 3 do
+                             D.yield ()
+                           done;
+                           D.unblock (fun () ->
+                               let rec spin () =
+                                 D.yield ();
+                                 spin ()
+                               in
+                               spin ()))
+                     with D.Kill_thread -> D.put out 1)
+               in
+               D.yield ();
+               D.throw_to t D.Kill_thread;
+               D.take out)));
+    case "direct: mask restored on exceptional exit" (fun () ->
+        Alcotest.(check bool) "unmasked" false
+          (value (fun () ->
+               (try D.block (fun () -> raise Not_found)
+                with Not_found -> ());
+               D.blocked ())));
+  ]
+
+(* The headline contrast: a pure OCaml loop performs no effects, so a kill
+   cannot land inside it — the victim finishes all N iterations. The same
+   program on hio (where every monadic step is a delivery point) is stopped
+   almost immediately. *)
+let granularity =
+  [
+    case "direct style cannot interrupt a pure loop (§2)" (fun () ->
+        let iterations = 10_000 in
+        let completed = ref 0 in
+        ignore
+          (value (fun () ->
+               let out = D.new_mvar () in
+               let t =
+                 D.fork (fun () ->
+                     try
+                       (* pure OCaml work: no effect performances inside *)
+                       for _ = 1 to iterations do
+                         incr completed
+                       done;
+                       D.yield ();
+                       (* only here can the kill land *)
+                       D.put out 0
+                     with D.Kill_thread -> D.put out 1)
+               in
+               D.yield ();
+               D.throw_to t D.Kill_thread;
+               D.take out));
+        Alcotest.check int_v "the loop ran to completion first" iterations
+          !completed);
+    case "hio interrupts the same loop at a monadic step" (fun () ->
+        let open Hio in
+        let open Hio.Io in
+        let iterations = 10_000 in
+        let completed = ref 0 in
+        let rec work n =
+          if n = 0 then return ()
+          else lift (fun () -> incr completed) >>= fun () -> work (n - 1)
+        in
+        ignore
+          (Helpers.value
+             ( Mvar.new_empty >>= fun out ->
+               fork
+                 (catch
+                    (work iterations >>= fun () -> Mvar.put out 0)
+                    (fun _ -> Mvar.put out 1))
+               >>= fun t ->
+               yield >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> Mvar.take out ));
+        Alcotest.(check bool)
+          (Printf.sprintf "stopped after %d of %d" !completed iterations)
+          true
+          (!completed < 100));
+    case "direct style needs explicit poll points to regain responsiveness"
+      (fun () ->
+        (* inserting a yield every k iterations = the §2 polling pattern,
+           with the same overhead/latency trade-off as Polling in hio_std *)
+        let iterations = 1_000 and poll_every = 50 in
+        let completed = ref 0 in
+        ignore
+          (value (fun () ->
+               let out = D.new_mvar () in
+               let t =
+                 D.fork (fun () ->
+                     try
+                       for i = 1 to iterations do
+                         incr completed;
+                         if i mod poll_every = 0 then D.yield ()
+                       done;
+                       D.put out 0
+                     with D.Kill_thread -> D.put out 1)
+               in
+               D.yield ();
+               D.throw_to t D.Kill_thread;
+               D.take out));
+        Alcotest.(check bool)
+          (Printf.sprintf "stopped at a poll point: %d" !completed)
+          true
+          (!completed <= 2 * poll_every && !completed mod poll_every = 0));
+  ]
+
+let suites =
+  [ ("direct:basics", basics); ("direct:granularity(§2)", granularity) ]

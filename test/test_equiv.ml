@@ -1,0 +1,178 @@
+(* Observational equivalence and the commitment ordering (paper §11): the
+   "simple equational theory" laws, checked exhaustively, and the paper's
+   own commitment example: finally a b is committed to block b. *)
+
+open Ch_lang.Term
+open Ch_explore
+open Helpers
+
+let quiet =
+  { Ch_semantics.Step.default_config with
+    Ch_semantics.Step.stuck_io = false;
+    fuel = 20_000 }
+
+let equivalent ?input a b = Equiv.equivalent ~config:quiet ?input a b
+let refines ?input a b = Equiv.refines ~config:quiet ?input a b
+let committed_to ?input a b = Equiv.committed_to ~config:quiet ?input a b
+
+let check_equiv ?input name a b =
+  case name (fun () ->
+      let a = parse a and b = parse b in
+      if not (equivalent ?input a b) then
+        match Equiv.diff ~config:quiet ?input a b with
+        | Some (only_a, only_b) ->
+            Alcotest.failf "not equivalent:@.left-only: %a@.right-only: %a"
+              Fmt.(Dump.list Equiv.pp_observation)
+              only_a
+              Fmt.(Dump.list Equiv.pp_observation)
+              only_b
+        | None -> Alcotest.fail "diff/equivalent disagree"
+      else ())
+
+let check_inequiv ?input name a b =
+  case name (fun () ->
+      Alcotest.(check bool) "inequivalent" false
+        (equivalent ?input (parse a) (parse b)))
+
+let monad_law_tests =
+  [
+    check_equiv "left identity: return x >>= f == f x"
+      "return 42 >>= \\x -> putChar 'a' >>= \\u -> return x"
+      "(\\x -> putChar 'a' >>= \\u -> return x) 42";
+    check_equiv "right identity: m >>= return == m"
+      "getChar >>= \\c -> return c" "getChar" ~input:"q";
+    check_equiv "associativity of >>="
+      "(getChar >>= \\c -> putChar c >>= \\u -> return c) >>= \\c -> putChar c"
+      "getChar >>= \\c -> (putChar c >>= \\u -> return c) >>= \\d -> putChar d"
+      ~input:"q";
+  ]
+
+let mask_law_tests =
+  [
+    check_equiv "block is idempotent: block (block m) == block m"
+      "block (block (putChar 'a'))" "block (putChar 'a')";
+    check_equiv "unblock inside unblock collapses"
+      "unblock (unblock (putChar 'a'))" "unblock (putChar 'a')";
+    check_equiv "block of a pure return is invisible"
+      "block (return 3)" "return 3";
+    check_equiv "mask scoping: block (unblock m) == m for terminal m"
+      "block (unblock (putChar 'a'))" "putChar 'a'";
+    check_equiv "catch of return is invisible"
+      "catch (return 7) (\\e -> return 0)" "return 7";
+    check_equiv "catch catches throw"
+      "catch (throw #E) (\\e -> return e)" "return #E";
+    check_equiv "propagate: throw e >>= f == throw e"
+      "throw #E >>= \\x -> putChar 'a'" "throw #E";
+    check_equiv "block (throw e) == throw e" "block (throw #E)" "throw #E";
+  ]
+
+let sensitivity_tests =
+  [
+    check_inequiv "different outputs are distinguished" "putChar 'a'"
+      "putChar 'b'";
+    check_inequiv "deadlock is observable" "newEmptyMVar >>= \\m -> takeMVar m"
+      "return ()";
+    check_inequiv "uncaught exceptions are observable" "throw #E" "return ()";
+    check_inequiv "input consumption is observable" ~input:"ab"
+      "getChar >>= \\c -> return ()" "return ()";
+    case "interleaving nondeterminism is captured" (fun () ->
+        (* two forked writers: the observation set has both orders *)
+        let p =
+          parse
+            {|do { t <- forkIO (putChar 'a'); putChar 'b'; sleep 1; return () }|}
+        in
+        let obs, truncated = Equiv.observe ~config:quiet p in
+        Alcotest.(check bool) "not truncated" false truncated;
+        let outs = List.map (fun o -> o.Equiv.output) obs in
+        Alcotest.(check bool) "ab present" true (List.mem "ab" outs);
+        Alcotest.(check bool) "ba present" true (List.mem "ba" outs));
+    case "refinement: a deterministic schedule refines the full program"
+      (fun () ->
+        (* putChar 'a' alone refines the racy two-writer program modulo the
+           completion marker; here: the single-output program refines the
+           nondeterministic one only if its observation appears *)
+        let racy =
+          parse
+            {|do { t <- forkIO (putChar 'a'); putChar 'b'; sleep 1; return () }|}
+        in
+        let fixed = parse "do { putChar 'a'; putChar 'b'; return () }" in
+        Alcotest.(check bool) "refines" true (refines fixed racy);
+        Alcotest.(check bool) "not the converse" false (refines racy fixed));
+  ]
+
+(* §11: "finally a b is committed to performing the same operations as
+   block b" — and related commitments. *)
+let commitment_tests =
+  [
+    case "finally a b is committed to block b (the paper's example)"
+      (fun () ->
+        let finally_ab =
+          Let
+            ( "finally",
+              Ch_corpus.Combinators.finally_t,
+              parse "finally (putChar 'a') (putChar 'b')" )
+        in
+        let block_b = parse "block (putChar 'b')" in
+        Alcotest.(check bool) "committed" true
+          (committed_to finally_ab block_b));
+    case "finally with a throwing body is still committed to b" (fun () ->
+        let finally_ab =
+          Let
+            ( "finally",
+              Ch_corpus.Combinators.finally_t,
+              parse "finally (throw #Boom) (putChar 'b')" )
+        in
+        Alcotest.(check bool) "committed" true
+          (committed_to finally_ab (parse "block (putChar 'b')")));
+    case "a program that can skip b is NOT committed to b" (fun () ->
+        let skippy = parse "catch (throw #E) (\\e -> return ())" in
+        Alcotest.(check bool) "not committed" false
+          (committed_to skippy (parse "putChar 'b'")));
+    case "sequencing is committed to each component" (fun () ->
+        let seq = parse "do { putChar 'a'; putChar 'b'; return () }" in
+        Alcotest.(check bool) "to a" true (committed_to seq (parse "putChar 'a'"));
+        Alcotest.(check bool) "to b" true (committed_to seq (parse "putChar 'b'")));
+    case "commitment is weaker than refinement" (fun () ->
+        let p = parse "do { putChar 'a'; putChar 'b'; return () }" in
+        let q = parse "putChar 'b'" in
+        Alcotest.(check bool) "committed" true (committed_to p q);
+        Alcotest.(check bool) "but does not refine" false (refines q p));
+  ]
+
+(* Laws specific to asynchronous exceptions: these only hold (or only fail)
+   because delivery points differ. *)
+let async_law_tests =
+  [
+    case "block m differs from m when an adversary is present" (fun () ->
+        (* under a kill, block (take; put) and bare (take; put) differ *)
+        let wrap body =
+          Ch_lang.Parser.parse
+            (Printf.sprintf
+               {|do { m <- newEmptyMVar; putMVar m 0;
+                     t <- forkIO (%s);
+                     throwTo t #KillThread;
+                     takeMVar m }|}
+               body)
+        in
+        let masked = wrap "block (takeMVar m >>= \\a -> putMVar m (a + 1))" in
+        let bare = wrap "takeMVar m >>= \\a -> putMVar m (a + 1)" in
+        Alcotest.(check bool) "distinguished" false (equivalent masked bare);
+        (* and the masked one refines the bare one: it only removes
+           behaviours (the deadlock), never adds them *)
+        Alcotest.(check bool) "masked refines bare" true
+          (refines masked bare));
+    case "safePoint is invisible without pending exceptions" (fun () ->
+        Alcotest.(check bool) "equiv" true
+          (equivalent
+             (parse "do { unblock (return ()); putChar 'a' }")
+             (parse "putChar 'a'")));
+  ]
+
+let suites =
+  [
+    ("equiv:monad-laws", monad_law_tests);
+    ("equiv:mask-laws", mask_law_tests);
+    ("equiv:sensitivity", sensitivity_tests);
+    ("equiv:commitment(§11)", commitment_tests);
+    ("equiv:async-laws", async_law_tests);
+  ]

@@ -1,0 +1,90 @@
+(* Tests for the machine's mark-and-sweep heap collection. *)
+
+open Ch_pure
+open Helpers
+
+(* An iterative loop: every iteration allocates thunks that die young. *)
+let countdown n =
+  Ch_lang.Term.Let
+    ( "start",
+      Ch_lang.Term.Lit_int n,
+      parse
+        {|let rec go = \n -> if n == 0 then 0 else go (n - 1) in go start|} )
+
+let gc_tests =
+  [
+    case "gc preserves the running computation" (fun () ->
+        let m = Machine.create (countdown 2_000) in
+        (* interleave explicit collections with execution *)
+        let rec drive () =
+          match Machine.run m ~steps:500 with
+          | Machine.Running ->
+              Machine.gc m;
+              drive ()
+          | Machine.Done v ->
+              Alcotest.check term "value" (Ch_lang.Term.Lit_int 0) v
+          | Machine.Raised e -> Alcotest.failf "raised %s" e
+        in
+        drive ());
+    case "auto-gc keeps an iterative loop's heap bounded" (fun () ->
+        let m = Machine.create (countdown 20_000) in
+        Machine.set_gc_threshold m (Some 2_000);
+        let peak = ref 0 in
+        let rec drive () =
+          match Machine.run m ~steps:2_000 with
+          | Machine.Running ->
+              peak := max !peak (Machine.heap_size m);
+              drive ()
+          | Machine.Done _ -> ()
+          | Machine.Raised e -> Alcotest.failf "raised %s" e
+        in
+        drive ();
+        Alcotest.(check bool)
+          (Printf.sprintf "peak %d stays small" !peak)
+          true (!peak < 10_000));
+    case "without gc the same loop's heap grows linearly" (fun () ->
+        let m = Machine.create (countdown 20_000) in
+        Machine.set_gc_threshold m None;
+        let rec drive () =
+          match Machine.run m ~steps:10_000 with
+          | Machine.Running -> drive ()
+          | Machine.Done _ | Machine.Raised _ -> ()
+        in
+        drive ();
+        Alcotest.(check bool)
+          (Printf.sprintf "heap %d grew" (Machine.heap_size m))
+          true
+          (Machine.heap_size m > 15_000));
+    case "gc keeps shared values reachable through constructors" (fun () ->
+        let program =
+          parse
+            {|let rec fib = \n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in
+              let x = fib 10 in (x, (x, x))|}
+        in
+        let m = Machine.create program in
+        Machine.set_gc_threshold m (Some 100);
+        (match Machine.force_deep m with
+        | Some v ->
+            Alcotest.check term "nested pair"
+              (Ch_lang.Term.pair (Ch_lang.Term.Lit_int 55)
+                 (Ch_lang.Term.pair (Ch_lang.Term.Lit_int 55)
+                    (Ch_lang.Term.Lit_int 55)))
+              v
+        | None -> Alcotest.fail "budget"));
+    case "gc respects frozen thunks (interrupt then resume, collecting)"
+      (fun () ->
+        let program =
+          parse
+            {|let rec fib = \n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in fib 15|}
+        in
+        let m = Machine.create program in
+        (match Machine.run m ~steps:5_000 with
+        | Machine.Running -> Machine.interrupt m Machine.Freeze
+        | _ -> ());
+        Machine.gc m;
+        match Machine.force_deep m with
+        | Some v -> Alcotest.check term "value" (Ch_lang.Term.Lit_int 610) v
+        | None -> Alcotest.fail "budget");
+  ]
+
+let suites = [ ("machine:gc", gc_tests) ]

@@ -1,0 +1,264 @@
+(* Tests for the term language (Figure 1): lexer, parser, printer,
+   substitution, α-equivalence. *)
+
+open Ch_lang
+open Ch_lang.Term
+open Helpers
+
+let lex_kinds src =
+  List.map (fun (t : Lexer.located) -> t.Lexer.token) (Lexer.tokenize src)
+
+let lexer_tests =
+  [
+    case "integers and identifiers" (fun () ->
+        Alcotest.(check int) "count" 4 (List.length (lex_kinds "f 12 x")));
+    case "operators" (fun () ->
+        match lex_kinds ">>= >> == /= <= < -> <-" with
+        | [ Lexer.OP_BIND; OP_THEN; OP_EQ; OP_NE; OP_LE; OP_LT; ARROW;
+            LARROW; EOF ] ->
+            ()
+        | _ -> Alcotest.fail "wrong tokens");
+    case "char literals with escapes" (fun () ->
+        match lex_kinds {|'a' '\n' '\\' '\''|} with
+        | [ Lexer.CHAR 'a'; CHAR '\n'; CHAR '\\'; CHAR '\''; EOF ] -> ()
+        | _ -> Alcotest.fail "wrong chars");
+    case "line comments skipped" (fun () ->
+        Alcotest.(check int) "count" 2
+          (List.length (lex_kinds "x -- comment to eol\n")));
+    case "nested block comments" (fun () ->
+        Alcotest.(check int) "count" 2
+          (List.length (lex_kinds "{- a {- nested -} b -} y")));
+    case "exception literal" (fun () ->
+        match lex_kinds "#KillThread" with
+        | [ Lexer.EXN "KillThread"; EOF ] -> ()
+        | _ -> Alcotest.fail "wrong exn token");
+    case "runtime names" (fun () ->
+        match lex_kinds "%m3 %t12" with
+        | [ Lexer.MVAR_NAME 3; TID_NAME 12; EOF ] -> ()
+        | _ -> Alcotest.fail "wrong name tokens");
+    case "unterminated comment is an error" (fun () ->
+        match Lexer.tokenize "{- x" with
+        | exception Lexer.Lex_error _ -> ()
+        | _ -> Alcotest.fail "expected a lex error");
+    case "keywords are not identifiers" (fun () ->
+        match lex_kinds "let rec in if then else case of do" with
+        | [ Lexer.KW_LET; KW_REC; KW_IN; KW_IF; KW_THEN; KW_ELSE; KW_CASE;
+            KW_OF; KW_DO; EOF ] ->
+            ()
+        | _ -> Alcotest.fail "wrong keywords");
+  ]
+
+let parser_tests =
+  [
+    case "application is left-associative" (fun () ->
+        Alcotest.check term "f a b"
+          (App (App (Var "f", Var "a"), Var "b"))
+          (parse "f a b"));
+    case "arithmetic precedence" (fun () ->
+        Alcotest.check term "1 + 2 * 3"
+          (Prim (Add, Lit_int 1, Prim (Mul, Lit_int 2, Lit_int 3)))
+          (parse "1 + 2 * 3"));
+    case "comparison binds looser than addition" (fun () ->
+        Alcotest.check term "a + 1 == b"
+          (Prim (Eq, Prim (Add, Var "a", Lit_int 1), Var "b"))
+          (parse "a + 1 == b"));
+    case "bind is left-associative" (fun () ->
+        Alcotest.check term "m >>= f >>= g"
+          (Bind (Bind (Var "m", Var "f"), Var "g"))
+          (parse "m >>= f >>= g"));
+    case "lambda swallows the rest after >>=" (fun () ->
+        Alcotest.check term "m >>= \\x -> f x >>= g"
+          (Bind (Var "m", Lam ("x", Bind (App (Var "f", Var "x"), Var "g"))))
+          (parse "m >>= \\x -> f x >>= g"));
+    case "do-notation desugars to >>=" (fun () ->
+        Alcotest.check term_alpha "do"
+          (Bind (Get_char, Lam ("c", Put_char (Var "c"))))
+          (parse "do { c <- getChar; putChar c }"));
+    case "do with let and trailing semicolon" (fun () ->
+        Alcotest.check term_alpha "do-let"
+          (Let ("x", Lit_int 1, Return (Var "x")))
+          (parse "do { let x = 1; return x; }"));
+    case "builtin saturated" (fun () ->
+        Alcotest.check term "putChar 'c'" (Put_char (Lit_char 'c'))
+          (parse "putChar 'c'"));
+    case "builtin partial application eta-expands" (fun () ->
+        match parse "catch m" with
+        | Lam (x, Catch (Var "m", Var y)) when x = y -> ()
+        | t -> Alcotest.failf "got %s" (Pretty.term_to_string t));
+    case "builtin over-application" (fun () ->
+        Alcotest.check term "return f x"
+          (App (Return (Var "f"), Var "x"))
+          (parse "return f x"));
+    case "builtin names reserved as binders" (fun () ->
+        match parse "\\return -> return" with
+        | exception Parser.Parse_error _ -> ()
+        | t -> Alcotest.failf "parsed %s" (Pretty.term_to_string t));
+    case "constructors collect arguments" (fun () ->
+        Alcotest.check term "Just 3" (Con ("Just", [ Lit_int 3 ]))
+          (parse "Just 3"));
+    case "unit and pairs" (fun () ->
+        Alcotest.check term "pair" (pair unit_v (Lit_int 2)) (parse "((), 2)"));
+    case "negative literal in parens" (fun () ->
+        Alcotest.check term "(-3)" (Lit_int (-3)) (parse "(-3)"));
+    case "case alternatives with default" (fun () ->
+        Alcotest.check term "case"
+          (Case
+             ( Var "r",
+               [
+                 Alt ("Just", [ "x" ], Var "x");
+                 Default ("other", Lit_int 0);
+               ] ))
+          (parse "case r of { Just x -> x; other -> 0 }"));
+    case "let rec desugars through fix" (fun () ->
+        Alcotest.check term "let rec"
+          (Let ("f", Fix (Lam ("f", Var "f")), Var "f"))
+          (parse "let rec f = f in f"));
+    case "let rec as a do statement" (fun () ->
+        Alcotest.check term_alpha "do let rec"
+          (Let
+             ( "go",
+               Fix (Lam ("go", Var "go")),
+               then_ (Return unit_v) (Var "go") ))
+          (parse "do { let rec go = go; return (); go }"));
+    case "if-then-else" (fun () ->
+        Alcotest.check term "if"
+          (If (true_v, Lit_int 1, Lit_int 2))
+          (parse "if True then 1 else 2"));
+    case "throwTo takes two arguments" (fun () ->
+        Alcotest.check term "throwTo"
+          (Throw_to (Var "t", Lit_exn "E"))
+          (parse "throwTo t #E"));
+    case "junk after expression rejected" (fun () ->
+        match parse "1 2 3 )" with
+        | exception Parser.Parse_error _ -> ()
+        | t -> Alcotest.failf "parsed %s" (Pretty.term_to_string t));
+  ]
+
+(* Round-trip: print then re-parse gives an α-equivalent term. *)
+let roundtrip_sources =
+  [
+    "1 + 2 * 3 - 4 / 5";
+    "\\x -> \\y -> x y (x y)";
+    "do { c <- getChar; putChar c; return (c == 'x') }";
+    "block (catch (unblock (takeMVar %m0)) (\\e -> putMVar %m0 1 >>= \\u -> throw e))";
+    "case f x of { Just y -> y + 1; Nothing -> 0; z -> 2 }";
+    "let rec loop = \\n -> if n == 0 then return () else loop (n - 1) in loop 10";
+    "forkIO (throwTo %t1 #KillThread) >>= \\t -> sleep 5 >>= \\u -> return t";
+    "putChar 'q' >>= \\x -> getChar >>= \\c -> return (c, x)";
+    "(\\f -> f (f 1)) (\\n -> n + 1)";
+    "if 1 <= 2 then raise #Boom else fix (\\x -> x)";
+  ]
+
+let roundtrip_tests =
+  List.map
+    (fun src ->
+      case (Printf.sprintf "roundtrip: %s" src) (fun () ->
+          let t = parse src in
+          let printed = Pretty.term_to_string t in
+          let t' = parse printed in
+          if not (Term.alpha_eq t t') then
+            Alcotest.failf "not alpha-equal after roundtrip: %s" printed))
+    roundtrip_sources
+
+let subst_tests =
+  [
+    case "simple substitution" (fun () ->
+        Alcotest.check term "x -> 1"
+          (Prim (Add, Lit_int 1, Lit_int 1))
+          (Subst.subst (Prim (Add, Var "x", Var "x")) "x" (Lit_int 1)));
+    case "bound variables shadow" (fun () ->
+        Alcotest.check term "no subst under binder"
+          (Lam ("x", Var "x"))
+          (Subst.subst (Lam ("x", Var "x")) "x" (Lit_int 1)));
+    case "capture avoided" (fun () ->
+        (* (\y -> x y)[x := y]  must not capture the free y *)
+        let result = Subst.subst (Lam ("y", App (Var "x", Var "y"))) "x" (Var "y") in
+        match result with
+        | Lam (y', App (Var "y", Var y'')) when y' = y'' && y' <> "y" -> ()
+        | t -> Alcotest.failf "captured: %s" (Pretty.term_to_string t));
+    case "capture avoided in case alternatives" (fun () ->
+        let body = Case (Var "s", [ Alt ("C", [ "y" ], App (Var "x", Var "y")) ]) in
+        match Subst.subst body "x" (Var "y") with
+        | Case (_, [ Alt ("C", [ y' ], App (Var "y", Var y'')) ])
+          when y' = y'' && y' <> "y" ->
+            ()
+        | t -> Alcotest.failf "captured: %s" (Pretty.term_to_string t));
+    case "simultaneous substitution" (fun () ->
+        Alcotest.check term "two at once"
+          (Prim (Add, Lit_int 1, Lit_int 2))
+          (Subst.subst_many
+             (Prim (Add, Var "a", Var "b"))
+             [ ("a", Lit_int 1); ("b", Lit_int 2) ]));
+    case "free_vars order and uniqueness" (fun () ->
+        Alcotest.(check (list string))
+          "fv" [ "x"; "y" ]
+          (Term.free_vars (App (App (Var "x", Var "y"), Lam ("z", Var "x")))));
+    case "rename_names maps mvars and tids" (fun () ->
+        Alcotest.check term "renamed"
+          (Put_mvar (Mvar 7, Tid 9))
+          (Subst.rename_names
+             ~mvar_of:(fun m -> m + 6)
+             ~tid_of:(fun t -> t + 7)
+             (Put_mvar (Mvar 1, Tid 2))));
+  ]
+
+let alpha_tests =
+  [
+    case "alpha-equal lambdas" (fun () ->
+        Alcotest.(check bool) "eq" true
+          (Term.alpha_eq (Lam ("x", Var "x")) (Lam ("y", Var "y"))));
+    case "free variables matter" (fun () ->
+        Alcotest.(check bool) "neq" false
+          (Term.alpha_eq (Lam ("x", Var "z")) (Lam ("y", Var "w"))));
+    case "structure matters" (fun () ->
+        Alcotest.(check bool) "neq" false
+          (Term.alpha_eq (Lam ("x", Var "x")) (Lam ("x", App (Var "x", Var "x")))));
+    case "case binders alpha-convert" (fun () ->
+        Alcotest.(check bool) "eq" true
+          (Term.alpha_eq
+             (parse "case s of { C a b -> a b }")
+             (parse "case s of { C p q -> p q }")));
+    case "shadowing handled" (fun () ->
+        Alcotest.(check bool) "eq" true
+          (Term.alpha_eq
+             (parse "\\x -> \\x -> x")
+             (parse "\\a -> \\b -> b")));
+  ]
+
+let value_grammar_tests =
+  [
+    case "putChar of literal is a value" (fun () ->
+        Alcotest.(check bool) "value" true (is_value (Put_char (Lit_char 'a'))));
+    case "putChar of non-literal is not a value" (fun () ->
+        Alcotest.(check bool) "not value" false
+          (is_value (Put_char (App (Var "chr", Lit_int 65)))));
+    case "return of anything is a value" (fun () ->
+        Alcotest.(check bool) "value" true
+          (is_value (Return (App (Var "f", Var "x")))));
+    case "bind of anything is a value" (fun () ->
+        Alcotest.(check bool) "value" true (is_value (Bind (Var "a", Var "b"))));
+    case "takeMVar needs a name" (fun () ->
+        Alcotest.(check bool) "not value" false (is_value (Take_mvar (Var "m")));
+        Alcotest.(check bool) "value" true (is_value (Take_mvar (Mvar 0))));
+    case "putMVar lazy in payload" (fun () ->
+        Alcotest.(check bool) "value" true
+          (is_value (Put_mvar (Mvar 0, App (Var "f", Var "x")))));
+    case "throwTo needs both names" (fun () ->
+        Alcotest.(check bool) "not value" false
+          (is_value (Throw_to (Var "t", Lit_exn "E")));
+        Alcotest.(check bool) "value" true
+          (is_value (Throw_to (Tid 0, Lit_exn "E"))));
+    case "application is never a value" (fun () ->
+        Alcotest.(check bool) "not value" false
+          (is_value (App (Lam ("x", Var "x"), Lit_int 1))));
+  ]
+
+let suites =
+  [
+    ("lang:lexer", lexer_tests);
+    ("lang:parser", parser_tests);
+    ("lang:roundtrip", roundtrip_tests);
+    ("lang:subst", subst_tests);
+    ("lang:alpha", alpha_tests);
+    ("lang:values(Fig1)", value_grammar_tests);
+  ]

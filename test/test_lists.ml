@@ -1,0 +1,150 @@
+(* The list prelude under call-by-name: finite pipelines, infinite lists,
+   and the classic sharing demonstration ([fibs] is linear on the machine,
+   exponential under substitution). *)
+
+
+open Ch_lang.Term
+open Ch_pure
+open Helpers
+
+let with_lists src = Ch_corpus.Lists.with_list_prelude (parse src)
+
+let rec term_of_list = function
+  | [] -> Con ("Nil", [])
+  | x :: rest -> Con ("Cons", [ Lit_int x; term_of_list rest ])
+
+let eval_big src =
+  match Eval.eval ~fuel:2_000_000 (with_lists src) with
+  | Eval.Value v -> `Value v
+  | Eval.Raised e -> `Raised e
+  | Eval.Diverged -> `Diverged
+  | Eval.Stuck m -> `Stuck m
+
+(* The big-step evaluator returns WHNF; normalize spines for comparison. *)
+let rec deep fuel t =
+  match Eval.eval ~fuel t with
+  | Eval.Value (Con (c, args)) -> Con (c, List.map (deep fuel) args)
+  | Eval.Value v -> v
+  | Eval.Raised e -> Raise (Lit_exn e)
+  | Eval.Diverged | Eval.Stuck _ -> t
+
+let check_list name src expected =
+  case name (fun () ->
+      (* both implementations must produce the same spine *)
+      Alcotest.check term "eval" (term_of_list expected)
+        (deep 2_000_000 (with_lists src));
+      match Machine.eval_result ~budget:4_000_000 (with_lists src) with
+      | Some v -> Alcotest.check term "machine" (term_of_list expected) v
+      | None -> Alcotest.fail "machine budget")
+
+let check_int name src expected =
+  case name (fun () ->
+      Alcotest.check term "eval" (Lit_int expected)
+        (deep 2_000_000 (with_lists src));
+      match Machine.eval_result ~budget:4_000_000 (with_lists src) with
+      | Some v -> Alcotest.check term "machine" (Lit_int expected) v
+      | None -> Alcotest.fail "machine budget")
+
+let finite_tests =
+  [
+    check_list "map squares a range" "map (\\x -> x * x) (range 1 5)"
+      [ 1; 4; 9; 16; 25 ];
+    check_list "filter keeps the evens"
+      "filter (\\x -> x / 2 * 2 == x) (range 1 10)"
+      [ 2; 4; 6; 8; 10 ];
+    check_int "sum of 1..100 via foldl" "sum (range 1 100)" 5050;
+    check_int "foldr builds right-nested application"
+      "foldr (\\x -> \\acc -> x - acc) 0 (range 1 4)" (-2);
+    check_list "append joins" "append (range 1 3) (range 7 9)"
+      [ 1; 2; 3; 7; 8; 9 ];
+    check_int "length" "length (range 3 12)" 10;
+    check_list "reverse" "reverse (range 1 5)" [ 5; 4; 3; 2; 1 ];
+    check_list "take and drop compose"
+      "take 3 (drop 2 (range 1 10))" [ 3; 4; 5 ];
+    check_int "head of a map" "head (map (\\x -> x + 1) (range 5 9))" 6;
+    check_int "pipeline: sum of squares of evens up to 10"
+      "sum (map (\\x -> x * x) (filter (\\x -> x / 2 * 2 == x) (range 1 10)))"
+      220;
+  ]
+
+let infinite_tests =
+  [
+    check_list "take of repeat" "take 4 (repeat 7)" [ 7; 7; 7; 7 ];
+    check_list "take of iterate (powers of two)"
+      "take 6 (iterate (\\x -> 2 * x) 1)" [ 1; 2; 4; 8; 16; 32 ];
+    check_int "head never forces the infinite tail"
+      "head (map (\\x -> x * 10) (iterate (\\x -> x + 1) 4))" 40;
+    check_list "zipWith over two infinite lists"
+      "take 5 (zipWith (\\a -> \\b -> a + b) (iterate (\\x -> x + 1) 0) (repeat 100))"
+      [ 100; 101; 102; 103; 104 ];
+    check_list "filter of an infinite list, taken"
+      "take 3 (filter (\\x -> 5 < x) (iterate (\\x -> x + 1) 0))"
+      [ 6; 7; 8 ];
+    case "head of a cons with a diverging tail (laziness)" (fun () ->
+        match eval_big "head (Cons 9 (fix (\\x -> x)))" with
+        | `Value (Lit_int 9) -> ()
+        | _ -> Alcotest.fail "tail was forced");
+  ]
+
+(* fibs = 0 : 1 : zipWith (+) fibs (tail fibs) — the canonical example
+   where sharing changes the complexity class. *)
+let fibs_src n =
+  Printf.sprintf
+    {|let rec fibs = Cons 0 (Cons 1 (zipWith (\a -> \b -> a + b) fibs (tail fibs))) in
+      take %d fibs|}
+    n
+
+let sharing_tests =
+  [
+    case "fibs on the sharing machine (linear)" (fun () ->
+        let m = Machine.create (with_lists (fibs_src 20)) in
+        match Machine.force_deep ~budget:300_000 m with
+        | Some v ->
+            Alcotest.check term "first 20 fibs"
+              (term_of_list
+                 [ 0; 1; 1; 2; 3; 5; 8; 13; 21; 34; 55; 89; 144; 233; 377;
+                   610; 987; 1597; 2584; 4181 ])
+              v
+        | None -> Alcotest.fail "sharing failed: budget exceeded");
+    case "without sharing the spine recomputes (depth blows up)" (fun () ->
+        (* forcing the n-th element through the substitution evaluator
+           re-evaluates the fibs prefix at every zipWith step: the
+           recursion depth needed grows much faster than the machine's.
+           A depth budget ample for the machine's 20 elements is already
+           exhausted by Eval at element 22. *)
+        let nth_fib_src = "head (drop 22 fibs)" in
+        let program =
+          with_lists
+            (Printf.sprintf
+               {|let rec fibs = Cons 0 (Cons 1 (zipWith (\a -> \b -> a + b) fibs (tail fibs))) in %s|}
+               nth_fib_src)
+        in
+        (match Eval.eval ~fuel:2_000 program with
+        | Eval.Diverged -> ()
+        | Eval.Value v ->
+            Alcotest.failf "unexpectedly cheap: %s"
+              (Ch_lang.Pretty.term_to_string v)
+        | _ -> Alcotest.fail "unexpected outcome");
+        (* while the sharing machine delivers it outright *)
+        match Machine.eval_result ~budget:100_000 program with
+        | Some v -> Alcotest.check term "machine fib 22" (Lit_int 17711) v
+        | None -> Alcotest.fail "machine budget");
+    case "machine step count for fibs grows roughly linearly" (fun () ->
+        let steps n =
+          let m = Machine.create (with_lists (fibs_src n)) in
+          ignore (Machine.force_deep ~budget:2_000_000 m);
+          Machine.steps_taken m
+        in
+        let s10 = steps 10 and s20 = steps 20 in
+        Alcotest.(check bool)
+          (Printf.sprintf "s20=%d < 4 * s10=%d" s20 s10)
+          true
+          (s20 < 4 * s10));
+  ]
+
+let suites =
+  [
+    ("lists:finite", finite_tests);
+    ("lists:infinite", infinite_tests);
+    ("lists:sharing", sharing_tests);
+  ]

@@ -1,0 +1,307 @@
+(* Tests for block/unblock semantics in the runtime (§5.2, §5.3, §8.1):
+   scoping, no-counting, handler mask state, frame collapse, and
+   interruptible operations. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+let int_v = Alcotest.int
+let bool_v = Alcotest.bool
+
+(* A victim thread records what happened in [out]; the main thread throws
+   at it after [n] yields. *)
+let kill_after n victim =
+  fork victim >>= fun t ->
+  yields n >>= fun () ->
+  throw_to t Kill_thread
+
+let scoping_tests =
+  [
+    case "threads start unmasked" (fun () ->
+        Alcotest.check bool_v "unmasked" false (value blocked));
+    case "block masks; scope ends on return" (fun () ->
+        Alcotest.check (Alcotest.list bool_v) "trace" [ true; false ]
+          (value
+             ( block blocked >>= fun inside ->
+               blocked >>= fun after -> return [ inside; after ] )));
+    case "unblock unmasks inside block" (fun () ->
+        Alcotest.check (Alcotest.list bool_v) "trace" [ true; false; true ]
+          (value
+             (block
+                ( blocked >>= fun a ->
+                  unblock blocked >>= fun b ->
+                  blocked >>= fun c -> return [ a; b; c ] ))));
+    case "nested blocks do not count" (fun () ->
+        (* leaving an inner block must NOT unmask while an outer block is
+           still in scope *)
+        Alcotest.check bool_v "still masked" true
+          (value (block (block (return ()) >>= fun () -> blocked))));
+    case "unblock always unblocks regardless of nesting depth" (fun () ->
+        Alcotest.check bool_v "unmasked" false
+          (value (block (block (unblock blocked)))));
+    case "mask state restored when an exception exits the scope" (fun () ->
+        Alcotest.check bool_v "unmasked after" false
+          (value
+             ( catch (block (throw Not_found)) (fun _ -> return ())
+             >>= fun () -> blocked )));
+    case "mask state restored when an exception exits unblock" (fun () ->
+        Alcotest.check bool_v "masked in handler" true
+          (value
+             (block
+                (catch (unblock (throw Not_found)) (fun _ -> blocked)))));
+    case "catch handler runs with the mask at catch time (§8.1)" (fun () ->
+        (* catch entered masked, body unmasks, handler must be masked *)
+        Alcotest.check bool_v "masked" true
+          (value
+             (block (catch (unblock (throw Not_found)) (fun _ -> blocked)))));
+    case "fork inherits the mask by default" (fun () ->
+        Alcotest.check bool_v "child masked" true
+          (value
+             ( Mvar.new_empty >>= fun m ->
+               block (fork (blocked >>= Mvar.put m)) >>= fun _ ->
+               Mvar.take m )));
+    case "fork inheritance can be disabled (Figure 5 literal)" (fun () ->
+        let config =
+          {
+            (rr_config ()) with
+            Runtime.Config.fork_inherits_mask = false;
+          }
+        in
+        let prog =
+          Mvar.new_empty >>= fun m ->
+          block (fork (blocked >>= Mvar.put m)) >>= fun _ -> Mvar.take m
+        in
+        match (Runtime.run ~config prog).Runtime.outcome with
+        | Runtime.Value false -> ()
+        | _ -> Alcotest.fail "child should start unmasked");
+  ]
+
+let delivery_tests =
+  [
+    case "unmasked thread receives an async exception promptly" (fun () ->
+        Alcotest.check int_v "caught" 1
+          (value
+             ( Mvar.new_empty >>= fun m ->
+               kill_after 2
+                 (catch
+                    (Combinators.forever yield)
+                    (fun _ -> Mvar.put m 1))
+               >>= fun () -> Mvar.take m )));
+    case "masked thread defers delivery until unblock" (fun () ->
+        (* the victim increments a counter in a masked loop with an unblock
+           window every 5 iterations; the count at delivery must be a
+           multiple of 5 *)
+        let counter = ref 0 in
+        let rec work n =
+          (if n mod 5 = 0 then Combinators.safe_point else return ())
+          >>= fun () ->
+          lift (fun () -> incr counter) >>= fun () -> work (n + 1)
+        in
+        ignore
+          (value
+             ( Mvar.new_empty >>= fun m ->
+               kill_after 7
+                 (catch (block (work 0)) (fun _ -> Mvar.put m ()))
+               >>= fun () -> Mvar.take m ));
+        Alcotest.check int_v "delivered at a safe point" 0 (!counter mod 5));
+    case "exception queued while masked is not lost" (fun () ->
+        Alcotest.check int_v "eventually delivered" 1
+          (value
+             ( Mvar.new_empty >>= fun m ->
+               fork
+                 (catch
+                    ( block (yields 10) >>= fun () ->
+                      Combinators.forever yield )
+                    (fun _ -> Mvar.put m 1))
+               >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> Mvar.take m )));
+    case "multiple pending exceptions delivered FIFO" (fun () ->
+        (* Handlers run masked (the catch frames are pushed inside block),
+           so each handler can record its exception before the next pending
+           one is delivered at the following unblock window. *)
+        let name e = match e with Failure s -> s | e -> Printexc.to_string e in
+        Alcotest.check (Alcotest.list Alcotest.string) "order" [ "A"; "B" ]
+          (value
+             ( Chan.create () >>= fun c ->
+               fork
+                 (block
+                    (catch
+                       (unblock (Combinators.forever yield))
+                       (fun e ->
+                         Chan.send c (name e) >>= fun () ->
+                         catch
+                           (unblock (Combinators.forever yield))
+                           (fun e -> Chan.send c (name e)))))
+               >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t (Failure "A") >>= fun () ->
+               throw_to t (Failure "B") >>= fun () ->
+               Chan.recv c >>= fun a ->
+               Chan.recv c >>= fun b -> return [ a; b ] )));
+  ]
+
+let interruptible_tests =
+  [
+    case "takeMVar inside block is interruptible while empty (§5.3)"
+      (fun () ->
+        Alcotest.check int_v "interrupted" 1
+          (value
+             ( Mvar.new_empty >>= fun (m : int Mvar.t) ->
+               Mvar.new_empty >>= fun out ->
+               kill_after 3
+                 (block
+                    (catch
+                       (Mvar.take m >>= fun _ -> return ())
+                       (fun _ -> Mvar.put out 1)))
+               >>= fun () -> Mvar.take out )));
+    case "takeMVar of a full MVar inside block is atomic" (fun () ->
+        (* once masked, the worker takes the (available) MVar and puts the
+           update back with no window for the exception to land between:
+           §5.3 — "takeMVar behaves atomically when enclosed in a block" *)
+        Alcotest.check int_v "update atomic" 8
+          (value
+             ( Mvar.new_filled 7 >>= fun m ->
+               fork (block (Mvar.take m >>= fun v -> Mvar.put m (v + 1)))
+               >>= fun t ->
+               yields 1 >>= fun () ->
+               (* the worker is now masked; the kill must wait *)
+               throw_to t Kill_thread >>= fun () ->
+               yields 10 >>= fun () -> Mvar.take m )));
+    case "sleep is interruptible" (fun () ->
+        Alcotest.check int_v "woken" 1
+          (value
+             ( Mvar.new_empty >>= fun out ->
+               kill_after 2
+                 (block (catch (sleep 1_000_000) (fun _ -> Mvar.put out 1)))
+               >>= fun () -> Mvar.take out )));
+    case "get_char is interruptible" (fun () ->
+        Alcotest.check int_v "woken" 1
+          (value
+             ( Mvar.new_empty >>= fun out ->
+               kill_after 2
+                 (block
+                    (catch
+                       (get_char >>= fun _ -> return ())
+                       (fun _ -> Mvar.put out 1)))
+               >>= fun () -> Mvar.take out )));
+    case "putMVar to a full MVar is interruptible" (fun () ->
+        Alcotest.check int_v "woken" 1
+          (value
+             ( Mvar.new_filled 0 >>= fun m ->
+               Mvar.new_empty >>= fun out ->
+               kill_after 2
+                 (block (catch (Mvar.put m 1) (fun _ -> Mvar.put out 1)))
+               >>= fun () -> Mvar.take out )));
+    case "pending exception delivered when a masked thread blocks" (fun () ->
+        (* exception arrives while the masked thread is computing; it is
+           delivered as soon as the thread would wait *)
+        Alcotest.check int_v "delivered at wait" 1
+          (value
+             ( Mvar.new_empty >>= fun (m : int Mvar.t) ->
+               Mvar.new_empty >>= fun out ->
+               fork
+                 (block
+                    ( yields 5 >>= fun () ->
+                      catch
+                        (Mvar.take m >>= fun _ -> return ())
+                        (fun _ -> Mvar.put out 1) ))
+               >>= fun t ->
+               yields 1 >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> Mvar.take out )));
+    case "§5.2 lock protocol survives adversarial kills at every point"
+      (fun () ->
+        (* sweep the kill over every scheduling point of the protocol *)
+        for k = 0 to 25 do
+          let prog =
+            Mvar.new_filled 0 >>= fun m ->
+            fork (Mvar.modify m (fun x -> return (x + 1))) >>= fun t ->
+            yields k >>= fun () ->
+            throw_to t Kill_thread >>= fun () ->
+            Mvar.take m
+          in
+          match (run prog).Runtime.outcome with
+          | Runtime.Value (0 | 1) -> ()
+          | Runtime.Value v -> Alcotest.failf "k=%d bad value %d" k v
+          | _ -> Alcotest.failf "k=%d lock lost" k
+        done);
+    case "unprotected lock protocol IS killable (sanity of the sweep)"
+      (fun () ->
+        (* same sweep without block: some k must lose the lock *)
+        let lost = ref false in
+        for k = 0 to 25 do
+          let prog =
+            Mvar.new_filled 0 >>= fun m ->
+            fork
+              ( Mvar.take m >>= fun x ->
+                yield >>= fun () -> Mvar.put m (x + 1) )
+            >>= fun t ->
+            yields k >>= fun () ->
+            throw_to t Kill_thread >>= fun () -> Mvar.take m
+          in
+          match (run prog).Runtime.outcome with
+          | Runtime.Deadlock -> lost := true
+          | _ -> ()
+        done;
+        Alcotest.check bool_v "a deadlocking k exists" true !lost);
+  ]
+
+let frame_tests =
+  [
+    case "block/unblock recursion runs in constant frame depth (§8.1)"
+      (fun () ->
+        let rec recur n =
+          if n = 0 then frame_depth else block (unblock (recur (n - 1)))
+        in
+        let d100 = value (recur 100) and d5 = value (recur 5) in
+        Alcotest.check int_v "constant" d5 d100);
+    case "without collapse the frame depth grows linearly" (fun () ->
+        let config =
+          {
+            (rr_config ()) with
+            Runtime.Config.collapse_mask_frames = false;
+          }
+        in
+        let rec recur n =
+          if n = 0 then frame_depth else block (unblock (recur (n - 1)))
+        in
+        let depth n =
+          match (Runtime.run ~config (recur n)).Runtime.outcome with
+          | Runtime.Value d -> d
+          | _ -> Alcotest.fail "no value"
+        in
+        Alcotest.(check bool) "grows" true (depth 100 > depth 5 + 150));
+    case "collapse does not change observable behaviour" (fun () ->
+        let config =
+          {
+            (rr_config ()) with
+            Runtime.Config.collapse_mask_frames = false;
+          }
+        in
+        let prog =
+          Mvar.new_filled 0 >>= fun m ->
+          fork (Mvar.modify m (fun x -> return (x + 1))) >>= fun t ->
+          yields 4 >>= fun () ->
+          throw_to t Kill_thread >>= fun () ->
+          block (unblock (block blocked)) >>= fun masked ->
+          Mvar.take m >>= fun v ->
+          return (masked, v)
+        in
+        let a = (run prog).Runtime.outcome in
+        let b = (Runtime.run ~config prog).Runtime.outcome in
+        Alcotest.(check bool) "same" true (a = b));
+    case "max_frame_depth is reported" (fun () ->
+        let rec deep n = if n = 0 then return 0 else catch (deep (n - 1)) throw in
+        let r = run (deep 50) in
+        Alcotest.(check bool) "at least 50" true (r.Runtime.max_frame_depth >= 50));
+  ]
+
+let suites =
+  [
+    ("mask:scoping", scoping_tests);
+    ("mask:delivery", delivery_tests);
+    ("mask:interruptible", interruptible_tests);
+    ("mask:frames(§8.1)", frame_tests);
+  ]

@@ -1,0 +1,237 @@
+(* Property-based tests (QCheck, registered as alcotest cases):
+   - parser/printer round-trip over generated terms;
+   - substitution laws;
+   - runtime invariants under random schedules and random kill points. *)
+
+open Ch_lang
+open Ch_lang.Term
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+(* --- generators ---------------------------------------------------------- *)
+
+let gen_var = QCheck2.Gen.oneofl [ "a"; "b"; "c"; "x"; "y"; "z" ]
+let gen_exn = QCheck2.Gen.oneofl [ "E1"; "E2"; "Boom" ]
+
+(* Closed-ish terms: variables are drawn from a small pool and the printer /
+   parser do not care about well-scopedness. *)
+let gen_term =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        let leaf =
+          oneof
+            [
+              map (fun v -> Var v) gen_var;
+              map (fun i -> Lit_int i) small_int;
+              map (fun c -> Lit_char c) (char_range 'a' 'z');
+              map (fun e -> Lit_exn e) gen_exn;
+              return Get_char;
+              return New_mvar;
+              return My_tid;
+              map (fun m -> Mvar m) (int_bound 5);
+              map (fun t -> Tid t) (int_bound 5);
+            ]
+        in
+        if n <= 0 then leaf
+        else
+          let sub = self (n / 2) in
+          oneof
+            [
+              leaf;
+              map2 (fun x m -> Lam (x, m)) gen_var sub;
+              map2 (fun a b -> App (a, b)) sub sub;
+              map2 (fun a b -> Bind (a, b)) sub sub;
+              map2 (fun a b -> Catch (a, b)) sub sub;
+              map (fun a -> Block a) sub;
+              map (fun a -> Unblock a) sub;
+              map (fun a -> Return a) sub;
+              map (fun a -> Raise a) sub;
+              map (fun a -> Fix a) sub;
+              map (fun a -> Fork a) sub;
+              map (fun a -> Take_mvar a) sub;
+              map2 (fun a b -> Put_mvar (a, b)) sub sub;
+              map2 (fun a b -> Throw_to (a, b)) sub sub;
+              map (fun a -> Sleep a) sub;
+              map (fun a -> Throw a) sub;
+              map (fun a -> Put_char a) sub;
+              map3
+                (fun a b c -> If (a, b, c))
+                sub sub sub;
+              map3
+                (fun x a b -> Let (x, a, b))
+                gen_var sub sub;
+              map2
+                (fun s alts -> Case (s, alts))
+                sub
+                (oneof
+                   [
+                     map
+                       (fun b -> [ Alt ("Just", [ "w" ], b); Default ("d", Lit_int 0) ])
+                       sub;
+                     map (fun b -> [ Alt ("Nothing", [], b) ]) sub;
+                   ]);
+              map2 (fun op (a, b) -> Prim (op, a, b))
+                (oneofl [ Add; Sub; Mul; Div; Eq; Ne; Lt; Le ])
+                (pair sub sub);
+            ]))
+
+let qtest name ?(count = 300) gen prop =
+  QCheck_alcotest.to_alcotest
+    (QCheck2.Test.make ~name ~count gen prop)
+
+let lang_props =
+  [
+    qtest "print/parse round-trip is alpha-identity" gen_term (fun t ->
+        let printed = Pretty.term_to_string t in
+        match Parser.parse printed with
+        | t' -> Term.alpha_eq t t'
+        | exception e ->
+            QCheck2.Test.fail_reportf "failed to reparse %S: %s" printed
+              (Printexc.to_string e));
+    qtest "alpha_eq is reflexive" gen_term (fun t -> Term.alpha_eq t t);
+    qtest "substituting a fresh variable is identity" gen_term (fun t ->
+        Term.alpha_eq t (Subst.subst t "zzfresh" (Lit_int 0)));
+    qtest "substitution eliminates the variable" gen_term (fun t ->
+        let t' = Subst.subst t "x" (Lit_int 7) in
+        not (List.mem "x" (Term.free_vars t')));
+    qtest "free_vars of a closed wrapper is empty" gen_term (fun t ->
+        let closed =
+          List.fold_left (fun m x -> Lam (x, m)) t (Term.free_vars t)
+        in
+        Term.free_vars closed = []);
+    qtest "decompose/recompose is the identity" gen_term (fun t ->
+        Ch_semantics.Context.(recompose (decompose t)) = t);
+    qtest "canonical keys are stable under name shifting" ~count:200 gen_term
+      (fun t ->
+        (* Shift names away from 0 so neither side aliases the main thread's
+           id (Tid 0 genuinely refers to the main thread, so shifting it
+           would change the state's meaning). *)
+        let shift_a =
+          Subst.rename_names ~mvar_of:(fun m -> m + 13) ~tid_of:(fun i -> i + 7) t
+        in
+        let shift_b =
+          Subst.rename_names ~mvar_of:(fun m -> m + 29) ~tid_of:(fun i -> i + 11) t
+        in
+        let key term =
+          Ch_semantics.State.canonical_key (Ch_semantics.State.initial term)
+        in
+        String.equal (key shift_a) (key shift_b));
+  ]
+
+(* --- runtime invariants under random schedules --------------------------- *)
+
+let seeds = QCheck2.Gen.int_bound 10_000
+
+let run_random seed io =
+  Runtime.run
+    ~config:
+      {
+        Runtime.Config.default with
+        Runtime.Config.policy = Runtime.Config.Random seed;
+      }
+    io
+
+let runtime_props =
+  [
+    qtest "modify-protected lock survives a random-time kill" ~count:200
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.int_bound 20))
+      (fun (seed, k) ->
+        let prog =
+          Mvar.new_filled 0 >>= fun m ->
+          fork (Mvar.modify m (fun x -> return (x + 1))) >>= fun t ->
+          yields k >>= fun () ->
+          throw_to t Kill_thread >>= fun () -> Mvar.take m
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value (0 | 1) -> true
+        | _ -> false);
+    qtest "sem capacity conserved under random kills" ~count:150
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.int_bound 15))
+      (fun (seed, k) ->
+        let prog =
+          Sem.create 2 >>= fun s ->
+          let worker = Sem.with_unit s (yields 3) in
+          Task.spawn worker >>= fun w1 ->
+          Task.spawn worker >>= fun w2 ->
+          Task.spawn worker >>= fun w3 ->
+          yields k >>= fun () ->
+          Task.cancel w2 >>= fun () ->
+          let settle w = catch (Task.await w >>= fun () -> return ()) (fun _ -> return ()) in
+          settle w1 >>= fun () ->
+          settle w2 >>= fun () ->
+          settle w3 >>= fun () -> Sem.available s
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value 2 -> true
+        | _ -> false);
+    qtest "chan preserves FIFO per producer under random schedules"
+      ~count:150 seeds (fun seed ->
+        let prog =
+          Chan.create () >>= fun c ->
+          fork (Chan.send_list c [ 1; 2; 3 ]) >>= fun _ ->
+          fork (Chan.send_list c [ 10; 20; 30 ]) >>= fun _ ->
+          let rec collect n acc =
+            if n = 0 then return (List.rev acc)
+            else Chan.recv c >>= fun v -> collect (n - 1) (v :: acc)
+          in
+          collect 6 []
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value vs ->
+            let small = List.filter (fun v -> v < 10) vs in
+            let big = List.filter (fun v -> v >= 10) vs in
+            small = [ 1; 2; 3 ] && big = [ 10; 20; 30 ]
+        | _ -> false);
+    qtest "finally cleanup exactly once under random kills" ~count:200
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.int_bound 15))
+      (fun (seed, k) ->
+        (* The kill may land before the victim even enters the [finally]
+           (then no cleanup is owed); once the body is entered, exactly one
+           cleanup must run. *)
+        let cleanups = ref 0 and entered = ref false in
+        let victim =
+          Combinators.finally
+            (lift (fun () -> entered := true) >>= fun () -> yields 6)
+            (lift (fun () -> incr cleanups))
+        in
+        let prog =
+          Task.spawn victim >>= fun t ->
+          yields k >>= fun () ->
+          Task.cancel t >>= fun () ->
+          catch (Task.await t) (fun _ -> return ())
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value () ->
+            !cleanups <= 1 && ((not !entered) || !cleanups = 1)
+        | _ -> false);
+    qtest "timeout never leaks its private exception" ~count:150
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.int_bound 30))
+      (fun (seed, budget) ->
+        let prog =
+          Combinators.timeout budget (yields 10 >>= fun () -> return 1)
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value (Some 1 | None) -> true
+        | _ -> false);
+    qtest "mask restored after random nesting" ~count:200
+      (QCheck2.Gen.list_size (QCheck2.Gen.int_bound 8)
+         QCheck2.Gen.bool)
+      (fun nest ->
+        (* build a random block/unblock nest and check the final state *)
+        let rec build = function
+          | [] -> blocked
+          | b :: rest -> (if b then block else unblock) (build rest)
+        in
+        let prog =
+          build nest >>= fun _inner ->
+          blocked >>= fun after -> return after
+        in
+        match (run prog).Runtime.outcome with
+        | Runtime.Value after -> after = false
+        | _ -> false);
+  ]
+
+let suites =
+  [ ("props:lang", lang_props); ("props:runtime", runtime_props) ]

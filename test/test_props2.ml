@@ -1,0 +1,140 @@
+(* Property tests for the newer hio_std structures and scheduler fairness:
+   random schedules, random kill points, conserved invariants. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+let qtest name ?(count = 150) gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~name ~count gen prop)
+
+let seeds = QCheck2.Gen.int_bound 10_000
+
+let run_random seed io =
+  Runtime.run
+    ~config:
+      {
+        Runtime.Config.default with
+        Runtime.Config.policy = Runtime.Config.Random seed;
+      }
+    io
+
+let props =
+  [
+    qtest "bchan conserves items under a killed sender"
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.int_bound 12))
+      (fun (seed, k) ->
+        (* send 1..4 from one thread, kill it at a random moment, count
+           what a draining receiver gets: must be a prefix 1..n *)
+        let prog =
+          Bchan.create 2 >>= fun c ->
+          fork
+            ( Bchan.send c 1 >>= fun () ->
+              Bchan.send c 2 >>= fun () ->
+              Bchan.send c 3 >>= fun () -> Bchan.send c 4 )
+          >>= fun sender ->
+          yields k >>= fun () ->
+          throw_to sender Kill_thread >>= fun () ->
+          yields 20 >>= fun () ->
+          let rec drain acc =
+            Bchan.try_recv c >>= function
+            | Some v -> drain (v :: acc)
+            | None -> return (List.rev acc)
+          in
+          drain []
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value got ->
+            let n = List.length got in
+            got = List.init n (fun i -> i + 1)
+        | _ -> false);
+    qtest "barrier count is conserved under kills"
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.int_bound 10))
+      (fun (seed, k) ->
+        (* kill one of three parties at a random time; afterwards two fresh
+           parties must always be able to trip the 2-barrier *)
+        let prog =
+          Barrier.create 2 >>= fun b ->
+          Mvar.new_filled 0 >>= fun passed ->
+          let party =
+            Barrier.await b >>= fun _ ->
+            Mvar.take passed >>= fun n -> Mvar.put passed (n + 1)
+          in
+          fork party >>= fun victim ->
+          yields k >>= fun () ->
+          throw_to victim Kill_thread >>= fun () ->
+          yields 10 >>= fun () ->
+          Task.spawn party >>= fun p1 ->
+          Task.spawn party >>= fun p2 ->
+          let settle t = catch (Task.await t) (fun _ -> return ()) in
+          settle p1 >>= fun () ->
+          settle p2 >>= fun () -> Mvar.read passed
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value n ->
+            (* the victim may or may not have paired with a fresh party
+               before dying; the two fresh parties always finish, so at
+               least 2 passed, at most 3 *)
+            n = 2 || n = 3
+        | _ -> false);
+    qtest "race returns one of its members' values" ~count:100
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 5)
+                                 (QCheck2.Gen.int_bound 30)))
+      (fun (seed, delays) ->
+        let actions =
+          List.mapi (fun i d -> sleep d >>= fun () -> return i) delays
+        in
+        match (run_random seed (Combinators.race actions)).Runtime.outcome with
+        | Runtime.Value i -> i >= 0 && i < List.length delays
+        | _ -> false);
+    qtest "parallel preserves order and length" ~count:100
+      (QCheck2.Gen.pair seeds
+         (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 6)
+            (QCheck2.Gen.int_bound 20)))
+      (fun (seed, delays) ->
+        let actions =
+          List.mapi (fun i d -> sleep d >>= fun () -> return i) delays
+        in
+        match (run_random seed (Combinators.parallel actions)).Runtime.outcome with
+        | Runtime.Value got -> got = List.init (List.length delays) Fun.id
+        | _ -> false);
+    qtest "round-robin never starves a spinning pair" ~count:30
+      (QCheck2.Gen.int_range 1 50)
+      (fun rounds ->
+        (* two counters incremented by competing threads: under round-robin
+           both make proportional progress *)
+        let a = ref 0 and b = ref 0 in
+        let spin cell = Combinators.forever (lift (fun () -> incr cell)) in
+        let prog =
+          fork (spin a) >>= fun _ ->
+          fork (spin b) >>= fun _ -> yields (rounds * 10)
+        in
+        ignore (Helpers.run prog);
+        abs (!a - !b) <= 2);
+    qtest "uninterruptibly never loses the protected region's effect"
+      (QCheck2.Gen.pair seeds (QCheck2.Gen.int_bound 10))
+      (fun (seed, k) ->
+        (* the victim moves a token from one mvar to another inside
+           uninterruptibly: the token must end up in exactly one place *)
+        let prog =
+          Mvar.new_filled 7 >>= fun src ->
+          Mvar.new_empty >>= fun dst ->
+          fork
+            (catch
+               (uninterruptibly
+                  (Mvar.take src >>= fun v -> Mvar.put dst v))
+               (fun _ -> return ()))
+          >>= fun t ->
+          yields k >>= fun () ->
+          throw_to t Kill_thread >>= fun () ->
+          yields 20 >>= fun () ->
+          Mvar.try_take src >>= fun s ->
+          Mvar.try_take dst >>= fun d -> return (s, d)
+        in
+        match (run_random seed prog).Runtime.outcome with
+        | Runtime.Value (Some 7, None) | Runtime.Value (None, Some 7) -> true
+        | _ -> false);
+  ]
+
+let suites = [ ("props:std2", props) ]

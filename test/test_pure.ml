@@ -1,0 +1,162 @@
+(* Tests for the inner, purely-functional semantics (§6.2): convergence,
+   exceptional convergence, divergence, laziness, and the mutual
+   exclusivity of M ⇓ V and M ⇓ e. *)
+
+open Ch_lang.Term
+open Ch_pure
+open Helpers
+
+let eval ?(fuel = 50_000) m = Eval.eval ~fuel m
+
+let check_value src expected =
+  case src (fun () ->
+      match eval (parse src) with
+      | Eval.Value v -> Alcotest.check term src expected v
+      | Raised e -> Alcotest.failf "raised %s" e
+      | Diverged -> Alcotest.fail "diverged"
+      | Stuck m -> Alcotest.failf "stuck: %s" m)
+
+let check_raises src expected =
+  case src (fun () ->
+      match eval (parse src) with
+      | Eval.Raised e -> Alcotest.(check string) src expected e
+      | Value v ->
+          Alcotest.failf "value %s" (Ch_lang.Pretty.term_to_string v)
+      | Diverged -> Alcotest.fail "diverged"
+      | Stuck m -> Alcotest.failf "stuck: %s" m)
+
+let check_stuck src =
+  case src (fun () ->
+      match eval (parse src) with
+      | Eval.Stuck _ -> ()
+      | Value v ->
+          Alcotest.failf "value %s" (Ch_lang.Pretty.term_to_string v)
+      | Raised e -> Alcotest.failf "raised %s" e
+      | Diverged -> Alcotest.fail "diverged")
+
+let convergence_tests =
+  [
+    check_value "1 + 2 * 3" (Lit_int 7);
+    check_value "10 / 3" (Lit_int 3);
+    check_value "(\\x -> \\y -> x) 1 2" (Lit_int 1);
+    check_value "if 2 <= 2 then 'y' else 'n'" (Lit_char 'y');
+    check_value "1 /= 2" true_v;
+    check_value "'a' < 'b'" true_v;
+    check_value "#A == #A" true_v;
+    check_value "#A == #B" false_v;
+    check_value "%t1 == %t1" true_v;
+    check_value "%t1 == %t2" false_v;
+    check_value "let x = 21 in x + x" (Lit_int 42);
+    check_value "case Just 3 of { Just x -> x + 1; Nothing -> 0 }" (Lit_int 4);
+    check_value "case Nothing of { Just x -> x; other -> 7 }" (Lit_int 7);
+    check_value
+      "let rec fac = \\n -> if n == 0 then 1 else n * fac (n - 1) in fac 6"
+      (Lit_int 720);
+    check_value "(\\f -> \\x -> f (f x)) (\\n -> n + 3) 1" (Lit_int 7);
+    (* constructors curry through application *)
+    check_value "(\\c -> c 1 2) Pair" (Con ("Pair", [ Lit_int 1; Lit_int 2 ]));
+  ]
+
+let laziness_tests =
+  [
+    (* call-by-name: unused divergent arguments are never evaluated *)
+    check_value "(\\x -> 5) (fix (\\y -> y))" (Lit_int 5);
+    check_value "(\\x -> 5) (raise #Boom)" (Lit_int 5);
+    check_value "case Just (raise #Boom) of { Just x -> 1; Nothing -> 0 }"
+      (Lit_int 1);
+    (* constructors are lazy: building succeeds, forcing raises *)
+    case "lazy constructor payload" (fun () ->
+        match eval (parse "Just (raise #Boom)") with
+        | Eval.Value (Con ("Just", [ Raise _ ])) -> ()
+        | _ -> Alcotest.fail "payload was forced");
+    (* return/bind are lazy in their arguments *)
+    case "return is lazy" (fun () ->
+        match eval (parse "return (raise #Boom)") with
+        | Eval.Value (Return _) -> ()
+        | _ -> Alcotest.fail "return forced its argument");
+    (* if only evaluates the taken branch *)
+    check_value "if True then 1 else raise #Boom" (Lit_int 1);
+  ]
+
+let exceptional_tests =
+  [
+    check_raises "raise #Boom" "Boom";
+    check_raises "1 + raise #Boom" "Boom";
+    check_raises "1 / 0" Eval.divide_by_zero;
+    check_raises "case Left 1 of { Right x -> x }" Eval.pattern_match_fail;
+    check_raises "(\\x -> x + 1) (raise #Boom)" "Boom";
+    (* deterministic refinement of imprecise exceptions: leftmost wins *)
+    check_raises "raise #First + raise #Second" "First";
+    (* strict monadic arguments propagate exceptions *)
+    check_raises "putChar (raise #Boom)" "Boom";
+    check_raises "sleep (1 / 0)" Eval.divide_by_zero;
+    check_raises "throwTo %t0 (raise #Boom)" "Boom";
+  ]
+
+let strict_argument_tests =
+  [
+    check_value "putChar (if True then 'a' else 'b')" (Put_char (Lit_char 'a'));
+    check_value "sleep (2 + 3)" (Sleep (Lit_int 5));
+    check_value "throw (if False then #A else #B)" (Throw (Lit_exn "B"));
+    case "takeMVar evaluates to a name" (fun () ->
+        match eval (parse "takeMVar ((\\x -> x) %m4)") with
+        | Eval.Value (Take_mvar (Mvar 4)) -> ()
+        | _ -> Alcotest.fail "wrong");
+  ]
+
+let divergence_tests =
+  [
+    case "fix id diverges" (fun () ->
+        match Eval.eval ~fuel:1_000 (parse "fix (\\x -> x)") with
+        | Eval.Diverged -> ()
+        | _ -> Alcotest.fail "expected divergence");
+    case "let rec spin diverges" (fun () ->
+        match Eval.eval ~fuel:1_000 Ch_corpus.Programs.diverge with
+        | Eval.Diverged -> ()
+        | _ -> Alcotest.fail "expected divergence");
+    case "values cost no fuel beyond one step" (fun () ->
+        match Eval.eval ~fuel:2 (parse "\\x -> x") with
+        | Eval.Value _ -> ()
+        | _ -> Alcotest.fail "value should evaluate immediately");
+  ]
+
+let stuck_tests =
+  [
+    check_stuck "1 2";
+    check_stuck "unknownVariable";
+    check_stuck "if 3 then 1 else 2";
+    check_stuck "'a' + 1";
+    check_stuck "raise 42";
+    check_stuck "putChar 9";
+    check_stuck "(\\x -> x) == (\\y -> y)";
+  ]
+
+(* The paper: "convergence and exceptional convergence are mutually
+   exclusive... convergence is deterministic". We check determinism by
+   evaluating everything twice. *)
+let determinism_tests =
+  [
+    case "evaluation is deterministic" (fun () ->
+        let sources =
+          [
+            "1 + 2"; "raise #X"; "let rec f = \\n -> if n == 0 then 0 else f (n - 1) in f 20";
+            "case C 1 2 of { C a b -> a * b }";
+          ]
+        in
+        List.iter
+          (fun src ->
+            let a = eval (parse src) and b = eval (parse src) in
+            if a <> b then Alcotest.failf "nondeterministic: %s" src)
+          sources);
+  ]
+
+let suites =
+  [
+    ("pure:convergence", convergence_tests);
+    ("pure:laziness", laziness_tests);
+    ("pure:exceptions", exceptional_tests);
+    ("pure:strict-args", strict_argument_tests);
+    ("pure:divergence", divergence_tests);
+    ("pure:stuck", stuck_tests);
+    ("pure:determinism", determinism_tests);
+  ]

@@ -1,0 +1,90 @@
+(* Model-checking the object-language quantity semaphore (§4), in two
+   variants: the naive 2001-era waiter loses capacity under a kill (the
+   checker exhibits the schedule), while the §5.3-correct waiter — masked
+   interruptible take plus a withdrawing handler — is safe on all
+   schedules. This reproduces, inside the paper's own formal semantics,
+   the bug/fix pair we first met in the hio semaphore. *)
+
+open Ch_corpus
+open Ch_explore
+open Helpers
+
+let scenario =
+  parse
+    {|do {
+        s <- newSem 0;
+        w <- forkIO (block (do { waitSem s; signalSem s }));
+        throwTo w #KillThread;
+        signalSem s;
+        waitSem s;
+        return 1
+      }|}
+
+let kinds_for variant =
+  kinds
+    (explore ~fuel:50_000 ~max_states:400_000
+       (Semaphore.with_sem_prelude ~variant scenario))
+
+let tests =
+  [
+    slow_case "the naive semaphore can lose a unit (deadlock reachable)"
+      (fun () ->
+        let ks = kinds_for `Naive in
+        Alcotest.(check bool) "deadlock reachable" true
+          (List.mem Space.Deadlock ks);
+        Alcotest.(check bool) "success also possible" true
+          (List.mem (completed_int 1) ks));
+    slow_case "the robust semaphore never loses a unit (all schedules)"
+      (fun () ->
+        Alcotest.(check (list kind_testable)) "only success"
+          [ completed_int 1 ] (kinds_for `Robust));
+    slow_case "sanity: with no kill both variants always succeed" (fun () ->
+        let quiet_scenario =
+          parse
+            {|do {
+                s <- newSem 1;
+                w <- forkIO (block (do { waitSem s; signalSem s }));
+                waitSem s;
+                signalSem s;
+                waitSem s;
+                return 1
+              }|}
+        in
+        List.iter
+          (fun variant ->
+            Alcotest.(check (list kind_testable)) "success"
+              [ completed_int 1 ]
+              (kinds
+                 (explore ~fuel:50_000
+                    (Semaphore.with_sem_prelude ~variant quiet_scenario))))
+          [ `Naive; `Robust ]);
+    slow_case "capacity bounds concurrency in the object language" (fun () ->
+        (* capacity 1, two workers that each record entry into a one-slot
+           MVar: mutual exclusion means the recorder MVar never overflows,
+           i.e. no wedging/putMVar-forever states *)
+        let program =
+          parse
+            {|do {
+                s <- newSem 1;
+                busy <- newEmptyMVar;
+                let worker =
+                  do { waitSem s;
+                       putMVar busy ();
+                       takeMVar busy;
+                       signalSem s };
+                a <- forkIO worker;
+                b <- forkIO worker;
+                waitSem s;
+                return 5
+              }|}
+        in
+        let ks =
+          kinds
+            (explore ~fuel:50_000 ~max_states:400_000
+               (Semaphore.with_sem_prelude ~variant:`Robust program))
+        in
+        Alcotest.(check (list kind_testable)) "completes" [ completed_int 5 ]
+          ks);
+  ]
+
+let suites = [ ("corpus:semaphore(§4)", tests) ]

@@ -1,0 +1,275 @@
+(* Per-rule tests for the outer semantics: evaluation contexts (§6.2/§6.3)
+   and every transition rule of Figure 4. Figure 5's rules are covered in
+   Test_fig5. *)
+
+open Ch_lang.Term
+open Ch_semantics
+open Helpers
+
+let mk ?(threads = []) ?(mvars = []) ?(inflight = []) ?(input = "") main_code =
+  let base = State.initial ~input main_code in
+  {
+    base with
+    State.threads = base.State.threads @ threads;
+    mvars;
+    inflight;
+    next_tid = 1 + List.length threads;
+    next_mvar = List.length mvars;
+    next_inflight = List.length inflight;
+  }
+
+let config = Step.default_config
+
+let rules_of ?(config = config) st =
+  List.map (fun (t : Step.transition) -> t.Step.rule) (Step.enumerate ~config st)
+
+let rule = Alcotest.testable (Fmt.of_to_string Step.rule_name) ( = )
+
+(* Find the unique transition with the given rule. *)
+let fire ?(config = config) st r =
+  match
+    List.filter (fun (t : Step.transition) -> t.Step.rule = r)
+      (Step.enumerate ~config st)
+  with
+  | [ t ] -> t
+  | [] -> Alcotest.failf "rule %s not enabled" (Step.rule_name r)
+  | _ -> Alcotest.failf "rule %s enabled more than once" (Step.rule_name r)
+
+let main_code (st : State.t) =
+  match State.thread st st.State.main with
+  | Some (State.Active (m, _)) -> m
+  | Some (State.Finished _) | None -> Alcotest.fail "main not active"
+
+let context_tests =
+  [
+    case "decompose descends bind and catch" (fun () ->
+        let t = parse "catch (takeMVar %m0 >>= \\x -> return x) h" in
+        let z = Context.decompose t in
+        Alcotest.check term "redex" (Take_mvar (Mvar 0)) z.Context.redex;
+        Alcotest.(check int) "frames" 2 (List.length z.Context.frames));
+    case "decompose descends block and unblock" (fun () ->
+        let t = parse "block (unblock (getChar >>= \\c -> putChar c))" in
+        let z = Context.decompose t in
+        Alcotest.check term "redex" Get_char z.Context.redex;
+        Alcotest.(check bool) "mask" true
+          (Context.mask_of ~default:Context.Masked z.Context.frames
+           = Context.Unmasked));
+    case "recompose inverts decompose" (fun () ->
+        let t = parse "block (catch (unblock (takeMVar %m0) >>= f) h)" in
+        Alcotest.check term "roundtrip" t
+          (Context.recompose (Context.decompose t)));
+    case "mask defaults apply with no mask frames" (fun () ->
+        let z = Context.decompose (parse "getChar >>= f") in
+        Alcotest.(check bool) "unmasked default" true
+          (Context.mask_of ~default:Context.Unmasked z.Context.frames
+           = Context.Unmasked);
+        Alcotest.(check bool) "masked default" true
+          (Context.mask_of ~default:Context.Masked z.Context.frames
+           = Context.Masked));
+    case "innermost mask frame wins" (fun () ->
+        let z =
+          Context.decompose (parse "unblock (block (takeMVar %m0 >>= f))")
+        in
+        Alcotest.(check bool) "masked" true
+          (Context.mask_of ~default:Context.Unmasked z.Context.frames
+           = Context.Masked));
+    case "redex is never a block term" (fun () ->
+        let z = Context.decompose (parse "block (block (return 1))") in
+        Alcotest.check term "redex" (Return (Lit_int 1)) z.Context.redex);
+  ]
+
+let fig4_tests =
+  [
+    case "(Bind): return N >>= M -> M N" (fun () ->
+        let st = mk (parse "return 1 >>= \\x -> return (x + 1)") in
+        let t = fire st Step.R_bind in
+        match Context.decompose (main_code t.Step.next) with
+        | { Context.redex = App (Lam _, Lit_int 1); frames = [] } -> ()
+        | _ -> Alcotest.fail "wrong result");
+    case "(PutChar) emits !c and returns ()" (fun () ->
+        let st = mk (parse "putChar 'x'") in
+        let t = fire st Step.R_put_char in
+        Alcotest.(check bool) "label" true
+          (t.Step.label = Some (Step.Out_char 'x'));
+        Alcotest.(check string) "output" "x" (State.output_string t.Step.next));
+    case "(GetChar) consumes input with ?c" (fun () ->
+        let st = mk ~input:"ab" (parse "getChar") in
+        let t = fire st Step.R_get_char in
+        Alcotest.(check bool) "label" true
+          (t.Step.label = Some (Step.In_char 'a'));
+        Alcotest.check term "result" (Return (Lit_char 'a'))
+          (main_code t.Step.next));
+    case "(GetChar) not enabled on empty input" (fun () ->
+        let st = mk (parse "getChar") in
+        Alcotest.(check bool) "disabled" false
+          (List.mem Step.R_get_char (rules_of st)));
+    case "(Sleep) carries the $d label" (fun () ->
+        let st = mk (parse "sleep 5") in
+        let t = fire st Step.R_sleep in
+        Alcotest.(check bool) "label" true (t.Step.label = Some (Step.Time 5)));
+    case "(PutMVar) fills an empty MVar" (fun () ->
+        let st = mk ~mvars:[ (0, None) ] (parse "putMVar %m0 42") in
+        let t = fire st Step.R_put_mvar in
+        Alcotest.(check bool) "full" true
+          (State.mvar t.Step.next 0 = Some (Some (Lit_int 42))));
+    case "(PutMVar) blocked on a full MVar" (fun () ->
+        let st = mk ~mvars:[ (0, Some (Lit_int 1)) ] (parse "putMVar %m0 2") in
+        Alcotest.(check (list rule)) "only stuck rule"
+          [ Step.R_stuck_put_mvar ] (rules_of st));
+    case "(TakeMVar) empties a full MVar" (fun () ->
+        let st = mk ~mvars:[ (0, Some (Lit_int 9)) ] (parse "takeMVar %m0") in
+        let t = fire st Step.R_take_mvar in
+        Alcotest.(check bool) "empty" true (State.mvar t.Step.next 0 = Some None);
+        Alcotest.check term "result" (Return (Lit_int 9))
+          (main_code t.Step.next));
+    case "(TakeMVar) blocked on an empty MVar" (fun () ->
+        let st = mk ~mvars:[ (0, None) ] (parse "takeMVar %m0") in
+        Alcotest.(check (list rule)) "only stuck rule"
+          [ Step.R_stuck_take_mvar ] (rules_of st));
+    case "(NewMVar) allocates a fresh empty MVar" (fun () ->
+        let st = mk (parse "newEmptyMVar") in
+        let t = fire st Step.R_new_mvar in
+        Alcotest.(check bool) "created empty" true
+          (State.mvar t.Step.next 0 = Some None);
+        Alcotest.check term "returns name" (Return (Mvar 0))
+          (main_code t.Step.next));
+    case "(Fork) spawns a thread and returns its id" (fun () ->
+        let st = mk (parse "forkIO (putChar 'c')") in
+        let t = fire st Step.R_fork in
+        Alcotest.(check int) "two threads" 2
+          (List.length t.Step.next.State.threads);
+        Alcotest.check term "returns tid" (Return (Tid 1))
+          (main_code t.Step.next));
+    case "(ThreadId) returns own id" (fun () ->
+        let st = mk (parse "myThreadId") in
+        let t = fire st Step.R_thread_id in
+        Alcotest.check term "tid" (Return (Tid 0)) (main_code t.Step.next));
+    case "(Propagate): throw e >>= M -> throw e" (fun () ->
+        let st = mk (parse "throw #E >>= \\x -> return x") in
+        let t = fire st Step.R_propagate in
+        Alcotest.check term "throw" (Throw (Lit_exn "E"))
+          (main_code t.Step.next));
+    case "(Catch) passes the exception to the handler" (fun () ->
+        let st = mk (parse "catch (throw #E) (\\e -> return e)") in
+        let t = fire st Step.R_catch in
+        match Context.decompose (main_code t.Step.next) with
+        | { Context.redex = App (Lam _, Lit_exn "E"); _ } -> ()
+        | _ -> Alcotest.fail "handler not applied");
+    case "(Handle) drops the handler on success" (fun () ->
+        let st = mk (parse "catch (return 3) (\\e -> return 0)") in
+        let t = fire st Step.R_handle in
+        Alcotest.check term "unwrapped" (Return (Lit_int 3))
+          (main_code t.Step.next));
+    case "(Return GC) finishes a thread" (fun () ->
+        let st = mk (parse "return 5") in
+        let t = fire st Step.R_return_gc in
+        Alcotest.(check bool) "finished" true
+          (State.main_result t.Step.next = Some (State.Done (Lit_int 5))));
+    case "(Throw GC) records the uncaught exception" (fun () ->
+        let st = mk (parse "throw #Boom") in
+        let t = fire st Step.R_throw_gc in
+        Alcotest.(check bool) "finished" true
+          (State.main_result t.Step.next = Some (State.Threw "Boom")));
+    case "(Proc GC) reaps everything once main is done" (fun () ->
+        let st = mk (parse "forkIO (sleep 1) >>= \\t -> return 0") in
+        let r = explore ~stuck_io:false (main_code st) in
+        (* after exploration every terminal is main alone *)
+        List.iter
+          (fun (t : Ch_explore.Space.terminal) ->
+            Alcotest.(check int) "one thread" 1
+              (List.length t.Ch_explore.Space.state.State.threads))
+          r.Ch_explore.Space.terminals);
+    case "(Eval) evaluates a non-value redex" (fun () ->
+        let st = mk (parse "putChar (if True then 'a' else 'b')") in
+        let t = fire st Step.R_eval in
+        Alcotest.check term "evaluated" (Put_char (Lit_char 'a'))
+          (main_code t.Step.next));
+    case "(Raise) converts pure raises to throw" (fun () ->
+        let st = mk (parse "(\\x -> takeMVar x) (raise #Oops)") in
+        let t = fire st Step.R_raise in
+        Alcotest.check term "raised" (Throw (Lit_exn "Oops"))
+          (main_code t.Step.next));
+    case "(Raise) on division by zero at the evaluation site" (fun () ->
+        let st = mk (parse "sleep (1 / 0)") in
+        let t = fire st Step.R_raise in
+        Alcotest.check term "raised" (Throw (Lit_exn "DivideByZero"))
+          (main_code t.Step.next));
+    case "ill-typed redex has no transitions" (fun () ->
+        let st = mk (parse "3 >>= \\x -> return x") in
+        Alcotest.(check (list rule)) "none" [] (rules_of st);
+        match Step.thread_stall config st 0 with
+        | Some (Step.Ill_typed _) -> ()
+        | _ -> Alcotest.fail "expected ill-typed stall");
+    case "divergent redex reports Diverging" (fun () ->
+        let st = mk (parse "fix (\\x -> x) >>= \\y -> return y") in
+        let config = { config with Step.fuel = 500 } in
+        Alcotest.(check (list rule)) "none" [] (rules_of ~config st);
+        match Step.thread_stall config st 0 with
+        | Some Step.Diverging -> ()
+        | _ -> Alcotest.fail "expected divergence stall");
+  ]
+
+let state_tests =
+  [
+    case "canonical key ignores name allocation order" (fun () ->
+        let a =
+          mk ~mvars:[ (3, None) ]
+            (Put_mvar (Mvar 3, Lit_int 1))
+        in
+        let b =
+          mk ~mvars:[ (7, None) ]
+            (Put_mvar (Mvar 7, Lit_int 1))
+        in
+        Alcotest.(check string) "same key" (State.canonical_key a)
+          (State.canonical_key b));
+    case "canonical key is alpha-insensitive" (fun () ->
+        let a = mk (parse "return 0 >>= \\x -> return x") in
+        let b = mk (parse "return 0 >>= \\y -> return y") in
+        Alcotest.(check string) "same key" (State.canonical_key a)
+          (State.canonical_key b));
+    case "canonical key distinguishes mvar contents" (fun () ->
+        let a = mk ~mvars:[ (0, None) ] (parse "takeMVar %m0") in
+        let b = mk ~mvars:[ (0, Some (Lit_int 1)) ] (parse "takeMVar %m0") in
+        Alcotest.(check bool) "differ" false
+          (String.equal (State.canonical_key a) (State.canonical_key b)));
+    case "inert in-flight exceptions are dropped" (fun () ->
+        let finished : State.thread = State.Finished (State.Done unit_v) in
+        let base = mk (parse "return 0") in
+        let a =
+          {
+            base with
+            State.threads = base.State.threads @ [ (1, finished) ];
+            inflight = [ (0, { State.target = 1; exn = "E" }) ];
+            next_tid = 2;
+            next_inflight = 1;
+          }
+        in
+        let b =
+          {
+            base with
+            State.threads = base.State.threads @ [ (1, finished) ];
+            next_tid = 2;
+          }
+        in
+        Alcotest.(check string) "same key" (State.canonical_key a)
+          (State.canonical_key b));
+    case "live in-flight exceptions are kept" (fun () ->
+        let base = mk (parse "return 0") in
+        let a =
+          { base with State.inflight = [ (0, { State.target = 0; exn = "E" }) ] }
+        in
+        Alcotest.(check bool) "differ" false
+          (String.equal (State.canonical_key a) (State.canonical_key base)));
+    case "output is observable state" (fun () ->
+        let a = mk (parse "return 0") in
+        let b = { a with State.output = [ 'x' ] } in
+        Alcotest.(check bool) "differ" false
+          (String.equal (State.canonical_key a) (State.canonical_key b)));
+  ]
+
+let suites =
+  [
+    ("semantics:contexts", context_tests);
+    ("semantics:fig4", fig4_tests);
+    ("semantics:state(Fig2-3)", state_tests);
+  ]

@@ -1,0 +1,212 @@
+(* The §11 fault-tolerant server substrate: parsing, end-to-end requests,
+   slow-client (slowloris) timeouts, admission control, graceful shutdown. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Hserver
+open Helpers
+
+let int_v = Alcotest.int
+let str_v = Alcotest.string
+
+let echo_handler =
+  Server.route
+    [
+      ("/hello", fun _ -> Http.ok "world");
+      ("/echo", fun body -> Http.ok body);
+    ]
+
+(* A well-behaved client: one request, one response. *)
+let get server ?(body = "") path =
+  Server.connect server >>= fun conn ->
+  Http.write_request conn
+    { Http.meth = "GET"; path; headers = []; body }
+  >>= fun () -> Http.read_response conn
+
+let http_tests =
+  [
+    case "conn pipe carries bytes both ways" (fun () ->
+        Alcotest.check (Alcotest.pair str_v str_v) "both" ("ping", "pong")
+          (value
+             ( Http.Conn.pipe () >>= fun (a, b) ->
+               Http.Conn.send_string a "ping\n" >>= fun () ->
+               Http.Conn.send_string b "pong\n" >>= fun () ->
+               Http.Conn.recv_line b >>= fun at_b ->
+               Http.Conn.recv_line a >>= fun at_a -> return (at_b, at_a) )));
+    case "request round-trips through the wire format" (fun () ->
+        let request =
+          {
+            Http.meth = "POST";
+            path = "/submit";
+            headers = [ ("x-token", "abc") ];
+            body = "payload!";
+          }
+        in
+        let got =
+          value
+            ( Http.Conn.pipe () >>= fun (client, server) ->
+              fork (Http.write_request client request) >>= fun _ ->
+              Http.read_request server )
+        in
+        Alcotest.check str_v "meth" "POST" got.Http.meth;
+        Alcotest.check str_v "path" "/submit" got.Http.path;
+        Alcotest.check str_v "body" "payload!" got.Http.body;
+        Alcotest.(check (option string)) "header" (Some "abc")
+          (List.assoc_opt "x-token" got.Http.headers));
+    case "response round-trips" (fun () ->
+        let got =
+          value
+            ( Http.Conn.pipe () >>= fun (client, server) ->
+              fork (Http.write_response server (Http.ok "hi there"))
+              >>= fun _ -> Http.read_response client )
+        in
+        Alcotest.check int_v "status" 200 got.Http.status;
+        Alcotest.check str_v "body" "hi there" got.Http.body);
+    case "drain_available returns buffered bytes without blocking" (fun () ->
+        Alcotest.check str_v "drained" "abc"
+          (value
+             ( Http.Conn.pipe () >>= fun (a, b) ->
+               Http.Conn.send_string a "abc" >>= fun () ->
+               Http.Conn.drain_available b )));
+    case "drain_available on an empty stream is empty" (fun () ->
+        Alcotest.check str_v "empty" ""
+          (value
+             ( Http.Conn.pipe () >>= fun (_a, b) ->
+               Http.Conn.drain_available b )));
+    case "malformed request line raises Bad_request" (fun () ->
+        match
+          run
+            ( Http.Conn.pipe () >>= fun (client, server) ->
+              fork (Http.Conn.send_string client "NONSENSE\r\n\r\n")
+              >>= fun _ -> Http.read_request server )
+        with
+        | { Runtime.outcome = Runtime.Uncaught (Http.Bad_request _); _ } -> ()
+        | _ -> Alcotest.fail "expected Bad_request");
+    case "bad content-length raises Bad_request" (fun () ->
+        match
+          run
+            ( Http.Conn.pipe () >>= fun (client, server) ->
+              fork
+                (Http.Conn.send_string client
+                   "GET / HTTP/1.0\r\ncontent-length: wat\r\n\r\n")
+              >>= fun _ -> Http.read_request server )
+        with
+        | { Runtime.outcome = Runtime.Uncaught (Http.Bad_request _); _ } -> ()
+        | _ -> Alcotest.fail "expected Bad_request");
+  ]
+
+let server_tests =
+  [
+    case "end-to-end: routed request gets its answer" (fun () ->
+        let response =
+          value
+            ( Server.start echo_handler >>= fun server ->
+              get server "/hello" >>= fun r ->
+              Server.shutdown server >>= fun _ -> return r )
+        in
+        Alcotest.check int_v "status" 200 response.Http.status;
+        Alcotest.check str_v "body" "world" response.Http.body);
+    case "unknown path gets 404" (fun () ->
+        Alcotest.check int_v "status" 404
+          (value
+             ( Server.start echo_handler >>= fun server ->
+               get server "/nope" >>= fun r ->
+               Server.shutdown server >>= fun _ -> return r.Http.status )));
+    case "post body is echoed" (fun () ->
+        Alcotest.check str_v "echo" "data-123"
+          (value
+             ( Server.start echo_handler >>= fun server ->
+               get server ~body:"data-123" "/echo" >>= fun r ->
+               Server.shutdown server >>= fun _ -> return r.Http.body )));
+    case "many concurrent clients are all served" (fun () ->
+        let n = 12 in
+        let stats, statuses =
+          value
+            ( Server.start echo_handler >>= fun server ->
+              Combinators.parallel_map
+                (fun _ -> get server "/hello")
+                (List.init n Fun.id)
+              >>= fun responses ->
+              Server.shutdown server >>= fun stats ->
+              return (stats, List.map (fun r -> r.Http.status) responses) )
+        in
+        Alcotest.(check (list int_v)) "all 200"
+          (List.init n (fun _ -> 200))
+          statuses;
+        Alcotest.check int_v "served count" n stats.Server.served);
+    case "a slowloris client is answered 504 by the timeout" (fun () ->
+        let response =
+          value
+            ( Server.start echo_handler >>= fun server ->
+              Server.connect server >>= fun conn ->
+              (* trickle an incomplete request forever *)
+              fork
+                (Combinators.forever
+                   ( Http.Conn.send_string conn "G" >>= fun () ->
+                     sleep 50 ))
+              >>= fun _dripper ->
+              Http.read_response conn >>= fun r ->
+              Server.shutdown server >>= fun _ -> return r )
+        in
+        Alcotest.check int_v "status" 504 response.Http.status);
+    case "slow handlers hit the same timeout" (fun () ->
+        let slow_handler _req =
+          sleep 10_000 >>= fun () -> return (Http.ok "too late")
+        in
+        Alcotest.check int_v "status" 504
+          (value
+             ( Server.start slow_handler >>= fun server ->
+               get server "/x" >>= fun r ->
+               Server.shutdown server >>= fun _ -> return r.Http.status )));
+    case "admission control requires timeouts to cover queueing" (fun () ->
+        (* 1 worker slot and a slow handler: the second client's worker
+           waits for admission and times out end-to-end *)
+        let config =
+          { Server.default_config with Server.max_concurrent = 1 }
+        in
+        let slowish _req = sleep 150 >>= fun () -> return (Http.ok "done") in
+        let statuses =
+          value
+            ( Server.start ~config slowish >>= fun server ->
+              Combinators.parallel_map
+                (fun _ -> get server "/x" >>= fun r -> return r.Http.status)
+                [ 0; 1; 2 ]
+              >>= fun statuses ->
+              Server.shutdown server >>= fun _ -> return statuses )
+        in
+        Alcotest.(check bool) "someone served" true (List.mem 200 statuses);
+        Alcotest.(check bool) "someone timed out" true (List.mem 504 statuses));
+    case "shutdown rejects queued connections and reports stats" (fun () ->
+        let stats =
+          value
+            ( Server.start echo_handler >>= fun server ->
+              get server "/hello" >>= fun _ ->
+              Server.shutdown server >>= fun stats -> return stats )
+        in
+        Alcotest.check int_v "served" 1 stats.Server.served;
+        Alcotest.check int_v "rejected" 0 stats.Server.rejected);
+    case "connect after shutdown raises Server_stopped" (fun () ->
+        match
+          run
+            ( Server.start echo_handler >>= fun server ->
+              Server.shutdown server >>= fun _ -> Server.connect server )
+        with
+        | { Runtime.outcome = Runtime.Uncaught Server.Server_stopped; _ } -> ()
+        | _ -> Alcotest.fail "expected Server_stopped");
+    case "bad request over the wire gets 400, server survives" (fun () ->
+        let first_status, second =
+          value
+            ( Server.start echo_handler >>= fun server ->
+              Server.connect server >>= fun conn ->
+              Http.Conn.send_string conn "BROKEN\r\n\r\n" >>= fun () ->
+              Http.read_response conn >>= fun bad ->
+              get server "/hello" >>= fun good ->
+              Server.shutdown server >>= fun _ ->
+              return (bad.Http.status, good.Http.status) )
+        in
+        Alcotest.check int_v "bad gets 400" 400 first_status;
+        Alcotest.check int_v "server still fine" 200 second);
+  ]
+
+let suites = [ ("server:http", http_tests); ("server:behaviour", server_tests) ]

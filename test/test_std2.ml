@@ -1,0 +1,286 @@
+(* Tests for the extended hio_std structures: bounded channels, barriers,
+   N-ary race/parallel, and the critical_take idiom. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+let int_v = Alcotest.int
+
+let bchan_tests =
+  [
+    case "send/recv round-trip in order" (fun () ->
+        Alcotest.check (Alcotest.list int_v) "order" [ 1; 2; 3 ]
+          (value
+             ( Bchan.create 2 >>= fun c ->
+               fork
+                 ( Bchan.send c 1 >>= fun () ->
+                   Bchan.send c 2 >>= fun () -> Bchan.send c 3 )
+               >>= fun _ ->
+               Bchan.recv c >>= fun a ->
+               Bchan.recv c >>= fun b ->
+               Bchan.recv c >>= fun d -> return [ a; b; d ] )));
+    case "send blocks at capacity (back-pressure)" (fun () ->
+        Alcotest.(check string) "blocked" "putMVar"
+          (value
+             ( Bchan.create 1 >>= fun c ->
+               Bchan.send c 1 >>= fun () ->
+               fork (Bchan.send c 2) >>= fun t ->
+               yields 3 >>= fun () ->
+               Io.thread_status t >>= function
+               | Io.Blocked_on why -> return why
+               | Io.Running -> return "running"
+               | Io.Dead -> return "dead" )));
+    case "recv unblocks a waiting sender" (fun () ->
+        Alcotest.check (Alcotest.pair int_v int_v) "both" (1, 2)
+          (value
+             ( Bchan.create 1 >>= fun c ->
+               Bchan.send c 1 >>= fun () ->
+               fork (Bchan.send c 2) >>= fun _ ->
+               yields 3 >>= fun () ->
+               Bchan.recv c >>= fun a ->
+               Bchan.recv c >>= fun b -> return (a, b) )));
+    case "try_send respects capacity; try_recv respects emptiness" (fun () ->
+        Alcotest.(check (list bool)) "flags" [ true; false; true; false ]
+          (value
+             ( Bchan.create 1 >>= fun c ->
+               Bchan.try_send c 1 >>= fun a ->
+               Bchan.try_send c 2 >>= fun b ->
+               Bchan.try_recv c >>= fun r1 ->
+               Bchan.try_recv c >>= fun r2 ->
+               return [ a; b; r1 = Some 1; r2 <> None ] )));
+    case "killed sender does not wedge the channel" (fun () ->
+        Alcotest.check int_v "flows" 3
+          (value
+             ( Bchan.create 1 >>= fun c ->
+               Bchan.send c 1 >>= fun () ->
+               fork (Bchan.send c 2) >>= fun t ->
+               yields 3 >>= fun () ->
+               throw_to t Kill_thread >>= fun () ->
+               Bchan.recv c >>= fun _ ->
+               (* the channel must still accept and deliver *)
+               Bchan.send c 3 >>= fun () -> Bchan.recv c )));
+    case "killed receiver does not wedge the channel" (fun () ->
+        Alcotest.check int_v "flows" 7
+          (value
+             ( Bchan.create 1 >>= fun (c : int Bchan.t) ->
+               fork (Bchan.recv c >>= fun _ -> return ()) >>= fun t ->
+               yields 3 >>= fun () ->
+               throw_to t Kill_thread >>= fun () ->
+               Bchan.send c 7 >>= fun () -> Bchan.recv c )));
+    case "capacity is reported" (fun () ->
+        Alcotest.check int_v "capacity" 3
+          (value
+             ( Bchan.create 3 >>= fun (c : int Bchan.t) ->
+               return (Bchan.capacity c) )));
+    case "pipeline: producer through bounded stage to consumer" (fun () ->
+        Alcotest.check int_v "sum" 55
+          (value
+             ( Bchan.create 3 >>= fun c ->
+               fork
+                 (let rec produce i =
+                    if i > 10 then return ()
+                    else Bchan.send c i >>= fun () -> produce (i + 1)
+                  in
+                  produce 1)
+               >>= fun _ ->
+               let rec consume acc n =
+                 if n = 0 then return acc
+                 else Bchan.recv c >>= fun v -> consume (acc + v) (n - 1)
+               in
+               consume 0 10 )));
+  ]
+
+let barrier_tests =
+  [
+    case "all parties meet, last arrival releases" (fun () ->
+        Alcotest.check int_v "all passed" 3
+          (value
+             ( Barrier.create 3 >>= fun b ->
+               Mvar.new_filled 0 >>= fun passed ->
+               let party =
+                 Barrier.await b >>= fun _ ->
+                 Mvar.take passed >>= fun n -> Mvar.put passed (n + 1)
+               in
+               fork party >>= fun _ ->
+               fork party >>= fun _ ->
+               fork party >>= fun _ ->
+               yields 40 >>= fun () -> Mvar.take passed )));
+    case "nobody passes before the last arrival" (fun () ->
+        Alcotest.check int_v "still zero" 0
+          (value
+             ( Barrier.create 3 >>= fun b ->
+               Mvar.new_filled 0 >>= fun passed ->
+               let party =
+                 Barrier.await b >>= fun _ ->
+                 Mvar.take passed >>= fun n -> Mvar.put passed (n + 1)
+               in
+               fork party >>= fun _ ->
+               fork party >>= fun _ ->
+               yields 30 >>= fun () -> Mvar.read passed )));
+    case "barrier is cyclic: reusable across rounds" (fun () ->
+        Alcotest.check int_v "two rounds" 4
+          (value
+             ( Barrier.create 2 >>= fun b ->
+               Mvar.new_filled 0 >>= fun passed ->
+               let party =
+                 Barrier.await b >>= fun _ ->
+                 Mvar.take passed >>= fun n ->
+                 Mvar.put passed (n + 1) >>= fun () ->
+                 Barrier.await b >>= fun _ ->
+                 Mvar.take passed >>= fun n -> Mvar.put passed (n + 1)
+               in
+               fork party >>= fun _ ->
+               fork party >>= fun _ ->
+               yields 60 >>= fun () -> Mvar.take passed )));
+    case "killed waiter withdraws; barrier trips with a replacement"
+      (fun () ->
+        Alcotest.check int_v "released" 2
+          (value
+             ( Barrier.create 2 >>= fun b ->
+               Mvar.new_filled 0 >>= fun passed ->
+               let party =
+                 Barrier.await b >>= fun _ ->
+                 Mvar.take passed >>= fun n -> Mvar.put passed (n + 1)
+               in
+               fork party >>= fun victim ->
+               yields 4 >>= fun () ->
+               throw_to victim Kill_thread >>= fun () ->
+               yields 4 >>= fun () ->
+               (* two fresh parties must still be able to trip the barrier *)
+               fork party >>= fun _ ->
+               fork party >>= fun _ ->
+               yields 40 >>= fun () -> Mvar.take passed )));
+  ]
+
+let parties_tests =
+  [
+    case "parties is reported" (fun () ->
+        Alcotest.check int_v "parties" 4
+          (value (Barrier.create 4 >>= fun b -> return (Barrier.parties b))));
+  ]
+
+let nary_tests =
+  [
+    case "race returns the fastest of many" (fun () ->
+        Alcotest.check int_v "winner" 3
+          (value
+             (Combinators.race
+                [
+                  (sleep 30 >>= fun () -> return 1);
+                  (sleep 20 >>= fun () -> return 2);
+                  (sleep 10 >>= fun () -> return 3);
+                ])));
+    case "race kills the losers" (fun () ->
+        let survivors = ref 0 in
+        ignore
+          (value
+             ( Combinators.race
+                 [
+                   return 1;
+                   (sleep 50 >>= fun () ->
+                    lift (fun () -> incr survivors) >>= fun () -> return 2);
+                   (sleep 60 >>= fun () ->
+                    lift (fun () -> incr survivors) >>= fun () -> return 3);
+                 ]
+             >>= fun _ -> sleep 100 ));
+        Alcotest.check int_v "none survived" 0 !survivors);
+    case "race rethrows a child failure" (fun () ->
+        match
+          uncaught
+            (Combinators.race
+               [ (sleep 10 >>= fun _ -> throw Not_found); sleep 50 ])
+        with
+        | Not_found -> ()
+        | e -> Alcotest.failf "wrong exn %s" (Printexc.to_string e));
+    case "race of the empty list is an error" (fun () ->
+        match uncaught (Combinators.race ([] : int Io.t list)) with
+        | Invalid_argument _ -> ()
+        | e -> Alcotest.failf "wrong exn %s" (Printexc.to_string e));
+    case "parallel collects in order regardless of completion order"
+      (fun () ->
+        Alcotest.check (Alcotest.list int_v) "ordered" [ 1; 2; 3 ]
+          (value
+             (Combinators.parallel
+                [
+                  (sleep 30 >>= fun () -> return 1);
+                  (sleep 10 >>= fun () -> return 2);
+                  (sleep 20 >>= fun () -> return 3);
+                ])));
+    case "parallel kills siblings on failure" (fun () ->
+        let survivors = ref 0 in
+        (match
+           run
+             ( Combinators.parallel
+                 [
+                   (sleep 10 >>= fun () -> throw Not_found);
+                   (sleep 50 >>= fun () -> lift (fun () -> incr survivors));
+                 ]
+               >>= fun _ -> sleep 100 )
+         with
+        | { Runtime.outcome = Runtime.Uncaught Not_found; _ } -> ()
+        | _ -> Alcotest.fail "expected Not_found");
+        Alcotest.check int_v "sibling killed" 0 !survivors);
+    case "parallel_map squares a list concurrently" (fun () ->
+        Alcotest.check (Alcotest.list int_v) "squares" [ 1; 4; 9; 16 ]
+          (value
+             (Combinators.parallel_map
+                (fun x -> sleep (5 - x) >>= fun () -> return (x * x))
+                [ 1; 2; 3; 4 ])));
+    case "race under an external kill never deadlocks" (fun () ->
+        for k = 0 to 20 do
+          let prog =
+            fork
+              (catch
+                 ( Combinators.race [ yields 5; yields 7; yields 9 ]
+                 >>= fun _ -> return () )
+                 (fun _ -> return ()))
+            >>= fun t ->
+            yields k >>= fun () ->
+            throw_to t Kill_thread >>= fun () -> yields 50
+          in
+          match (run prog).Runtime.outcome with
+          | Runtime.Value () -> ()
+          | _ -> Alcotest.failf "k=%d stuck" k
+        done);
+  ]
+
+let critical_take_tests =
+  [
+    case "critical_take survives a kill and re-raises it afterwards"
+      (fun () ->
+        (* a holder keeps the mvar busy; the taker is killed while waiting;
+           critical_take must complete the take, and the kill must surface
+           right after the critical section *)
+        Alcotest.(check (pair bool bool)) "took and re-raised" (true, true)
+          (value
+             ( Mvar.new_filled 1 >>= fun m ->
+               Mvar.new_empty >>= fun got ->
+               fork
+                 ( Mvar.take m >>= fun v ->
+                   yields 6 >>= fun () -> Mvar.put m v )
+               >>= fun _holder ->
+               yields 1 >>= fun () ->
+               fork
+                 (block
+                    (catch
+                       ( Combinators.critical_take m >>= fun v ->
+                         Mvar.put m v >>= fun () ->
+                         (* exception arrives at the next window *)
+                         catch
+                           (unblock (Combinators.forever yield))
+                           (fun _ -> Mvar.put got (true, true)) )
+                       (fun _ -> Mvar.put got (false, true))))
+               >>= fun taker ->
+               yields 1 >>= fun () ->
+               throw_to taker Kill_thread >>= fun () -> Mvar.take got )));
+  ]
+
+let suites =
+  [
+    ("std:bchan", bchan_tests);
+    ("std:barrier", barrier_tests @ parties_tests);
+    ("std:race-parallel", nary_tests);
+    ("std:critical-take", critical_take_tests);
+  ]

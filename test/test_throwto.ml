@@ -1,0 +1,169 @@
+(* Tests for throwTo: the asynchronous design of §5/§8.2, the synchronous
+   alternative of §9, and their observable differences. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+let int_v = Alcotest.int
+
+let sync_config =
+  { (rr_config ()) with Runtime.Config.sync_throw_to = true }
+
+let run_sync io = Runtime.run ~config:sync_config io
+
+let value_sync io =
+  match (run_sync io).Runtime.outcome with
+  | Runtime.Value v -> v
+  | _ -> Alcotest.fail "expected a value under sync throwTo"
+
+let async_tests =
+  [
+    case "throwTo returns immediately (asynchronous design)" (fun () ->
+        (* the target is masked and never unmasks before main finishes, yet
+           throwTo completes at once *)
+        Alcotest.check int_v "returned" 1
+          (value
+             ( fork (block (Combinators.forever yield)) >>= fun t ->
+               throw_to t Kill_thread >>= fun () -> return 1 )));
+    case "throwTo to a dead thread trivially succeeds" (fun () ->
+        Alcotest.check int_v "ok" 1
+          (value
+             ( fork (return ()) >>= fun t ->
+               yields 3 >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> return 1 )));
+    case "throwTo to self raises at the next delivery point" (fun () ->
+        Alcotest.check int_v "self" 5
+          (value
+             (catch
+                ( my_thread_id >>= fun me ->
+                  throw_to me (Failure "self") >>= fun () ->
+                  yield >>= fun () -> return 0 )
+                (fun _ -> return 5))));
+    case "masked self-throw is deferred to the unblock" (fun () ->
+        Alcotest.check int_v "deferred" 7
+          (value
+             (catch
+                (block
+                   ( my_thread_id >>= fun me ->
+                     throw_to me (Failure "self") >>= fun () ->
+                     (* still alive here: masked *)
+                     yields 3 >>= fun () ->
+                     unblock (yields 1) >>= fun () -> return 0 ))
+                (fun _ -> return 7))));
+    case "exception delivered to a blocked target immediately" (fun () ->
+        Alcotest.check Alcotest.string "blocked->killed" "dead"
+          (value
+             ( Mvar.new_empty >>= fun (m : int Mvar.t) ->
+               fork (Mvar.take m >>= fun _ -> return ()) >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t Kill_thread >>= fun () ->
+               (* no further scheduling needed for the kill to have landed *)
+               Io.thread_status t >>= function
+               | Io.Dead -> return "dead"
+               | Io.Running -> return "running"
+               | Io.Blocked_on w -> return w )));
+    case "kill cancels a waiting take (no ghost waiter)" (fun () ->
+        (* after killing a blocked taker, a put must not be consumed by the
+           dead waiter *)
+        Alcotest.check int_v "put survives" 5
+          (value
+             ( Mvar.new_empty >>= fun m ->
+               fork (Mvar.take m >>= fun _ -> return ()) >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t Kill_thread >>= fun () ->
+               Mvar.put m 5 >>= fun () -> Mvar.take m )));
+    case "kill cancels a sleeping timer" (fun () ->
+        let r =
+          run
+            ( fork (sleep 1_000_000) >>= fun t ->
+              yields 2 >>= fun () ->
+              throw_to t Kill_thread >>= fun () -> sleep 10 )
+        in
+        (* the dead sleeper's timer must not drag the clock to 1s *)
+        Alcotest.check int_v "clock" 10 r.Runtime.time);
+    case "throwTo wins over a pending wake (exactly one resumption)"
+      (fun () ->
+        Alcotest.check int_v "once" 1
+          (value
+             ( Mvar.new_empty >>= fun m ->
+               Mvar.new_empty >>= fun hits ->
+               fork
+                 (catch
+                    (Mvar.take m >>= fun _ -> Mvar.put hits 10)
+                    (fun _ -> Mvar.put hits 1))
+               >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t Kill_thread >>= fun () ->
+               Mvar.put m 99 >>= fun () ->
+               Mvar.take hits >>= fun h ->
+               Mvar.take m >>= fun _ -> return h )));
+  ]
+
+let sync_tests =
+  [
+    case "sync throwTo waits for delivery" (fun () ->
+        (* target masked for a while: the sender must block until the
+           target unmasks, so the sender's clock-free progress marker is
+           only written after the window *)
+        Alcotest.check (Alcotest.list Alcotest.string) "order"
+          [ "window"; "sent" ]
+          (value_sync
+             ( Chan.create () >>= fun c ->
+               fork
+                 (block
+                    (catch
+                       ( yields 6 >>= fun () ->
+                         Chan.send c "window" >>= fun () ->
+                         unblock (yields 2) >>= fun () ->
+                         Chan.send c "never" )
+                       (fun _ -> return ())))
+               >>= fun t ->
+               yields 1 >>= fun () ->
+               throw_to t Kill_thread >>= fun () ->
+               Chan.send c "sent" >>= fun () ->
+               Chan.recv c >>= fun a ->
+               Chan.recv c >>= fun b -> return [ a; b ] )));
+    case "sync throwTo to a dead thread returns immediately" (fun () ->
+        Alcotest.check int_v "ok" 3
+          (value_sync
+             ( fork (return ()) >>= fun t ->
+               yields 3 >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> return 3 )));
+    case "sync throwTo to self raises immediately (§9 special case)"
+      (fun () ->
+        Alcotest.check int_v "raised" 4
+          (value_sync
+             (catch
+                ( my_thread_id >>= fun me ->
+                  throw_to me (Failure "self") >>= fun () -> return 0 )
+                (fun _ -> return 4))));
+    case "sync throwTo is itself interruptible (§9)" (fun () ->
+        (* sender S throws to a permanently masked target and is stuck;
+           a third thread rescues S with another exception *)
+        Alcotest.check int_v "rescued" 2
+          (value_sync
+             ( Mvar.new_empty >>= fun out ->
+               fork (block (Combinators.forever yield)) >>= fun target ->
+               fork
+                 (catch
+                    (throw_to target (Failure "never-delivered") >>= fun () ->
+                     Mvar.put out 1)
+                    (fun _ -> Mvar.put out 2))
+               >>= fun sender ->
+               yields 4 >>= fun () ->
+               throw_to sender Kill_thread >>= fun () -> Mvar.take out )));
+    case "async behaviour is recovered by forking the sync throwTo (§9)"
+      (fun () ->
+        (* "The asynchronous version can easily be implemented in terms of
+           the synchronous one simply by forking" *)
+        let async_throw_to t e = fork (throw_to t e) >>= fun _ -> return () in
+        Alcotest.check int_v "non-blocking" 1
+          (value_sync
+             ( fork (block (Combinators.forever yield)) >>= fun t ->
+               async_throw_to t Kill_thread >>= fun () -> return 1 )));
+  ]
+
+let suites =
+  [ ("throwTo:async(§8.2)", async_tests); ("throwTo:sync(§9)", sync_tests) ]

@@ -1,0 +1,188 @@
+(* Tests for the graph-reduction machine and §8's thunk policies (C8):
+   - the machine agrees with the big-step evaluator on the pure fragment;
+   - sharing: a let-bound thunk is evaluated once;
+   - interrupting and applying Revert or Freeze is observationally
+     invisible; Poison (the synchronous-exception treatment) is NOT, which
+     is exactly why the paper mandates revert-or-freeze for asynchronous
+     exceptions. *)
+
+open Ch_lang
+open Ch_lang.Term
+open Ch_pure
+open Helpers
+
+let eval_machine src =
+  match Machine.eval_result (parse src) with
+  | Some v -> v
+  | None -> Alcotest.fail "machine ran out of budget"
+
+let agreement_sources =
+  [
+    "1 + 2 * 3";
+    "(\\x -> x * x) 12";
+    "let rec fac = \\n -> if n == 0 then 1 else n * fac (n - 1) in fac 6";
+    "case Just (2 + 3) of { Just x -> x * 2; Nothing -> 0 }";
+    "if 'a' < 'b' then 10 else 20";
+    "(\\f -> \\x -> f (f x)) (\\n -> n + 3) 1";
+    "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in fib 12";
+    "case C 1 2 3 of { C a b c -> a + b * c }";
+    "1 == 2";
+    "#A == #A";
+  ]
+
+let agreement_tests =
+  List.map
+    (fun src ->
+      case ("machine = eval: " ^ src) (fun () ->
+          match Eval.eval ~fuel:200_000 (parse src) with
+          | Eval.Value expected ->
+              Alcotest.check term src expected (eval_machine src)
+          | _ -> Alcotest.fail "big-step did not converge"))
+    agreement_sources
+
+let machine_tests =
+  [
+    case "exceptions agree with the big-step evaluator" (fun () ->
+        match Machine.eval_result (parse "1 + raise #Boom") with
+        | exception Failure e -> Alcotest.(check string) "exn" "Boom" e
+        | _ -> Alcotest.fail "expected Boom");
+    case "division by zero raises" (fun () ->
+        match Machine.eval_result (parse "1 / 0") with
+        | exception Failure e ->
+            Alcotest.(check string) "exn" Eval.divide_by_zero e
+        | _ -> Alcotest.fail "expected DivideByZero");
+    case "pattern-match failure raises" (fun () ->
+        match Machine.eval_result (parse "case Left 1 of { Right x -> x }") with
+        | exception Failure e ->
+            Alcotest.(check string) "exn" Eval.pattern_match_fail e
+        | _ -> Alcotest.fail "expected PatternMatchFail");
+    case "budget exhaustion on (productive) divergence" (fun () ->
+        match
+          Machine.eval_result ~budget:2_000
+            (parse "let rec f = \\n -> f (n + 1) in f 0")
+        with
+        | None -> ()
+        | Some v ->
+            Alcotest.failf "diverging term produced %s"
+              (Pretty.term_to_string v));
+    case "cyclic self-reference is caught as a loop (GHC's <<loop>>)"
+      (fun () ->
+        match Machine.eval_result (parse "fix (\\x -> x)") with
+        | exception Failure e ->
+            Alcotest.(check string) "loop" "NonTermination" e
+        | _ -> Alcotest.fail "expected NonTermination");
+    case "constructors are forced deeply by force_deep" (fun () ->
+        Alcotest.check term "pair"
+          (pair (Lit_int 3) (Lit_int 4))
+          (eval_machine "let x = 3 in let y = x + 1 in (x, y)"));
+    case "self-demanding thunk is a black-hole loop" (fun () ->
+        match Machine.eval_result (parse "let rec x = x + 1 in x") with
+        | exception Failure e ->
+            Alcotest.(check string) "exn" "NonTermination" e
+        | _ -> Alcotest.fail "expected NonTermination");
+    case "sharing: a let-bound thunk is evaluated once" (fun () ->
+        (* With sharing, [fib 15] costs ~thousands of steps when computed
+           once and reused; without sharing the second use would double the
+           cost. Compare step counts. *)
+        let shared =
+          parse
+            "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in let x = fib 15 in x + x"
+        in
+        let unshared =
+          parse
+            "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in fib 15 + fib 15"
+        in
+        let steps t =
+          let m = Machine.create t in
+          ignore (Machine.force_deep m);
+          Machine.steps_taken m
+        in
+        let s = steps shared and u = steps unshared in
+        Alcotest.(check bool)
+          (Printf.sprintf "shared %d < unshared %d" s u)
+          true
+          (s * 3 < u * 2));
+    case "IO terms are rejected by the pure machine" (fun () ->
+        match Machine.eval_result (parse "getChar") with
+        | exception Failure e ->
+            Alcotest.(check string) "exn" "IOTermInPureMachine" e
+        | _ -> Alcotest.fail "expected rejection");
+  ]
+
+(* a term that takes a while: fib 17, interrupted at various points *)
+let slow_term () =
+  parse
+    "let rec fib = \\n -> if n < 2 then n else fib (n - 1) + fib (n - 2) in fib 17"
+
+let expected_value = Lit_int 1597
+
+let interrupt_at k policy =
+  let m = Machine.create (slow_term ()) in
+  (match Machine.run m ~steps:k with
+  | Machine.Running -> Machine.interrupt m policy
+  | Machine.Done _ | Machine.Raised _ -> ());
+  m
+
+let policy_tests =
+  [
+    case "Revert: interrupted evaluation restarts and completes" (fun () ->
+        List.iter
+          (fun k ->
+            let m = interrupt_at k Machine.Revert in
+            match Machine.force_deep m with
+            | Some v -> Alcotest.check term "value" expected_value v
+            | None -> Alcotest.fail "did not finish")
+          [ 1; 10; 100; 1_000; 10_000 ]);
+    case "Freeze: interrupted evaluation resumes and completes" (fun () ->
+        List.iter
+          (fun k ->
+            let m = interrupt_at k Machine.Freeze in
+            match Machine.force_deep m with
+            | Some v -> Alcotest.check term "value" expected_value v
+            | None -> Alcotest.fail "did not finish")
+          [ 1; 10; 100; 1_000; 10_000 ]);
+    case "Revert and Freeze are observationally equivalent (§8)" (fun () ->
+        List.iter
+          (fun k ->
+            let a = Machine.force_deep (interrupt_at k Machine.Revert) in
+            let b = Machine.force_deep (interrupt_at k Machine.Freeze) in
+            if a <> b then Alcotest.failf "policies diverge at k=%d" k)
+          [ 3; 33; 333; 3_333; 13_333 ]);
+    case "Freeze resumes: total steps strictly less than restarting"
+      (fun () ->
+        let total policy =
+          let m = interrupt_at 10_000 policy in
+          ignore (Machine.force_deep m);
+          Machine.steps_taken m
+        in
+        let frozen = total Machine.Freeze in
+        let reverted = total Machine.Revert in
+        Alcotest.(check bool)
+          (Printf.sprintf "freeze %d < revert %d" frozen reverted)
+          true (frozen < reverted));
+    case "Poison makes re-demand raise — wrong for async exceptions"
+      (fun () ->
+        let m = interrupt_at 1_000 (Machine.Poison "KillThread") in
+        match Machine.force_deep m with
+        | exception Failure e ->
+            Alcotest.(check string) "poisoned" "KillThread" e
+        | Some v ->
+            Alcotest.failf "unexpectedly recovered %s"
+              (Pretty.term_to_string v)
+        | None -> Alcotest.fail "budget");
+    case "Poison IS correct for synchronous exceptions (§8)" (fun () ->
+        (* when the exception is deterministic, poisoning and re-running
+           agree: the machine's C_raise path overwrites with Raised_node *)
+        let m = Machine.create (parse "let x = 1 / 0 in (x + 1) * (x + 2)") in
+        match Machine.force_deep m with
+        | exception Failure e ->
+            Alcotest.(check string) "deterministic" Eval.divide_by_zero e
+        | _ -> Alcotest.fail "expected DivideByZero");
+  ]
+
+let suites =
+  [
+    ("machine:agreement", agreement_tests);
+    ("machine:behaviour", machine_tests);
+    ("machine:thunk-policies(C8)", policy_tests);
+  ]

@@ -1,0 +1,184 @@
+(* Tests for the runtime event tracer: the scheduler's observable analogue
+   of the semantics' rule applications. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+let record prog =
+  let events = ref [] in
+  let config =
+    {
+      Runtime.Config.default with
+      Runtime.Config.tracer = Some (fun e -> events := e :: !events);
+    }
+  in
+  let r = Runtime.run ~config prog in
+  (r, List.rev !events)
+
+let has pred events = List.exists pred events
+
+let tracer_tests =
+  [
+    case "fork and exit events" (fun () ->
+        let _, events =
+          record (fork ~name:"child" (return ()) >>= fun _ -> yields 3)
+        in
+        Alcotest.(check bool) "fork" true
+          (has
+             (function
+               | Runtime.Ev_fork { parent = 0; child = 1; name = Some "child" }
+                 ->
+                   true
+               | _ -> false)
+             events);
+        Alcotest.(check bool) "child exit" true
+          (has
+             (function
+               | Runtime.Ev_exit { tid = 1; uncaught = None } -> true
+               | _ -> false)
+             events);
+        Alcotest.(check bool) "main exit" true
+          (has
+             (function
+               | Runtime.Ev_exit { tid = 0; uncaught = None } -> true
+               | _ -> false)
+             events));
+    case "throw_to and deliver events" (fun () ->
+        let _, events =
+          record
+            ( fork (Combinators.forever yield) >>= fun t ->
+              yield >>= fun () ->
+              throw_to t Kill_thread >>= fun () -> yields 3 )
+        in
+        Alcotest.(check bool) "throwTo" true
+          (has
+             (function
+               | Runtime.Ev_throw_to { source = 0; target = 1; _ } -> true
+               | _ -> false)
+             events);
+        Alcotest.(check bool) "deliver" true
+          (has
+             (function
+               | Runtime.Ev_deliver { tid = 1; exn = Io.Kill_thread } -> true
+               | _ -> false)
+             events);
+        Alcotest.(check bool) "victim died of the kill" true
+          (has
+             (function
+               | Runtime.Ev_exit { tid = 1; uncaught = Some Io.Kill_thread } ->
+                   true
+               | _ -> false)
+             events));
+    case "mask events bracket the masked region" (fun () ->
+        (* with the §8.1 collapse the re-mask on exit never happens (the
+           cancelling frame pair is elided), so exactly two transitions *)
+        let _, events = record (block (unblock (return ()))) in
+        let masks =
+          List.filter_map
+            (function
+              | Runtime.Ev_mask { masked; _ } -> Some masked
+              | _ -> None)
+            events
+        in
+        Alcotest.(check (list bool)) "collapsed" [ true; false ] masks;
+        (* without the collapse all four transitions are visible *)
+        let events' = ref [] in
+        let config =
+          {
+            Runtime.Config.default with
+            Runtime.Config.collapse_mask_frames = false;
+            tracer = Some (fun e -> events' := e :: !events');
+          }
+        in
+        ignore (Runtime.run ~config (block (unblock (return ()))));
+        let masks' =
+          List.filter_map
+            (function
+              | Runtime.Ev_mask { masked; _ } -> Some masked
+              | _ -> None)
+            (List.rev !events')
+        in
+        Alcotest.(check (list bool)) "uncollapsed" [ true; false; true; false ]
+          masks');
+    case "blocked events name the operation" (fun () ->
+        let _, events =
+          record
+            ( Mvar.new_empty >>= fun m ->
+              fork (yields 3 >>= fun () -> Mvar.put m 1) >>= fun _ ->
+              Mvar.take m )
+        in
+        Alcotest.(check bool) "takeMVar block" true
+          (has
+             (function
+               | Runtime.Ev_blocked { tid = 0; why = "takeMVar" } -> true
+               | _ -> false)
+             events));
+    case "clock events fire when time advances" (fun () ->
+        let _, events = record (sleep 25) in
+        Alcotest.(check bool) "clock" true
+          (has
+             (function
+               | Runtime.Ev_clock { now = 25 } -> true
+               | _ -> false)
+             events));
+    case "delivery ordering: throwTo precedes deliver precedes exit"
+      (fun () ->
+        let _, events =
+          record
+            ( fork (Combinators.forever yield) >>= fun t ->
+              yield >>= fun () ->
+              throw_to t Kill_thread >>= fun () -> yields 3 )
+        in
+        let index pred =
+          let rec go i = function
+            | [] -> -1
+            | e :: rest -> if pred e then i else go (i + 1) rest
+          in
+          go 0 events
+        in
+        let i_throw =
+          index (function Runtime.Ev_throw_to _ -> true | _ -> false)
+        and i_deliver =
+          index (function Runtime.Ev_deliver _ -> true | _ -> false)
+        and i_exit =
+          index (function
+            | Runtime.Ev_exit { tid = 1; _ } -> true
+            | _ -> false)
+        in
+        Alcotest.(check bool) "order" true
+          (i_throw >= 0 && i_throw < i_deliver && i_deliver < i_exit));
+    case "no tracer, no overhead path (smoke)" (fun () ->
+        Alcotest.(check int) "runs" 42 (value (return 42)));
+    case "logs_tracer reports through the Logs infrastructure" (fun () ->
+        let hits = ref 0 in
+        let reporter =
+          {
+            Logs.report =
+              (fun _src _level ~over k msgf ->
+                incr hits;
+                msgf (fun ?header:_ ?tags:_ fmt ->
+                    Format.ikfprintf
+                      (fun _ ->
+                        over ();
+                        k ())
+                      Format.str_formatter fmt));
+          }
+        in
+        let saved = Logs.reporter () in
+        Logs.set_reporter reporter;
+        Logs.set_level (Some Logs.Debug);
+        let config =
+          {
+            Runtime.Config.default with
+            Runtime.Config.tracer = Some (Runtime.logs_tracer ());
+          }
+        in
+        ignore (Runtime.run ~config (fork (return ()) >>= fun _ -> yields 2));
+        Logs.set_reporter saved;
+        Logs.set_level None;
+        Alcotest.(check bool) "events logged" true (!hits > 0));
+  ]
+
+let suites = [ ("runtime:tracer", tracer_tests) ]

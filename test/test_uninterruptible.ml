@@ -1,0 +1,132 @@
+(* The post-paper uninterruptible mask (Io.uninterruptibly): even
+   interruptible operations defer delivery inside it. These tests pin the
+   semantics and compare it with the paper-primitive critical_take idiom. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+let int_v = Alcotest.int
+
+let tests =
+  [
+    case "mask_level reports all three levels" (fun () ->
+        let lv = Alcotest.of_pp (fun ppf (l : Io.mask_level) ->
+            Fmt.string ppf
+              (match l with
+              | Io.Unmasked -> "unmasked"
+              | Io.Masked -> "masked"
+              | Io.Uninterruptible -> "uninterruptible"))
+        in
+        Alcotest.check (Alcotest.list lv) "levels"
+          [ Io.Unmasked; Io.Masked; Io.Uninterruptible; Io.Masked; Io.Unmasked ]
+          (value
+             ( mask_level >>= fun a ->
+               block
+                 ( mask_level >>= fun b ->
+                   uninterruptibly (mask_level >>= fun c -> return (b, c)) )
+               >>= fun (b, (c : Io.mask_level)) ->
+               block mask_level >>= fun d ->
+               mask_level >>= fun e -> return [ a; b; c; d; e ] )));
+    case "a blocking take inside uninterruptibly ignores a kill" (fun () ->
+        (* victim waits uninterruptibly; the kill stays pending; a put
+           releases it; the kill lands at the next unmasked point *)
+        Alcotest.check int_v "value secured" 9
+          (value
+             ( Mvar.new_empty >>= fun m ->
+               Mvar.new_empty >>= fun out ->
+               (* note: the securing put must be INSIDE the scope — a kill
+                  is deliverable the instant the scope ends *)
+               fork
+                 (catch
+                    ( uninterruptibly
+                        (Mvar.take m >>= fun v -> Mvar.put out v)
+                    >>= fun () -> Combinators.forever yield )
+                    (fun _ -> return ()))
+               >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t Kill_thread >>= fun () ->
+               yields 2 >>= fun () ->
+               Mvar.put m 9 >>= fun () -> Mvar.take out )));
+    case "the same take under plain block IS interrupted (contrast)"
+      (fun () ->
+        Alcotest.check int_v "interrupted" 1
+          (value
+             ( Mvar.new_empty >>= fun (m : int Mvar.t) ->
+               Mvar.new_empty >>= fun out ->
+               fork
+                 (catch
+                    (block (Mvar.take m) >>= fun _ -> return ())
+                    (fun _ -> Mvar.put out 1))
+               >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> Mvar.take out )));
+    case "pending kill delivered right after the uninterruptible scope"
+      (fun () ->
+        Alcotest.check int_v "then delivered" 1
+          (value
+             ( Mvar.new_empty >>= fun out ->
+               fork
+                 (catch
+                    ( uninterruptibly (yields 5) >>= fun () ->
+                      Combinators.forever yield )
+                    (fun _ -> Mvar.put out 1))
+               >>= fun t ->
+               yields 2 >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> Mvar.take out )));
+    case "sleep inside uninterruptibly completes despite a kill" (fun () ->
+        let r =
+          run
+            ( fork
+                (catch
+                   (uninterruptibly (sleep 50) >>= fun () -> return ())
+                   (fun _ -> return ()))
+            >>= fun t ->
+              yield >>= fun () ->
+              throw_to t Kill_thread >>= fun () -> sleep 100 )
+        in
+        (* the sleeper's timer must run to 50 — it was not cancelled *)
+        Alcotest.(check bool) "clock reached 50" true (r.Runtime.time >= 50));
+    case "unblock inside uninterruptibly re-enables delivery (scoped)"
+      (fun () ->
+        Alcotest.check int_v "delivered in window" 1
+          (value
+             ( Mvar.new_empty >>= fun out ->
+               fork
+                 (catch
+                    (uninterruptibly
+                       ( yields 2 >>= fun () ->
+                         unblock (Combinators.forever yield) ))
+                    (fun _ -> Mvar.put out 1))
+               >>= fun t ->
+               yields 1 >>= fun () ->
+               throw_to t Kill_thread >>= fun () -> Mvar.take out )));
+    case "semaphore release via uninterruptibly conserves capacity"
+      (fun () ->
+        (* the GHC-style alternative to Combinators.critical_take: wrap the
+           whole release in uninterruptibly *)
+        let release s =
+          uninterruptibly
+            ( Mvar.take s >>= fun (count, ()) ->
+              Mvar.put s (count + 1, ()) )
+        in
+        for seed = 1 to 30 do
+          let prog =
+            Mvar.new_filled (0, ()) >>= fun s ->
+            fork (yields 2 >>= fun () -> Mvar.with_mvar s (fun _ -> yields 2))
+            >>= fun _contender ->
+            fork (release s) >>= fun t ->
+            yields 1 >>= fun () ->
+            throw_to t Kill_thread >>= fun () ->
+            yields 40 >>= fun () ->
+            Mvar.read s >>= fun (count, ()) -> return count
+          in
+          match (run_seed seed prog).Runtime.outcome with
+          | Runtime.Value 1 -> ()
+          | Runtime.Value v -> Alcotest.failf "seed %d: count %d" seed v
+          | _ -> Alcotest.failf "seed %d: bad outcome" seed
+        done);
+  ]
+
+let suites = [ ("uninterruptible(ext)", tests) ]
