@@ -341,6 +341,58 @@ let rt =
         run_rr (loop 10_000 0)));
   ]
 
+(* --- SC: scheduler hot path at scale ---------------------------------------- *)
+
+(* Many-runnable-thread scenarios: with the seed's list-based run queue
+   every enqueue is O(|runq|), so a storm of n runnable threads costs
+   O(n) per step — these benchmarks are the before/after evidence for the
+   O(1) ring-deque substitution (BENCH_scheduler.json). *)
+
+(* A binary fork tree of depth d: the spawners fork in parallel, so all
+   2^(d+1)-1 threads become runnable within ~2(d+1) scheduler cycles and
+   then yield together — the run queue really holds ~2^(d+1) threads, which
+   a sequential fork loop cannot achieve (the forker gets one step per
+   round-robin cycle, so its children die faster than it spawns them). *)
+let fork_tree depth rounds =
+  let open Io in
+  let total = (1 lsl (depth + 1)) - 1 in
+  Mvar.new_empty >>= fun done_mv ->
+  let rec node d =
+    (if d = 0 then return ()
+     else
+       fork (node (d - 1)) >>= fun _ ->
+       fork (node (d - 1)) >>= fun _ -> return ())
+    >>= fun () ->
+    Combinators.repeat rounds yield >>= fun () -> Mvar.put done_mv ()
+  in
+  fork (node depth) >>= fun _ ->
+  Combinators.repeat total (Mvar.take done_mv) >>= fun () -> return total
+
+let fork_storm n =
+  let open Io in
+  Mvar.new_empty >>= fun done_mv ->
+  let rec spawn i =
+    if i = 0 then return ()
+    else fork (Mvar.put done_mv ()) >>= fun _ -> spawn (i - 1)
+  in
+  spawn n >>= fun () ->
+  Combinators.repeat n (Mvar.take done_mv) >>= fun () -> return n
+
+let random_cfg =
+  { Runtime.Config.default with Runtime.Config.policy = Runtime.Config.Random 42 }
+
+let sc =
+  [
+    Test.make ~name:"sc/fork-tree-1023x30" (stage (fun () ->
+        run_rr (fork_tree 9 30)));
+    Test.make ~name:"sc/fork-tree-2047x20" (stage (fun () ->
+        run_rr (fork_tree 10 20)));
+    Test.make ~name:"sc/fork-storm-1000" (stage (fun () ->
+        run_rr (fork_storm 1_000)));
+    Test.make ~name:"sc/fork-tree-random-1023x10" (stage (fun () ->
+        run_config random_cfg (fork_tree 9 10)));
+  ]
+
 (* --- DS: direct-style (effects) runtime vs the monadic runtime -------------- *)
 
 module D = Hio_direct.Direct
@@ -412,12 +464,57 @@ let groups =
     ("DS direct-style contrast", ds);
     ("SV server substrate", sv);
     ("RT runtime primitives", rt);
+    ("SC scheduler hot path", sc);
   ]
+
+(* CLI: [-quota SECONDS] bounds the per-test measuring time (CI smoke runs
+   use a small value), [-only PREFIX] selects matching groups. *)
+let quota, only =
+  let quota = ref 0.4 and only = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "-quota" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f ->
+            quota := f;
+            parse rest
+        | None ->
+            Printf.eprintf "usage: main.exe [-quota SECONDS] [-only PREFIX]...\n";
+            failwith ("bad -quota value " ^ v))
+    | "-only" :: v :: rest ->
+        only := String.lowercase_ascii v :: !only;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "usage: main.exe [-quota SECONDS] [-only PREFIX]...\n";
+        failwith ("unknown argument " ^ arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (!quota, !only)
+
+let groups =
+  match only with
+  | [] -> groups
+  | prefixes ->
+      List.filter
+        (fun (name, _) ->
+          let name = String.lowercase_ascii name in
+          List.exists
+            (fun p -> String.length p <= String.length name
+                      && String.sub name 0 (String.length p) = p)
+            prefixes)
+        groups
+
+let () =
+  match groups with
+  | [] ->
+      Printf.eprintf "no benchmark group matches the -only prefixes\n";
+      exit 2
+  | _ -> ()
 
 let ols =
   Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
 
-let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.4) ~kde:None ()
+let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:None ()
 let instances = Instance.[ monotonic_clock ]
 
 let pretty_time ns =

@@ -109,8 +109,38 @@ let steps_arg =
 let trace_arg =
   Arg.(value & flag & info [ "trace" ] ~doc:"Print every transition taken.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "After the result, print per-thread accounting derived from the \
+           trace: steps taken by each thread, plus how many transitions were \
+           exception deliveries ((Receive)/(Interrupt)) or (Proc GC).")
+
+(* Per-thread accounting over a finished trace. Thread steps are attributed
+   by [Step.Thread_step]; deliveries and (Proc GC) are not at any thread's
+   redex, so they are reported as their own lines. *)
+let print_stats (trace : Step.transition list) =
+  let tbl = Hashtbl.create 8 in
+  let deliveries = ref 0 and gc = ref 0 in
+  List.iter
+    (fun (tr : Step.transition) ->
+      match tr.Step.actor with
+      | Step.Thread_step tid ->
+          Hashtbl.replace tbl tid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tid))
+      | Step.Delivery _ -> incr deliveries
+      | Step.Global -> incr gc)
+    trace;
+  Hashtbl.fold (fun tid n acc -> (tid, n) :: acc) tbl []
+  |> List.sort compare
+  |> List.iter (fun (tid, n) -> Fmt.pr "t%d steps: %d@." tid n);
+  if !deliveries > 0 then Fmt.pr "deliveries: %d@." !deliveries;
+  if !gc > 0 then Fmt.pr "gc steps: %d@." !gc
+
 let run_cmd =
-  let run file expr prelude input fuel stuck_io policy seed max_steps trace =
+  let run file expr prelude input fuel stuck_io policy seed max_steps trace stats =
     handle_syntax (fun () ->
         let program = read_program file expr prelude in
         let config = config_of fuel stuck_io in
@@ -130,21 +160,23 @@ let run_cmd =
           | Sched.Out_of_steps -> " (step bound hit)");
         let output = State.output_string result.Sched.final in
         if output <> "" then Fmt.pr "output: %S@." output;
-        match State.main_result result.Sched.final with
+        (match State.main_result result.Sched.final with
         | Some (State.Done v) -> (
             match Ch_pure.Eval.eval ~fuel v with
             | Ch_pure.Eval.Value v' ->
                 Fmt.pr "result: %a@." Ch_lang.Pretty.pp_term v'
             | _ -> Fmt.pr "result: %a@." Ch_lang.Pretty.pp_term v)
         | Some (State.Threw e) -> Fmt.pr "uncaught exception: #%s@." e
-        | None -> Fmt.pr "main did not finish:@.%a@." State.pp result.Sched.final)
+        | None -> Fmt.pr "main did not finish:@.%a@." State.pp result.Sched.final);
+        if stats then print_stats result.Sched.trace)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a program under a scheduler.")
     Term.(
       term_result'
         (const run $ file_arg $ expr_arg $ prelude_arg $ input_arg $ fuel_arg
-       $ stuck_io_arg $ policy_arg $ seed_arg $ steps_arg $ trace_arg))
+       $ stuck_io_arg $ policy_arg $ seed_arg $ steps_arg $ trace_arg
+       $ stats_arg))
 
 (* --- chrun check ------------------------------------------------------------ *)
 

@@ -1,0 +1,138 @@
+(* hio_trace — dump the round-robin tracer event sequence of a named
+   corpus program.
+
+     dune exec bin/hio_trace.exe -- fork-join
+
+   The output (one pp_event line per scheduler event, then the outcome and
+   step count) is the runtime's observable behaviour under the
+   deterministic round-robin policy. The cram tests under test/trace.t and
+   test/trace_combinators.t pin these sequences byte-for-byte, so any
+   change to scheduling order — however subtle — shows up as a diff. *)
+
+open Hio
+open Hio.Io
+
+let rec yields n = if n <= 0 then return () else yield >>= fun () -> yields (n - 1)
+
+(* --- primitive corpus: only Io/Mvar operations, no §7 combinators ------- *)
+
+let fork_join =
+  Mvar.new_empty >>= fun m ->
+  fork ~name:"a" (yields 2 >>= fun () -> Mvar.put m 1) >>= fun _ ->
+  fork ~name:"b" (Mvar.take m >>= fun v -> Mvar.put m (v + 1)) >>= fun _ ->
+  Mvar.take m
+
+let mvar_pingpong =
+  Mvar.new_empty >>= fun ping ->
+  Mvar.new_empty >>= fun pong ->
+  fork ~name:"echo"
+    (let rec echo () =
+       Mvar.take ping >>= fun v ->
+       Mvar.put pong (v + 1) >>= fun () -> echo ()
+     in
+     echo ())
+  >>= fun _ ->
+  let rec go acc n =
+    if n = 0 then return acc
+    else
+      Mvar.put ping acc >>= fun () ->
+      Mvar.take pong >>= fun v -> go v (n - 1)
+  in
+  go 0 3
+
+let throwto_kill =
+  fork ~name:"victim"
+    (let rec spin () = yield >>= fun () -> spin () in
+     spin ())
+  >>= fun t ->
+  yield >>= fun () ->
+  throw_to t Kill_thread >>= fun () -> yields 2 >>= fun () -> return 7
+
+let block_pending =
+  Mvar.new_empty >>= fun m ->
+  fork ~name:"masked"
+    (block (Mvar.put m () >>= fun () -> yields 3) >>= fun () -> yields 2)
+  >>= fun t ->
+  Mvar.take m >>= fun () ->
+  throw_to t Kill_thread >>= fun () -> yields 4 >>= fun () -> return 1
+
+let sleep_timers =
+  fork ~name:"s10" (sleep 10) >>= fun _ ->
+  fork ~name:"s5" (sleep 5) >>= fun _ ->
+  sleep 20 >>= fun () -> now
+
+let unblock_storm =
+  let child i m = block (unblock (Mvar.take m >>= fun v -> Mvar.put m (v + i))) in
+  Mvar.new_empty >>= fun m ->
+  fork ~name:"c1" (child 1 m) >>= fun _ ->
+  fork ~name:"c2" (child 2 m) >>= fun _ ->
+  fork ~name:"c3" (child 3 m) >>= fun _ ->
+  Mvar.put m 0 >>= fun () ->
+  yields 8 >>= fun () -> Mvar.take m
+
+(* --- combinator corpus: the §7 library layered on the primitives -------- *)
+
+let finally_throw =
+  Hio_std.Combinators.finally
+    (yields 1 >>= fun () -> throw Kill_thread)
+    (put_string "cleanup")
+  |> fun body -> catch body (fun _ -> return 3)
+
+let bracket_release =
+  Mvar.new_filled 0 >>= fun m ->
+  Hio_std.Combinators.bracket (Mvar.take m)
+    (fun v -> yields 2 >>= fun () -> return (v + 1))
+    (fun v -> Mvar.put m v)
+
+let either_race =
+  Hio_std.Combinators.either (yields 2 >>= fun () -> return 1) (sleep 5)
+  >>= function
+  | Either.Left v -> return v
+  | Either.Right () -> return 0
+
+let timeout_nested =
+  Hio_std.Combinators.timeout 100 (Hio_std.Combinators.timeout 10 (sleep 50))
+  >>= function
+  | Some (Some ()) -> return 2
+  | Some None -> return 1
+  | None -> return 0
+
+let programs =
+  [
+    ("fork-join", fork_join);
+    ("mvar-pingpong", mvar_pingpong);
+    ("throwto-kill", throwto_kill);
+    ("block-pending", block_pending);
+    ("sleep-timers", sleep_timers);
+    ("unblock-storm", unblock_storm);
+    ("finally-throw", finally_throw);
+    ("bracket-release", bracket_release);
+    ("either-race", either_race);
+    ("timeout-nested", timeout_nested);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | [ _; "list" ] ->
+      List.iter (fun (name, _) -> print_endline name) programs
+  | [ _; name ] -> (
+      match List.assoc_opt name programs with
+      | None ->
+          Fmt.epr "unknown program %S (try 'list')@." name;
+          exit 1
+      | Some prog ->
+          let config =
+            {
+              Runtime.Config.default with
+              Runtime.Config.tracer =
+                Some (fun e -> Fmt.pr "%a@." Runtime.pp_event e);
+            }
+          in
+          let r = Runtime.run ~config prog in
+          Fmt.pr "outcome: %a@." (Runtime.pp_outcome Fmt.int) r.Runtime.outcome;
+          Fmt.pr "steps: %d@." r.Runtime.steps;
+          if r.Runtime.output <> "" then
+            Fmt.pr "output: %S@." r.Runtime.output)
+  | _ ->
+      Fmt.epr "usage: hio_trace (list | PROGRAM)@.";
+      exit 1

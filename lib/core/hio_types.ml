@@ -27,6 +27,13 @@ type _ io =
   | Mask : mask_level * 'a io -> 'a io
       (* [block] = Mask_block, [unblock] = Mask_none,
          [uninterruptibly] = Mask_uninterruptible *)
+  | Mask_restore : (('a io -> 'a io) -> 'b io) -> 'b io
+      (* the restore-passing [mask]: read the current level, enter
+         Mask_block (or stay uninterruptible) and hand the body a restore
+         function re-installing the saved level — in ONE scheduler step,
+         so no asynchronous exception can land between reading the state
+         and masking (combinators rely on that atomicity for "either the
+         action never started or the cleanup runs") *)
   | Throw : exn -> 'a io
   | Throw_async : exn -> 'a io
       (* internal: an exception in flight that was delivered
@@ -77,6 +84,11 @@ and thread = {
   mutable t_state : t_state;
   mutable t_frame_depth : int;
   mutable t_max_frame_depth : int;
+  (* per-thread step accounting, reported in [Runtime.result]: cheap
+     counters bumped on the scheduler hot path *)
+  mutable t_steps : int;  (* scheduler steps executed by this thread *)
+  mutable t_blocked_count : int;  (* times this thread went T_blocked *)
+  mutable t_delivered : int;  (* async exceptions raised into this thread *)
 }
 
 and pending = {

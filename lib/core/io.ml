@@ -27,6 +27,9 @@ let throw_to t e = Prim (Throw_to (t, e))
 let block m = Mask (Mask_block, m)
 let unblock m = Mask (Mask_none, m)
 let uninterruptibly m = Mask (Mask_uninterruptible, m)
+
+let mask f = Mask_restore f
+let mask_ m = Mask_restore (fun _restore -> m)
 let blocked = Prim Masked
 
 type mask_level = Unmasked | Masked | Uninterruptible

@@ -78,7 +78,41 @@ val block : 'a t -> 'a t
 
 val unblock : 'a t -> 'a t
 (** Execute the argument with delivery unblocked, regardless of context
-    (§5.2: "unblock always unblocks"). Scoped like {!block}. *)
+    (§5.2: "unblock always unblocks"). Scoped like {!block}.
+
+    {b Why this breaks abstraction:} precisely because it always unblocks,
+    a library combinator written with [unblock] silently re-enables
+    asynchronous exceptions that its {e caller} had blocked — e.g.
+    [block (finally a b)] with a [finally] built on [unblock] exposes [a]
+    to interrupts the caller believed were masked. The caller cannot
+    defend itself: there is no way to wrap a computation so that its
+    internal [unblock]s are neutralised. {!mask} is the redesign (GHC 7's
+    [Control.Exception.mask]): instead of an absolute "unblock", the
+    combinator body receives a [restore] function that merely re-installs
+    the {e caller's} mask state, so masking composes. Kept here because
+    [block]/[unblock] are the paper's primitives; new code should prefer
+    {!mask}. *)
+
+val mask : (('a t -> 'a t) -> 'b t) -> 'b t
+(** [mask f] runs [f restore] with asynchronous-exception delivery
+    blocked, where [restore m] runs [m] with the mask state that was in
+    force {e when this [mask] was entered} — not necessarily unblocked.
+    This is the GHC-7-style restore-passing combinator: unlike {!unblock},
+    [restore] cannot unmask more than the caller had unmasked, so
+    combinators built on it ({!Hio_std.Combinators.finally},
+    [bracket], …) compose under an enclosing {!block} or [mask].
+    Inside {!uninterruptibly}, the body stays uninterruptible (no
+    downgrade). Interruptible operations (§5.3) still deliver inside
+    [mask], exactly as inside {!block}.
+
+    Entering the mask is a single scheduler step, like {!block}: reading
+    the current state and masking are atomic, so no asynchronous
+    exception can slip in between. *)
+
+val mask_ : 'a t -> 'a t
+(** [mask_ m] is [mask (fun _ -> m)]: block delivery without needing the
+    restore function. Equivalent to {!block} except that, like {!mask}, it
+    does not downgrade an enclosing {!uninterruptibly}. *)
 
 val uninterruptibly : 'a t -> 'a t
 (** {b Post-paper extension} (GHC's later [uninterruptibleMask]): execute

@@ -59,6 +59,14 @@ let logs_tracer ?(src = default_log_src) () event =
 
 type 'a outcome = Value of 'a | Uncaught of exn | Deadlock | Out_of_steps
 
+type thread_stat = {
+  ts_id : int;
+  ts_name : string option;
+  ts_steps : int;
+  ts_blocked : int;
+  ts_delivered : int;
+}
+
 type 'a result = {
   outcome : 'a outcome;
   output : string;
@@ -66,7 +74,13 @@ type 'a result = {
   time : int;
   forks : int;
   max_frame_depth : int;
+  thread_stats : thread_stat list;
 }
+
+let pp_thread_stat ppf ts =
+  Fmt.pf ppf "t%d%a: steps %d, blocked %d, delivered %d" ts.ts_id
+    Fmt.(option (fmt " (%s)"))
+    ts.ts_name ts.ts_steps ts.ts_blocked ts.ts_delivered
 
 type timer = {
   tm_deadline : int;
@@ -79,7 +93,7 @@ type state = {
   config : Config.t;
   rng : Random.State.t option;
   mutable now : int;
-  mutable runq : thread list;  (* FIFO: head runs next *)
+  runq : thread Runq.t;  (* FIFO ring deque: head runs next *)
   mutable all_threads : thread list;  (* newest first *)
   mutable timers : timer list;  (* unsorted; scanned when idle *)
   mutable input : char list;
@@ -91,7 +105,7 @@ type state = {
   mutable finished : bool;  (* main thread done *)
 }
 
-let enqueue st t = st.runq <- st.runq @ [ t ]
+let enqueue st t = Runq.push st.runq t
 
 let emit st event =
   match st.config.Config.tracer with Some f -> f event | None -> ()
@@ -110,6 +124,7 @@ let deliver_pending st t frames_of =
   | [] -> assert false
   | p :: rest ->
       t.t_pending <- rest;
+      t.t_delivered <- t.t_delivered + 1;
       emit st (Ev_deliver { tid = t.t_id; exn = p.p_exn });
       (match p.p_on_delivered with Some f -> f () | None -> ());
       frames_of p.p_exn
@@ -192,6 +207,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
       set_run t (deliver_pending st t (fun e -> Pack (Throw_async e, frames)))
     else begin
       emit st (Ev_blocked { tid = t.t_id; why });
+      t.t_blocked_count <- t.t_blocked_count + 1;
       t.t_state <-
         T_blocked
           {
@@ -212,6 +228,9 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
           t_state = T_run (Pack (body, F_stop (fun _ -> ())));
           t_frame_depth = 1;
           t_max_frame_depth = 1;
+          t_steps = 0;
+          t_blocked_count = 0;
+          t_delivered = 0;
         }
       in
       st.next_tid <- st.next_tid + 1;
@@ -295,6 +314,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
               (* Block first, then register, so that an immediate delivery
                  (blocked target) finds the sender already waiting. *)
               let entry = { p_exn = e; p_on_delivered = None } in
+              t.t_blocked_count <- t.t_blocked_count + 1;
               t.t_state <-
                 T_blocked
                   {
@@ -468,6 +488,14 @@ let exec_step : state -> thread -> packed -> unit =
       bump_depth t 1;
       set_run t (Pack (m, F_catch_sync (h, t.t_mask, frames)))
   | Mask (level, m) -> enter_mask st t level m frames
+  | Mask_restore f ->
+      let saved = t.t_mask in
+      let level =
+        match saved with
+        | Mask_uninterruptible -> Mask_uninterruptible
+        | Mask_none | Mask_block -> Mask_block
+      in
+      enter_mask st t level (f (fun m -> Mask (saved, m))) frames
   | Prim p -> exec_prim st t p frames
 
 (* Run one scheduling slice of [t]: the step-boundary delivery check of
@@ -485,25 +513,20 @@ let run_slice st t =
         else packed
       in
       st.steps <- st.steps + 1;
+      t.t_steps <- t.t_steps + 1;
       exec_step st t packed;
       (match t.t_state with
       | T_run _ -> enqueue st t
       | T_blocked _ | T_dead _ -> ())
 
-let pick st =
-  match st.runq with
-  | [] -> None
-  | first :: rest -> (
-      match st.rng with
-      | None ->
-          st.runq <- rest;
-          Some first
-      | Some rng ->
-          let n = List.length st.runq in
-          let i = Random.State.int rng n in
-          let chosen = List.nth st.runq i in
-          st.runq <- List.filteri (fun j _ -> j <> i) st.runq;
-          Some chosen)
+(* Dequeue the next thread; the queue is known non-empty. Round-robin pops
+   the head in O(1); the random policy draws a uniform index (O(1) length,
+   no List.length walk) and removes it preserving the order of the rest,
+   so the picked sequence for a given seed is exactly the seed runtime's. *)
+let pick_nonempty st =
+  match st.rng with
+  | None -> Runq.pop st.runq
+  | Some rng -> Runq.remove st.runq (Random.State.int rng (Runq.length st.runq))
 
 (* Advance the virtual clock to the earliest live deadline and wake every
    timer due at that instant. Returns false if no timer is pending. *)
@@ -540,7 +563,7 @@ let run ?(config = Config.default) main_io =
         | Config.Round_robin -> None
         | Config.Random seed -> Some (Random.State.make [| seed |]));
       now = 0;
-      runq = [];
+      runq = Runq.create ();
       all_threads = [];
       timers = [];
       input = List.init (String.length config.input) (String.get config.input);
@@ -568,6 +591,9 @@ let run ?(config = Config.default) main_io =
                    st.finished <- true) ));
       t_frame_depth = 1;
       t_max_frame_depth = 1;
+      t_steps = 0;
+      t_blocked_count = 0;
+      t_delivered = 0;
     }
   in
   st.all_threads <- [ main_thread ];
@@ -587,14 +613,11 @@ let run ?(config = Config.default) main_io =
       running := false;
       outcome := Out_of_steps
     end
-    else
-      match pick st with
-      | Some t -> run_slice st t
-      | None ->
-          if not (advance_clock st) then begin
-            running := false;
-            outcome := Deadlock
-          end
+    else if not (Runq.is_empty st.runq) then run_slice st (pick_nonempty st)
+    else if not (advance_clock st) then begin
+      running := false;
+      outcome := Deadlock
+    end
   done;
   {
     outcome = !outcome;
@@ -606,6 +629,18 @@ let run ?(config = Config.default) main_io =
       List.fold_left
         (fun acc t -> max acc t.t_max_frame_depth)
         0 st.all_threads;
+    thread_stats =
+      (* all_threads is newest-first; report in ascending thread id *)
+      List.rev_map
+        (fun t ->
+          {
+            ts_id = t.t_id;
+            ts_name = t.t_name;
+            ts_steps = t.t_steps;
+            ts_blocked = t.t_blocked_count;
+            ts_delivered = t.t_delivered;
+          })
+        st.all_threads;
   }
 
 let run_value ?config io =

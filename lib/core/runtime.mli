@@ -59,6 +59,17 @@ type 'a outcome =
       (** no thread runnable, no timer pending: every thread is blocked *)
   | Out_of_steps  (** [max_steps] exceeded *)
 
+type thread_stat = {
+  ts_id : int;  (** thread id (0 is main) *)
+  ts_name : string option;
+  ts_steps : int;  (** scheduler steps this thread executed *)
+  ts_blocked : int;  (** times it blocked (takeMVar, sleep, …) *)
+  ts_delivered : int;  (** asynchronous exceptions raised into it *)
+}
+(** Per-thread step accounting, maintained by O(1) counter bumps on the
+    scheduler hot path. The sum of [ts_steps] over all threads equals the
+    run's total {!field-result.steps}. *)
+
 type 'a result = {
   outcome : 'a outcome;
   output : string;  (** everything written with [put_char]/[put_string] *)
@@ -67,7 +78,11 @@ type 'a result = {
   forks : int;  (** threads created, incl. main *)
   max_frame_depth : int;
       (** high-water continuation-stack depth over all threads (§8.1) *)
+  thread_stats : thread_stat list;
+      (** one entry per thread ever created, in ascending thread id *)
 }
+
+val pp_thread_stat : Format.formatter -> thread_stat -> unit
 
 val run : ?config:Config.t -> 'a Io.t -> 'a result
 

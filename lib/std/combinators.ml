@@ -1,23 +1,30 @@
 open Hio
 open Io
 
+(* The paper (§7.1) writes these with [block (... unblock ...)]; we use the
+   restore-passing [mask] instead, so that e.g. [block (finally a b)] does
+   not silently re-enable delivery inside [a] — see the discussion at
+   {!Io.unblock}. Under an unmasked caller, [restore] ≡ [unblock] and the
+   behaviour is the paper's. *)
+
 let finally a b =
-  block
-    ( catch (unblock a) (fun e -> b >>= fun () -> throw e) >>= fun r ->
-      b >>= fun () -> return r )
+  mask (fun restore ->
+      catch (restore a) (fun e -> b >>= fun () -> throw e) >>= fun r ->
+      b >>= fun () -> return r)
 
 let later b a = finally a b
 
 let on_exception a b =
-  catch a (fun e -> b >>= fun () -> throw e)
+  mask (fun restore ->
+      catch (restore a) (fun e -> b >>= fun () -> throw e))
 
 let bracket acquire use release =
-  block
-    ( acquire >>= fun a ->
-      catch (unblock (use a)) (fun e ->
+  mask (fun restore ->
+      acquire >>= fun a ->
+      catch (restore (use a)) (fun e ->
           release a >>= fun _ -> throw e)
       >>= fun r ->
-      release a >>= fun _ -> return r )
+      release a >>= fun _ -> return r)
 
 let bracket_ acquire use release =
   bracket acquire (fun _ -> use) (fun _ -> release)

@@ -6,20 +6,26 @@ open Hio
 
 val finally : 'a Io.t -> unit Io.t -> 'a Io.t
 (** [finally a b]: "do [a], then whatever happens do [b]" (§7.1). The
-    cleanup [b] runs inside [block], like a signal handler running with
-    signals disabled. *)
+    cleanup [b] runs masked, like a signal handler running with signals
+    disabled. Built on the restore-passing {!Io.mask} rather than the
+    paper's [block]/[unblock], so a caller's enclosing mask stays in force
+    inside [a]. *)
 
 val later : unit Io.t -> 'a Io.t -> 'a Io.t
 (** [finally] with the arguments reversed (§7.1). *)
 
 val on_exception : 'a Io.t -> unit Io.t -> 'a Io.t
 (** [on_exception a b] runs [b] only if [a] raises; the exception is
-    re-thrown. *)
+    re-thrown. The cleanup [b] runs masked ({!Io.mask}), so it cannot
+    itself be cut short by a second asynchronous exception before it gets
+    going. *)
 
 val bracket : 'a Io.t -> ('a -> 'b Io.t) -> ('a -> 'c Io.t) -> 'b Io.t
 (** [bracket acquire use release] (§7.1, the paper's argument order):
     acquisition is atomic — either the resource is acquired or an
-    exception is raised and it is not; release runs on every exit path. *)
+    exception is raised and it is not; release runs on every exit path.
+    [use] runs under the caller's mask state (restore-passing {!Io.mask}),
+    acquisition and release run masked. *)
 
 val bracket_ : 'a Io.t -> 'b Io.t -> 'c Io.t -> 'b Io.t
 (** [bracket] ignoring the resource value. *)

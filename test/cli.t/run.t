@@ -100,9 +100,29 @@ Program files work too:
 Alternative scheduling policies:
 
   $ chrun run race.ch --policy random --seed 3
-  steps:  24
+  steps:  22
   result: 12
 
   $ chrun run race.ch --policy first
-  steps:  24
+  steps:  23
   result: 12
+
+Per-thread accounting, derived from the execution trace (--stats): steps
+at each thread's redex, plus delivery ((Receive)/(Interrupt)) and
+(Proc GC) transitions, which happen at no thread's redex:
+
+  $ chrun run race.ch --stats
+  steps:  22
+  result: 12
+  t0 steps: 16
+  t1 steps: 2
+  t2 steps: 3
+  gc steps: 1
+
+  $ chrun run -e 'do { m <- newEmptyMVar; t <- forkIO (takeMVar m >>= \x -> return ()); throwTo t #KillThread; putMVar m 1 }' --stats
+  steps:  16
+  result: ()
+  t0 steps: 11
+  t1 steps: 3
+  deliveries: 1
+  gc steps: 1

@@ -298,10 +298,84 @@ let frame_tests =
         Alcotest.(check bool) "at least 50" true (r.Runtime.max_frame_depth >= 50));
   ]
 
+let restore_tests =
+  [
+    case "mask blocks delivery inside the body" (fun () ->
+        Alcotest.check bool_v "masked" true
+          (value (mask (fun _restore -> blocked))));
+    case "restore re-installs the caller's state: unmasked caller" (fun () ->
+        Alcotest.check bool_v "unmasked under restore" false
+          (value (mask (fun restore -> restore blocked))));
+    case "restore re-installs the caller's state: masked caller" (fun () ->
+        (* THE difference with unblock: [block (unblock blocked)] is false,
+           but restore cannot unmask more than the caller had unmasked *)
+        Alcotest.check bool_v "still masked under restore" true
+          (value (block (mask (fun restore -> restore blocked)))));
+    case "mask scope ends on return" (fun () ->
+        Alcotest.check (Alcotest.list bool_v) "trace" [ true; false ]
+          (value
+             ( mask (fun _ -> blocked) >>= fun inside ->
+               blocked >>= fun after -> return [ inside; after ] )));
+    case "nested mask: inner restore goes back to masked" (fun () ->
+        Alcotest.check bool_v "masked" true
+          (value
+             (mask (fun _ -> mask (fun restore -> restore blocked)))));
+    case "mask does not downgrade uninterruptibly" (fun () ->
+        Alcotest.check bool_v "still uninterruptible" true
+          (value
+             (uninterruptibly
+                (mask (fun _ ->
+                     mask_level >>= fun l ->
+                     return (l = Io.Uninterruptible))))));
+    case "mask_ blocks like block" (fun () ->
+        Alcotest.check bool_v "masked" true (value (mask_ blocked)));
+    case "mask state restored when an exception exits the body" (fun () ->
+        Alcotest.check bool_v "unmasked after" false
+          (value
+             ( catch (mask (fun _ -> throw Not_found)) (fun _ -> return ())
+             >>= fun () -> blocked )));
+    case "finally under block keeps the caller's mask in force" (fun () ->
+        (* with the seed's unblock-based finally this was false *)
+        Alcotest.check bool_v "masked inside the protected action" true
+          (value (block (Combinators.finally blocked (return ())))));
+    case "bracket under block: use runs masked" (fun () ->
+        Alcotest.check bool_v "masked" true
+          (value
+             (block
+                (Combinators.bracket (return ())
+                   (fun () -> blocked)
+                   (fun () -> return ())))));
+    case "finally from an unmasked caller is still interruptible" (fun () ->
+        (* restore ≡ unblock here: a kill lands inside the protected
+           action and the cleanup still runs *)
+        Alcotest.check int_v "cleanup ran" 1
+          (value
+             ( Mvar.new_empty >>= fun out ->
+               kill_after 2
+                 (catch
+                    (Combinators.finally
+                       (Combinators.forever yield)
+                       (Mvar.put out 1))
+                    (fun _ -> return ()))
+               >>= fun () -> Mvar.take out )));
+    case "mask is interruptible at interruptible operations (§5.3)" (fun () ->
+        Alcotest.check int_v "interrupted" 1
+          (value
+             ( Mvar.new_empty >>= fun (m : int Mvar.t) ->
+               Mvar.new_empty >>= fun out ->
+               kill_after 3
+                 (mask (fun _ ->
+                      catch
+                        (Mvar.take m >>= fun _ -> return ())
+                        (fun _ -> Mvar.put out 1)))
+               >>= fun () -> Mvar.take out )));
+  ]
+
 let suites =
   [
     ("mask:scoping", scoping_tests);
     ("mask:delivery", delivery_tests);
     ("mask:interruptible", interruptible_tests);
     ("mask:frames(§8.1)", frame_tests);
+    ("mask:restore(mask)", restore_tests);
   ]

@@ -1,0 +1,81 @@
+Golden round-robin tracer sequences for the primitive corpus programs
+(Io/Mvar operations only — no §7 combinators). These expectations were
+captured from the seed runtime, BEFORE the run-queue data structure was
+swapped for the O(1) ring deque: they prove the swap preserved
+round-robin determinism byte-for-byte. Do not re-promote them to paper
+over a scheduling change.
+
+  $ hio-trace fork-join
+  fork t0 -> t1 (a)
+  fork t0 -> t2 (b)
+  t2 blocked on takeMVar
+  t0 blocked on takeMVar
+  exit t1
+  exit t0
+  outcome: Value 2
+  steps: 25
+
+  $ hio-trace mvar-pingpong
+  fork t0 -> t1 (echo)
+  t1 blocked on takeMVar
+  t1 blocked on takeMVar
+  t1 blocked on takeMVar
+  exit t0
+  outcome: Value 3
+  steps: 47
+
+  $ hio-trace throwto-kill
+  fork t0 -> t1 (victim)
+  throwTo t0 -> t1 (Hio.Io.Kill_thread)
+  deliver Hio.Io.Kill_thread at t1
+  exit t1 (uncaught Hio.Io.Kill_thread)
+  exit t0
+  outcome: Value 7
+  steps: 25
+
+  $ hio-trace block-pending
+  fork t0 -> t1 (masked)
+  t1 masked
+  t0 blocked on takeMVar
+  throwTo t0 -> t1 (Hio.Io.Kill_thread)
+  t1 unmasked
+  deliver Hio.Io.Kill_thread at t1
+  exit t1 (uncaught Hio.Io.Kill_thread)
+  exit t0
+  outcome: Value 1
+  steps: 44
+
+  $ hio-trace sleep-timers
+  fork t0 -> t1 (s10)
+  t1 blocked on sleep
+  fork t0 -> t2 (s5)
+  t2 blocked on sleep
+  t0 blocked on sleep
+  clock -> 5us
+  exit t2
+  clock -> 10us
+  exit t1
+  clock -> 20us
+  exit t0
+  outcome: Value 20
+  steps: 15
+
+  $ hio-trace unblock-storm
+  fork t0 -> t1 (c1)
+  t1 masked
+  t1 unmasked
+  fork t0 -> t2 (c2)
+  t1 blocked on takeMVar
+  t2 masked
+  t2 unmasked
+  fork t0 -> t3 (c3)
+  t2 blocked on takeMVar
+  t3 masked
+  t3 unmasked
+  t3 blocked on takeMVar
+  exit t1
+  exit t2
+  exit t3
+  exit t0
+  outcome: Value 6
+  steps: 64

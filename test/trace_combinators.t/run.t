@@ -1,0 +1,77 @@
+Golden round-robin tracer sequences for the §7 combinator corpus
+programs. These were captured AFTER `finally`/`bracket`/`on_exception`
+were re-expressed via the restore-passing `mask`, and BEFORE the
+run-queue swap: together with test/trace.t they prove the O(1) queue
+preserved round-robin determinism byte-for-byte.
+
+  $ hio-trace finally-throw
+  t0 masked
+  t0 unmasked
+  t0 masked
+  t0 unmasked
+  exit t0
+  outcome: Value 3
+  steps: 19
+  output: "cleanup"
+
+  $ hio-trace bracket-release
+  t0 masked
+  t0 unmasked
+  t0 masked
+  t0 unmasked
+  exit t0
+  outcome: Value 1
+  steps: 26
+
+  $ hio-trace either-race
+  t0 masked
+  fork t0 -> t1
+  t1 unmasked
+  fork t0 -> t2
+  t2 unmasked
+  t2 blocked on sleep
+  t0 blocked on takeMVar
+  t1 masked
+  exit t1
+  throwTo t0 -> t2 (Hio.Io.Kill_thread)
+  deliver Hio.Io.Kill_thread at t2
+  t2 masked
+  t0 unmasked
+  exit t0
+  outcome: Value 1
+  steps: 49
+
+  $ hio-trace timeout-nested
+  t0 masked
+  fork t0 -> t1
+  t1 unmasked
+  fork t0 -> t2
+  t1 blocked on sleep
+  t2 unmasked
+  t0 blocked on takeMVar
+  t2 masked
+  fork t2 -> t3
+  t3 unmasked
+  fork t2 -> t4
+  t3 blocked on sleep
+  t4 unmasked
+  t4 blocked on sleep
+  t2 blocked on takeMVar
+  clock -> 10us
+  t3 masked
+  exit t3
+  throwTo t2 -> t4 (Hio.Io.Kill_thread)
+  deliver Hio.Io.Kill_thread at t4
+  t4 masked
+  t2 unmasked
+  t2 masked
+  exit t4
+  exit t2
+  throwTo t0 -> t1 (Hio.Io.Kill_thread)
+  deliver Hio.Io.Kill_thread at t1
+  t1 masked
+  exit t1
+  t0 unmasked
+  exit t0
+  outcome: Value 1
+  steps: 86
