@@ -168,7 +168,20 @@ let run_cmd =
             | _ -> Fmt.pr "result: %a@." Ch_lang.Pretty.pp_term v)
         | Some (State.Threw e) -> Fmt.pr "uncaught exception: #%s@." e
         | None -> Fmt.pr "main did not finish:@.%a@." State.pp result.Sched.final);
-        if stats then print_stats result.Sched.trace)
+        if stats then begin
+          print_stats result.Sched.trace;
+          match Step.blocked_reasons ~config result.Sched.final with
+          | [] -> ()
+          | blocked ->
+              Fmt.pr "blocked at exit:@.";
+              List.iter
+                (fun (tid, why, m) ->
+                  Fmt.pr "  t%d waits on %s%s@." tid why
+                    (match m with
+                    | Some m -> Printf.sprintf " m%d" m
+                    | None -> ""))
+                blocked
+        end)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a program under a scheduler.")
@@ -312,6 +325,181 @@ let equiv_cmd =
         (const run $ left_arg $ right_arg $ prelude_arg $ input_arg $ fuel_arg
        $ stuck_io_arg $ max_states_arg $ relation_arg))
 
+(* --- chrun sweep ------------------------------------------------------------- *)
+
+let suite_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [ ("corpus", `Corpus); ("std", `Std); ("server", `Server);
+             ("all", `All) ])
+        `Corpus
+    & info [ "suite" ] ~docv:"SUITE"
+        ~doc:
+          "What to sweep: $(b,corpus) (the Ch object-language programs, \
+           through the Figure 4/5 rules), $(b,std) (the §7 hio abstractions: \
+           Sem, Barrier, Chan, Bchan, Mvar locks, cleanup combinators), \
+           $(b,server) (the §11 server, including targeted listener/worker \
+           kills), or $(b,all).")
+
+let max_points_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-points" ] ~docv:"N"
+        ~doc:
+          "Down-sample each case's kill points to at most $(docv), evenly \
+           spaced (first and last kept). Default: sweep every point.")
+
+let json_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:"Also write a machine-readable summary (kill points, failures, \
+              step overhead, wall-clock) to $(docv).")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:
+          "Fail on corpus wedges/livelocks too. By default only the hio \
+           suites are judged — the corpus programs carry no §5.2 protection, \
+           so their wedges are the paper's motivating counterexamples, \
+           reported but expected.")
+
+(* JSON by hand (no JSON library in the tree): every string we emit is a
+   known identifier, so escaping is not needed. *)
+let sweep_json path ~argv ~corpus ~std ~server ~failures ~wall =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n";
+  add "  \"description\": \"Kill-point sweep record: every armed scheduler \
+       step of each case re-executed with KillThread injected into the \
+       acting (or targeted) thread, invariants checked after each faulted \
+       run. faulted_steps/baseline_steps is the step-count overhead of \
+       sweeping a case versus running it once.\",\n";
+  add "  \"command\": \"%s\",\n" (String.concat " " argv);
+  add "  \"corpus\": [\n";
+  List.iteri
+    (fun i (r : Fault.Ch_sweep.report) ->
+      add
+        "    { \"case\": \"%s\", \"kill_points\": %d, \"baseline_steps\": \
+         %d, \"faulted_steps\": %d, \"completed\": %d, \"killed\": %d, \
+         \"wedged\": %d, \"broken\": %d, \"livelocked\": %d }%s\n"
+        r.Fault.Ch_sweep.rc_name r.rc_kill_points r.rc_baseline_steps
+        r.rc_faulted_steps r.rc_completed r.rc_killed r.rc_wedged r.rc_broken
+        r.rc_livelocked
+        (if i = List.length corpus - 1 then "" else ","))
+    corpus;
+  add "  ],\n";
+  let target_name = function
+    | Fault.Plan.Acting -> "acting"
+    | Fault.Plan.Tid t -> Printf.sprintf "t%d" t
+    | Fault.Plan.Named n -> n
+  in
+  let hio_rows name rows last =
+    add "  \"%s\": [\n" name;
+    List.iteri
+      (fun i (r : Fault.Sweep.report) ->
+        add
+          "    { \"case\": \"%s\", \"target\": \"%s\", \"kill_points\": %d, \
+           \"applied\": %d, \"baseline_steps\": %d, \"faulted_steps\": %d, \
+           \"failures\": %d }%s\n"
+          r.Fault.Sweep.r_case
+          (target_name r.r_target)
+          r.r_kill_points r.r_applied r.r_baseline_steps r.r_faulted_steps
+          (List.length r.r_failures)
+          (if i = List.length rows - 1 then "" else ","))
+      rows;
+    add "  ]%s\n" (if last then "" else ",")
+  in
+  hio_rows "std" std false;
+  hio_rows "server" server false;
+  let kp =
+    List.fold_left (fun a (r : Fault.Ch_sweep.report) -> a + r.rc_kill_points)
+      0 corpus
+    + List.fold_left
+        (fun a (r : Fault.Sweep.report) -> a + r.r_kill_points)
+        0 (std @ server)
+  in
+  add
+    "  \"totals\": { \"kill_points\": %d, \"failures\": %d, \
+     \"wall_seconds\": %.2f }\n"
+    kp failures wall;
+  add "}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc
+
+let sweep_cmd =
+  let run suite max_points json strict =
+    handle_syntax (fun () ->
+        let t0 = Unix.gettimeofday () in
+        let failures = ref 0 in
+        let corpus =
+          if suite = `Std || suite = `Server then []
+          else
+            List.map
+              (fun (name, init) ->
+                let r = Fault.Ch_sweep.sweep ?max_points name init in
+                Fmt.pr "%a@." Fault.Ch_sweep.pp_report r;
+                if strict && not (Fault.Ch_sweep.quiescent r) then
+                  incr failures;
+                r)
+              Fault.Ch_sweep.corpus
+        in
+        let std =
+          if suite = `Corpus || suite = `Server then []
+          else
+            List.map
+              (fun c ->
+                let r = Fault.Sweep.sweep ?max_points c in
+                Fmt.pr "%a@." Fault.Sweep.pp_report r;
+                failures := !failures + List.length r.Fault.Sweep.r_failures;
+                r)
+              Fault.Cases.std
+        in
+        let server =
+          if suite = `Corpus || suite = `Std then []
+          else
+            List.map
+              (fun target ->
+                let r =
+                  Fault.Sweep.sweep
+                    ~max_points:(Option.value ~default:150 max_points)
+                    ~target Fault.Cases.server
+                in
+                Fmt.pr "%a@." Fault.Sweep.pp_report r;
+                failures := !failures + List.length r.Fault.Sweep.r_failures;
+                r)
+              Fault.Cases.server_targets
+        in
+        let wall = Unix.gettimeofday () -. t0 in
+        (match json with
+        | Some path ->
+            sweep_json path
+              ~argv:(Array.to_list Sys.argv)
+              ~corpus ~std ~server ~failures:!failures ~wall
+        | None -> ());
+        if !failures > 0 then begin
+          Fmt.pr "%d FAILING sweep%s@." !failures
+            (if !failures = 1 then "" else "s");
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:
+         "Adversarial kill-point sweep: re-run programs once per scheduler \
+          step with KillThread injected at that step, checking quiescence \
+          and the §5.2/§7 invariants after every faulted run.")
+    Term.(
+      term_result'
+        (const run $ suite_arg $ max_points_arg $ json_arg $ strict_arg))
+
 (* --- chrun repl -------------------------------------------------------------- *)
 
 let repl_cmd =
@@ -405,4 +593,7 @@ let () =
         "Run and model-check Concurrent-Haskell-with-asynchronous-exceptions \
          programs (PLDI 2001 semantics)."
   in
-  exit (Cmd.eval (Cmd.group info [ parse_cmd; run_cmd; check_cmd; equiv_cmd; repl_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ parse_cmd; run_cmd; check_cmd; equiv_cmd; sweep_cmd; repl_cmd ]))

@@ -70,6 +70,24 @@ let unblock_storm =
   Mvar.put m 0 >>= fun () ->
   yields 8 >>= fun () -> Mvar.take m
 
+(* Programs that end with blocked threads, exercising the deadlock
+   watchdog's wait graph (who waits on what, and who held it). *)
+
+let stranded_take =
+  Mvar.new_empty >>= fun m ->
+  fork ~name:"waiter" (Mvar.take m) >>= fun _ ->
+  yields 2 >>= fun () -> return 9
+
+let deadlock_cross =
+  Mvar.new_filled 1 >>= fun a ->
+  Mvar.new_filled 2 >>= fun b ->
+  fork ~name:"left"
+    ( Mvar.take a >>= fun _ ->
+      yields 2 >>= fun () -> Mvar.take b >>= fun _ -> return () )
+  >>= fun _ ->
+  Mvar.take b >>= fun _ ->
+  yields 2 >>= fun () -> Mvar.take a
+
 (* --- combinator corpus: the §7 library layered on the primitives -------- *)
 
 let finally_throw =
@@ -105,6 +123,8 @@ let programs =
     ("block-pending", block_pending);
     ("sleep-timers", sleep_timers);
     ("unblock-storm", unblock_storm);
+    ("stranded-take", stranded_take);
+    ("deadlock-cross", deadlock_cross);
     ("finally-throw", finally_throw);
     ("bracket-release", bracket_release);
     ("either-race", either_race);
@@ -132,7 +152,14 @@ let () =
           Fmt.pr "outcome: %a@." (Runtime.pp_outcome Fmt.int) r.Runtime.outcome;
           Fmt.pr "steps: %d@." r.Runtime.steps;
           if r.Runtime.output <> "" then
-            Fmt.pr "output: %S@." r.Runtime.output)
+            Fmt.pr "output: %S@." r.Runtime.output;
+          (* The watchdog's verdict: a program that strands blocked threads
+             is a wedge even when main returned — fail loudly so the cram
+             tests cannot pass silently over it. *)
+          if r.Runtime.blocked_at_exit <> [] then (
+            Fmt.pr "blocked at exit:@.%a" Runtime.pp_wait_graph
+              r.Runtime.blocked_at_exit;
+            exit 1))
   | _ ->
       Fmt.epr "usage: hio_trace (list | PROGRAM)@.";
       exit 1

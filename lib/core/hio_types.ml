@@ -108,13 +108,24 @@ and blocked = {
   b_interrupt : exn -> packed;
       (* resume by raising: implements rule (Interrupt) *)
   b_cancel : unit -> unit;  (* withdraw the registration (waiter/timer) *)
+  b_on : ex_mvar option;
+      (* the MVar this thread waits on, if any — the edge the deadlock
+         watchdog's wait graph is built from *)
 }
+
+(* An MVar with its element type hidden: what a blocked thread can record
+   about the box it waits on without infecting [blocked] with a type
+   parameter. *)
+and ex_mvar = Ex_mvar : 'a mvar -> ex_mvar
 
 and 'a mvar = {
   mv_id : int;
   mutable mv_contents : 'a option;
   mv_takers : 'a taker Queue.t;
   mv_putters : 'a putter Queue.t;
+  mutable mv_last_taker : int option;
+      (* tid that last emptied the box — for lock-style MVars this is the
+         current holder, which is what the wait graph wants to name *)
 }
 
 and 'a taker = {

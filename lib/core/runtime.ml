@@ -20,6 +20,7 @@ module Config = struct
     sync_throw_to : bool;
     max_steps : int;
     tracer : (event -> unit) option;
+    inject : (step:int -> running:int -> (int * exn) option) option;
   }
 
   let default =
@@ -31,6 +32,7 @@ module Config = struct
       sync_throw_to = false;
       max_steps = 50_000_000;
       tracer = None;
+      inject = None;
     }
 end
 
@@ -67,6 +69,15 @@ type thread_stat = {
   ts_delivered : int;
 }
 
+type blocked_thread = {
+  bt_tid : int;
+  bt_name : string option;
+  bt_why : string;
+  bt_mvar : int option;
+  bt_mvar_full : bool option;
+  bt_last_taker : int option;
+}
+
 type 'a result = {
   outcome : 'a outcome;
   output : string;
@@ -75,12 +86,55 @@ type 'a result = {
   forks : int;
   max_frame_depth : int;
   thread_stats : thread_stat list;
+  blocked_at_exit : blocked_thread list;
+  injections : int;
 }
 
 let pp_thread_stat ppf ts =
   Fmt.pf ppf "t%d%a: steps %d, blocked %d, delivered %d" ts.ts_id
     Fmt.(option (fmt " (%s)"))
     ts.ts_name ts.ts_steps ts.ts_blocked ts.ts_delivered
+
+let pp_blocked_thread ppf bt =
+  Fmt.pf ppf "t%d%a blocked on %s" bt.bt_tid
+    Fmt.(option (fmt " (%s)"))
+    bt.bt_name bt.bt_why;
+  match bt.bt_mvar with
+  | None -> ()
+  | Some m ->
+      Fmt.pf ppf " m%d [%s%a]" m
+        (match bt.bt_mvar_full with
+        | Some true -> "full"
+        | Some false -> "empty"
+        | None -> "?")
+        Fmt.(option (fmt ", last held by t%d"))
+        bt.bt_last_taker
+
+(* The deadlock watchdog's report: every blocked thread, its reason, and —
+   when it waits on an MVar — the box's state, its last holder, and the
+   other threads queued on the same box (tid → MVar → holder/waiters). *)
+let pp_wait_graph ppf blocked =
+  List.iter
+    (fun bt ->
+      pp_blocked_thread ppf bt;
+      (match bt.bt_mvar with
+      | None -> ()
+      | Some m -> (
+          match
+            List.filter_map
+              (fun o ->
+                if o.bt_tid <> bt.bt_tid && o.bt_mvar = Some m then
+                  Some o.bt_tid
+                else None)
+              blocked
+          with
+          | [] -> ()
+          | others ->
+              Fmt.pf ppf " (co-waiters:%a)"
+                Fmt.(list ~sep:nop (fmt " t%d"))
+                others));
+      Fmt.pf ppf "@.")
+    blocked
 
 type timer = {
   tm_deadline : int;
@@ -102,6 +156,7 @@ type state = {
   mutable next_tid : int;
   mutable next_mv : int;
   mutable forks : int;
+  mutable injections : int;  (* fault-injection hook deliveries applied *)
   mutable finished : bool;  (* main thread done *)
 }
 
@@ -190,6 +245,7 @@ let rec mvar_insert st (m : _ mvar) v =
       wake_with_pending st tk.tk_thread tk.tk_raise;
       mvar_insert st m v
   | Some tk ->
+      m.mv_last_taker <- Some tk.tk_thread.t_id;
       set_run tk.tk_thread (tk.tk_wake v);
       enqueue st tk.tk_thread
   | None -> m.mv_contents <- Some v
@@ -202,7 +258,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
   let raise_now e = set_run t (Pack (Throw_async e, frames)) in
   (* An interruptible operation about to wait: pending exceptions are
      delivered even inside [block] (§5.3). *)
-  let block_interruptibly ~why ~cancel =
+  let block_interruptibly ?on ~why ~cancel () =
     if t.t_pending <> [] && t.t_mask <> Mask_uninterruptible then
       set_run t (deliver_pending st t (fun e -> Pack (Throw_async e, frames)))
     else begin
@@ -214,6 +270,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
             b_why = why;
             b_interrupt = (fun e -> Pack (Throw_async e, frames));
             b_cancel = cancel;
+            b_on = on;
           }
     end
   in
@@ -248,13 +305,16 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
           mv_contents = contents;
           mv_takers = Queue.create ();
           mv_putters = Queue.create ();
+          mv_last_taker = None;
         }
       in
       st.next_mv <- st.next_mv + 1;
       continue m
   | Take_mvar m -> (
       match m.mv_contents with
-      | Some v -> continue (mvar_remove st m v)
+      | Some v ->
+          m.mv_last_taker <- Some t.t_id;
+          continue (mvar_remove st m v)
       | None ->
           let tk =
             {
@@ -264,8 +324,9 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
               tk_cancelled = false;
             }
           in
-          block_interruptibly ~why:"takeMVar" ~cancel:(fun () ->
-              tk.tk_cancelled <- true);
+          block_interruptibly ~on:(Ex_mvar m) ~why:"takeMVar"
+            ~cancel:(fun () -> tk.tk_cancelled <- true)
+            ();
           (* Register only if we actually blocked. *)
           (match t.t_state with
           | T_blocked _ -> Queue.add tk m.mv_takers
@@ -285,14 +346,17 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
               pt_cancelled = false;
             }
           in
-          block_interruptibly ~why:"putMVar" ~cancel:(fun () ->
-              pt.pt_cancelled <- true);
+          block_interruptibly ~on:(Ex_mvar m) ~why:"putMVar"
+            ~cancel:(fun () -> pt.pt_cancelled <- true)
+            ();
           (match t.t_state with
           | T_blocked _ -> Queue.add pt m.mv_putters
           | T_run _ | T_dead _ -> ()))
   | Try_take_mvar m -> (
       match m.mv_contents with
-      | Some v -> continue (Some (mvar_remove st m v))
+      | Some v ->
+          m.mv_last_taker <- Some t.t_id;
+          continue (Some (mvar_remove st m v))
       | None -> continue None)
   | Try_put_mvar (m, v) -> (
       match m.mv_contents with
@@ -321,6 +385,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
                     b_why = "throwTo";
                     b_interrupt = (fun ex -> Pack (Throw_async ex, frames));
                     b_cancel = (fun () -> entry.p_on_delivered <- None);
+                    b_on = None;
                   };
               let sender = t in
               entry.p_on_delivered <-
@@ -353,8 +418,9 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
             tm_cancelled = false;
           }
         in
-        block_interruptibly ~why:"sleep" ~cancel:(fun () ->
-            tm.tm_cancelled <- true);
+        block_interruptibly ~why:"sleep"
+          ~cancel:(fun () -> tm.tm_cancelled <- true)
+          ();
         match t.t_state with
         | T_blocked _ -> st.timers <- tm :: st.timers
         | T_run _ | T_dead _ -> ()
@@ -372,7 +438,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
       | c :: rest ->
           st.input <- rest;
           continue c
-      | [] -> block_interruptibly ~why:"getChar" ~cancel:(fun () -> ()))
+      | [] -> block_interruptibly ~why:"getChar" ~cancel:(fun () -> ()) ())
   | Lift f -> continue (f ())
   | Masked -> continue (t.t_mask <> Mask_none)
   | Mask_state -> continue t.t_mask
@@ -498,6 +564,31 @@ let exec_step : state -> thread -> packed -> unit =
       enter_mask st t level (f (fun m -> Mask (saved, m))) frames
   | Prim p -> exec_prim st t p frames
 
+(* The fault-injection hook: consulted once per scheduler step (before the
+   step executes) with the global step index and the thread about to run.
+   Returning [Some (tid, e)] posts [e] on thread [tid]'s pending queue at
+   exactly this step boundary — as if a [throw_to] from outside the program
+   had landed here — so a sweep can place a kill at every program point. *)
+let apply_injection st t =
+  match st.config.Config.inject with
+  | None -> ()
+  | Some hook -> (
+      match hook ~step:st.steps ~running:t.t_id with
+      | None -> ()
+      | Some (tid, e) -> (
+          match
+            List.find_opt (fun u -> u.t_id = tid) st.all_threads
+          with
+          | None -> ()
+          | Some target -> (
+              match target.t_state with
+              | T_dead _ -> ()
+              | T_run _ | T_blocked _ ->
+                  st.injections <- st.injections + 1;
+                  target.t_pending <-
+                    target.t_pending @ [ { p_exn = e; p_on_delivered = None } ];
+                  interrupt_if_blocked st target)))
+
 (* Run one scheduling slice of [t]: the step-boundary delivery check of
    §8.1 ("at regular intervals during execution inside unblock, the pending
    exceptions queue must be checked"), then one step. *)
@@ -505,6 +596,7 @@ let run_slice st t =
   match t.t_state with
   | T_blocked _ | T_dead _ -> () (* stale queue entry *)
   | T_run packed ->
+      apply_injection st t;
       let packed =
         if t.t_mask = Mask_none && t.t_pending <> [] then
           deliver_pending st t (fun e ->
@@ -572,6 +664,7 @@ let run ?(config = Config.default) main_io =
       next_tid = 1;
       next_mv = 0;
       forks = 1;
+      injections = 0;
       finished = false;
     }
   in
@@ -641,6 +734,37 @@ let run ?(config = Config.default) main_io =
             ts_delivered = t.t_delivered;
           })
         st.all_threads;
+    blocked_at_exit =
+      (* the watchdog's wait graph: threads still blocked when the
+         scheduler stopped, in ascending thread id. Under the [Deadlock]
+         outcome this is every live thread (no one runnable, no timer
+         pending); under the other outcomes it lists the threads a
+         finished main left stranded. *)
+      List.rev
+        (List.filter_map
+           (fun t ->
+             match t.t_state with
+             | T_run _ | T_dead _ -> None
+             | T_blocked b ->
+                 let mvar, full, last =
+                   match b.b_on with
+                   | None -> (None, None, None)
+                   | Some (Ex_mvar m) ->
+                       ( Some m.mv_id,
+                         Some (m.mv_contents <> None),
+                         m.mv_last_taker )
+                 in
+                 Some
+                   {
+                     bt_tid = t.t_id;
+                     bt_name = t.t_name;
+                     bt_why = b.b_why;
+                     bt_mvar = mvar;
+                     bt_mvar_full = full;
+                     bt_last_taker = last;
+                   })
+           st.all_threads);
+    injections = st.injections;
   }
 
 let run_value ?config io =

@@ -40,6 +40,17 @@ module Config : sig
             has been raised in the target (and is itself interruptible) *)
     max_steps : int;  (** runaway-program bound *)
     tracer : (event -> unit) option;  (** scheduler event hook *)
+    inject : (step:int -> running:int -> (int * exn) option) option;
+        (** fault-injection hook, consulted once per scheduler step just
+            before the step executes, with the global step index and the
+            tid about to run. Returning [Some (tid, e)] posts [e] on
+            thread [tid]'s pending queue at exactly this step boundary
+            (waking it by rule (Interrupt) if it is blocked
+            interruptibly), as if an external [throw_to] had landed here.
+            Returning [None] makes the hook a pure step observer — the
+            sweep driver in [Fault.Sweep] uses that to record a schedule
+            before re-running it once per kill point. Dead or unknown
+            targets are ignored. *)
   }
 
   val default : t
@@ -70,6 +81,18 @@ type thread_stat = {
     scheduler hot path. The sum of [ts_steps] over all threads equals the
     run's total {!field-result.steps}. *)
 
+type blocked_thread = {
+  bt_tid : int;  (** the blocked thread *)
+  bt_name : string option;
+  bt_why : string;  (** ["takeMVar"], ["putMVar"], ["sleep"], … *)
+  bt_mvar : int option;  (** the MVar it waits on, if any *)
+  bt_mvar_full : bool option;  (** that MVar's state when the run ended *)
+  bt_last_taker : int option;
+      (** tid that last emptied that MVar — for a lock-style MVar, the
+          current holder *)
+}
+(** One node of the deadlock watchdog's wait graph. *)
+
 type 'a result = {
   outcome : 'a outcome;
   output : string;  (** everything written with [put_char]/[put_string] *)
@@ -80,9 +103,26 @@ type 'a result = {
       (** high-water continuation-stack depth over all threads (§8.1) *)
   thread_stats : thread_stat list;
       (** one entry per thread ever created, in ascending thread id *)
+  blocked_at_exit : blocked_thread list;
+      (** the wait graph when the scheduler stopped, ascending tid: under
+          {!Deadlock} this is the watchdog's report (no thread runnable,
+          none sleeping — who waits on what, and who held it); under the
+          other outcomes, the threads a finished main left stranded.
+          Empty iff the program quiesced. *)
+  injections : int;
+      (** asynchronous exceptions posted by {!Config.t.inject} that found
+          a live target *)
 }
 
 val pp_thread_stat : Format.formatter -> thread_stat -> unit
+
+val pp_blocked_thread : Format.formatter -> blocked_thread -> unit
+(** One wait-graph node: [t2 (worker) blocked on takeMVar m3 [empty, last
+    held by t1]]. *)
+
+val pp_wait_graph : Format.formatter -> blocked_thread list -> unit
+(** The whole graph, one node per line, each MVar edge annotated with the
+    co-waiters queued on the same box. *)
 
 val run : ?config:Config.t -> 'a Io.t -> 'a result
 

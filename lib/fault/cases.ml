@@ -1,0 +1,233 @@
+open Hio
+open Hio_std
+open Hserver
+open Io
+
+let rec yields n =
+  if n <= 0 then return () else yield >>= fun () -> yields (n - 1)
+
+(* Wait for a task, discarding its outcome: a killed child must not fail
+   the run. [Task.await] re-throws the child's exception, but the same
+   [catch] would also swallow a kill aimed at main while it waits here —
+   and a main that silently survives its own kill runs the probes
+   concurrently with children it never joined, producing phantom
+   failures. Disambiguate by polling: if the task is finished the
+   exception was its recorded failure (discard it and move on); if not,
+   we were the victim — re-throw, so the run ends in [Uncaught
+   Kill_thread] and the sweep judges it as a killed-main run. *)
+let join t =
+  catch
+    (ignore_result (Task.await t))
+    (fun e ->
+      Task.poll t >>= function
+      | Some _ -> return ()
+      | None -> throw e)
+
+(* --- §5.2 / §7 abstractions --------------------------------------------- *)
+
+let sem_units =
+  Sweep.case "sem-units"
+    ( Sem.create 2 >>= fun s ->
+      let worker = Combinators.repeat 2 (Sem.with_unit s (yields 2)) in
+      Task.spawn ~name:"w1" worker >>= fun t1 ->
+      Task.spawn ~name:"w2" worker >>= fun t2 ->
+      Task.spawn ~name:"w3" worker >>= fun t3 ->
+      join t1 >>= fun () ->
+      join t2 >>= fun () ->
+      join t3 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      Sem.available s >>= fun n ->
+      Sweep.require "Sem: units conserved" (n = 2) >>= fun () ->
+      (* and the semaphore still cycles *)
+      Sem.wait s >>= fun () -> Sem.signal s )
+
+let barrier_withdraw =
+  Sweep.case "barrier-withdraw"
+    ( Barrier.create 2 >>= fun b ->
+      (* Alone at a 2-party barrier, the straggler can only leave by
+         exception; the baseline provides one kill ([cancel]) and the
+         sweep layers a second at every step — including inside the
+         withdraw handler. *)
+      Task.spawn ~name:"straggler" (ignore_result (Barrier.await b))
+      >>= fun t ->
+      yields 4 >>= fun () ->
+      Task.cancel t >>= fun () ->
+      join t >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      (* the arrival was withdrawn: a fresh pair trips round 0 cleanly *)
+      Task.spawn ~name:"p1" (ignore_result (Barrier.await b)) >>= fun p1 ->
+      Barrier.await b >>= fun _ -> join p1 )
+
+let chan_conserve =
+  Sweep.case "chan-conserve"
+    ( Chan.create () >>= fun c ->
+      Task.spawn ~name:"producer" (Chan.send_list c [ 1; 2; 3; 4 ])
+      >>= fun p ->
+      Task.spawn ~name:"consumer"
+        (Combinators.repeat 4 (ignore_result (Chan.recv c)))
+      >>= fun q ->
+      join p >>= fun () ->
+      (* a killed producer starves the consumer: top the channel up so
+         [join q] terminates (leftovers are harmless, send never blocks) *)
+      Chan.send_list c [ 90; 91; 92; 93 ] >>= fun () ->
+      join q >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      (* both cursors must have been restored: a fresh send/recv cycles *)
+      Chan.send c 99 >>= fun () ->
+      Chan.recv c >>= fun _ -> Chan.try_recv c >>= fun _ -> return () )
+
+let bchan_conserve =
+  Sweep.case "bchan-conserve"
+    ( Bchan.create 2 >>= fun c ->
+      let rec send_all = function
+        | [] -> return ()
+        | x :: xs -> Bchan.send c x >>= fun () -> send_all xs
+      in
+      Task.spawn ~name:"producer" (send_all [ 1; 2; 3; 4; 5 ]) >>= fun p ->
+      Task.spawn ~name:"consumer"
+        (Combinators.repeat 5 (ignore_result (Bchan.recv c)))
+      >>= fun q ->
+      (* A killed peer starves the survivor, so main must compensate —
+         but a blocked sender/receiver legitimately HOLDS its cursor
+         MVar, so main may only touch an endpoint once its owner is done
+         (then §5.2 restoration guarantees the cursor is free and
+         [try_send]/[try_recv] cannot block). Wait for either task to
+         finish, then feed or drain the survivor. At most one kill per
+         run means at most one side needs help. No timers here, so the
+         poll spin cannot stall the virtual clock. *)
+      let rec wait_first () =
+        Task.poll p >>= fun rp ->
+        Task.poll q >>= fun rq ->
+        if rp = None && rq = None then yield >>= fun () -> wait_first ()
+        else return ()
+      in
+      let rec feed () =
+        Task.poll q >>= function
+        | Some _ -> return ()
+        | None ->
+            Bchan.try_send c 0 >>= fun _ ->
+            yield >>= fun () -> feed ()
+      in
+      let rec drain () =
+        Task.poll p >>= function
+        | Some _ -> return ()
+        | None ->
+            Bchan.try_recv c >>= fun _ ->
+            yield >>= fun () -> drain ()
+      in
+      wait_first () >>= fun () ->
+      (Task.poll p >>= function Some _ -> feed () | None -> drain ())
+      >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      let rec empty () =
+        Bchan.try_recv c >>= function
+        | Some _ -> empty ()
+        | None -> return ()
+      in
+      empty () >>= fun () ->
+      Bchan.send c 42 >>= fun () ->
+      Bchan.recv c >>= fun v ->
+      Sweep.require "Bchan: fresh send/recv round-trips" (v = 42) )
+
+let mvar_lock =
+  Sweep.case "mvar-lock"
+    ( Mvar.new_filled 0 >>= fun m ->
+      let worker =
+        Combinators.repeat 2 (Mvar.modify m (fun v -> return (v + 1)))
+      in
+      Task.spawn ~name:"w1" worker >>= fun t1 ->
+      Task.spawn ~name:"w2" worker >>= fun t2 ->
+      Task.spawn ~name:"w3" worker >>= fun t3 ->
+      join t1 >>= fun () ->
+      join t2 >>= fun () ->
+      join t3 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      (* §5.2 safe update: the lock is never lost, whatever was killed *)
+      Mvar.try_take m >>= fun v ->
+      Sweep.require "Mvar.modify: lock conserved" (v <> None) )
+
+let cleanup_flags =
+  Sweep.case "cleanup-flags"
+    ( (* fresh flags per run: the sweep re-executes this program once per
+         kill point *)
+      lift (fun () -> (ref false, ref false, ref 0))
+      >>= fun (started, cleaned, balance) ->
+      let worker =
+        Combinators.finally
+          ( lift (fun () -> started := true) >>= fun () ->
+            Combinators.bracket_
+              (lift (fun () -> incr balance))
+              (yields 4)
+              (lift (fun () -> decr balance)) )
+          (lift (fun () -> cleaned := true))
+      in
+      Task.spawn ~name:"worker" worker >>= fun t ->
+      yields 2 >>= fun () ->
+      Task.cancel t >>= fun () ->
+      join t >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      lift (fun () -> (!started, !cleaned, !balance)) >>= fun (s, c, b) ->
+      Sweep.require "finally: cleanup ran iff the body started"
+        (c || not s)
+      >>= fun () ->
+      Sweep.require "bracket: acquire/release balanced" (b = 0) )
+
+let std =
+  [
+    sem_units;
+    barrier_withdraw;
+    chan_conserve;
+    bchan_conserve;
+    mvar_lock;
+    cleanup_flags;
+  ]
+
+(* --- the §11 server ------------------------------------------------------ *)
+
+let server =
+  Sweep.case ~max_steps:400_000 "server-requests"
+    ( let handler = Server.route [ ("/hello", fun body -> Http.ok ("hi" ^ body)) ] in
+      Server.start handler >>= fun server ->
+      let client path =
+        Server.connect server >>= fun conn ->
+        Http.write_request conn
+          { Http.meth = "GET"; path; headers = []; body = "" }
+        >>= fun () ->
+        (* a dead accept loop or killed worker means no reply: the client
+           gives up rather than hang *)
+        Combinators.timeout 1000 (Http.read_response conn) >>= fun _ ->
+        return ()
+      in
+      Task.spawn ~name:"client1" (client "/hello") >>= fun c1 ->
+      Task.spawn ~name:"client2" (client "/hello") >>= fun c2 ->
+      join c1 >>= fun () ->
+      join c2 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      (* probe: one more request (answered or timed out, never wedged),
+         then graceful shutdown, after which connections are refused *)
+      client "/hello" >>= fun () ->
+      Server.shutdown server >>= fun _stats ->
+      catch
+        (Server.connect server >>= fun _ -> return false)
+        (fun e -> return (e = Server.Server_stopped))
+      >>= Sweep.require "Server: connect after shutdown is refused" )
+
+let server_targets =
+  [ Plan.Acting; Plan.Named "listener"; Plan.Named "conn-worker" ]
+
+(* --- a deliberately broken abstraction, to test the harness ------------- *)
+
+let naive_lock =
+  Sweep.case ~max_steps:5_000 "naive-lock"
+    ( Mvar.new_filled () >>= fun lock ->
+      (* BUG (on purpose): bare take/put with no mask and no restore — a
+         kill between them loses the lock (§5.2 is exactly about this) *)
+      let worker =
+        Mvar.take lock >>= fun () -> yields 2 >>= fun () -> Mvar.put lock ()
+      in
+      Task.spawn ~name:"n1" worker >>= fun t1 ->
+      Task.spawn ~name:"n2" worker >>= fun t2 ->
+      join t1 >>= fun () ->
+      join t2 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      Mvar.take lock (* wedges if a kill landed while the lock was held *) )

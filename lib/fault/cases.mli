@@ -1,0 +1,25 @@
+(** Ready-made sweep cases over the §7 abstractions ({!Hio_std}) and the
+    §11 server ({!Hserver}): each does its concurrent work in the armed
+    window, then disarms and probes its own invariants with
+    {!Sweep.require} — semaphore units conserved, barrier arrivals
+    withdrawn, channel cursors restored, cleanup flags consistent, the
+    server quiescent after shutdown. *)
+
+val std : Sweep.case list
+(** [sem-units], [barrier-withdraw], [chan-conserve], [bchan-conserve],
+    [mvar-lock], [cleanup-flags] — swept with {!Plan.Acting}. *)
+
+val server : Sweep.case
+(** [server-requests]: two clients against the §11 server, a probe
+    request, graceful shutdown. Sweep it with {!Plan.Acting} and with
+    [Named "listener"] / [Named "conn-worker"] for the targeted "kill the
+    accept loop mid-accept" / "kill a worker mid-request" adversaries. *)
+
+val server_targets : Plan.target list
+(** The three adversaries above, in that order. *)
+
+val naive_lock : Sweep.case
+(** A deliberately §5.2-violating lock (bare [take]/[put], nothing
+    masked, no restore) — the harness must find and shrink its wedge;
+    used by the tests to validate the sweep itself, never part of the
+    shipped suites. *)

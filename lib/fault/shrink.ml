@@ -1,0 +1,28 @@
+let set_nth plan i inj = List.mapi (fun j x -> if j = i then inj else x) plan
+
+let candidates plan =
+  let drops =
+    List.mapi (fun i _ -> List.filteri (fun j _ -> j <> i) plan) plan
+  in
+  let moves =
+    List.concat
+      (List.mapi
+         (fun i (inj : Plan.injection) ->
+           let at k = set_nth plan i { inj with Plan.at_step = k } in
+           if inj.Plan.at_step = 0 then []
+           else
+             List.sort_uniq compare
+               [ at 0; at (inj.Plan.at_step / 2); at (inj.Plan.at_step - 1) ])
+         plan)
+  in
+  drops @ moves
+
+let minimize fails plan =
+  if not (fails plan) then plan
+  else
+    let rec go plan =
+      match List.find_opt fails (candidates plan) with
+      | Some smaller -> go smaller
+      | None -> plan
+    in
+    go plan

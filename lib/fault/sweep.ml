@@ -1,0 +1,207 @@
+open Hio
+
+exception Violation of string
+
+let () =
+  Printexc.register_printer (function
+    | Violation m -> Some (Printf.sprintf "Violation(%S)" m)
+    | _ -> None)
+
+let require what ok =
+  if ok then Io.return () else Io.throw (Violation what)
+
+(* The armed window. The flag lives outside the runtime and is toggled by
+   a [lift] step inside the case program; the injection hook reads it on
+   the OCaml side of the same single-threaded scheduler, so recording and
+   replay see identical windows. *)
+let armed = ref true
+let disarm = Io.lift (fun () -> armed := false)
+
+type case = { c_name : string; c_io : unit Io.t; c_max_steps : int }
+
+let case ?(max_steps = 200_000) name io =
+  { c_name = name; c_io = io; c_max_steps = max_steps }
+
+let case_name c = c.c_name
+
+type schedule = {
+  s_steps : int;
+  s_armed : (int * int) array;
+  s_names : (int * string) list;
+}
+
+let record c =
+  armed := true;
+  let acts = ref [] and names = ref [] in
+  let tracer = function
+    | Runtime.Ev_fork { child; name = Some n; _ } ->
+        names := (child, n) :: !names
+    | _ -> ()
+  in
+  let observe ~step ~running =
+    if !armed then acts := (step, running) :: !acts;
+    None
+  in
+  let config =
+    {
+      Runtime.Config.default with
+      Runtime.Config.max_steps = c.c_max_steps;
+      tracer = Some tracer;
+      inject = Some observe;
+    }
+  in
+  let r = Runtime.run ~config c.c_io in
+  (match r.Runtime.outcome with
+  | Runtime.Value () when r.Runtime.blocked_at_exit = [] -> ()
+  | Runtime.Value () ->
+      Fmt.failwith "fault: case %s: baseline strands blocked threads:@.%a"
+        c.c_name Runtime.pp_wait_graph r.Runtime.blocked_at_exit
+  | o ->
+      Fmt.failwith "fault: case %s: baseline did not complete: %a" c.c_name
+        (Runtime.pp_outcome (fun ppf () -> Fmt.string ppf "()"))
+        o);
+  {
+    s_steps = r.Runtime.steps;
+    s_armed = Array.of_list (List.rev !acts);
+    s_names = List.rev !names;
+  }
+
+let resolve schedule target ~acting =
+  match target with
+  | Plan.Acting -> Some acting
+  | Plan.Tid t -> Some t
+  | Plan.Named n -> (
+      match List.find_opt (fun (_, nm) -> nm = n) schedule.s_names with
+      | Some (tid, _) -> Some tid
+      | None -> None)
+
+(* Judge one faulted run; [main_hit] is whether the injection resolved to
+   the main thread (see the .mli on why that relaxes the checks). *)
+let classify ~main_hit (r : unit Runtime.result) =
+  let graph () =
+    Fmt.str "@[<v>%a@]" Runtime.pp_wait_graph r.Runtime.blocked_at_exit
+  in
+  match r.Runtime.outcome with
+  | Runtime.Value () ->
+      if main_hit || r.Runtime.blocked_at_exit = [] then None
+      else Some ("main returned but threads are wedged:\n" ^ graph ())
+  | Runtime.Uncaught Io.Kill_thread when main_hit -> None
+  | Runtime.Uncaught (Violation what) ->
+      Some ("invariant violated: " ^ what)
+  | Runtime.Uncaught e -> Some ("uncaught: " ^ Printexc.to_string e)
+  | Runtime.Deadlock -> Some ("deadlock:\n" ^ graph ())
+  | Runtime.Out_of_steps -> Some "out of steps (livelock or leak)"
+
+let run_plan c schedule (plan : Plan.t) =
+  armed := true;
+  let main_hit = ref false in
+  let hook ~step ~running =
+    match
+      List.find_opt (fun i -> i.Plan.at_step = step) plan
+    with
+    | None -> None
+    | Some i -> (
+        match resolve schedule i.Plan.target ~acting:running with
+        | None -> None
+        | Some tid ->
+            if tid = 0 then main_hit := true;
+            Some (tid, i.Plan.exn))
+  in
+  let config =
+    {
+      Runtime.Config.default with
+      Runtime.Config.max_steps = c.c_max_steps;
+      inject = Some hook;
+    }
+  in
+  let r = Runtime.run ~config c.c_io in
+  (classify ~main_hit:!main_hit r, r)
+
+type failure = {
+  f_case : string;
+  f_plan : Plan.t;
+  f_shrunk : Plan.t;
+  f_reason : string;
+}
+
+type report = {
+  r_case : string;
+  r_target : Plan.target;
+  r_baseline_steps : int;
+  r_kill_points : int;
+  r_applied : int;
+  r_faulted_steps : int;
+  r_failures : failure list;
+}
+
+(* Down-sample [arr] to at most [n] entries, evenly spaced, keeping the
+   first and last — a bounded sweep still probes both ends of the run. *)
+let sample n arr =
+  let len = Array.length arr in
+  if len <= n then Array.to_list arr
+  else
+    List.init n (fun i ->
+        arr.(if n = 1 then 0 else i * (len - 1) / (n - 1)))
+
+let sweep ?max_points ?(target = Plan.Acting) ?(shrink = true) c =
+  let schedule = record c in
+  let points =
+    match max_points with
+    | None -> Array.to_list schedule.s_armed
+    | Some n -> sample n schedule.s_armed
+  in
+  let armed_steps =
+    List.sort_uniq compare (List.map fst (Array.to_list schedule.s_armed))
+  in
+  let applied = ref 0 and faulted_steps = ref 0 and failures = ref [] in
+  List.iter
+    (fun (step, _acting) ->
+      let plan = [ { Plan.at_step = step; target; exn = Io.Kill_thread } ] in
+      let verdict, r = run_plan c schedule plan in
+      if r.Runtime.injections > 0 then incr applied;
+      faulted_steps := !faulted_steps + r.Runtime.steps;
+      match verdict with
+      | None -> ()
+      | Some reason ->
+          let shrunk =
+            if not shrink then plan
+            else
+              (* Only armed steps are admissible counterexamples: a
+                 shrink candidate landing in the disarmed probe phase
+                 would "fail" for the wrong reason. *)
+              Shrink.minimize
+                (fun p ->
+                  List.for_all
+                    (fun i -> List.mem i.Plan.at_step armed_steps)
+                    p
+                  && fst (run_plan c schedule p) <> None)
+                plan
+          in
+          failures :=
+            { f_case = c.c_name; f_plan = plan; f_shrunk = shrunk;
+              f_reason = reason }
+            :: !failures)
+    points;
+  {
+    r_case = c.c_name;
+    r_target = target;
+    r_baseline_steps = schedule.s_steps;
+    r_kill_points = List.length points;
+    r_applied = !applied;
+    r_faulted_steps = !faulted_steps;
+    r_failures = List.rev !failures;
+  }
+
+let pp_report ppf r =
+  Fmt.pf ppf "%-18s target=%a: %d kill points (%d applied), baseline %d \
+              steps, %d failure%s"
+    r.r_case Plan.pp_target r.r_target r.r_kill_points r.r_applied
+    r.r_baseline_steps
+    (List.length r.r_failures)
+    (if List.length r.r_failures = 1 then "" else "s");
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "@.  FAIL %a@.    shrunk to %a@.    %s" Plan.pp f.f_plan
+        Plan.pp f.f_shrunk
+        (String.concat "\n    " (String.split_on_char '\n' f.f_reason)))
+    r.r_failures

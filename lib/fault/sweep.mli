@@ -1,0 +1,81 @@
+(** The kill-point sweep driver for hio programs.
+
+    A {!case} is a program built for adversarial testing: it does its
+    concurrent work while the sweep is {e armed}, then calls {!disarm}
+    and checks its own invariants with {!require} (probe threads, unit
+    counts, cleanup flags). {!sweep} records the case's schedule once,
+    then re-runs it once per armed scheduler step with
+    {!Hio.Io.Kill_thread} injected at exactly that step — mechanising the
+    paper's §5.2/§7 claims, which are universally quantified over where
+    the exception lands.
+
+    Verdict per faulted run:
+    - the injection victim resolved to the main thread: the whole program
+      was killed, so [Value ()] and [Uncaught Kill_thread] are both fine
+      and quiescence is not judged (the scheduler stops the instant main
+      dies, abandoning well-behaved children mid-step);
+    - otherwise the run must end in [Value ()] — every [require] held —
+      with {e no thread blocked at exit} ({!Hio.Runtime.blocked_at_exit},
+      the deadlock watchdog's wait graph, must be empty).
+
+    Any other outcome is a failure; the plan is shrunk with {!Shrink}
+    (restricted to armed steps so a counterexample never names the
+    disarmed probe phase) and reported. *)
+
+exception Violation of string
+(** What {!require} throws; uncaught it fails the run with the message. *)
+
+val require : string -> bool -> unit Hio.Io.t
+(** [require what ok]: assert an invariant from inside a case. *)
+
+val disarm : unit Hio.Io.t
+(** End the armed window: steps after this (probes, final checks) are
+    not kill points. Runs as a single [lift] step. *)
+
+type case
+(** A named program prepared for sweeping. *)
+
+val case : ?max_steps:int -> string -> unit Hio.Io.t -> case
+(** [case name io] with a per-run step budget (default [200_000]; a
+    faulted run that exceeds it counts as a livelock failure). *)
+
+val case_name : case -> string
+
+type schedule = {
+  s_steps : int;  (** baseline scheduler steps to completion *)
+  s_armed : (int * int) array;  (** (step index, acting tid), armed only *)
+  s_names : (int * string) list;  (** forked thread names, in fork order *)
+}
+
+val record : case -> schedule
+(** Run the case once with the injection hook as a pure observer.
+    @raise Failure if the baseline does not end in [Value ()] with no
+    blocked threads — a case must be correct before it is swept. *)
+
+type failure = {
+  f_case : string;
+  f_plan : Plan.t;  (** the sweep's failing single-injection plan *)
+  f_shrunk : Plan.t;  (** its {!Shrink.minimize} reduction *)
+  f_reason : string;
+}
+
+type report = {
+  r_case : string;
+  r_target : Plan.target;
+  r_baseline_steps : int;
+  r_kill_points : int;  (** distinct armed steps injected (runs made) *)
+  r_applied : int;  (** runs whose injection found a live target *)
+  r_faulted_steps : int;  (** total steps across all faulted runs *)
+  r_failures : failure list;
+}
+
+val run_plan : case -> schedule -> Plan.t -> string option * unit Hio.Runtime.result
+(** One faulted run; [None] means all invariants held. *)
+
+val sweep :
+  ?max_points:int -> ?target:Plan.target -> ?shrink:bool -> case -> report
+(** Sweep every armed step (down-sampled evenly to [max_points] if
+    given), injecting into [target] (default {!Plan.Acting}). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per sweep, plus one block per failure. *)

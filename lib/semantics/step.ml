@@ -406,3 +406,19 @@ let thread_stall config (st : State.t) tid =
               (Ill_typed
                  (Printf.sprintf "no rule matches value %s at evaluation site"
                     (Pretty.term_to_string redex))))
+
+let blocked_reasons ?(config = default_config) (st : State.t) =
+  List.filter_map
+    (fun (tid, th) ->
+      match th with
+      | State.Finished _ -> None
+      | State.Active (code, _) -> (
+          match thread_stall config st tid with
+          | Some Waiting -> (
+              match (decompose code).redex with
+              | Take_mvar (Mvar m) -> Some (tid, "takeMVar", Some m)
+              | Put_mvar (Mvar m, _) -> Some (tid, "putMVar", Some m)
+              | Get_char -> Some (tid, "getChar", None)
+              | _ -> None)
+          | _ -> None))
+    st.State.threads

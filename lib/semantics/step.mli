@@ -99,3 +99,10 @@ type stall =
 val thread_stall : config -> State.t -> Term.tid -> stall option
 (** Why the given thread contributes no thread-step transition; [None] if
     it can step or has finished. *)
+
+val blocked_reasons :
+  ?config:config -> State.t -> (Term.tid * string * Term.mvar_name option) list
+(** The wait graph of a terminal state: every thread stalled {!Waiting},
+    with the primitive it waits on (["takeMVar"], ["putMVar"],
+    ["getChar"]) and the MVar involved, if any — thread order. Feeds the
+    deadlock report of [chrun run --stats]. *)

@@ -25,11 +25,17 @@ let capacity c = Array.length c.cells
 
 let cell c i = c.cells.(i mod Array.length c.cells)
 
+(* As in {!Chan.recv}, the cell operations are NOT wrapped in [unblock]:
+   take/put block interruptibly under [block] (§5.3), so a kill can only
+   arrive while still waiting for the cell — when restoring the cursor is
+   correct. An [unblock] wrapper would add a post-transfer window where
+   the handler restores the cursor after the cell was already consumed or
+   filled, losing or duplicating an item. *)
 let send c v =
   block
     ( Mvar.take c.write_pos >>= fun i ->
       catch
-        (unblock (Mvar.put (cell c i) v))
+        (Mvar.put (cell c i) v)
         (fun e -> Mvar.put c.write_pos i >>= fun () -> throw e)
       >>= fun () -> Mvar.put c.write_pos (i + 1) )
 
@@ -37,7 +43,7 @@ let recv c =
   block
     ( Mvar.take c.read_pos >>= fun i ->
       catch
-        (unblock (Mvar.take (cell c i)))
+        (Mvar.take (cell c i))
         (fun e -> Mvar.put c.read_pos i >>= fun () -> throw e)
       >>= fun v -> Mvar.put c.read_pos (i + 1) >>= fun () -> return v )
 

@@ -21,11 +21,17 @@ let send c v =
       Mvar.put old_hole (Item (v, new_hole)) >>= fun () ->
       Mvar.put c.write new_hole )
 
+(* No [unblock] around the inner take: under [block] a waiting take is
+   already interruptible (§5.3), and wrapping it in [unblock] opens a
+   window AFTER the item has been transferred but before the mask is
+   restored — a kill landing there makes the handler put back a cursor
+   whose item is gone, losing it. The [catch] only ever fires while the
+   take is still waiting, when restoring [c.read] is correct. *)
 let recv c =
   block
     ( Mvar.take c.read >>= fun stream ->
       catch
-        (unblock (Mvar.take stream))
+        (Mvar.take stream)
         (fun e -> Mvar.put c.read stream >>= fun () -> throw e)
       >>= fun (Item (v, rest)) ->
       Mvar.put c.read rest >>= fun () -> return v )

@@ -126,3 +126,16 @@ at each thread's redex, plus delivery ((Receive)/(Interrupt)) and
   t1 steps: 3
   deliveries: 1
   gc steps: 1
+
+--stats also lists the threads a wedged run leaves waiting — the wait
+graph of the terminal state:
+
+  $ chrun run -e 'do { m <- newEmptyMVar; f <- newEmptyMVar; putMVar f 1; t <- forkIO (putMVar f 2); takeMVar m }' --stats
+  steps:  14
+  main did not finish:
+  ⟨takeMVar %m0⟩t0/⊗ | ⟨putMVar %m1 2⟩t1/⊗ | ⟨⟩m0 | ⟨1⟩m1
+  t0 steps: 13
+  t1 steps: 1
+  blocked at exit:
+    t0 waits on takeMVar m0
+    t1 waits on putMVar m1

@@ -1,0 +1,42 @@
+The kill-point sweep re-runs a program once per scheduler step with
+KillThread injected at exactly that step. Over the unprotected
+object-language corpus, killing a peer exhibits the paper's motivating
+wedges (reported, not fatal — that is what §5.2 protection is for):
+
+  $ chrun sweep --suite corpus --max-points 8
+  hello              7 kill points (baseline 7 steps): 0 completed, 7 killed, 0 wedged, 0 broken, 0 livelocked
+  echo               8 kill points (baseline 13 steps): 0 completed, 8 killed, 0 wedged, 0 broken, 0 livelocked
+  ping-pong          8 kill points (baseline 61 steps): 0 completed, 6 killed, 2 wedged, 0 broken, 0 livelocked
+    step 16 into t1: wedged: t0 on takeMVar m1
+    step 24 into t1: wedged: t0 on takeMVar m1
+  producer-consumer  8 kill points (baseline 25 steps): 0 completed, 6 killed, 2 wedged, 0 broken, 0 livelocked
+    step 6 into t1: wedged: t0 on takeMVar m0
+    step 16 into t1: wedged: t0 on takeMVar m0
+  kill-sleeping      8 kill points (baseline 10 steps): 2 completed, 6 killed, 0 wedged, 0 broken, 0 livelocked
+  mask-interrupt     8 kill points (baseline 27 steps): 3 completed, 5 killed, 0 wedged, 0 broken, 0 livelocked
+  counter-loop       8 kill points (baseline 30 steps): 0 completed, 8 killed, 0 wedged, 0 broken, 0 livelocked
+
+With --strict those wedges become failures:
+
+  $ chrun sweep --suite corpus --max-points 8 --strict > /dev/null
+  [1]
+
+The §7 hio abstractions carry the paper's protection, so they survive a
+kill at every point (the full, unsampled sweep runs in the test suite
+and in CI):
+
+  $ chrun sweep --suite std --max-points 5
+  sem-units          target=acting: 5 kill points (5 applied), baseline 352 steps, 0 failures
+  barrier-withdraw   target=acting: 5 kill points (5 applied), baseline 161 steps, 0 failures
+  chan-conserve      target=acting: 5 kill points (5 applied), baseline 303 steps, 0 failures
+  bchan-conserve     target=acting: 5 kill points (5 applied), baseline 358 steps, 0 failures
+  mvar-lock          target=acting: 5 kill points (5 applied), baseline 190 steps, 0 failures
+  cleanup-flags      target=acting: 5 kill points (5 applied), baseline 89 steps, 0 failures
+
+--json records the sweep for BENCH_fault.json (wall clock elided here):
+
+  $ chrun sweep --suite std --max-points 5 --json out.json > /dev/null
+  $ grep -c '"case"' out.json
+  6
+  $ grep -o '"kill_points": [0-9]*, "failures": [0-9]*' out.json
+  "kill_points": 30, "failures": 0

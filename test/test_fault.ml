@@ -1,0 +1,240 @@
+(* Tests for the lib/fault kill-point sweep: the shrinker, harness
+   validation against a deliberately broken lock, the §7 suites swept at
+   every armed step (the paper's universally-quantified safety claims),
+   the object-language sweep, and deterministic regression pins for the
+   Chan/Bchan cursor-restoration fix. *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+open Fault
+
+let kill at = { Plan.at_step = at; target = Plan.Acting; exn = Io.Kill_thread }
+
+let plan_t : Plan.t Alcotest.testable =
+  Alcotest.testable Plan.pp (fun a b -> a = b)
+
+let shrink_tests =
+  [
+    case "candidates drop injections and move them earlier" (fun () ->
+        let cands = Shrink.candidates [ kill 10 ] in
+        Alcotest.check Alcotest.bool "drop present" true
+          (List.mem [] cands);
+        Alcotest.check Alcotest.bool "move-to-0 present" true
+          (List.mem [ kill 0 ] cands);
+        Alcotest.check Alcotest.bool "halving present" true
+          (List.mem [ kill 5 ] cands));
+    case "an injection at step 0 cannot move further" (fun () ->
+        Alcotest.check (Alcotest.list plan_t) "only the drop" [ [] ]
+          (Shrink.candidates [ kill 0 ]));
+    case "minimize reaches the least failing plan" (fun () ->
+        (* "fails" iff some injection sits at step >= 3: the minimum is a
+           single injection at exactly 3 *)
+        let fails p = List.exists (fun i -> i.Plan.at_step >= 3) p in
+        Alcotest.check plan_t "fixed point" [ kill 3 ]
+          (Shrink.minimize fails [ kill 10; kill 7 ]));
+    case "minimize leaves a passing plan alone" (fun () ->
+        let plan = [ kill 10; kill 7 ] in
+        Alcotest.check plan_t "unchanged" plan
+          (Shrink.minimize (fun _ -> false) plan));
+  ]
+
+(* The §7 suites, each swept at EVERY armed scheduler step. These are the
+   paper's §5.2/§7 claims mechanised: no matter where the kill lands, the
+   abstractions conserve their resources and no thread is left wedged.
+   sem-units is the Sem.wait unit-conservation coverage; barrier-withdraw
+   the Barrier.await arrival-withdrawal coverage; chan-/bchan-conserve pin
+   the cursor-restoration fix (recv/send must not wrap their inner
+   take/put in [unblock] — §5.3 interruptibility already covers the wait,
+   and the wrapper opened a post-transfer window that lost items). *)
+let sweep_case c =
+  case (Sweep.case_name c ^ " survives a kill at every armed step")
+    (fun () ->
+      let r = Sweep.sweep c in
+      Alcotest.check Alcotest.bool "has kill points" true
+        (r.Sweep.r_kill_points > 0);
+      Alcotest.check Alcotest.int "every injection found a live target"
+        r.Sweep.r_kill_points r.Sweep.r_applied;
+      match r.Sweep.r_failures with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "%d failures, first: %a — %s"
+            (List.length r.Sweep.r_failures)
+            Plan.pp f.Sweep.f_shrunk f.Sweep.f_reason)
+
+let sweep_tests =
+  List.map sweep_case Cases.std
+  @ [
+      case "the std suites clear the 500-kill-point bar" (fun () ->
+          let total =
+            List.fold_left
+              (fun acc c ->
+                acc + Array.length (Sweep.record c).Sweep.s_armed)
+              0 Cases.std
+          in
+          Alcotest.check Alcotest.bool
+            (Printf.sprintf "%d >= 500" total)
+            true (total >= 500));
+      case "the harness catches and shrinks the naive lock" (fun () ->
+          let r = Sweep.sweep Cases.naive_lock in
+          Alcotest.check Alcotest.bool "found the §5.2 violation" true
+            (r.Sweep.r_failures <> []);
+          List.iter
+            (fun f ->
+              Alcotest.check Alcotest.int "shrunk to a single injection" 1
+                (List.length f.Sweep.f_shrunk))
+            r.Sweep.r_failures);
+      case "record refuses a baseline that strands threads" (fun () ->
+          let wedged =
+            Sweep.case "wedged"
+              (Mvar.new_empty >>= fun m ->
+               fork (Mvar.take m) >>= fun _ -> return ())
+          in
+          match Sweep.record wedged with
+          | _ -> Alcotest.fail "expected the baseline to be rejected"
+          | exception Failure _ -> ());
+    ]
+
+(* Deterministic pins for the §5.3 fix: a peer killed while WAITING on a
+   channel must restore the cursor so the channel keeps working. (The
+   post-transfer window itself is covered by the full sweeps above.) *)
+let regression_tests =
+  [
+    case "Chan.recv killed while waiting restores the read cursor"
+      (fun () ->
+        Alcotest.check Alcotest.int "probe" 1
+          (value
+             ( Chan.create () >>= fun c ->
+               Task.spawn (Chan.recv c >>= fun _ -> return ()) >>= fun t ->
+               yields 3 >>= fun () ->
+               Task.cancel t >>= fun () ->
+               catch (ignore_result (Task.await t)) (fun _ -> return ())
+               >>= fun () ->
+               Chan.send c 1 >>= fun () -> Chan.recv c )));
+    case "Bchan.send killed while waiting restores the write cursor"
+      (fun () ->
+        Alcotest.check (Alcotest.list Alcotest.int) "probe" [ 1; 2 ]
+          (value
+             ( Bchan.create 1 >>= fun c ->
+               Bchan.send c 1 >>= fun () ->
+               (* capacity reached: this sender blocks on the cell *)
+               Task.spawn (Bchan.send c 99) >>= fun t ->
+               yields 3 >>= fun () ->
+               Task.cancel t >>= fun () ->
+               catch (ignore_result (Task.await t)) (fun _ -> return ())
+               >>= fun () ->
+               Bchan.recv c >>= fun a ->
+               Bchan.send c 2 >>= fun () ->
+               Bchan.recv c >>= fun b -> return [ a; b ] )));
+    case "Bchan.recv killed while waiting restores the read cursor"
+      (fun () ->
+        Alcotest.check Alcotest.int "probe" 7
+          (value
+             ( Bchan.create 1 >>= fun c ->
+               Task.spawn (Bchan.recv c >>= fun _ -> return ()) >>= fun t ->
+               yields 3 >>= fun () ->
+               Task.cancel t >>= fun () ->
+               catch (ignore_result (Task.await t)) (fun _ -> return ())
+               >>= fun () ->
+               Bchan.send c 7 >>= fun () -> Bchan.recv c )));
+  ]
+
+(* --- the object-language sweep ------------------------------------------- *)
+
+open Ch_semantics
+
+(* cli.t's two lock protocols: the paper's §5.2-protected form, and the
+   catch-only form whose lock a kill can lose. *)
+let protected_lock =
+  "do { m <- newEmptyMVar; putMVar m 0; t <- forkIO (block (do { a <- \
+   takeMVar m; b <- catch (unblock (return (a + 1))) (\\e -> do { putMVar \
+   m a; throw e }); putMVar m b })); takeMVar m }"
+
+let naive_lock_src =
+  "do { m <- newEmptyMVar; putMVar m 0; t <- forkIO (do { a <- takeMVar \
+   m; b <- catch (return (a + 1)) (\\e -> do { putMVar m a; throw e }); \
+   putMVar m b }); takeMVar m }"
+
+let ch_state src = State.initial (Ch_lang.Parser.parse src)
+
+let ch_sweep_tests =
+  [
+    case "sequential corpus programs only die, never wedge" (fun () ->
+        List.iter
+          (fun name ->
+            let init = List.assoc name Ch_sweep.corpus in
+            let r = Ch_sweep.sweep name init in
+            Alcotest.check Alcotest.bool (name ^ " quiescent") true
+              (Ch_sweep.quiescent r))
+          [ "hello"; "echo"; "counter-loop" ]);
+    case "ping-pong wedges when a peer dies (the motivating failure)"
+      (fun () ->
+        let r =
+          Ch_sweep.sweep "ping-pong" (List.assoc "ping-pong" Ch_sweep.corpus)
+        in
+        Alcotest.check Alcotest.bool "wedged runs exist" true
+          (r.Ch_sweep.rc_wedged > 0);
+        (* every wedge is main waiting on an MVar, visible in the report *)
+        List.iter
+          (fun p ->
+            match p.Ch_sweep.verdict with
+            | Ch_sweep.Wedged ((_, "takeMVar", Some _) :: _) -> ()
+            | v ->
+                Alcotest.failf "unexpected verdict %a" Ch_sweep.pp_verdict v)
+          r.Ch_sweep.rc_points);
+    case "the §5.2-protected lock is quiescent; the catch-only one is not"
+      (fun () ->
+        let ok = Ch_sweep.sweep "protected" (ch_state protected_lock) in
+        Alcotest.check Alcotest.bool "protected quiescent" true
+          (Ch_sweep.quiescent ok);
+        let bad = Ch_sweep.sweep "naive" (ch_state naive_lock_src) in
+        Alcotest.check Alcotest.bool "naive wedges" true
+          (bad.Ch_sweep.rc_wedged > 0));
+    case "intervene lands a real in-flight exception" (fun () ->
+        let init = ch_state "do { sleep 1; sleep 1; return 0 }" in
+        let intervene ~step st =
+          if step = 1 then
+            Some
+              {
+                st with
+                State.inflight =
+                  st.State.inflight
+                  @ [ (st.State.next_inflight,
+                       { State.target = 0; exn = "Boom" }) ];
+                next_inflight = st.State.next_inflight + 1;
+              }
+          else None
+        in
+        let r =
+          Ch_explore.Sched.run ~intervene Ch_explore.Sched.Round_robin init
+        in
+        match State.main_result r.Ch_explore.Sched.final with
+        | Some (State.Threw "Boom") -> ()
+        | _ -> Alcotest.fail "expected main to die of the injected #Boom");
+    case "blocked_reasons classifies takeMVar/putMVar/getChar waits"
+      (fun () ->
+        let r =
+          Ch_explore.Sched.run Ch_explore.Sched.Round_robin
+            (ch_state
+               "do { m <- newEmptyMVar; f <- newEmptyMVar; putMVar f 1; t \
+                <- forkIO (do { putMVar f 2; return 0 }); u <- forkIO \
+                getChar; takeMVar m }")
+        in
+        Alcotest.check
+          (Alcotest.list
+             (Alcotest.triple Alcotest.int Alcotest.string
+                (Alcotest.option Alcotest.int)))
+          "wait graph"
+          [ (0, "takeMVar", Some 0); (1, "putMVar", Some 1);
+            (2, "getChar", None) ]
+          (Step.blocked_reasons r.Ch_explore.Sched.final));
+  ]
+
+let suites =
+  [
+    ("fault:shrink", shrink_tests);
+    ("fault:sweep", sweep_tests);
+    ("fault:regressions", regression_tests);
+    ("fault:ch-sweep", ch_sweep_tests);
+  ]

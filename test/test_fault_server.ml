@@ -1,0 +1,24 @@
+(* Kill-point sweeps over the §11 server request path: the three
+   adversaries (kill whichever thread is acting, kill the accept loop
+   mid-accept, kill a connection worker mid-request), bounded so the
+   suite stays fast — the full sweep runs via `chrun sweep --suite
+   server`. *)
+
+open Fault
+
+let sweep_target target =
+  Helpers.case
+    (Fmt.str "server survives kills into %a" Plan.pp_target target)
+    (fun () ->
+      let r = Sweep.sweep ~max_points:40 ~target Cases.server in
+      Alcotest.check Alcotest.bool "has kill points" true
+        (r.Sweep.r_kill_points > 0);
+      match r.Sweep.r_failures with
+      | [] -> ()
+      | f :: _ ->
+          Alcotest.failf "%d failures, first: %a — %s"
+            (List.length r.Sweep.r_failures)
+            Plan.pp f.Sweep.f_shrunk f.Sweep.f_reason)
+
+let suites =
+  [ ("fault:server", List.map sweep_target Cases.server_targets) ]

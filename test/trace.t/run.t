@@ -79,3 +79,31 @@ over a scheduling change.
   exit t0
   outcome: Value 6
   steps: 64
+
+The deadlock watchdog's wait graph, pinned as goldens. A finished main
+that strands a blocked thread is reported (and the exit status is
+nonzero so wedges cannot slip through cram silently):
+
+  $ hio-trace stranded-take
+  fork t0 -> t1 (waiter)
+  t1 blocked on takeMVar
+  exit t0
+  outcome: Value 9
+  steps: 16
+  blocked at exit:
+  t1 (waiter) blocked on takeMVar m0 [empty]
+  [1]
+
+A genuine deadlock (crossed takeMVar locks): no thread runnable, no
+timer pending, and the graph names each edge's last holder:
+
+  $ hio-trace deadlock-cross
+  fork t0 -> t1 (left)
+  t1 blocked on takeMVar
+  t0 blocked on takeMVar
+  outcome: Deadlock
+  steps: 34
+  blocked at exit:
+  t0 (main) blocked on takeMVar m0 [empty, last held by t1]
+  t1 (left) blocked on takeMVar m1 [empty, last held by t0]
+  [1]
