@@ -13,6 +13,8 @@
    C7  §2        polling baseline vs fully-asynchronous cancellation
    C8  §8        thunk policies: restart (revert) vs resume (freeze)
    RT  —         runtime primitive costs (MVar, Chan, Sem, fork)
+   SC  —         scheduler hot path at scale (many runnable threads)
+   OB  —         observability overhead: Obs.Rec vs logs tracer vs off
 
    Run with: dune exec bench/main.exe *)
 
@@ -393,6 +395,57 @@ let sc =
         run_config random_cfg (fork_tree 9 10)));
   ]
 
+(* --- OB: observability overhead ---------------------------------------------- *)
+
+(* The BENCH_obs.json criterion: attaching the Obs.Rec ring recorder must
+   cost <10% on the many-thread scenario. Rec's hot-path cost is one
+   packed word per step into the runtime's step journal plus a few int
+   stores per structured event; the comparison points are no tracer at
+   all, the Logs-based tracer (which formats every event), and the live
+   Runtime_obs metrics collector. One shared recorder/registry across
+   runs, never cleared — the rings overwrite by construction, and a
+   per-run clear would bill an Array.fill of the whole journal (~0.5MB)
+   to workloads that are microseconds long. *)
+
+let ob_recorder = Obs.Rec.create ()
+let ob_rec_cfg = Obs.Rec.attach ob_recorder Runtime.Config.default
+
+let ob_registry = Obs.Metrics.create ()
+let ob_metrics_cfg = Obs.Runtime_obs.metrics ob_registry Runtime.Config.default
+
+let ob_buf = Buffer.create 65536
+let ob_src = Logs.Src.create "bench.obs"
+
+let ob_logs_cfg =
+  let ppf = Format.formatter_of_buffer ob_buf in
+  let report _src _level ~over k msgf =
+    msgf (fun ?header:_ ?tags:_ fmt ->
+        Format.kfprintf (fun _ -> over (); k ()) ppf fmt)
+  in
+  Logs.set_reporter { Logs.report };
+  Logs.Src.set_level ob_src (Some Logs.Debug);
+  {
+    Runtime.Config.default with
+    Runtime.Config.tracer = Some (Runtime.logs_tracer ~src:ob_src ());
+  }
+
+let ob =
+  [
+    Test.make ~name:"ob/fork-tree-1023x30-off" (stage (fun () ->
+        run_rr (fork_tree 9 30)));
+    Test.make ~name:"ob/fork-tree-1023x30-rec" (stage (fun () ->
+        run_config ob_rec_cfg (fork_tree 9 30)));
+    Test.make ~name:"ob/fork-tree-1023x30-logs" (stage (fun () ->
+        Buffer.clear ob_buf;
+        run_config ob_logs_cfg (fork_tree 9 30)));
+    Test.make ~name:"ob/fork-tree-1023x30-metrics" (stage (fun () ->
+        run_config ob_metrics_cfg (fork_tree 9 30)));
+    Test.make ~name:"ob/pingpong-100-rec" (stage (fun () ->
+        run_config ob_rec_cfg (mvar_pingpong 100)));
+    Test.make ~name:"ob/pingpong-100-off" (stage (fun () ->
+        run_rr (mvar_pingpong 100)));
+  ]
+
 (* --- DS: direct-style (effects) runtime vs the monadic runtime -------------- *)
 
 module D = Hio_direct.Direct
@@ -465,6 +518,7 @@ let groups =
     ("SV server substrate", sv);
     ("RT runtime primitives", rt);
     ("SC scheduler hot path", sc);
+    ("OB observability overhead", ob);
   ]
 
 (* CLI: [-quota SECONDS] bounds the per-test measuring time (CI smoke runs

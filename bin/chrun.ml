@@ -114,33 +114,34 @@ let stats_arg =
     value & flag
     & info [ "stats" ]
         ~doc:
-          "After the result, print per-thread accounting derived from the \
-           trace: steps taken by each thread, plus how many transitions were \
-           exception deliveries ((Receive)/(Interrupt)) or (Proc GC).")
+          "After the result, print the accounting table (per-thread steps, \
+           exception deliveries, (Proc GC) transitions) and the blocked-at-\
+           exit report. The table is an Obs.Metrics registry filled by \
+           Obs.Of_sem.observe — the same accounting path as $(b,--metrics).")
 
-(* Per-thread accounting over a finished trace. Thread steps are attributed
-   by [Step.Thread_step]; deliveries and (Proc GC) are not at any thread's
-   redex, so they are reported as their own lines. *)
-let print_stats (trace : Step.transition list) =
-  let tbl = Hashtbl.create 8 in
-  let deliveries = ref 0 and gc = ref 0 in
-  List.iter
-    (fun (tr : Step.transition) ->
-      match tr.Step.actor with
-      | Step.Thread_step tid ->
-          Hashtbl.replace tbl tid
-            (1 + Option.value ~default:0 (Hashtbl.find_opt tbl tid))
-      | Step.Delivery _ -> incr deliveries
-      | Step.Global -> incr gc)
-    trace;
-  Hashtbl.fold (fun tid n acc -> (tid, n) :: acc) tbl []
-  |> List.sort compare
-  |> List.iter (fun (tid, n) -> Fmt.pr "t%d steps: %d@." tid n);
-  if !deliveries > 0 then Fmt.pr "deliveries: %d@." !deliveries;
-  if !gc > 0 then Fmt.pr "gc steps: %d@." !gc
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Print the full metrics table, including per-rule transition \
+           counts (sem_rule_steps_total) keyed by the paper's rule names.")
+
+let chrome_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "chrome" ] ~docv:"FILE"
+        ~doc:
+          "Write the execution as Chrome trace-event JSON (load in \
+           chrome://tracing or Perfetto): one track per thread, run slices \
+           as duration events, spawns/exits/throwTo/deliveries/mask \
+           changes as instants, stamped with the virtual-step clock. \
+           Deterministic under $(b,--policy rr).")
 
 let run_cmd =
-  let run file expr prelude input fuel stuck_io policy seed max_steps trace stats =
+  let run file expr prelude input fuel stuck_io policy seed max_steps trace
+      stats metrics chrome =
     handle_syntax (fun () ->
         let program = read_program file expr prelude in
         let config = config_of fuel stuck_io in
@@ -150,9 +151,8 @@ let run_cmd =
           | `Random -> Sched.Random seed
           | `First -> Sched.First
         in
-        let result =
-          Sched.run ~config ~max_steps policy (State.initial ~input program)
-        in
+        let init = State.initial ~input program in
+        let result = Sched.run ~config ~max_steps policy init in
         if trace then Fmt.pr "%a@." Sched.pp_trace result.Sched.trace;
         Fmt.pr "steps:  %d%s@." result.Sched.steps
           (match result.Sched.outcome with
@@ -168,8 +168,15 @@ let run_cmd =
             | _ -> Fmt.pr "result: %a@." Ch_lang.Pretty.pp_term v)
         | Some (State.Threw e) -> Fmt.pr "uncaught exception: #%s@." e
         | None -> Fmt.pr "main did not finish:@.%a@." State.pp result.Sched.final);
+        (* One accounting path: --stats and --metrics render the same
+           registry, filled by the same Of_sem.observe fold; --metrics
+           additionally breaks transitions down by rule. *)
+        if stats || metrics then begin
+          let reg = Obs.Metrics.create () in
+          Obs.Of_sem.observe reg ~rules:metrics result.Sched.trace;
+          Fmt.pr "%a" Obs.Metrics.pp reg
+        end;
         if stats then begin
-          print_stats result.Sched.trace;
           match Step.blocked_reasons ~config result.Sched.final with
           | [] -> ()
           | blocked ->
@@ -181,7 +188,15 @@ let run_cmd =
                     | Some m -> Printf.sprintf " m%d" m
                     | None -> ""))
                 blocked
-        end)
+        end;
+        match chrome with
+        | Some path ->
+            let r = Obs.Rec.create () in
+            Obs.Of_sem.record r ~init result.Sched.trace;
+            Obs.Export.write ~path
+              (Obs.Export.chrome ~process_name:"chrun" (Obs.Rec.entries r));
+            Fmt.pr "chrome trace written to %s@." path
+        | None -> ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a program under a scheduler.")
@@ -189,7 +204,7 @@ let run_cmd =
       term_result'
         (const run $ file_arg $ expr_arg $ prelude_arg $ input_arg $ fuel_arg
        $ stuck_io_arg $ policy_arg $ seed_arg $ steps_arg $ trace_arg
-       $ stats_arg))
+       $ stats_arg $ metrics_arg $ chrome_arg))
 
 (* --- chrun check ------------------------------------------------------------ *)
 
@@ -376,6 +391,7 @@ let sweep_json path ~argv ~corpus ~std ~server ~failures ~wall =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
+  add "  \"schema_version\": 1,\n";
   add "  \"description\": \"Kill-point sweep record: every armed scheduler \
        step of each case re-executed with KillThread injected into the \
        acting (or targeted) thread, invariants checked after each faulted \

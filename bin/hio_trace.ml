@@ -2,12 +2,18 @@
    corpus program.
 
      dune exec bin/hio_trace.exe -- fork-join
+     dune exec bin/hio_trace.exe -- --chrome out.json --metrics fork-join
 
    The output (one pp_event line per scheduler event, then the outcome and
    step count) is the runtime's observable behaviour under the
    deterministic round-robin policy. The cram tests under test/trace.t and
    test/trace_combinators.t pin these sequences byte-for-byte, so any
-   change to scheduling order — however subtle — shows up as a diff. *)
+   change to scheduling order — however subtle — shows up as a diff.
+
+   --chrome FILE additionally records the run through Obs.Rec and writes
+   the Chrome trace-event JSON export; --metrics attaches the live
+   Obs.Runtime_obs collector and prints the registry table after the run.
+   Both ride the same two runtime hooks as the printing tracer. *)
 
 open Hio
 open Hio.Io
@@ -131,11 +137,20 @@ let programs =
     ("timeout-nested", timeout_nested);
   ]
 
+let usage () =
+  Fmt.epr "usage: hio_trace [--chrome FILE] [--metrics] (list | PROGRAM)@.";
+  exit 1
+
 let () =
-  match Array.to_list Sys.argv with
-  | [ _; "list" ] ->
-      List.iter (fun (name, _) -> print_endline name) programs
-  | [ _; name ] -> (
+  let rec parse chrome metrics rest = function
+    | "--chrome" :: path :: tl -> parse (Some path) metrics rest tl
+    | "--metrics" :: tl -> parse chrome true rest tl
+    | arg :: tl -> parse chrome metrics (arg :: rest) tl
+    | [] -> (chrome, metrics, List.rev rest)
+  in
+  match parse None false [] (List.tl (Array.to_list Sys.argv)) with
+  | _, _, [ "list" ] -> List.iter (fun (name, _) -> print_endline name) programs
+  | chrome, metrics, [ name ] -> (
       match List.assoc_opt name programs with
       | None ->
           Fmt.epr "unknown program %S (try 'list')@." name;
@@ -148,11 +163,30 @@ let () =
                 Some (fun e -> Fmt.pr "%a@." Runtime.pp_event e);
             }
           in
+          let recorder = Obs.Rec.create () in
+          let config =
+            if chrome <> None then Obs.Rec.attach recorder config else config
+          in
+          let registry = Obs.Metrics.create () in
+          let config =
+            if metrics then Obs.Runtime_obs.metrics registry config else config
+          in
           let r = Runtime.run ~config prog in
           Fmt.pr "outcome: %a@." (Runtime.pp_outcome Fmt.int) r.Runtime.outcome;
           Fmt.pr "steps: %d@." r.Runtime.steps;
           if r.Runtime.output <> "" then
             Fmt.pr "output: %S@." r.Runtime.output;
+          (match chrome with
+          | Some path ->
+              Obs.Export.write ~path
+                (Obs.Export.chrome ~process_name:("hio " ^ name)
+                   (Obs.Rec.entries recorder));
+              Fmt.pr "chrome trace written to %s@." path
+          | None -> ());
+          if metrics then begin
+            Obs.Runtime_obs.observe_result registry r;
+            Fmt.pr "%a" Obs.Metrics.pp registry
+          end;
           (* The watchdog's verdict: a program that strands blocked threads
              is a wedge even when main returned — fail loudly so the cram
              tests cannot pass silently over it. *)
@@ -160,6 +194,4 @@ let () =
             Fmt.pr "blocked at exit:@.%a" Runtime.pp_wait_graph
               r.Runtime.blocked_at_exit;
             exit 1))
-  | _ ->
-      Fmt.epr "usage: hio_trace (list | PROGRAM)@.";
-      exit 1
+  | _ -> usage ()

@@ -1,29 +1,41 @@
-(* Watching the runtime work: the scheduler event tracer replays §5.1's
-   story at the event level — you can see the exact moment the kill is
-   delivered inside the vulnerable window, and how Mvar.modify's mask
-   defers it to a safe point instead.
+(* Watching the runtime work: the Obs recorder replays §5.1's story at the
+   event level — you can see the exact moment the kill is delivered inside
+   the vulnerable window, and how Mvar.modify's mask defers it to a safe
+   point instead.
+
+   Unlike a raw Runtime.Config.tracer (which prints as it goes), Obs.Rec
+   records into a bounded ring stamped with the virtual-step clock, so the
+   run can be inspected afterwards: pretty-printed, folded into a metrics
+   registry, or exported as Chrome trace-event JSON for chrome://tracing.
 
    Run with: dune exec examples/event_trace.exe *)
 
 open Hio
 open Hio.Io
 
-let run_traced title prog =
+let run_recorded title prog =
   Printf.printf "\n== %s ==\n" title;
+  let recorder = Obs.Rec.create () in
+  let registry = Obs.Metrics.create () in
   let config =
-    {
-      Runtime.Config.default with
-      Runtime.Config.tracer =
-        Some (fun e -> Fmt.pr "    %a@." Runtime.pp_event e);
-    }
+    Obs.Runtime_obs.metrics registry
+      (Obs.Rec.attach recorder Runtime.Config.default)
   in
   let r = Runtime.run ~config prog in
+  List.iter
+    (fun e -> Fmt.pr "    %a@." Obs.Rec.pp_entry e)
+    (Obs.Rec.entries recorder);
   Printf.printf "  outcome: %s\n"
     (match r.Runtime.outcome with
     | Runtime.Value v -> Printf.sprintf "lock holds %d" v
     | Runtime.Deadlock -> "DEADLOCK — the lock was lost"
     | Runtime.Uncaught e -> "uncaught " ^ Printexc.to_string e
-    | Runtime.Out_of_steps -> "out of steps")
+    | Runtime.Out_of_steps -> "out of steps");
+  Printf.printf "  deliveries: %d in %d steps\n"
+    (Obs.Metrics.counter_value
+       (Obs.Metrics.counter registry "hio_deliveries_total"))
+    (Obs.Metrics.counter_value (Obs.Metrics.counter registry "hio_steps_total"));
+  recorder
 
 let vulnerable m =
   Mvar.take m >>= fun x ->
@@ -46,5 +58,10 @@ let scenario update =
   throw_to t Kill_thread >>= fun () -> Mvar.take m
 
 let () =
-  run_traced "unprotected take/put, kill mid-update" (scenario vulnerable);
-  run_traced "Mvar.modify (§5.2), same kill" (scenario protected)
+  let _ = run_recorded "unprotected take/put, kill mid-update" (scenario vulnerable) in
+  let recorder = run_recorded "Mvar.modify (§5.2), same kill" (scenario protected) in
+  (* The same recording, one more way: a Perfetto-loadable trace. *)
+  let path = "event_trace_chrome.json" in
+  Obs.Export.write ~path
+    (Obs.Export.chrome ~process_name:"event_trace" (Obs.Rec.entries recorder));
+  Printf.printf "\nchrome trace written to %s (load in chrome://tracing)\n" path

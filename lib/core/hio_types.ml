@@ -58,6 +58,7 @@ and _ prim =
   | Lift : (unit -> 'a) -> 'a prim
   | Masked : bool prim
   | Mask_state : mask_level prim
+  | Steps : int prim
   | Status_of : thread -> status prim
   | Frame_depth : int prim
 

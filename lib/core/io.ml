@@ -63,6 +63,7 @@ let thread_status t =
 let sleep d = Prim (Sleep d)
 let yield = Prim Yield
 let now = Prim Now
+let steps = Prim Steps
 let put_char c = Prim (Put_char c)
 let put_string s = Prim (Put_string s)
 let get_char = Prim Get_char

@@ -162,6 +162,12 @@ val yield : unit t
 val now : int t
 (** The current virtual time in microseconds. *)
 
+val steps : int t
+(** The number of scheduler steps the whole runtime has executed so far —
+    the virtual-step clock the observability layer stamps events with.
+    Deterministic under the round-robin policy, which makes it the right
+    unit for latency measurements ({!Hserver}'s per-request histogram). *)
+
 (** {1 Console} *)
 
 val put_char : char -> unit t

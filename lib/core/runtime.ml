@@ -5,7 +5,8 @@ type event =
   | Ev_exit of { tid : int; uncaught : exn option }
   | Ev_throw_to of { source : int; target : int; exn : exn }
   | Ev_deliver of { tid : int; exn : exn }
-  | Ev_blocked of { tid : int; why : string }
+  | Ev_blocked of { tid : int; why : string; mvar : int option }
+  | Ev_wakeup of { tid : int }
   | Ev_mask of { tid : int; masked : bool }
   | Ev_clock of { now : int }
 
@@ -21,6 +22,7 @@ module Config = struct
     max_steps : int;
     tracer : (event -> unit) option;
     inject : (step:int -> running:int -> (int * exn) option) option;
+    journal : Step_journal.t option;
   }
 
   let default =
@@ -33,6 +35,7 @@ module Config = struct
       max_steps = 50_000_000;
       tracer = None;
       inject = None;
+      journal = None;
     }
 end
 
@@ -49,7 +52,11 @@ let pp_event ppf = function
         (Printexc.to_string exn)
   | Ev_deliver { tid; exn } ->
       Fmt.pf ppf "deliver %s at t%d" (Printexc.to_string exn) tid
-  | Ev_blocked { tid; why } -> Fmt.pf ppf "t%d blocked on %s" tid why
+  | Ev_blocked { tid; why; mvar } ->
+      Fmt.pf ppf "t%d blocked on %s%a" tid why
+        Fmt.(option (fmt " m%d"))
+        mvar
+  | Ev_wakeup { tid } -> Fmt.pf ppf "t%d woken" tid
   | Ev_mask { tid; masked } ->
       Fmt.pf ppf "t%d %s" tid (if masked then "masked" else "unmasked")
   | Ev_clock { now } -> Fmt.pf ppf "clock -> %dus" now
@@ -230,6 +237,7 @@ let rec mvar_remove st (m : _ mvar) v_now =
       ignore (mvar_remove st m v_now)
   | Some pt ->
       m.mv_contents <- Some pt.pt_value;
+      emit st (Ev_wakeup { tid = pt.pt_thread.t_id });
       set_run pt.pt_thread (pt.pt_wake ());
       enqueue st pt.pt_thread
   | None -> m.mv_contents <- None);
@@ -246,6 +254,7 @@ let rec mvar_insert st (m : _ mvar) v =
       mvar_insert st m v
   | Some tk ->
       m.mv_last_taker <- Some tk.tk_thread.t_id;
+      emit st (Ev_wakeup { tid = tk.tk_thread.t_id });
       set_run tk.tk_thread (tk.tk_wake v);
       enqueue st tk.tk_thread
   | None -> m.mv_contents <- Some v
@@ -262,7 +271,13 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
     if t.t_pending <> [] && t.t_mask <> Mask_uninterruptible then
       set_run t (deliver_pending st t (fun e -> Pack (Throw_async e, frames)))
     else begin
-      emit st (Ev_blocked { tid = t.t_id; why });
+      emit st
+        (Ev_blocked
+           {
+             tid = t.t_id;
+             why;
+             mvar = (match on with Some (Ex_mvar m) -> Some m.mv_id | None -> None);
+           });
       t.t_blocked_count <- t.t_blocked_count + 1;
       t.t_state <-
         T_blocked
@@ -378,6 +393,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
               (* Block first, then register, so that an immediate delivery
                  (blocked target) finds the sender already waiting. *)
               let entry = { p_exn = e; p_on_delivered = None } in
+              emit st (Ev_blocked { tid = t.t_id; why = "throwTo"; mvar = None });
               t.t_blocked_count <- t.t_blocked_count + 1;
               t.t_state <-
                 T_blocked
@@ -393,6 +409,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
                   (fun () ->
                     match sender.t_state with
                     | T_blocked _ ->
+                        emit st (Ev_wakeup { tid = sender.t_id });
                         set_run sender (Pack (Pure (), frames));
                         enqueue st sender
                     | T_run _ | T_dead _ -> ());
@@ -442,6 +459,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
   | Lift f -> continue (f ())
   | Masked -> continue (t.t_mask <> Mask_none)
   | Mask_state -> continue t.t_mask
+  | Steps -> continue st.steps
   | Status_of u ->
       continue
         (match u.t_state with
@@ -596,6 +614,9 @@ let run_slice st t =
   match t.t_state with
   | T_blocked _ | T_dead _ -> () (* stale queue entry *)
   | T_run packed ->
+      (match st.config.Config.journal with
+      | None -> ()
+      | Some j -> Step_journal.note j ~step:st.steps ~running:t.t_id);
       apply_injection st t;
       let packed =
         if t.t_mask = Mask_none && t.t_pending <> [] then
@@ -639,6 +660,7 @@ let advance_clock st =
       in
       List.iter
         (fun tm ->
+          emit st (Ev_wakeup { tid = tm.tm_thread.t_id });
           set_run tm.tm_thread (tm.tm_wake ());
           enqueue st tm.tm_thread)
         due;

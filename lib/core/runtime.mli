@@ -16,7 +16,14 @@ type event =
   | Ev_throw_to of { source : int; target : int; exn : exn }
   | Ev_deliver of { tid : int; exn : exn }
       (** an asynchronous exception is raised at [tid]'s current point *)
-  | Ev_blocked of { tid : int; why : string }
+  | Ev_blocked of { tid : int; why : string; mvar : int option }
+      (** [mvar] is the box the thread waits on, when the blocking
+          operation is [takeMVar]/[putMVar] *)
+  | Ev_wakeup of { tid : int }
+      (** a blocked thread was made runnable by a {e normal} wakeup — an
+          MVar handoff, a timer firing, or a synchronous [throw_to]
+          completing. A thread woken by an exception gets {!Ev_deliver}
+          instead. *)
   | Ev_mask of { tid : int; masked : bool }
   | Ev_clock of { now : int }  (** virtual time advanced while idle *)
 
@@ -51,6 +58,12 @@ module Config : sig
             sweep driver in [Fault.Sweep] uses that to record a schedule
             before re-running it once per kill point. Dead or unknown
             targets are ignored. *)
+    journal : Step_journal.t option;
+        (** when set, the scheduler notes [(step, running tid)] into the
+            journal once per step — one packed word store, cheap enough
+            to leave on under many-thread load where the closure-based
+            hooks above would cost double-digit percent. {!Obs.Rec}
+            reconstructs per-thread run slices from it after the run. *)
   }
 
   val default : t

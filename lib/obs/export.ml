@@ -1,0 +1,104 @@
+(* Chrome trace-event JSON, by hand: the vocabulary is fixed and every
+   emitted string goes through [escape], so no JSON library is needed (the
+   tree deliberately has none). Field order is fixed by the printfs below —
+   part of the byte-determinism contract. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let track_label tid name =
+  match name with
+  | Some n -> Printf.sprintf "t%d %s" tid (escape n)
+  | None -> Printf.sprintf "t%d" tid
+
+let chrome ?(process_name = "hio") entries =
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let obj fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf (if !first then "[\n" else ",\n");
+        first := false;
+        Buffer.add_string buf "  ";
+        Buffer.add_string buf s)
+      fmt
+  in
+  obj
+    {|{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"%s"}}|}
+    (escape process_name);
+  List.iter
+    (fun (tid, name) ->
+      obj
+        {|{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"%s"}}|}
+        tid (track_label tid name))
+    (Span.thread_names entries);
+  List.iter
+    (fun (s : Span.span) ->
+      match s.Span.sp_kind with
+      | Span.Sp_run ->
+          obj
+            {|{"name":"run","cat":"run","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d}|}
+            s.Span.sp_tid s.Span.sp_start
+            (s.Span.sp_stop - s.Span.sp_start)
+      | Span.Sp_block op ->
+          obj
+            {|{"name":"block %s","cat":"block","ph":"X","pid":0,"tid":%d,"ts":%d,"dur":%d,"args":{"op":"%s"}}|}
+            (escape op) s.Span.sp_tid s.Span.sp_start
+            (s.Span.sp_stop - s.Span.sp_start)
+            (escape op))
+    (Span.spans entries);
+  List.iter
+    (fun (e : Rec.entry) ->
+      match e.Rec.ev with
+      | Rec.E_spawn { parent; tid; name = _ } ->
+          obj
+            {|{"name":"spawn t%d","cat":"sched","ph":"i","s":"t","pid":0,"tid":%d,"ts":%d}|}
+            tid parent e.Rec.at
+      | Rec.E_exit { tid; uncaught } ->
+          obj
+            {|{"name":"exit%s","cat":"sched","ph":"i","s":"t","pid":0,"tid":%d,"ts":%d}|}
+            (match uncaught with
+            | Some exn -> " uncaught " ^ escape exn
+            | None -> "")
+            tid e.Rec.at
+      | Rec.E_send { source; target; exn_name; kill } ->
+          obj
+            {|{"name":"%s t%d","cat":"exn","ph":"i","s":"t","pid":0,"tid":%d,"ts":%d,"args":{"exn":"%s"}}|}
+            (if kill then "kill" else "throwTo")
+            target source e.Rec.at (escape exn_name)
+      | Rec.E_deliver { tid; exn_name; kill } ->
+          obj
+            {|{"name":"deliver %s","cat":"exn","ph":"i","s":"t","pid":0,"tid":%d,"ts":%d}|}
+            (escape (if kill then "kill" else exn_name))
+            tid e.Rec.at
+      | Rec.E_mask { tid; on } ->
+          obj
+            {|{"name":"mask %s","cat":"mask","ph":"i","s":"t","pid":0,"tid":%d,"ts":%d}|}
+            (if on then "on" else "off")
+            tid e.Rec.at
+      | Rec.E_clock { now } ->
+          obj
+            {|{"name":"clock %dus","cat":"clock","ph":"i","s":"p","pid":0,"tid":0,"ts":%d}|}
+            now e.Rec.at
+      | Rec.E_run _ | Rec.E_block _ | Rec.E_wakeup _ -> ())
+    entries;
+  Buffer.add_string buf (if !first then "[]\n" else "\n]\n");
+  Buffer.contents buf
+
+let write ~path content =
+  let oc = open_out path in
+  output_string oc content;
+  close_out oc

@@ -1,0 +1,20 @@
+(** [Export] — deterministic Chrome trace-event JSON from a recorded
+    stream, loadable in Perfetto ([ui.perfetto.dev]) and in
+    [chrome://tracing].
+
+    The output is a plain trace-event array: one metadata-named track per
+    thread ([thread_name] events), an ["X"] (complete) event per run and
+    block span with [ts]/[dur] on the virtual-step clock, and instant
+    events for throwTo sends, deliveries, mask transitions and clock
+    advances. Because the clock is virtual steps — not wall time — the
+    bytes are a pure function of the recorded stream: the same program
+    exports the same file every run, so traces can be golden-tested and
+    diffed across commits like any other artifact. *)
+
+val chrome : ?process_name:string -> Rec.entry list -> string
+(** The trace-event JSON array (trailing newline included). The
+    [ts]/[dur] unit Perfetto displays as microseconds is one scheduler
+    step. Default [process_name] is ["hio"]. *)
+
+val write : path:string -> string -> unit
+(** Write the rendered trace to a file. *)

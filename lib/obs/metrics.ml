@@ -1,0 +1,129 @@
+type counter = { mutable c : int }
+type gauge = { mutable g : int; mutable g_max : int }
+
+type histogram = {
+  h_bounds : int array;  (* inclusive upper bounds, ascending *)
+  h_counts : int array;  (* length = |bounds| + 1; last is +inf *)
+  mutable h_sum : int;
+  mutable h_count : int;
+}
+
+type instrument = I_counter of counter | I_gauge of gauge | I_hist of histogram
+
+type key = { k_name : string; k_labels : (string * string) list }
+
+type t = { tbl : (key, instrument) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+let key name labels =
+  { k_name = name; k_labels = List.sort compare labels }
+
+let register t name labels make =
+  let k = key name labels in
+  match Hashtbl.find_opt t.tbl k with
+  | Some i -> i
+  | None ->
+      let i = make () in
+      Hashtbl.add t.tbl k i;
+      i
+
+let counter t ?(labels = []) name =
+  match register t name labels (fun () -> I_counter { c = 0 }) with
+  | I_counter c -> c
+  | I_gauge _ | I_hist _ ->
+      invalid_arg ("Metrics.counter: " ^ name ^ " registered with another kind")
+
+let inc ?(by = 1) c = c.c <- c.c + by
+let counter_value c = c.c
+
+let gauge t ?(labels = []) name =
+  match register t name labels (fun () -> I_gauge { g = 0; g_max = 0 }) with
+  | I_gauge g -> g
+  | I_counter _ | I_hist _ ->
+      invalid_arg ("Metrics.gauge: " ^ name ^ " registered with another kind")
+
+let set g v =
+  g.g <- v;
+  if v > g.g_max then g.g_max <- v
+
+let add g d = set g (g.g + d)
+let gauge_value g = g.g
+let gauge_max g = g.g_max
+
+let default_buckets = [ 1; 2; 5; 10; 20; 50; 100; 200; 500; 1000; 2000; 5000; 10000; 20000; 50000; 100000 ]
+
+let histogram t ?(buckets = default_buckets) ?(labels = []) name =
+  match
+    register t name labels
+      (fun () ->
+        let bounds = Array.of_list buckets in
+        Array.iteri
+          (fun i b ->
+            if i > 0 && b <= bounds.(i - 1) then
+              invalid_arg "Metrics.histogram: buckets must be ascending")
+          bounds;
+        I_hist
+          {
+            h_bounds = bounds;
+            h_counts = Array.make (Array.length bounds + 1) 0;
+            h_sum = 0;
+            h_count = 0;
+          })
+  with
+  | I_hist h -> h
+  | I_counter _ | I_gauge _ ->
+      invalid_arg ("Metrics.histogram: " ^ name ^ " registered with another kind")
+
+let observe h v =
+  h.h_sum <- h.h_sum + v;
+  h.h_count <- h.h_count + 1;
+  let n = Array.length h.h_bounds in
+  let rec slot i = if i >= n || v <= h.h_bounds.(i) then i else slot (i + 1) in
+  let i = slot 0 in
+  h.h_counts.(i) <- h.h_counts.(i) + 1
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let histogram_buckets h =
+  let n = Array.length h.h_bounds in
+  let acc = ref 0 in
+  List.init (n + 1) (fun i ->
+      acc := !acc + h.h_counts.(i);
+      ((if i < n then Some h.h_bounds.(i) else None), !acc))
+
+let pp_key ppf k =
+  Fmt.string ppf k.k_name;
+  match k.k_labels with
+  | [] -> ()
+  | labels ->
+      Fmt.pf ppf "{%a}"
+        Fmt.(list ~sep:(any ",") (fun ppf (k, v) -> pf ppf "%s=%s" k v))
+        labels
+
+(* Non-empty buckets only: the full 1-2-5 ladder would bury the signal,
+   and empty buckets carry none. *)
+let pp_hist_buckets ppf h =
+  List.iter
+    (fun (bound, cumulative) ->
+      if cumulative > 0 then
+        match bound with
+        | Some b -> Fmt.pf ppf " le%d=%d" b cumulative
+        | None -> Fmt.pf ppf " inf=%d" cumulative)
+    (histogram_buckets h)
+
+let pp ppf t =
+  let rows = Hashtbl.fold (fun k i acc -> (k, i) :: acc) t.tbl [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iter
+    (fun (k, i) ->
+      let name = Fmt.str "%a" pp_key k in
+      match i with
+      | I_counter c -> Fmt.pf ppf "counter    %-42s %d@." name c.c
+      | I_gauge g ->
+          Fmt.pf ppf "gauge      %-42s %d (max %d)@." name g.g g.g_max
+      | I_hist h ->
+          Fmt.pf ppf "histogram  %-42s count=%d sum=%d%a@." name h.h_count
+            h.h_sum pp_hist_buckets h)
+    rows

@@ -1,0 +1,58 @@
+(** [Metrics] — a small counters/gauges/histograms registry, the single
+    accounting path for every "how many / how long" number the system
+    reports: the runtime's scheduler counters ({!Runtime_obs}), the
+    semantics layer behind [chrun run --stats] ({!Of_sem.observe}), and
+    the §11 server's per-request instruments ({!Hserver.Server}).
+
+    Instruments are identified by name plus a (sorted) label set, in the
+    Prometheus style: registering the same name and labels twice returns
+    the same instrument, so independent components can feed one registry.
+    All values are integers — everything we measure is a count of virtual
+    steps or events, and integer metrics keep the rendered table
+    byte-deterministic for the cram tests. *)
+
+type t
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** {1 Counters} — monotonically increasing totals. *)
+
+val counter : t -> ?labels:(string * string) list -> string -> counter
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} — current values with a high-water mark. *)
+
+val gauge : t -> ?labels:(string * string) list -> string -> gauge
+
+val set : gauge -> int -> unit
+val add : gauge -> int -> unit
+val gauge_value : gauge -> int
+
+val gauge_max : gauge -> int
+(** The largest value the gauge ever held (its high-water mark). *)
+
+(** {1 Histograms} — cumulative bucket counts plus count and sum. *)
+
+val histogram : t -> ?buckets:int list -> ?labels:(string * string) list ->
+  string -> histogram
+(** [buckets] are inclusive upper bounds, sorted ascending; an implicit
+    [+inf] bucket is always added. The default buckets are a 1-2-5
+    progression from 1 to 100000, suitable for step counts. *)
+
+val observe : histogram -> int -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> int
+
+val histogram_buckets : histogram -> (int option * int) list
+(** Cumulative [(upper_bound, count)] pairs; [None] is the [+inf]
+    bucket, whose count equals {!histogram_count}. *)
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> t -> unit
+(** The whole registry as a table, one instrument per line, sorted by
+    name then labels — deterministic, golden-testable. *)

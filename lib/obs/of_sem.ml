@@ -1,0 +1,94 @@
+open Ch_semantics
+
+let is_kill exn_name = String.equal exn_name "KillThread"
+
+(* The transition record names the rule and the actor but not everything an
+   observer wants (the child tid of a fork, the payload of a throwTo), so we
+   thread the state alongside the trace and diff where needed. *)
+let record r ~init trace =
+  let now = ref 0 in
+  let step (i, prev) (tr : Step.transition) =
+    (match tr.Step.label with
+    | Some (Step.Time d) ->
+        now := !now + d;
+        Rec.record_at r ~at:i (Rec.E_clock { now = !now })
+    | Some (Step.Out_char _) | Some (Step.In_char _) | None -> ());
+    (match tr.Step.actor with
+    | Step.Thread_step tid -> (
+        Rec.note_step r ~step:i ~running:tid;
+        match tr.Step.rule with
+        | Step.R_fork ->
+            (* (Fork) allocated exactly one fresh thread name *)
+            Rec.record r
+              (Rec.E_spawn
+                 {
+                   parent = tid;
+                   tid = tr.Step.next.State.next_tid - 1;
+                   name = None;
+                 })
+        | Step.R_throw_to -> (
+            let fresh =
+              List.find_opt
+                (fun (k, _) -> not (List.mem_assoc k prev.State.inflight))
+                tr.Step.next.State.inflight
+            in
+            match fresh with
+            | Some (_, { State.target; exn }) ->
+                Rec.record r
+                  (Rec.E_send
+                     {
+                       source = tid;
+                       target;
+                       exn_name = exn;
+                       kill = is_kill exn;
+                     })
+            | None -> ())
+        | Step.R_return_gc -> Rec.record r (Rec.E_exit { tid; uncaught = None })
+        | Step.R_throw_gc ->
+            let uncaught =
+              match State.thread tr.Step.next tid with
+              | Some (State.Finished (State.Threw e)) -> Some e
+              | _ -> None
+            in
+            Rec.record r (Rec.E_exit { tid; uncaught })
+        | Step.R_block_return | Step.R_block_throw ->
+            (* a [block] frame was discharged: the thread leaves the
+               protected region *)
+            Rec.record r (Rec.E_mask { tid; on = false })
+        | Step.R_unblock_return | Step.R_unblock_throw ->
+            (* an [unblock] window closed: back under the enclosing mask *)
+            Rec.record r (Rec.E_mask { tid; on = true })
+        | _ -> ())
+    | Step.Delivery k -> (
+        match List.assoc_opt k prev.State.inflight with
+        | Some { State.target; exn } ->
+            Rec.record_at r ~at:i
+              (Rec.E_deliver
+                 { tid = target; exn_name = exn; kill = is_kill exn })
+        | None -> ())
+    | Step.Global -> ());
+    (i + 1, tr.Step.next)
+  in
+  ignore (List.fold_left step (0, init) trace)
+
+let observe reg ?(rules = false) trace =
+  let steps = Metrics.counter reg "sem_steps_total" in
+  let deliveries = Metrics.counter reg "sem_deliveries_total" in
+  let gc = Metrics.counter reg "sem_gc_steps_total" in
+  List.iter
+    (fun (tr : Step.transition) ->
+      Metrics.inc steps;
+      (match tr.Step.actor with
+      | Step.Thread_step tid ->
+          Metrics.inc
+            (Metrics.counter reg
+               ~labels:[ ("thread", Printf.sprintf "t%d" tid) ]
+               "sem_thread_steps_total")
+      | Step.Delivery _ -> Metrics.inc deliveries
+      | Step.Global -> Metrics.inc gc);
+      if rules then
+        Metrics.inc
+          (Metrics.counter reg
+             ~labels:[ ("rule", Step.rule_name tr.Step.rule) ]
+             "sem_rule_steps_total"))
+    trace

@@ -1,0 +1,26 @@
+(** [Of_sem] — adapt a semantics-layer execution (a
+    {!Ch_semantics.Step.transition} list, as produced by
+    [Ch_explore.Sched.run]) to the observability subsystem.
+
+    The object-language scheduler has no tracer hook: its whole execution
+    {e is} the trace. This module replays that trace into a {!Rec}
+    recorder (so [chrun run --chrome] exports the same Chrome JSON as the
+    runtime path) and folds it into a {!Metrics} registry (the single
+    accounting path behind [chrun run --stats]). *)
+
+open Ch_semantics
+
+val record : Rec.t -> init:State.t -> Step.transition list -> unit
+(** Replay the trace, threading the state so events lost by the
+    transition records themselves can be recovered: the forked child's
+    tid (from the successor state's name counter), a [throwTo]'s target
+    and exception (from the in-flight diff), the uncaught exception of a
+    (Throw GC) exit. Each transition advances the virtual-step clock by
+    one; (Block \ Unblock) frame discharges appear as mask off/on
+    instants, [$d] labels accumulate into the recorded clock. *)
+
+val observe : Metrics.t -> ?rules:bool -> Step.transition list -> unit
+(** Fold the trace into counters: [sem_steps_total],
+    [sem_thread_steps_total{thread=tN}], [sem_deliveries_total],
+    [sem_gc_steps_total], and — when [rules] is set —
+    [sem_rule_steps_total{rule=...}] keyed by the paper's rule name. *)

@@ -1,0 +1,305 @@
+type ev =
+  | E_spawn of { parent : int; tid : int; name : string option }
+  | E_exit of { tid : int; uncaught : string option }
+  | E_run of { tid : int; steps : int }
+  | E_block of { tid : int; op : string; mvar : int option }
+  | E_wakeup of { tid : int }
+  | E_mask of { tid : int; on : bool }
+  | E_send of { source : int; target : int; exn_name : string; kill : bool }
+  | E_deliver of { tid : int; exn_name : string; kill : bool }
+  | E_clock of { now : int }
+
+type entry = { at : int; ev : ev }
+
+(* Structured events (spawn, block, send, ...) are rare — per blocking
+   operation, not per step — and go into a ring of parallel arrays
+   (struct-of-arrays: writing one costs a few int stores and at most one
+   already-allocated string store; no allocation, nothing added to the
+   remembered set).
+
+   Run slices are the hot part: with many runnable threads round-robin
+   scheduling switches threads on every step, so anything the recorder
+   does per switch is effectively per step, against a ~40ns step. They
+   are therefore not maintained online at all: the recorder owns a
+   [Hio.Step_journal.t] that the scheduler itself writes (one packed word
+   per step, no closure call), and [entries] reconstructs maximal
+   same-thread slices from the journal afterwards. *)
+type t = {
+  cap : int;
+  e_at : int array;
+  e_w : int array;  (* tag lor (payload lsl 4); run slices fully packed *)
+  e_a : int array;
+  e_b : int array;
+  e_c : int array;
+  e_s : string array;
+  j : Hio.Step_journal.t;
+  mutable start : int;  (* index of the oldest event entry *)
+  mutable wpos : int;  (* index the next event entry goes to *)
+  mutable len : int;
+  mutable dropped : int;
+}
+
+let no_string = ""
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Rec.create: capacity must be positive";
+  {
+    cap = capacity;
+    e_at = Array.make capacity 0;
+    e_w = Array.make capacity 0;
+    e_a = Array.make capacity 0;
+    e_b = Array.make capacity 0;
+    e_c = Array.make capacity 0;
+    e_s = Array.make capacity no_string;
+    j = Hio.Step_journal.create ~window:capacity ();
+    start = 0;
+    wpos = 0;
+    len = 0;
+    dropped = 0;
+  }
+
+let capacity t = t.cap
+
+let clear t =
+  t.start <- 0;
+  t.wpos <- 0;
+  t.len <- 0;
+  t.dropped <- 0;
+  Hio.Step_journal.clear t.j
+
+let note_step t ~step ~running = Hio.Step_journal.note t.j ~step ~running
+
+(* Claim the next event slot, overwriting the oldest when full. *)
+let slot t =
+  let i = t.wpos in
+  t.wpos <- (if i + 1 = t.cap then 0 else i + 1);
+  if t.len < t.cap then t.len <- t.len + 1
+  else begin
+    t.start <- t.wpos;
+    t.dropped <- t.dropped + 1
+  end;
+  i
+
+let encode t i ~at ev =
+  t.e_at.(i) <- at;
+  let tag, a, b, c, s =
+    match ev with
+    | E_spawn { parent; tid; name } ->
+        ( 0,
+          parent,
+          tid,
+          (match name with None -> 0 | Some _ -> 1),
+          Option.value ~default:no_string name )
+    | E_exit { tid; uncaught } ->
+        ( 1,
+          tid,
+          (match uncaught with None -> 0 | Some _ -> 1),
+          0,
+          Option.value ~default:no_string uncaught )
+    | E_run { tid; steps } -> (2 lor (tid lsl 4) lor (steps lsl 30), 0, 0, 0, no_string)
+    | E_block { tid; op; mvar } ->
+        (3, tid, Option.value ~default:(-1) mvar, 0, op)
+    | E_wakeup { tid } -> (4, tid, 0, 0, no_string)
+    | E_mask { tid; on } -> (5, tid, (if on then 1 else 0), 0, no_string)
+    | E_send { source; target; exn_name; kill } ->
+        (6, source, target, (if kill then 1 else 0), exn_name)
+    | E_deliver { tid; exn_name; kill } ->
+        (7, tid, (if kill then 1 else 0), 0, exn_name)
+    | E_clock { now } -> (8, now, 0, 0, no_string)
+  in
+  t.e_w.(i) <- tag;
+  t.e_a.(i) <- a;
+  t.e_b.(i) <- b;
+  t.e_c.(i) <- c;
+  t.e_s.(i) <- s
+
+let decode t i =
+  let w = t.e_w.(i) in
+  let ev =
+    match w land 0xf with
+    | 0 ->
+        E_spawn
+          {
+            parent = t.e_a.(i);
+            tid = t.e_b.(i);
+            name = (if t.e_c.(i) = 0 then None else Some t.e_s.(i));
+          }
+    | 1 ->
+        E_exit
+          {
+            tid = t.e_a.(i);
+            uncaught = (if t.e_b.(i) = 0 then None else Some t.e_s.(i));
+          }
+    | 2 -> E_run { tid = (w lsr 4) land 0x3ffffff; steps = w lsr 30 }
+    | 3 ->
+        E_block
+          {
+            tid = t.e_a.(i);
+            op = t.e_s.(i);
+            mvar = (if t.e_b.(i) < 0 then None else Some t.e_b.(i));
+          }
+    | 4 -> E_wakeup { tid = t.e_a.(i) }
+    | 5 -> E_mask { tid = t.e_a.(i); on = t.e_b.(i) <> 0 }
+    | 6 ->
+        E_send
+          {
+            source = t.e_a.(i);
+            target = t.e_b.(i);
+            exn_name = t.e_s.(i);
+            kill = t.e_c.(i) <> 0;
+          }
+    | 7 ->
+        E_deliver
+          { tid = t.e_a.(i); exn_name = t.e_s.(i); kill = t.e_b.(i) <> 0 }
+    | _ -> E_clock { now = t.e_a.(i) }
+  in
+  { at = t.e_at.(i); ev }
+
+let record_at t ~at ev =
+  Hio.Step_journal.advance t.j at;
+  encode t (slot t) ~at ev
+
+let record t ev = record_at t ~at:(Hio.Step_journal.last t.j) ev
+
+(* Reconstruct maximal same-thread run slices from the step journal. *)
+let slices t =
+  let out = ref [] in
+  let cur_tid = ref (-1) and cur_start = ref 0 and cur_len = ref 0 in
+  let flush () =
+    if !cur_tid >= 0 then
+      out :=
+        { at = !cur_start; ev = E_run { tid = !cur_tid; steps = !cur_len } }
+        :: !out;
+    cur_tid := -1
+  in
+  for s = Hio.Step_journal.lo t.j to Hio.Step_journal.last t.j do
+    let tid = Hio.Step_journal.read t.j s in
+    if tid < 0 then flush ()
+    else if tid = !cur_tid then incr cur_len
+    else begin
+      flush ();
+      cur_tid := tid;
+      cur_start := s;
+      cur_len := 1
+    end
+  done;
+  flush ();
+  List.rev !out
+
+let entries t =
+  let events = List.init t.len (fun i -> decode t ((t.start + i) mod t.cap)) in
+  (* Merge by stamp, slices first on ties: a slice beginning at [at]
+     contains the step an event at [at] happened on. Both inputs are
+     sorted (slices strictly, events by recording order). *)
+  let rec merge sl ev =
+    match (sl, ev) with
+    | [], rest | rest, [] -> rest
+    | s :: sl', e :: ev' ->
+        if s.at <= e.at then s :: merge sl' ev else e :: merge sl ev'
+  in
+  merge (slices t) events
+
+let length t = t.len + List.length (slices t)
+
+let dropped t =
+  (* event overwrites, plus run history older than the step window *)
+  let steps_lost =
+    if Hio.Step_journal.read t.j (Hio.Step_journal.last t.j) >= 0 then
+      Hio.Step_journal.lo t.j
+    else 0
+  in
+  t.dropped + steps_lost
+
+let is_kill = function Hio.Io.Kill_thread -> true | _ -> false
+
+(* The tracer fast path: encode a runtime event straight into the rings —
+   no intermediate [ev] value, no tuple, and only the stores the tag's
+   decoder reads (stale junk in unused slots is invisible; a stale string
+   in [e_s] is bounded retention, accepted for a bounded ring). *)
+let record_runtime t (e : Hio.Runtime.event) =
+  let at = Hio.Step_journal.last t.j in
+  let i = slot t in
+  t.e_at.(i) <- at;
+  match e with
+  | Hio.Runtime.Ev_fork { parent; child; name } -> (
+      t.e_w.(i) <- 0;
+      t.e_a.(i) <- parent;
+      t.e_b.(i) <- child;
+      match name with
+      | None -> t.e_c.(i) <- 0
+      | Some n ->
+          t.e_c.(i) <- 1;
+          t.e_s.(i) <- n)
+  | Ev_exit { tid; uncaught } -> (
+      t.e_w.(i) <- 1;
+      t.e_a.(i) <- tid;
+      match uncaught with
+      | None -> t.e_b.(i) <- 0
+      | Some exn ->
+          t.e_b.(i) <- 1;
+          t.e_s.(i) <- Printexc.to_string exn)
+  | Ev_throw_to { source; target; exn } ->
+      t.e_w.(i) <- 6;
+      t.e_a.(i) <- source;
+      t.e_b.(i) <- target;
+      t.e_c.(i) <- (if is_kill exn then 1 else 0);
+      t.e_s.(i) <- Printexc.to_string exn
+  | Ev_deliver { tid; exn } ->
+      t.e_w.(i) <- 7;
+      t.e_a.(i) <- tid;
+      t.e_b.(i) <- (if is_kill exn then 1 else 0);
+      t.e_s.(i) <- Printexc.to_string exn
+  | Ev_blocked { tid; why; mvar } ->
+      t.e_w.(i) <- 3;
+      t.e_a.(i) <- tid;
+      t.e_b.(i) <- (match mvar with None -> -1 | Some m -> m);
+      t.e_s.(i) <- why
+  | Ev_wakeup { tid } ->
+      t.e_w.(i) <- 4;
+      t.e_a.(i) <- tid
+  | Ev_mask { tid; masked } ->
+      t.e_w.(i) <- 5;
+      t.e_a.(i) <- tid;
+      t.e_b.(i) <- (if masked then 1 else 0)
+  | Ev_clock { now } ->
+      t.e_w.(i) <- 8;
+      t.e_a.(i) <- now
+
+let attach t (config : Hio.Runtime.Config.t) =
+  let tracer =
+    match config.Hio.Runtime.Config.tracer with
+    | None -> record_runtime t
+    | Some inner ->
+        fun e ->
+          record_runtime t e;
+          inner e
+  in
+  {
+    config with
+    Hio.Runtime.Config.tracer = Some tracer;
+    Hio.Runtime.Config.journal = Some t.j;
+  }
+
+let pp_ev ppf = function
+  | E_spawn { parent; tid; name } ->
+      Fmt.pf ppf "spawn t%d -> t%d%a" parent tid
+        Fmt.(option (fmt " (%s)"))
+        name
+  | E_exit { tid; uncaught = None } -> Fmt.pf ppf "exit t%d" tid
+  | E_exit { tid; uncaught = Some e } ->
+      Fmt.pf ppf "exit t%d (uncaught %s)" tid e
+  | E_run { tid; steps } -> Fmt.pf ppf "run t%d x%d" tid steps
+  | E_block { tid; op; mvar } ->
+      Fmt.pf ppf "block t%d on %s%a" tid op Fmt.(option (fmt " m%d")) mvar
+  | E_wakeup { tid } -> Fmt.pf ppf "wake t%d" tid
+  | E_mask { tid; on } -> Fmt.pf ppf "mask t%d %s" tid (if on then "on" else "off")
+  | E_send { source; target; exn_name; kill } ->
+      Fmt.pf ppf "%s t%d -> t%d%s"
+        (if kill then "kill" else "send")
+        source target
+        (if kill then "" else " " ^ exn_name)
+  | E_deliver { tid; exn_name; kill = _ } ->
+      Fmt.pf ppf "deliver %s at t%d" exn_name tid
+  | E_clock { now } -> Fmt.pf ppf "clock %dus" now
+
+let pp_entry ppf { at; ev } = Fmt.pf ppf "[%5d] %a" at pp_ev ev

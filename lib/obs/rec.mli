@@ -1,0 +1,88 @@
+(** [Rec] — the bounded ring-buffer recorder at the bottom of the
+    observability subsystem.
+
+    Every entry is a structured scheduler event stamped with the {e
+    virtual-step clock}: the global count of scheduler steps executed when
+    the event happened. The virtual clock is deterministic under the
+    round-robin policy, so two runs of the same program record
+    byte-identical streams — which is what makes the Chrome export
+    ({!Export}) goldenable and the latency numbers ({!Span.deliveries})
+    reproducible claims rather than measurements.
+
+    The recorder is layered on the runtime's observation points:
+    {!attach} chains onto {!Hio.Runtime.Config.tracer} (the structured
+    event stream — per blocking operation, not per step) and installs a
+    {!Hio.Step_journal.t} as [Config.journal] (the per-step record of
+    which thread ran — one packed word store per step, the only cost the
+    recorder pays on the scheduler hot path). [E_run] slices are not
+    stored at all: {!entries} reconstructs maximal same-thread slices
+    from the journal, so a thread that runs unopposed for ten thousand
+    steps costs ten thousand journal words but zero ring slots, and —
+    more importantly — a storm of single-step context switches costs one
+    word each instead of a flushed ring entry each.
+
+    The ring is bounded: when full, the oldest entries are overwritten and
+    {!dropped} counts the loss. A recorder never allocates per event
+    beyond the entry itself, which is what keeps its overhead within the
+    BENCH_obs.json budget. *)
+
+type ev =
+  | E_spawn of { parent : int; tid : int; name : string option }
+  | E_exit of { tid : int; uncaught : string option }
+  | E_run of { tid : int; steps : int }
+      (** a maximal run of consecutive scheduler steps by one thread,
+          beginning at the entry's stamp *)
+  | E_block of { tid : int; op : string; mvar : int option }
+  | E_wakeup of { tid : int }
+  | E_mask of { tid : int; on : bool }
+  | E_send of { source : int; target : int; exn_name : string; kill : bool }
+  | E_deliver of { tid : int; exn_name : string; kill : bool }
+  | E_clock of { now : int }
+
+type entry = { at : int;  (** virtual-step stamp *) ev : ev }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** A fresh recorder; default capacity 65536. [capacity] bounds both the
+    structured-event ring and (rounded up to a power of two) the step
+    journal's window. *)
+
+val capacity : t -> int
+
+val length : t -> int
+(** Entries {!entries} would currently return (events held plus
+    reconstructed run slices). *)
+
+val dropped : t -> int
+(** History lost to the bounds: events overwritten because the ring was
+    full, plus steps fallen out of the journal window. *)
+
+val clear : t -> unit
+
+val record : t -> ev -> unit
+(** Append an event stamped with the current virtual step. *)
+
+val record_at : t -> at:int -> ev -> unit
+(** Append with an explicit stamp (the semantics-layer adapter
+    {!Of_sem} drives the clock itself). *)
+
+val note_step : t -> step:int -> running:int -> unit
+(** One scheduler step executed by thread [running]: advances the
+    virtual-step clock and journals the step. The runtime does this
+    itself through [Config.journal]; drivers that step a schedule by
+    hand ({!Of_sem}) call it directly. *)
+
+val entries : t -> entry list
+(** Everything held, oldest first: recorded events merged with the run
+    slices reconstructed from the step journal. A slice beginning at
+    stamp [s] sorts before events stamped [s]. *)
+
+val attach : t -> Hio.Runtime.Config.t -> Hio.Runtime.Config.t
+(** Plug the recorder into a runtime configuration: chains the existing
+    [tracer] hook (an inner tracer keeps working) and installs the
+    recorder's step journal. [inject] is left untouched — fault
+    injection composes with recording. *)
+
+val pp_entry : Format.formatter -> entry -> unit
+(** One line, e.g. [[   12] block t0 on takeMVar m0]. *)

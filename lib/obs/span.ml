@@ -1,0 +1,127 @@
+type kind = Sp_run | Sp_block of string
+type span = { sp_tid : int; sp_kind : kind; sp_start : int; sp_stop : int }
+
+type delivery = {
+  dl_target : int;
+  dl_exn : string;
+  dl_kill : bool;
+  dl_sent : int option;
+  dl_delivered : int;
+}
+
+let last_stamp entries =
+  List.fold_left (fun acc (e : Rec.entry) -> max acc e.Rec.at) 0 entries
+
+(* Block spans: a block edge opens a wait for its thread; the next event
+   that makes the thread runnable again — wakeup, delivery, or (if the
+   recording is lossy) simply its next run slice — closes it. *)
+let spans entries =
+  let stop_all = last_stamp entries in
+  let open_blocks : (int, int * string) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  let close tid stop =
+    match Hashtbl.find_opt open_blocks tid with
+    | None -> ()
+    | Some (start, op) ->
+        Hashtbl.remove open_blocks tid;
+        out :=
+          { sp_tid = tid; sp_kind = Sp_block op; sp_start = start; sp_stop = stop }
+          :: !out
+  in
+  List.iter
+    (fun (e : Rec.entry) ->
+      match e.Rec.ev with
+      | Rec.E_run { tid; steps } ->
+          close tid e.Rec.at;
+          out :=
+            {
+              sp_tid = tid;
+              sp_kind = Sp_run;
+              sp_start = e.Rec.at;
+              sp_stop = e.Rec.at + steps;
+            }
+            :: !out
+      | Rec.E_block { tid; op; mvar = _ } ->
+          close tid e.Rec.at;
+          Hashtbl.replace open_blocks tid (e.Rec.at, op)
+      | Rec.E_wakeup { tid } | Rec.E_deliver { tid; _ } -> close tid e.Rec.at
+      | Rec.E_exit { tid; _ } -> close tid e.Rec.at
+      | Rec.E_spawn _ | Rec.E_mask _ | Rec.E_send _ | Rec.E_clock _ -> ())
+    entries;
+  Hashtbl.iter
+    (fun tid (start, op) ->
+      out :=
+        {
+          sp_tid = tid;
+          sp_kind = Sp_block op;
+          sp_start = start;
+          sp_stop = stop_all;
+        }
+        :: !out)
+    open_blocks;
+  (* order by start stamp; List.stable_sort on the reversed accumulation
+     restores recording order for equal stamps *)
+  List.stable_sort
+    (fun a b -> compare a.sp_start b.sp_start)
+    (List.rev !out)
+
+let deliveries entries =
+  let pending : (int * string, int Queue.t) Hashtbl.t = Hashtbl.create 16 in
+  let out = ref [] in
+  List.iter
+    (fun (e : Rec.entry) ->
+      match e.Rec.ev with
+      | Rec.E_send { target; exn_name; _ } ->
+          let q =
+            match Hashtbl.find_opt pending (target, exn_name) with
+            | Some q -> q
+            | None ->
+                let q = Queue.create () in
+                Hashtbl.add pending (target, exn_name) q;
+                q
+          in
+          Queue.add e.Rec.at q
+      | Rec.E_deliver { tid; exn_name; kill } ->
+          let sent =
+            match Hashtbl.find_opt pending (tid, exn_name) with
+            | Some q -> Queue.take_opt q
+            | None -> None
+          in
+          out :=
+            {
+              dl_target = tid;
+              dl_exn = exn_name;
+              dl_kill = kill;
+              dl_sent = sent;
+              dl_delivered = e.Rec.at;
+            }
+            :: !out
+      | _ -> ())
+    entries;
+  List.rev !out
+
+let thread_names entries =
+  let names : (int, string option) Hashtbl.t = Hashtbl.create 16 in
+  let see tid = if not (Hashtbl.mem names tid) then Hashtbl.add names tid None in
+  see 0;
+  Hashtbl.replace names 0 (Some "main");
+  List.iter
+    (fun (e : Rec.entry) ->
+      match e.Rec.ev with
+      | Rec.E_spawn { parent; tid; name } ->
+          see parent;
+          Hashtbl.replace names tid name
+      | Rec.E_run { tid; _ }
+      | Rec.E_block { tid; _ }
+      | Rec.E_wakeup { tid }
+      | Rec.E_mask { tid; _ }
+      | Rec.E_deliver { tid; _ }
+      | Rec.E_exit { tid; _ } ->
+          see tid
+      | Rec.E_send { source; target; _ } ->
+          see source;
+          see target
+      | Rec.E_clock _ -> ())
+    entries;
+  Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) names []
+  |> List.sort compare

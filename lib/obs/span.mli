@@ -1,0 +1,42 @@
+(** [Span] — derived views over a {!Rec} event stream.
+
+    The recorder stores edges (blocked, woken, delivered); this module
+    turns them into intervals on the virtual-step clock: per-thread
+    {e run} spans (maximal stretches of consecutive scheduler steps) and
+    {e block} spans (from the blocking step to the wakeup or delivery
+    that ended the wait), plus the per-exception send→deliver latency
+    that quantifies the paper's §5 delivery windows — a [throwTo] into a
+    masked region is pinned at the send stamp and only lands when the
+    mask opens, and the latency is exactly that distance in steps.
+
+    Boundary convention: a span's [stop] is the stamp of the event that
+    ended it, so a block that is answered within the same scheduler step
+    has zero width. Spans still open when the recording ended are closed
+    at the last stamp in the stream. *)
+
+type kind =
+  | Sp_run
+  | Sp_block of string  (** the blocking operation, e.g. ["takeMVar"] *)
+
+type span = { sp_tid : int; sp_kind : kind; sp_start : int; sp_stop : int }
+
+val spans : Rec.entry list -> span list
+(** All run and block spans, in order of their start stamp (stable for
+    equal stamps: recording order). *)
+
+type delivery = {
+  dl_target : int;
+  dl_exn : string;
+  dl_kill : bool;
+  dl_sent : int option;
+      (** [None]: injected by the fault hook, no matching send event *)
+  dl_delivered : int;
+}
+
+val deliveries : Rec.entry list -> delivery list
+(** Every delivery, matched FIFO against the send events for the same
+    target and exception name. Latency is [dl_delivered - dl_sent]. *)
+
+val thread_names : Rec.entry list -> (int * string option) list
+(** Every tid seen in the stream with its spawn name, ascending; tid 0 is
+    ["main"]. *)

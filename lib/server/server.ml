@@ -20,29 +20,52 @@ type stats = {
   rejected : int;
 }
 
-type counters = {
-  mutable c_served : int;
-  mutable c_timeouts : int;
-  mutable c_bad : int;
-  mutable c_rejected : int;
-  mutable c_inflight : int;
+(* All accounting lives in an Obs.Metrics registry — the same registry the
+   caller can hand to the runtime collector, so one table reports both the
+   scheduler and the server. The handles below are just cached lookups. *)
+type instruments = {
+  m_served : Obs.Metrics.counter;
+  m_timeouts : Obs.Metrics.counter;
+  m_bad : Obs.Metrics.counter;
+  m_rejected : Obs.Metrics.counter;
+  m_inflight : Obs.Metrics.gauge;
+  m_latency : Obs.Metrics.histogram;
 }
+
+let instruments reg =
+  let outcome o =
+    Obs.Metrics.counter reg ~labels:[ ("outcome", o) ] "server_requests_total"
+  in
+  {
+    m_served = outcome "ok";
+    m_timeouts = outcome "timeout";
+    m_bad = outcome "bad_request";
+    m_rejected = Obs.Metrics.counter reg "server_rejected_total";
+    m_inflight = Obs.Metrics.gauge reg "server_in_flight";
+    m_latency =
+      Obs.Metrics.histogram reg
+        ~buckets:[ 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 ]
+        "server_request_latency_steps";
+  }
 
 exception Server_stopped
 
 type t = {
   listener : Io.thread_id;
   backlog : Http.Conn.t Bchan.t;
-  counters : counters;
+  registry : Obs.Metrics.t;
+  ins : instruments;
   config : config;
   mutable accepting : bool;
 }
 
 (* Serve one connection end to end: the composable timeout covers the
    admission wait, the (possibly trickling) request read, and the handler;
-   the connection is always answered. *)
-let serve config counters admission handler conn =
-  let count f = lift (fun () -> f counters) in
+   the connection is always answered. Latency is measured on the
+   virtual-step clock, first step to final response byte. *)
+let serve config ins admission handler conn =
+  let count c = lift (fun () -> Obs.Metrics.inc c) in
+  steps >>= fun t0 ->
   Combinators.timeout config.request_timeout
     (Sem.with_unit admission
        (catch
@@ -53,36 +76,40 @@ let serve config counters admission handler conn =
             | Http.Bad_request m -> return (`Bad m)
             | e -> throw e)))
   >>= fun outcome ->
-  match outcome with
+  (match outcome with
   | Some (`Reply response) ->
-      count (fun c -> c.c_served <- c.c_served + 1) >>= fun () ->
-      Http.write_response conn response
+      count ins.m_served >>= fun () -> Http.write_response conn response
   | Some (`Bad m) ->
-      count (fun c -> c.c_bad <- c.c_bad + 1) >>= fun () ->
+      count ins.m_bad >>= fun () ->
       Http.write_response conn (Http.bad_request m)
   | None ->
-      count (fun c -> c.c_timeouts <- c.c_timeouts + 1) >>= fun () ->
-      Http.write_response conn Http.timeout_response
+      count ins.m_timeouts >>= fun () ->
+      Http.write_response conn Http.timeout_response)
+  >>= fun () ->
+  steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
 
-let start ?(config = default_config) handler =
+let start ?(config = default_config) ?metrics handler =
+  let registry =
+    match metrics with Some reg -> reg | None -> Obs.Metrics.create ()
+  in
+  let ins = instruments registry in
   Bchan.create config.accept_queue >>= fun backlog ->
   Sem.create config.max_concurrent >>= fun admission ->
-  let counters =
-    { c_served = 0; c_timeouts = 0; c_bad = 0; c_rejected = 0; c_inflight = 0 }
-  in
   let accept_loop =
     Combinators.forever
       ( Bchan.recv backlog >>= fun conn ->
         fork ~name:"conn-worker"
           (Combinators.bracket_
-             (lift (fun () -> counters.c_inflight <- counters.c_inflight + 1))
-             (serve config counters admission handler conn)
-             (lift (fun () -> counters.c_inflight <- counters.c_inflight - 1)))
+             (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
+             (serve config ins admission handler conn)
+             (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1))))
         >>= fun _tid -> return () )
   in
   fork ~name:"listener" (catch accept_loop (fun _ -> return ()))
   >>= fun listener ->
-  return { listener; backlog; counters; config; accepting = true }
+  return { listener; backlog; registry; ins; config; accepting = true }
+
+let metrics server = server.registry
 
 let connect server =
   if not server.accepting then throw Server_stopped
@@ -97,9 +124,7 @@ let shutdown server =
   let rec drain () =
     Bchan.try_recv server.backlog >>= function
     | Some conn ->
-        lift (fun () ->
-            server.counters.c_rejected <- server.counters.c_rejected + 1)
-        >>= fun () ->
+        lift (fun () -> Obs.Metrics.inc server.ins.m_rejected) >>= fun () ->
         Http.write_response conn
           { Http.status = 503; reason = "Service Unavailable"; body = "" }
         >>= fun () -> drain ()
@@ -108,16 +133,16 @@ let shutdown server =
   drain () >>= fun () ->
   (* wait for in-flight workers; each is bounded by the request timeout *)
   let rec wait_drained () =
-    if server.counters.c_inflight = 0 then return ()
+    if Obs.Metrics.gauge_value server.ins.m_inflight = 0 then return ()
     else sleep 5 >>= fun () -> wait_drained ()
   in
   wait_drained () >>= fun () ->
   return
     {
-      served = server.counters.c_served;
-      timeouts = server.counters.c_timeouts;
-      bad_requests = server.counters.c_bad;
-      rejected = server.counters.c_rejected;
+      served = Obs.Metrics.counter_value server.ins.m_served;
+      timeouts = Obs.Metrics.counter_value server.ins.m_timeouts;
+      bad_requests = Obs.Metrics.counter_value server.ins.m_bad;
+      rejected = Obs.Metrics.counter_value server.ins.m_rejected;
     }
 
 let route table request =

@@ -32,8 +32,19 @@ type t
 
 exception Server_stopped
 
-val start : ?config:config -> handler -> t Io.t
-(** Fork the accept loop and return a handle. *)
+val start : ?config:config -> ?metrics:Obs.Metrics.t -> handler -> t Io.t
+(** Fork the accept loop and return a handle.
+
+    All accounting goes through an {!Obs.Metrics} registry — pass one to
+    share a table with the runtime's own collector
+    ({!Obs.Runtime_obs.metrics}); a private registry is created otherwise.
+    The server maintains [server_requests_total{outcome=ok|timeout|
+    bad_request}], [server_rejected_total], the [server_in_flight] gauge
+    and the [server_request_latency_steps] histogram (end-to-end request
+    latency on the virtual-step clock). *)
+
+val metrics : t -> Obs.Metrics.t
+(** The registry backing this server's accounting. *)
 
 val connect : t -> Http.Conn.t Io.t
 (** Create a client connection to the server (the simulated [accept]).

@@ -114,18 +114,21 @@ at each thread's redex, plus delivery ((Receive)/(Interrupt)) and
   $ chrun run race.ch --stats
   steps:  22
   result: 12
-  t0 steps: 16
-  t1 steps: 2
-  t2 steps: 3
-  gc steps: 1
+  counter    sem_deliveries_total                       0
+  counter    sem_gc_steps_total                         1
+  counter    sem_steps_total                            22
+  counter    sem_thread_steps_total{thread=t0}          16
+  counter    sem_thread_steps_total{thread=t1}          2
+  counter    sem_thread_steps_total{thread=t2}          3
 
   $ chrun run -e 'do { m <- newEmptyMVar; t <- forkIO (takeMVar m >>= \x -> return ()); throwTo t #KillThread; putMVar m 1 }' --stats
   steps:  16
   result: ()
-  t0 steps: 11
-  t1 steps: 3
-  deliveries: 1
-  gc steps: 1
+  counter    sem_deliveries_total                       1
+  counter    sem_gc_steps_total                         1
+  counter    sem_steps_total                            16
+  counter    sem_thread_steps_total{thread=t0}          11
+  counter    sem_thread_steps_total{thread=t1}          3
 
 --stats also lists the threads a wedged run leaves waiting — the wait
 graph of the terminal state:
@@ -134,8 +137,32 @@ graph of the terminal state:
   steps:  14
   main did not finish:
   ⟨takeMVar %m0⟩t0/⊗ | ⟨putMVar %m1 2⟩t1/⊗ | ⟨⟩m0 | ⟨1⟩m1
-  t0 steps: 13
-  t1 steps: 1
+  counter    sem_deliveries_total                       0
+  counter    sem_gc_steps_total                         0
+  counter    sem_steps_total                            14
+  counter    sem_thread_steps_total{thread=t0}          13
+  counter    sem_thread_steps_total{thread=t1}          1
   blocked at exit:
     t0 waits on takeMVar m0
     t1 waits on putMVar m1
+
+--metrics renders the same registry with the per-rule breakdown added:
+
+  $ chrun run race.ch --metrics
+  steps:  22
+  result: 12
+  counter    sem_deliveries_total                       0
+  counter    sem_gc_steps_total                         1
+  counter    sem_rule_steps_total{rule=(Bind)}          5
+  counter    sem_rule_steps_total{rule=(Eval)}          5
+  counter    sem_rule_steps_total{rule=(Fork)}          2
+  counter    sem_rule_steps_total{rule=(NewMVar)}       1
+  counter    sem_rule_steps_total{rule=(Proc GC)}       1
+  counter    sem_rule_steps_total{rule=(PutMVar)}       2
+  counter    sem_rule_steps_total{rule=(Return GC)}     3
+  counter    sem_rule_steps_total{rule=(Stuck PutMVar)} 1
+  counter    sem_rule_steps_total{rule=(TakeMVar)}      2
+  counter    sem_steps_total                            22
+  counter    sem_thread_steps_total{thread=t0}          16
+  counter    sem_thread_steps_total{thread=t1}          2
+  counter    sem_thread_steps_total{thread=t2}          3

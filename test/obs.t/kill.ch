@@ -1,0 +1,5 @@
+do { m <- newEmptyMVar; putMVar m 0;
+     t <- forkIO (block (do { a <- takeMVar m;
+                              b <- unblock (return (a + 1));
+                              putMVar m b }));
+     throwTo t #KillThread; takeMVar m }

@@ -1,0 +1,119 @@
+The observability subsystem's Chrome export is a pure function of the
+virtual-step clock, so the bytes are pinned here like any other golden.
+The program is the paper's §5 lock example without the catch that would
+restore the lock: the kill is deferred by the mask until the unblock
+opens a window, lands there, and the lock is lost — main deadlocks.
+Every beat of that story is visible in the exported trace below (the
+kill instant, the deferred deliver, the mask transitions).
+
+  $ chrun run kill.ch --chrome trace.json
+  steps:  21
+  main did not finish:
+  ⟨takeMVar %m0⟩t0/⊗ | ⊙t1(#KillThread) | ⟨⟩m0
+  chrome trace written to trace.json
+  $ cat trace.json
+  [
+    {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"chrun"}},
+    {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"t0 main"}},
+    {"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"t1"}},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":0,"dur":7},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":7,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":8,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":9,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":10,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":11,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":12,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":14,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":15,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":16,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":17,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":18,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":19,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":20,"dur":1},
+    {"name":"spawn t1","cat":"sched","ph":"i","s":"t","pid":0,"tid":0,"ts":6},
+    {"name":"kill t1","cat":"exn","ph":"i","s":"t","pid":0,"tid":0,"ts":12,"args":{"exn":"KillThread"}},
+    {"name":"deliver kill","cat":"exn","ph":"i","s":"t","pid":0,"tid":1,"ts":13},
+    {"name":"mask on","cat":"mask","ph":"i","s":"t","pid":0,"tid":1,"ts":14},
+    {"name":"mask off","cat":"mask","ph":"i","s":"t","pid":0,"tid":1,"ts":18},
+    {"name":"exit uncaught KillThread","cat":"sched","ph":"i","s":"t","pid":0,"tid":1,"ts":20}
+  ]
+
+The same export from the hio runtime path (hio-trace drives the real
+scheduler, not the semantics stepper):
+
+  $ hio-trace --chrome hio.json block-pending >/dev/null
+  $ cat hio.json
+  [
+    {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"hio block-pending"}},
+    {"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"t0 main"}},
+    {"name":"thread_name","ph":"M","pid":0,"tid":1,"args":{"name":"t1 masked"}},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":0,"dur":5},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":5,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":6,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":7,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":8,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":9,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":10,"dur":1},
+    {"name":"block takeMVar","cat":"block","ph":"X","pid":0,"tid":0,"ts":10,"dur":1,"args":{"op":"takeMVar"}},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":11,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":12,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":13,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":14,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":15,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":16,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":17,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":18,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":19,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":20,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":21,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":22,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":23,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":24,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":25,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":26,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":27,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":28,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":29,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":30,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":31,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":32,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":33,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":34,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":35,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":36,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":1,"ts":37,"dur":1},
+    {"name":"run","cat":"run","ph":"X","pid":0,"tid":0,"ts":38,"dur":6},
+    {"name":"spawn t1","cat":"sched","ph":"i","s":"t","pid":0,"tid":0,"ts":4},
+    {"name":"mask on","cat":"mask","ph":"i","s":"t","pid":0,"tid":1,"ts":7},
+    {"name":"kill t1","cat":"exn","ph":"i","s":"t","pid":0,"tid":0,"ts":16,"args":{"exn":"Hio.Io.Kill_thread"}},
+    {"name":"mask off","cat":"mask","ph":"i","s":"t","pid":0,"tid":1,"ts":33},
+    {"name":"deliver kill","cat":"exn","ph":"i","s":"t","pid":0,"tid":1,"ts":35},
+    {"name":"exit uncaught Hio.Io.Kill_thread","cat":"sched","ph":"i","s":"t","pid":0,"tid":1,"ts":37},
+    {"name":"exit","cat":"sched","ph":"i","s":"t","pid":0,"tid":0,"ts":43}
+  ]
+
+--metrics on the semantics path adds the per-rule breakdown to the
+--stats counters, all fed from one Metrics registry:
+
+  $ chrun run kill.ch --metrics
+  steps:  21
+  main did not finish:
+  ⟨takeMVar %m0⟩t0/⊗ | ⊙t1(#KillThread) | ⟨⟩m0
+  counter    sem_deliveries_total                       1
+  counter    sem_gc_steps_total                         0
+  counter    sem_rule_steps_total{rule=(Bind)}          5
+  counter    sem_rule_steps_total{rule=(Block Throw)}   1
+  counter    sem_rule_steps_total{rule=(Eval)}          5
+  counter    sem_rule_steps_total{rule=(Fork)}          1
+  counter    sem_rule_steps_total{rule=(NewMVar)}       1
+  counter    sem_rule_steps_total{rule=(Propagate)}     1
+  counter    sem_rule_steps_total{rule=(PutMVar)}       1
+  counter    sem_rule_steps_total{rule=(Receive)}       1
+  counter    sem_rule_steps_total{rule=(Stuck TakeMVar)} 1
+  counter    sem_rule_steps_total{rule=(TakeMVar)}      1
+  counter    sem_rule_steps_total{rule=(Throw GC)}      1
+  counter    sem_rule_steps_total{rule=(ThrowTo)}       1
+  counter    sem_rule_steps_total{rule=(Unblock Throw)} 1
+  counter    sem_steps_total                            21
+  counter    sem_thread_steps_total{thread=t0}          13
+  counter    sem_thread_steps_total{thread=t1}          7

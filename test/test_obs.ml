@@ -1,0 +1,294 @@
+(* Tests for lib/obs: the ring recorder's slice reconstruction and bounds,
+   span/latency derivation, Chrome export determinism, the metrics
+   registry, and both adapters (runtime hooks, semantics trace). *)
+
+open Hio
+open Hio_std
+open Hio.Io
+open Helpers
+
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let recorded ?capacity prog =
+  let r = Obs.Rec.create ?capacity () in
+  let config = Obs.Rec.attach r Runtime.Config.default in
+  let result = Runtime.run ~config prog in
+  (r, result)
+
+let run_steps entries =
+  List.fold_left
+    (fun acc e ->
+      match e.Obs.Rec.ev with
+      | Obs.Rec.E_run { steps; _ } -> acc + steps
+      | _ -> acc)
+    0 entries
+
+let rec_tests =
+  [
+    case "run slices cover every scheduler step exactly once" (fun () ->
+        let r, result =
+          recorded (fork (yields 5) >>= fun _ -> yields 3)
+        in
+        Alcotest.(check int)
+          "sum of slice lengths = steps" result.Runtime.steps
+          (run_steps (Obs.Rec.entries r)));
+    case "slices are maximal and stamps nondecreasing" (fun () ->
+        let r, _ = recorded (fork (yields 5) >>= fun _ -> yields 3) in
+        let entries = Obs.Rec.entries r in
+        ignore
+          (List.fold_left
+             (fun prev e ->
+               Alcotest.(check bool) "sorted" true (e.Obs.Rec.at >= prev);
+               e.Obs.Rec.at)
+             0 entries);
+        (* maximality: no two adjacent run slices for the same thread *)
+        let runs =
+          List.filter_map
+            (function
+              | { Obs.Rec.ev = Obs.Rec.E_run { tid; _ }; _ } -> Some tid
+              | _ -> None)
+            entries
+        in
+        ignore
+          (List.fold_left
+             (fun prev tid ->
+               Alcotest.(check bool) "merged" true (tid <> prev);
+               tid)
+             (-1) runs));
+    case "journal reconstruction: switches and gaps" (fun () ->
+        let r = Obs.Rec.create () in
+        Obs.Rec.note_step r ~step:0 ~running:0;
+        Obs.Rec.note_step r ~step:1 ~running:0;
+        Obs.Rec.note_step r ~step:2 ~running:1;
+        (* a stamp the driver skips (Of_sem delivery style) breaks the run *)
+        Obs.Rec.record_at r ~at:3
+          (Obs.Rec.E_deliver { tid = 1; exn_name = "X"; kill = true });
+        Obs.Rec.note_step r ~step:4 ~running:1;
+        let pp = Fmt.str "%a" Fmt.(list ~sep:(any "; ") Obs.Rec.pp_entry) in
+        Alcotest.(check string)
+          "slices"
+          "[    0] run t0 x2; [    2] run t1 x1; [    3] deliver X at t1; \
+           [    4] run t1 x1"
+          (pp (Obs.Rec.entries r)));
+    case "the ring is bounded and counts drops" (fun () ->
+        let r, result = recorded ~capacity:8 (fork (yields 40) >>= fun _ -> yields 40) in
+        Alcotest.(check bool) "events dropped" true (Obs.Rec.dropped r > 0);
+        (* the step journal still answers for the trailing window *)
+        Alcotest.(check bool)
+          "recent slices survive" true
+          (run_steps (Obs.Rec.entries r) > 0);
+        Alcotest.(check bool)
+          "but not the whole run" true
+          (run_steps (Obs.Rec.entries r) < result.Runtime.steps));
+    case "clear empties the recorder" (fun () ->
+        let r, _ = recorded (yields 3) in
+        Obs.Rec.clear r;
+        Alcotest.(check int) "length" 0 (Obs.Rec.length r);
+        Alcotest.(check int) "dropped" 0 (Obs.Rec.dropped r));
+    case "attach chains an existing tracer" (fun () ->
+        let hits = ref 0 in
+        let config =
+          {
+            Runtime.Config.default with
+            Runtime.Config.tracer = Some (fun _ -> incr hits);
+          }
+        in
+        let r = Obs.Rec.create () in
+        ignore
+          (Runtime.run ~config:(Obs.Rec.attach r config)
+             (fork (return ()) >>= fun _ -> yields 2));
+        Alcotest.(check bool) "inner tracer still fires" true (!hits > 0));
+  ]
+
+let span_tests =
+  [
+    case "block spans close at the wakeup" (fun () ->
+        let r, _ =
+          recorded
+            ( Mvar.new_empty >>= fun m ->
+              fork (yields 3 >>= fun () -> Mvar.put m 1) >>= fun _ ->
+              Mvar.take m )
+        in
+        let blocks =
+          List.filter
+            (fun s -> s.Obs.Span.sp_kind = Obs.Span.Sp_block "takeMVar")
+            (Obs.Span.spans (Obs.Rec.entries r))
+        in
+        Alcotest.(check int) "one takeMVar block" 1 (List.length blocks);
+        let b = List.hd blocks in
+        Alcotest.(check int) "main thread" 0 b.Obs.Span.sp_tid;
+        Alcotest.(check bool) "positive width" true
+          (b.Obs.Span.sp_stop > b.Obs.Span.sp_start));
+    case "send->deliver latency: unmasked lands immediately, masked waits"
+      (fun () ->
+        let victim finish = yields 10 >>= fun () -> finish in
+        let kill_after_2 t = yields 2 >>= fun () -> throw_to t Kill_thread in
+        let latency prog =
+          let r, _ = recorded prog in
+          match Obs.Span.deliveries (Obs.Rec.entries r) with
+          | [ d ] ->
+              Alcotest.(check bool) "matched to a send" true
+                (d.Obs.Span.dl_sent <> None);
+              d.Obs.Span.dl_delivered - Option.get d.Obs.Span.dl_sent
+          | ds -> Alcotest.failf "expected 1 delivery, got %d" (List.length ds)
+        in
+        let unmasked =
+          latency
+            ( fork (victim (return ())) >>= fun t ->
+              kill_after_2 t >>= fun () -> yields 10 )
+        in
+        let masked =
+          latency
+            ( fork (block (victim (unblock (yields 5)))) >>= fun t ->
+              kill_after_2 t >>= fun () -> yields 20 )
+        in
+        Alcotest.(check bool) "unmasked is prompt" true (unmasked <= 2);
+        Alcotest.(check bool) "masked waits for unblock" true
+          (masked > unmasked));
+    case "thread names from spawn events" (fun () ->
+        let r, _ =
+          recorded (fork ~name:"worker" (return ()) >>= fun _ -> yields 2)
+        in
+        Alcotest.(check (list (pair int (option string))))
+          "names"
+          [ (0, Some "main"); (1, Some "worker") ]
+          (Obs.Span.thread_names (Obs.Rec.entries r)));
+  ]
+
+let export_tests =
+  [
+    case "chrome export is byte-deterministic" (fun () ->
+        let prog =
+          fork (Combinators.forever yield) >>= fun t ->
+          yield >>= fun () -> throw_to t Kill_thread >>= fun () -> yields 3
+        in
+        let out () =
+          let r, _ = recorded prog in
+          Obs.Export.chrome (Obs.Rec.entries r)
+        in
+        Alcotest.(check string) "two runs, same bytes" (out ()) (out ()));
+    case "chrome export carries tracks, spans and delivery instants"
+      (fun () ->
+        let r, _ =
+          recorded
+            ( fork (Combinators.forever yield) >>= fun t ->
+              yield >>= fun () -> throw_to t Kill_thread >>= fun () -> yields 3
+            )
+        in
+        let json = Obs.Export.chrome (Obs.Rec.entries r) in
+        let has needle = is_infix ~affix:needle json in
+        Alcotest.(check bool) "array" true (String.length json > 2 && json.[0] = '[');
+        Alcotest.(check bool) "thread_name track" true
+          (has {|"name":"thread_name"|});
+        Alcotest.(check bool) "complete span" true (has {|"ph":"X"|});
+        Alcotest.(check bool) "delivery instant" true (has {|"deliver|}));
+  ]
+
+let metrics_tests =
+  [
+    case "same name and labels return the same instrument" (fun () ->
+        let reg = Obs.Metrics.create () in
+        let a = Obs.Metrics.counter reg "x_total" in
+        let b = Obs.Metrics.counter reg "x_total" in
+        Obs.Metrics.inc a;
+        Obs.Metrics.inc b;
+        Alcotest.(check int) "shared" 2 (Obs.Metrics.counter_value a);
+        let g1 = Obs.Metrics.gauge reg ~labels:[ ("k", "v") ] "g" in
+        let g2 = Obs.Metrics.gauge reg ~labels:[ ("k", "w") ] "g" in
+        Obs.Metrics.set g1 5;
+        Alcotest.(check int) "distinct labels" 0 (Obs.Metrics.gauge_value g2));
+    case "gauge tracks a high-water mark" (fun () ->
+        let reg = Obs.Metrics.create () in
+        let g = Obs.Metrics.gauge reg "depth" in
+        Obs.Metrics.set g 3;
+        Obs.Metrics.add g 4;
+        Obs.Metrics.add g (-5);
+        Alcotest.(check int) "value" 2 (Obs.Metrics.gauge_value g);
+        Alcotest.(check int) "max" 7 (Obs.Metrics.gauge_max g));
+    case "histogram buckets are cumulative" (fun () ->
+        let reg = Obs.Metrics.create () in
+        let h = Obs.Metrics.histogram reg ~buckets:[ 10; 100 ] "lat" in
+        List.iter (Obs.Metrics.observe h) [ 5; 50; 500 ];
+        Alcotest.(check int) "count" 3 (Obs.Metrics.histogram_count h);
+        Alcotest.(check int) "sum" 555 (Obs.Metrics.histogram_sum h);
+        Alcotest.(check (list (pair (option int) int)))
+          "cumulative"
+          [ (Some 10, 1); (Some 100, 2); (None, 3) ]
+          (Obs.Metrics.histogram_buckets h));
+    case "pp renders a sorted, stable table" (fun () ->
+        let reg = Obs.Metrics.create () in
+        Obs.Metrics.inc (Obs.Metrics.counter reg "b_total");
+        Obs.Metrics.inc ~by:2 (Obs.Metrics.counter reg "a_total");
+        Obs.Metrics.set (Obs.Metrics.gauge reg "a_gauge") 7;
+        let s = Fmt.str "%a" Obs.Metrics.pp reg in
+        Alcotest.(check string)
+          "table"
+          "gauge      a_gauge                                    7 (max 7)\n\
+           counter    a_total                                    2\n\
+           counter    b_total                                    1\n"
+          s);
+  ]
+
+let adapter_tests =
+  [
+    case "runtime collector agrees with the result record" (fun () ->
+        let reg = Obs.Metrics.create () in
+        let config = Obs.Runtime_obs.metrics reg Runtime.Config.default in
+        let prog =
+          fork (Combinators.forever yield) >>= fun t ->
+          yield >>= fun () -> throw_to t Kill_thread >>= fun () -> yields 3
+        in
+        let result = Runtime.run ~config prog in
+        Obs.Runtime_obs.observe_result reg result;
+        let c name =
+          Obs.Metrics.counter_value (Obs.Metrics.counter reg name)
+        in
+        Alcotest.(check int) "steps" result.Runtime.steps (c "hio_steps_total");
+        (* hio_forks_total counts Ev_fork events; result.forks includes main *)
+        Alcotest.(check int) "forks" (result.Runtime.forks - 1)
+          (c "hio_forks_total");
+        Alcotest.(check int) "deliveries" 1 (c "hio_deliveries_total");
+        Alcotest.(check int) "exits" 2 (c "hio_exits_total");
+        Alcotest.(check bool) "switches happened" true
+          (c "hio_context_switches_total" > 0));
+    case "semantics adapter: one accounting path for --stats" (fun () ->
+        let program =
+          parse
+            "do { m <- newEmptyMVar; t <- forkIO (takeMVar m); throwTo t \
+             #KillThread; putMVar m 1 }"
+        in
+        let init = Ch_semantics.State.initial program in
+        let result =
+          Ch_explore.Sched.run ~max_steps:10_000 Ch_explore.Sched.Round_robin
+            init
+        in
+        let reg = Obs.Metrics.create () in
+        Obs.Of_sem.observe reg result.Ch_explore.Sched.trace;
+        let c name =
+          Obs.Metrics.counter_value (Obs.Metrics.counter reg name)
+        in
+        Alcotest.(check int) "every transition counted"
+          result.Ch_explore.Sched.steps
+          (c "sem_steps_total");
+        Alcotest.(check int) "the kill was delivered" 1
+          (c "sem_deliveries_total");
+        (* and the recorder replay agrees on the step count *)
+        let r = Obs.Rec.create () in
+        Obs.Of_sem.record r ~init result.Ch_explore.Sched.trace;
+        let deliveries =
+          List.length (Obs.Span.deliveries (Obs.Rec.entries r))
+        in
+        Alcotest.(check int) "recorded delivery" 1 deliveries);
+  ]
+
+let suites =
+  [
+    ("obs:rec", rec_tests);
+    ("obs:span", span_tests);
+    ("obs:export", export_tests);
+    ("obs:metrics", metrics_tests);
+    ("obs:adapters", adapter_tests);
+  ]

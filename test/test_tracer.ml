@@ -112,7 +112,9 @@ let tracer_tests =
         Alcotest.(check bool) "takeMVar block" true
           (has
              (function
-               | Runtime.Ev_blocked { tid = 0; why = "takeMVar" } -> true
+               | Runtime.Ev_blocked { tid = 0; why = "takeMVar"; mvar = Some 0 }
+                 ->
+                   true
                | _ -> false)
              events));
     case "clock events fire when time advances" (fun () ->

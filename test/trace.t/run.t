@@ -8,18 +8,23 @@ over a scheduling change.
   $ hio-trace fork-join
   fork t0 -> t1 (a)
   fork t0 -> t2 (b)
-  t2 blocked on takeMVar
-  t0 blocked on takeMVar
+  t2 blocked on takeMVar m0
+  t0 blocked on takeMVar m0
+  t2 woken
   exit t1
+  t0 woken
   exit t0
   outcome: Value 2
   steps: 25
 
   $ hio-trace mvar-pingpong
   fork t0 -> t1 (echo)
-  t1 blocked on takeMVar
-  t1 blocked on takeMVar
-  t1 blocked on takeMVar
+  t1 blocked on takeMVar m0
+  t1 woken
+  t1 blocked on takeMVar m0
+  t1 woken
+  t1 blocked on takeMVar m0
+  t1 woken
   exit t0
   outcome: Value 3
   steps: 47
@@ -36,7 +41,8 @@ over a scheduling change.
   $ hio-trace block-pending
   fork t0 -> t1 (masked)
   t1 masked
-  t0 blocked on takeMVar
+  t0 blocked on takeMVar m0
+  t0 woken
   throwTo t0 -> t1 (Hio.Io.Kill_thread)
   t1 unmasked
   deliver Hio.Io.Kill_thread at t1
@@ -52,10 +58,13 @@ over a scheduling change.
   t2 blocked on sleep
   t0 blocked on sleep
   clock -> 5us
+  t2 woken
   exit t2
   clock -> 10us
+  t1 woken
   exit t1
   clock -> 20us
+  t0 woken
   exit t0
   outcome: Value 20
   steps: 15
@@ -65,15 +74,18 @@ over a scheduling change.
   t1 masked
   t1 unmasked
   fork t0 -> t2 (c2)
-  t1 blocked on takeMVar
+  t1 blocked on takeMVar m0
   t2 masked
   t2 unmasked
   fork t0 -> t3 (c3)
-  t2 blocked on takeMVar
+  t2 blocked on takeMVar m0
   t3 masked
   t3 unmasked
-  t3 blocked on takeMVar
+  t1 woken
+  t3 blocked on takeMVar m0
+  t2 woken
   exit t1
+  t3 woken
   exit t2
   exit t3
   exit t0
@@ -86,7 +98,7 @@ nonzero so wedges cannot slip through cram silently):
 
   $ hio-trace stranded-take
   fork t0 -> t1 (waiter)
-  t1 blocked on takeMVar
+  t1 blocked on takeMVar m0
   exit t0
   outcome: Value 9
   steps: 16
@@ -99,8 +111,8 @@ timer pending, and the graph names each edge's last holder:
 
   $ hio-trace deadlock-cross
   fork t0 -> t1 (left)
-  t1 blocked on takeMVar
-  t0 blocked on takeMVar
+  t1 blocked on takeMVar m1
+  t0 blocked on takeMVar m0
   outcome: Deadlock
   steps: 34
   blocked at exit:

@@ -30,8 +30,9 @@ preserved round-robin determinism byte-for-byte.
   fork t0 -> t2
   t2 unmasked
   t2 blocked on sleep
-  t0 blocked on takeMVar
+  t0 blocked on takeMVar m0
   t1 masked
+  t0 woken
   exit t1
   throwTo t0 -> t2 (Hio.Io.Kill_thread)
   deliver Hio.Io.Kill_thread at t2
@@ -48,7 +49,7 @@ preserved round-robin determinism byte-for-byte.
   fork t0 -> t2
   t1 blocked on sleep
   t2 unmasked
-  t0 blocked on takeMVar
+  t0 blocked on takeMVar m0
   t2 masked
   fork t2 -> t3
   t3 unmasked
@@ -56,9 +57,11 @@ preserved round-robin determinism byte-for-byte.
   t3 blocked on sleep
   t4 unmasked
   t4 blocked on sleep
-  t2 blocked on takeMVar
+  t2 blocked on takeMVar m1
   clock -> 10us
+  t3 woken
   t3 masked
+  t2 woken
   exit t3
   throwTo t2 -> t4 (Hio.Io.Kill_thread)
   deliver Hio.Io.Kill_thread at t4
@@ -66,6 +69,7 @@ preserved round-robin determinism byte-for-byte.
   t2 unmasked
   t2 masked
   exit t4
+  t0 woken
   exit t2
   throwTo t0 -> t1 (Hio.Io.Kill_thread)
   deliver Hio.Io.Kill_thread at t1
