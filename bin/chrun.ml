@@ -213,6 +213,23 @@ let max_states_arg =
     value & opt int 200_000
     & info [ "max-states" ] ~docv:"N" ~doc:"State bound for exploration.")
 
+(* Shared by check (parallel BFS frontier) and sweep (parallel faulted
+   re-runs). [None] means "the machine's recommended domain count"; the
+   resolved value never changes any output, only the wall clock. *)
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker domains to use. Defaults to the machine's recommended \
+           domain count. Results are deterministic and identical for every \
+           value of $(docv).")
+
+let resolve_jobs = function
+  | Some n -> max 1 n
+  | None -> Par.recommended_jobs ()
+
 let witness_arg =
   Arg.(
     value & flag
@@ -227,7 +244,8 @@ let dot_arg =
         ~doc:"Also write the reachable state graph in Graphviz format.")
 
 let check_cmd =
-  let run file expr prelude input fuel stuck_io max_states witness dot_file =
+  let run file expr prelude input fuel stuck_io max_states jobs witness
+      dot_file =
     handle_syntax (fun () ->
         let program = read_program file expr prelude in
         let config = config_of fuel stuck_io in
@@ -238,7 +256,8 @@ let check_cmd =
             Fmt.pr "state graph written to %s@." path
         | None -> ());
         let result =
-          Space.explore ~config ~max_states (State.initial ~input program)
+          Space.explore ~config ~max_states ~jobs:(resolve_jobs jobs)
+            (State.initial ~input program)
         in
         Fmt.pr "states: %d   transitions: %d%s@." result.Space.visited
           result.Space.edges
@@ -267,7 +286,7 @@ let check_cmd =
     Term.(
       term_result'
         (const run $ file_arg $ expr_arg $ prelude_arg $ input_arg $ fuel_arg
-       $ stuck_io_arg $ max_states_arg $ witness_arg $ dot_arg))
+       $ stuck_io_arg $ max_states_arg $ jobs_arg $ witness_arg $ dot_arg))
 
 (* --- chrun equiv ------------------------------------------------------------- *)
 
@@ -372,8 +391,12 @@ let json_arg =
     value
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE"
-        ~doc:"Also write a machine-readable summary (kill points, failures, \
-              step overhead, wall-clock) to $(docv).")
+        ~doc:
+          "Also write a machine-readable summary (kill points, failures, \
+           step overhead) to $(docv). The report is fully deterministic — \
+           no wall-clock field, and $(b,--jobs) is stripped from the \
+           recorded command — so runs at different job counts must be \
+           byte-identical (CI diffs them).")
 
 let strict_arg =
   Arg.(
@@ -385,19 +408,36 @@ let strict_arg =
            so their wedges are the paper's motivating counterexamples, \
            reported but expected.")
 
+(* The recorded command must not mention the jobs count: the report is
+   diffed byte-for-byte across --jobs values by CI's determinism guard
+   (timing already lives in BENCH_par.json, not here). *)
+let strip_jobs argv =
+  let prefixed p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let rec go = function
+    | [] -> []
+    | ("--jobs" | "-j") :: _ :: rest -> go rest
+    | a :: rest when prefixed "--jobs=" a || prefixed "-j=" a -> go rest
+    | a :: rest -> a :: go rest
+  in
+  go argv
+
 (* JSON by hand (no JSON library in the tree): every string we emit is a
    known identifier, so escaping is not needed. *)
-let sweep_json path ~argv ~corpus ~std ~server ~failures ~wall =
+let sweep_json path ~argv ~corpus ~std ~server ~failures =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema_version\": 1,\n";
+  add "  \"schema_version\": 2,\n";
   add "  \"description\": \"Kill-point sweep record: every armed scheduler \
        step of each case re-executed with KillThread injected into the \
        acting (or targeted) thread, invariants checked after each faulted \
        run. faulted_steps/baseline_steps is the step-count overhead of \
-       sweeping a case versus running it once.\",\n";
-  add "  \"command\": \"%s\",\n" (String.concat " " argv);
+       sweeping a case versus running it once. Deterministic: independent \
+       of --jobs and free of wall-clock fields (schema 1 carried \
+       wall_seconds).\",\n";
+  add "  \"command\": \"%s\",\n" (String.concat " " (strip_jobs argv));
   add "  \"corpus\": [\n";
   List.iteri
     (fun i (r : Fault.Ch_sweep.report) ->
@@ -441,26 +481,23 @@ let sweep_json path ~argv ~corpus ~std ~server ~failures ~wall =
         (fun a (r : Fault.Sweep.report) -> a + r.r_kill_points)
         0 (std @ server)
   in
-  add
-    "  \"totals\": { \"kill_points\": %d, \"failures\": %d, \
-     \"wall_seconds\": %.2f }\n"
-    kp failures wall;
+  add "  \"totals\": { \"kill_points\": %d, \"failures\": %d }\n" kp failures;
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc
 
 let sweep_cmd =
-  let run suite max_points json strict =
+  let run suite max_points jobs json strict =
     handle_syntax (fun () ->
-        let t0 = Unix.gettimeofday () in
+        let jobs = resolve_jobs jobs in
         let failures = ref 0 in
         let corpus =
           if suite = `Std || suite = `Server then []
           else
             List.map
               (fun (name, init) ->
-                let r = Fault.Ch_sweep.sweep ?max_points name init in
+                let r = Fault.Ch_sweep.sweep ?max_points ~jobs name init in
                 Fmt.pr "%a@." Fault.Ch_sweep.pp_report r;
                 if strict && not (Fault.Ch_sweep.quiescent r) then
                   incr failures;
@@ -472,7 +509,7 @@ let sweep_cmd =
           else
             List.map
               (fun c ->
-                let r = Fault.Sweep.sweep ?max_points c in
+                let r = Fault.Sweep.sweep ?max_points ~jobs c in
                 Fmt.pr "%a@." Fault.Sweep.pp_report r;
                 failures := !failures + List.length r.Fault.Sweep.r_failures;
                 r)
@@ -484,21 +521,19 @@ let sweep_cmd =
             List.map
               (fun target ->
                 let r =
-                  Fault.Sweep.sweep
-                    ~max_points:(Option.value ~default:150 max_points)
-                    ~target Fault.Cases.server
+                  Fault.Sweep.sweep ?max_points ~jobs ~target
+                    Fault.Cases.server
                 in
                 Fmt.pr "%a@." Fault.Sweep.pp_report r;
                 failures := !failures + List.length r.Fault.Sweep.r_failures;
                 r)
               Fault.Cases.server_targets
         in
-        let wall = Unix.gettimeofday () -. t0 in
         (match json with
         | Some path ->
             sweep_json path
               ~argv:(Array.to_list Sys.argv)
-              ~corpus ~std ~server ~failures:!failures ~wall
+              ~corpus ~std ~server ~failures:!failures
         | None -> ());
         if !failures > 0 then begin
           Fmt.pr "%d FAILING sweep%s@." !failures
@@ -511,10 +546,13 @@ let sweep_cmd =
        ~doc:
          "Adversarial kill-point sweep: re-run programs once per scheduler \
           step with KillThread injected at that step, checking quiescence \
-          and the §5.2/§7 invariants after every faulted run.")
+          and the §5.2/§7 invariants after every faulted run. Faulted runs \
+          are farmed to $(b,--jobs) worker domains; the report is identical \
+          whatever the job count.")
     Term.(
       term_result'
-        (const run $ suite_arg $ max_points_arg $ json_arg $ strict_arg))
+        (const run $ suite_arg $ max_points_arg $ jobs_arg $ json_arg
+       $ strict_arg))
 
 (* --- chrun repl -------------------------------------------------------------- *)
 

@@ -325,6 +325,44 @@ let fork_inheritance () =
     "fork starts unmasked (Fig 5 literal): handler ran %2d/%d, cleanup lost %2d/%d\n"
     h_literal runs l_literal runs
 
+(* --- C17: domain-parallel engines are observationally sequential ------------- *)
+
+let c17 () =
+  header "C17 — parallel sweep & exploration: results independent of --jobs";
+  (* The parallel engines' contract (lib/par + Sweep ?jobs + Space ?jobs):
+     worker domains only change wall clock, never results. Each faulted
+     re-run / BFS expansion happens in a private runtime, partials are
+     indexed, and the merge replays them in sequential order. Checked
+     here by structural equality of the full reports — including failure
+     lists and shrunk plans — not just summary counts. *)
+  let jobs_list = [ 2; 4 ] in
+  Printf.printf "%-20s %12s %14s  %s\n" "sweep case" "kill points"
+    "faulted steps" "jobs∈{2,4} ≡ jobs=1";
+  List.iter
+    (fun case ->
+      let seq = Fault.Sweep.sweep ~jobs:1 case in
+      let same =
+        List.for_all (fun j -> Fault.Sweep.sweep ~jobs:j case = seq) jobs_list
+      in
+      Printf.printf "%-20s %12d %14d  %b\n" (Fault.Sweep.case_name case)
+        seq.Fault.Sweep.r_kill_points seq.Fault.Sweep.r_faulted_steps same)
+    Fault.Cases.std;
+  let seq =
+    Space.explore ~config:quiet
+      (State.initial (Ch_corpus.Locking.harness Ch_corpus.Locking.catch_only))
+  in
+  let same =
+    List.for_all
+      (fun j ->
+        Space.explore ~config:quiet ~jobs:j
+          (State.initial
+             (Ch_corpus.Locking.harness Ch_corpus.Locking.catch_only))
+        = seq)
+      jobs_list
+  in
+  Printf.printf "%-20s %12d %14d  %b\n" "explore catch-only" seq.Space.visited
+    seq.Space.edges same
+
 (* --- OBS: §5 delivery windows, quantified ------------------------------------ *)
 
 let obs_latency () =
@@ -370,5 +408,6 @@ let () =
   c7 ();
   c8 ();
   c14 ();
+  c17 ();
   fork_inheritance ();
   obs_latency ()

@@ -57,8 +57,8 @@ let classify config (st : State.t) =
     | None ->
         if List.mem Step.Diverging stalls then Divergent else Deadlock
 
-let explore ?(config = Step.default_config) ?(max_states = 200_000) ?watch
-    init =
+let explore ?(config = Step.default_config) ?(max_states = 200_000)
+    ?(jobs = 1) ?watch init =
   let visited : (string, int) Hashtbl.t = Hashtbl.create 1024 in
   let adjacency : (int, int list) Hashtbl.t = Hashtbl.create 1024 in
   let next_id = ref 0 in
@@ -66,7 +66,6 @@ let explore ?(config = Step.default_config) ?(max_states = 200_000) ?watch
   let parent : (string, string * Step.transition) Hashtbl.t =
     Hashtbl.create 1024
   in
-  let queue = Queue.create () in
   let terminals = ref [] and watch_hits = ref [] in
   let edges = ref 0 and truncated = ref false in
   let path_to key =
@@ -77,43 +76,72 @@ let explore ?(config = Step.default_config) ?(max_states = 200_000) ?watch
     in
     go key []
   in
+  (* The BFS is level-synchronous: each round snapshots the frontier (the
+     FIFO queue's contents, in discovery order), expands every state —
+     [Step.enumerate] plus the successors' [canonical_key]s, the pure and
+     expensive part — and then merges sequentially {e in frontier order},
+     doing exactly the Hashtbl reads/writes the plain FIFO loop would do.
+     New states are appended in the same order a queue would append them,
+     so visited ids, parent edges, adjacency, terminal order, watch hits
+     and truncation are all byte-identical to the sequential search.
+     With [jobs > 1] the expansion step is farmed to a domain pool;
+     nothing else changes, so the result cannot depend on [jobs]. *)
+  let pool = if jobs > 1 then Some (Par.Pool.create jobs) else None in
+  Fun.protect ~finally:(fun () -> Option.iter Par.Pool.shutdown pool)
+  @@ fun () ->
   let init_key = State.canonical_key init in
   Hashtbl.add visited init_key !next_id;
   incr next_id;
-  Queue.add (init, init_key) queue;
-  while not (Queue.is_empty queue) do
-    let state, key = Queue.pop queue in
-    (match watch with
-    | Some pred when pred state ->
-        watch_hits :=
-          { state; kind = classify config state; path = path_to key }
-          :: !watch_hits
-    | Some _ | None -> ());
-    let my_id = Hashtbl.find visited key in
-    match Step.enumerate ~config state with
-    | [] ->
-        terminals :=
-          { state; kind = classify config state; path = path_to key }
-          :: !terminals
-    | transitions ->
-        let successors = ref [] in
-        List.iter
-          (fun (t : Step.transition) ->
-            incr edges;
-            let next_key = State.canonical_key t.Step.next in
-            match Hashtbl.find_opt visited next_key with
-            | Some id -> successors := id :: !successors
-            | None ->
-                if Hashtbl.length visited >= max_states then truncated := true
-                else begin
-                  Hashtbl.add visited next_key !next_id;
-                  successors := !next_id :: !successors;
-                  incr next_id;
-                  Hashtbl.add parent next_key (key, t);
-                  Queue.add (t.Step.next, next_key) queue
-                end)
-          transitions;
-        Hashtbl.replace adjacency my_id !successors
+  let frontier = ref [ (init, init_key) ] in
+  let expand (state, _key) =
+    List.map
+      (fun (t : Step.transition) -> (t, State.canonical_key t.Step.next))
+      (Step.enumerate ~config state)
+  in
+  while !frontier <> [] do
+    let batch = Array.of_list !frontier in
+    frontier := [];
+    let expansions =
+      match pool with
+      | None -> Array.map expand batch
+      | Some pool -> Par.Pool.map pool expand batch
+    in
+    let additions = ref [] in
+    Array.iteri
+      (fun i (state, key) ->
+        (match watch with
+        | Some pred when pred state ->
+            watch_hits :=
+              { state; kind = classify config state; path = path_to key }
+              :: !watch_hits
+        | Some _ | None -> ());
+        let my_id = Hashtbl.find visited key in
+        match expansions.(i) with
+        | [] ->
+            terminals :=
+              { state; kind = classify config state; path = path_to key }
+              :: !terminals
+        | transitions ->
+            let successors = ref [] in
+            List.iter
+              (fun ((t : Step.transition), next_key) ->
+                incr edges;
+                match Hashtbl.find_opt visited next_key with
+                | Some id -> successors := id :: !successors
+                | None ->
+                    if Hashtbl.length visited >= max_states then
+                      truncated := true
+                    else begin
+                      Hashtbl.add visited next_key !next_id;
+                      successors := !next_id :: !successors;
+                      incr next_id;
+                      Hashtbl.add parent next_key (key, t);
+                      additions := (t.Step.next, next_key) :: !additions
+                    end)
+              transitions;
+            Hashtbl.replace adjacency my_id !successors)
+      batch;
+    frontier := List.rev !additions
   done;
   (* Cycle detection: iterative three-colour DFS over the collected graph.
      A back edge means some execution never terminates. *)

@@ -39,12 +39,21 @@ type result = {
 val explore :
   ?config:Step.config ->
   ?max_states:int ->
+  ?jobs:int ->
   ?watch:(State.t -> bool) ->
   State.t ->
   result
 (** Breadth-first exploration from the initial state (default [max_states]
     is [200_000]). [watch] collects non-terminal witness states, e.g. "the
-    thread died while the MVar is empty". *)
+    thread died while the MVar is empty".
+
+    [jobs] (default 1) expands BFS levels across that many domains: each
+    round the frontier is snapshotted, every state's transitions and
+    successor canonical keys are computed in parallel (the pure,
+    expensive part), and the merge into the visited set runs
+    sequentially in frontier order — so ids, witness paths, terminal
+    order and truncation are byte-identical to the sequential search for
+    every [jobs] value. *)
 
 val terminal_kinds : result -> terminal_kind list
 (** The distinct terminal kinds, deduplicated, for concise assertions. *)

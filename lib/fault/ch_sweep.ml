@@ -76,7 +76,7 @@ let sample n arr =
     List.init n (fun i -> arr.(if n = 1 then 0 else i * (len - 1) / (n - 1)))
 
 let sweep ?(config = Step.default_config) ?(max_steps = 20_000) ?max_points
-    ?(target = Acting) ?(exn = "KillThread") name init =
+    ?(target = Acting) ?(exn = "KillThread") ?(jobs = 1) name init =
   let baseline = Sched.run ~config ~max_steps Sched.Round_robin init in
   (if baseline.Sched.outcome <> Sched.Terminated then
      Fmt.failwith "ch_sweep: %s: baseline hit the step bound" name);
@@ -93,6 +93,22 @@ let sweep ?(config = Step.default_config) ?(max_steps = 20_000) ?max_points
     | None -> Array.to_list kill_points
     | Some n -> sample n kill_points
   in
+  (* Faulted runs are pure recursion over immutable [State.t]s, so kill
+     points farm straight to worker domains; [Par.map] keeps results in
+     kill-point order and the fold below is sequential, so the report
+     does not depend on [jobs]. *)
+  let eval (at_step, acting) =
+    let victim = match target with Acting -> acting | Tid t -> t in
+    let intervene ~step st =
+      if step = at_step then Some (inject_inflight st ~target:victim ~exn)
+      else None
+    in
+    let run =
+      Sched.run ~config ~intervene ~max_steps Sched.Round_robin init
+    in
+    (at_step, victim, run.Sched.steps, classify config ~exn init run)
+  in
+  let results = Par.map ~jobs eval (Array.of_list points) in
   let completed = ref 0
   and killed = ref 0
   and wedged = ref 0
@@ -100,18 +116,9 @@ let sweep ?(config = Step.default_config) ?(max_steps = 20_000) ?max_points
   and livelocked = ref 0
   and faulted = ref 0
   and bad = ref [] in
-  List.iter
-    (fun (at_step, acting) ->
-      let victim = match target with Acting -> acting | Tid t -> t in
-      let intervene ~step st =
-        if step = at_step then Some (inject_inflight st ~target:victim ~exn)
-        else None
-      in
-      let run =
-        Sched.run ~config ~intervene ~max_steps Sched.Round_robin init
-      in
-      faulted := !faulted + run.Sched.steps;
-      let verdict = classify config ~exn init run in
+  Array.iter
+    (fun (at_step, victim, steps, verdict) ->
+      faulted := !faulted + steps;
       (match verdict with
       | Completed -> incr completed
       | Killed -> incr killed
@@ -121,7 +128,7 @@ let sweep ?(config = Step.default_config) ?(max_steps = 20_000) ?max_points
       match verdict with
       | Completed | Killed -> ()
       | _ -> bad := { at_step; victim; verdict } :: !bad)
-    points;
+    results;
   {
     rc_name = name;
     rc_baseline_steps = baseline.Sched.steps;

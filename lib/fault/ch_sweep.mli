@@ -53,13 +53,16 @@ val sweep :
   ?max_points:int ->
   ?target:target ->
   ?exn:Term.exn_name ->
+  ?jobs:int ->
   string ->
   State.t ->
   report
 (** [sweep name init]: record the round-robin baseline (which must
     terminate), then re-run once per kill point (down-sampled evenly to
     [max_points] if given) injecting [exn] (default ["KillThread"]) into
-    [target] (default {!Acting}).
+    [target] (default {!Acting}). [jobs] (default 1) runs the faulted
+    re-runs on that many domains; the report is identical for every
+    [jobs] value (indexed results, ordered merge — see {!Par}).
     @raise Failure if the baseline run does not terminate. *)
 
 val quiescent : report -> bool

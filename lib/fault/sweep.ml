@@ -13,9 +13,13 @@ let require what ok =
 (* The armed window. The flag lives outside the runtime and is toggled by
    a [lift] step inside the case program; the injection hook reads it on
    the OCaml side of the same single-threaded scheduler, so recording and
-   replay see identical windows. *)
-let armed = ref true
-let disarm = Io.lift (fun () -> armed := false)
+   replay see identical windows. It is domain-local (not a plain global)
+   because [sweep ~jobs] re-runs cases on worker domains: each domain's
+   runs are sequential, so a per-domain flag keeps the window exact
+   without any cross-domain traffic. *)
+let armed_key = Domain.DLS.new_key (fun () -> ref true)
+let armed () = Domain.DLS.get armed_key
+let disarm = Io.lift (fun () -> armed () := false)
 
 type case = { c_name : string; c_io : unit Io.t; c_max_steps : int }
 
@@ -31,6 +35,7 @@ type schedule = {
 }
 
 let record c =
+  let armed = armed () in
   armed := true;
   let acts = ref [] and names = ref [] in
   let tracer = function
@@ -93,7 +98,7 @@ let classify ~main_hit (r : unit Runtime.result) =
   | Runtime.Out_of_steps -> Some "out of steps (livelock or leak)"
 
 let run_plan c schedule (plan : Plan.t) =
-  armed := true;
+  armed () := true;
   let main_hit = ref false in
   let hook ~step ~running =
     match
@@ -143,7 +148,8 @@ let sample n arr =
     List.init n (fun i ->
         arr.(if n = 1 then 0 else i * (len - 1) / (n - 1)))
 
-let sweep ?max_points ?(target = Plan.Acting) ?(shrink = true) c =
+let sweep ?max_points ?(target = Plan.Acting) ?(shrink = true) ?(jobs = 1)
+    c =
   let schedule = record c in
   let points =
     match max_points with
@@ -153,15 +159,18 @@ let sweep ?max_points ?(target = Plan.Acting) ?(shrink = true) c =
   let armed_steps =
     List.sort_uniq compare (List.map fst (Array.to_list schedule.s_armed))
   in
-  let applied = ref 0 and faulted_steps = ref 0 and failures = ref [] in
-  List.iter
-    (fun (step, _acting) ->
-      let plan = [ { Plan.at_step = step; target; exn = Io.Kill_thread } ] in
-      let verdict, r = run_plan c schedule plan in
-      if r.Runtime.injections > 0 then incr applied;
-      faulted_steps := !faulted_steps + r.Runtime.steps;
+  (* One faulted run (plus shrinking, if it failed) per kill point. Each
+     evaluation is independent: [Runtime.run] builds all its state per
+     call and the armed flag is domain-local, so the points can be
+     farmed to worker domains. [Par.map] returns results indexed by
+     kill point, and the merge below folds them in that order — the
+     report is byte-identical whatever [jobs] is. *)
+  let eval (step, _acting) =
+    let plan = [ { Plan.at_step = step; target; exn = Io.Kill_thread } ] in
+    let verdict, r = run_plan c schedule plan in
+    let failure =
       match verdict with
-      | None -> ()
+      | None -> None
       | Some reason ->
           let shrunk =
             if not shrink then plan
@@ -177,11 +186,20 @@ let sweep ?max_points ?(target = Plan.Acting) ?(shrink = true) c =
                   && fst (run_plan c schedule p) <> None)
                 plan
           in
-          failures :=
+          Some
             { f_case = c.c_name; f_plan = plan; f_shrunk = shrunk;
               f_reason = reason }
-            :: !failures)
-    points;
+    in
+    ((if r.Runtime.injections > 0 then 1 else 0), r.Runtime.steps, failure)
+  in
+  let results = Par.map ~jobs eval (Array.of_list points) in
+  let applied = ref 0 and faulted_steps = ref 0 and failures = ref [] in
+  Array.iter
+    (fun (app, steps, failure) ->
+      applied := !applied + app;
+      faulted_steps := !faulted_steps + steps;
+      Option.iter (fun f -> failures := f :: !failures) failure)
+    results;
   {
     r_case = c.c_name;
     r_target = target;

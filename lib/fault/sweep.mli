@@ -73,9 +73,21 @@ val run_plan : case -> schedule -> Plan.t -> string option * unit Hio.Runtime.re
 (** One faulted run; [None] means all invariants held. *)
 
 val sweep :
-  ?max_points:int -> ?target:Plan.target -> ?shrink:bool -> case -> report
+  ?max_points:int ->
+  ?target:Plan.target ->
+  ?shrink:bool ->
+  ?jobs:int ->
+  case ->
+  report
 (** Sweep every armed step (down-sampled evenly to [max_points] if
-    given), injecting into [target] (default {!Plan.Acting}). *)
+    given), injecting into [target] (default {!Plan.Acting}).
+
+    [jobs] (default 1) farms the faulted re-runs to that many worker
+    domains via {!Par}. The report is deterministic and identical for
+    every [jobs] value: workers return per-kill-point partial results
+    indexed by position, and the driver merges them in kill-point
+    order. Safe because each [Hio.Runtime.run] builds its entire
+    scheduler state per call and the armed flag is domain-local. *)
 
 val pp_report : Format.formatter -> report -> unit
 (** One line per sweep, plus one block per failure. *)

@@ -66,7 +66,15 @@ let apply_builtin arity build args =
     let taken, surplus = split arity args in
     apps (build taken) surplus
   else begin
-    let missing = List.init (arity - supplied) (fun _ -> Subst.fresh "eta") in
+    let missing =
+      let rec gen n avoid acc =
+        if n = 0 then List.rev acc
+        else
+          let x = Subst.fresh ~avoid "eta" in
+          gen (n - 1) (x :: avoid) (x :: acc)
+      in
+      gen (arity - supplied) (List.concat_map free_vars args) []
+    in
     lams missing (build (args @ List.map (fun x -> Var x) missing))
   end
 

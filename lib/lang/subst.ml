@@ -1,16 +1,22 @@
 open Term
 
-let counter = ref 0
-
-let fresh base =
-  incr counter;
+(* Freshness is pure: the chosen name depends only on [avoid], never on
+   evaluation history. A global counter would make renamed terms depend
+   on every substitution performed before (breaking witness-path
+   determinism) and its non-atomic increment would race when the sweep
+   and the explorer run evaluations on several domains at once. *)
+let fresh ~avoid base =
   (* Strip a previous freshness suffix so repeated freshening stays short. *)
   let base =
     match String.index_opt base '\'' with
     | Some i -> String.sub base 0 i
     | None -> base
   in
-  Printf.sprintf "%s'%d" base !counter
+  let rec pick i =
+    let candidate = Printf.sprintf "%s'%d" base i in
+    if List.mem candidate avoid then pick (i + 1) else candidate
+  in
+  pick 1
 
 let rec subst_many body pairs =
   match pairs with
@@ -31,7 +37,7 @@ and go fvs pairs m =
       let pairs' = drop x in
       if pairs' = [] then m
       else if List.mem x fvs then begin
-        let x' = fresh x in
+        let x' = fresh ~avoid:(fvs @ free_vars body) x in
         Lam (x', go fvs pairs' (go [ x' ] [ (x, Var x') ] body))
       end
       else Lam (x, go fvs pairs' body)
@@ -50,7 +56,14 @@ and go fvs pairs m =
             in
             if pairs' = [] then Alt (c, xs, body)
             else if List.exists (fun x -> List.mem x fvs) xs then begin
-              let renaming = List.map (fun x -> (x, fresh x)) xs in
+              let avoid0 = fvs @ free_vars body in
+              let renaming =
+                List.fold_left
+                  (fun acc x ->
+                    let taken = List.map snd acc in
+                    acc @ [ (x, fresh ~avoid:(taken @ avoid0) x) ])
+                  [] xs
+              in
               let body' =
                 go
                   (List.map snd renaming)
@@ -64,7 +77,7 @@ and go fvs pairs m =
             let pairs' = drop x in
             if pairs' = [] then Default (x, body)
             else if List.mem x fvs then begin
-              let x' = fresh x in
+              let x' = fresh ~avoid:(fvs @ free_vars body) x in
               Default (x', go fvs pairs' (go [ x' ] [ (x, Var x') ] body))
             end
             else Default (x, go fvs pairs' body)
@@ -75,7 +88,7 @@ and go fvs pairs m =
       let pairs' = drop x in
       if pairs' = [] then Let (x, def', body)
       else if List.mem x fvs then begin
-        let x' = fresh x in
+        let x' = fresh ~avoid:(fvs @ free_vars body) x in
         Let (x', def', go fvs pairs' (go [ x' ] [ (x, Var x') ] body))
       end
       else Let (x, def', go fvs pairs' body)

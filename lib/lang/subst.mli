@@ -5,9 +5,12 @@
     workhorse of evaluation. Bound variables that would capture a free
     variable of the substituted term are freshened with {!fresh}. *)
 
-val fresh : string -> string
-(** A variable name not produced by any previous call, derived from the
-    given base name (e.g. [fresh "x"] gives ["x'3"]). *)
+val fresh : avoid:Term.var list -> string -> string
+(** A variable name derived from the given base (e.g.
+    [fresh ~avoid "x"] gives ["x'1"]) that does not occur in [avoid].
+    Pure: the result depends only on the arguments — there is no global
+    freshness counter — so substitution is deterministic regardless of
+    evaluation order and safe to run on several domains at once. *)
 
 val subst : Term.term -> Term.var -> Term.term -> Term.term
 (** [subst body x arg] is [body\[arg/x\]]. *)

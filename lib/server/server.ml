@@ -89,11 +89,18 @@ let serve config ins admission handler conn =
   steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
 
 let start ?(config = default_config) ?metrics handler =
+  Bchan.create config.accept_queue >>= fun backlog ->
+  (* The default registry must be created here, inside the continuation —
+     i.e. once per {e run} — not when [start] is applied. A server Io value
+     is typically built once and run many times (tests, kill sweeps), and
+     those runs may sit on different domains: a registry created at
+     application time would be shared by all of them, so [shutdown]'s
+     in-flight gauge would see other runs' workers and spin. An explicitly
+     passed [?metrics] registry is shared by design: the caller owns it. *)
   let registry =
     match metrics with Some reg -> reg | None -> Obs.Metrics.create ()
   in
   let ins = instruments registry in
-  Bchan.create config.accept_queue >>= fun backlog ->
   Sem.create config.max_concurrent >>= fun admission ->
   let accept_loop =
     Combinators.forever

@@ -33,10 +33,21 @@ and in CI):
   mvar-lock          target=acting: 5 kill points (5 applied), baseline 190 steps, 0 failures
   cleanup-flags      target=acting: 5 kill points (5 applied), baseline 89 steps, 0 failures
 
---json records the sweep for BENCH_fault.json (wall clock elided here):
+--json records the sweep for BENCH_fault.json (schema 2 is free of
+wall-clock fields, so the record is fully deterministic):
 
   $ chrun sweep --suite std --max-points 5 --json out.json > /dev/null
   $ grep -c '"case"' out.json
   6
   $ grep -o '"kill_points": [0-9]*, "failures": [0-9]*' out.json
   "kill_points": 30, "failures": 0
+
+The parallel sweep is observationally sequential: --jobs changes wall
+clock only. The embedded command line is normalised (--jobs and --json
+arguments stripped), so same-named output files are byte-identical:
+
+  $ chrun sweep --suite std --jobs 1 --json out.json > seq.out
+  $ mv out.json seq.json
+  $ chrun sweep --suite std --jobs 4 --json out.json > par.out
+  $ diff seq.json out.json
+  $ diff seq.out par.out

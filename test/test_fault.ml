@@ -231,10 +231,130 @@ let ch_sweep_tests =
           (Step.blocked_reasons r.Ch_explore.Sched.final));
   ]
 
+(* --- jobs-invariance: the parallel sweep is observationally sequential ---- *)
+
+(* Random small concurrent programs, described as pure data so QCheck can
+   print and shrink them, then swept at jobs 1..4. The property is NOT
+   that the sweeps pass — a kill may well make a spawned child's await
+   re-raise in main, and that failure (with its shrunk plan) is part of
+   the report — but that every jobs value produces the structurally
+   identical report, failures and all. *)
+type prog =
+  | Ret
+  | Yield
+  | Sleep of int
+  | Seq of prog * prog
+  | Spawn of prog  (** Task.spawn + await: the child is always joined *)
+  | Both of prog * prog
+  | Either of prog * prog
+  | Timeout of int * prog
+  | Mvar_cycle  (** put then take on a fresh mvar *)
+
+let rec prog_to_io = function
+  | Ret -> return ()
+  | Yield -> Io.yield
+  | Sleep n -> Io.sleep n
+  | Seq (a, b) -> prog_to_io a >>= fun () -> prog_to_io b
+  | Spawn p ->
+      Task.spawn (prog_to_io p) >>= fun t ->
+      Task.await t >>= fun () -> return ()
+  | Both (a, b) ->
+      Combinators.both (prog_to_io a) (prog_to_io b) >>= fun ((), ()) ->
+      return ()
+  | Either (a, b) ->
+      Combinators.either (prog_to_io a) (prog_to_io b) >>= fun _ -> return ()
+  | Timeout (n, p) ->
+      Combinators.timeout n (prog_to_io p) >>= fun _ -> return ()
+  | Mvar_cycle ->
+      Mvar.new_empty >>= fun m ->
+      Mvar.put m 1 >>= fun () -> Mvar.take m >>= fun _ -> return ()
+
+let rec prog_print = function
+  | Ret -> "ret"
+  | Yield -> "yield"
+  | Sleep n -> Printf.sprintf "sleep %d" n
+  | Seq (a, b) -> Printf.sprintf "(%s; %s)" (prog_print a) (prog_print b)
+  | Spawn p -> Printf.sprintf "spawn(%s)" (prog_print p)
+  | Both (a, b) ->
+      Printf.sprintf "both(%s, %s)" (prog_print a) (prog_print b)
+  | Either (a, b) ->
+      Printf.sprintf "either(%s, %s)" (prog_print a) (prog_print b)
+  | Timeout (n, p) -> Printf.sprintf "timeout %d (%s)" n (prog_print p)
+  | Mvar_cycle -> "mvar-cycle"
+
+(* [Spawn] must stay out of cancellable contexts: either/timeout kill the
+   losing branch in the {e baseline} run, and a spawned-but-unawaited
+   child would be stranded — which [Sweep.record] rightly rejects. So the
+   inner generator is Spawn-free, and Spawn only appears at the top
+   level, where the baseline always reaches its await. *)
+let gen_cancellable =
+  QCheck2.Gen.(
+    sized_size (1 -- 4)
+    @@ fix (fun self n ->
+           if n <= 0 then
+             oneofl [ Ret; Yield; Sleep 1; Sleep 2; Mvar_cycle ]
+           else
+             let sub = self (n / 2) in
+             oneof
+               [
+                 map2 (fun a b -> Seq (a, b)) sub sub;
+                 map2 (fun a b -> Both (a, b)) sub sub;
+                 map2 (fun a b -> Either (a, b)) sub sub;
+                 map2 (fun n p -> Timeout (n, p)) (1 -- 5) sub;
+               ]))
+
+let gen_prog =
+  QCheck2.Gen.(
+    let sub = gen_cancellable in
+    oneof
+      [
+        sub;
+        map (fun p -> Spawn p) sub;
+        map2 (fun a b -> Seq (Spawn a, b)) sub sub;
+        map2 (fun a b -> Both (a, b)) sub sub;
+      ])
+
+let jobs_invariance_tests =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck2.Test.make ~name:"sweep reports are identical for jobs 1..4"
+         ~count:25 ~print:prog_print gen_prog (fun p ->
+           (* the trailing yields let cancellation cascades finish: either/
+              timeout kill their losers and move on, and a baseline that
+              ends the instant after would catch the loser's children
+              still mid-death and (rightly) be rejected by [record] *)
+           let io = prog_to_io p >>= fun () -> yields 16 in
+           let c = Sweep.case ~max_steps:2_000 "qcheck" io in
+           let seq = Sweep.sweep ~jobs:1 c in
+           List.for_all (fun j -> Sweep.sweep ~jobs:j c = seq) [ 2; 3; 4 ]));
+    case "the naive lock's failures shrink identically at any jobs" (fun () ->
+        (* the failure/shrink path, deterministically: same failing plans,
+           same shrunk counterexamples, same order *)
+        let seq = Sweep.sweep ~jobs:1 Cases.naive_lock in
+        Alcotest.check Alcotest.bool "failures found" true
+          (seq.Sweep.r_failures <> []);
+        List.iter
+          (fun j ->
+            Alcotest.check Alcotest.bool
+              (Printf.sprintf "jobs=%d equals jobs=1" j)
+              true
+              (Sweep.sweep ~jobs:j Cases.naive_lock = seq))
+          [ 2; 4 ]);
+    case "the server case sweeps identically in parallel" (fun () ->
+        (* regression for the shared-metrics bug: Server.start used to
+           create its default Obs.Metrics registry at application time,
+           so concurrent sweeps shared one in-flight gauge and shutdown
+           span extra steps waiting on other domains' workers *)
+        let seq = Sweep.sweep ~jobs:1 ~max_points:40 Cases.server in
+        Alcotest.check Alcotest.bool "jobs=4 equals jobs=1" true
+          (Sweep.sweep ~jobs:4 ~max_points:40 Cases.server = seq));
+  ]
+
 let suites =
   [
     ("fault:shrink", shrink_tests);
     ("fault:sweep", sweep_tests);
     ("fault:regressions", regression_tests);
     ("fault:ch-sweep", ch_sweep_tests);
+    ("fault:jobs-invariance", jobs_invariance_tests);
   ]
