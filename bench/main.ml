@@ -16,6 +16,7 @@
    SC  —         scheduler hot path at scale (many runnable threads)
    OB  —         observability overhead: Obs.Rec vs logs tracer vs off
    PAR —         domain-parallel sweep/exploration at 1/2/4/8 domains
+   SUP —         supervised vs bare server, clean and under injected kills
 
    Run with: dune exec bench/main.exe *)
 
@@ -540,6 +541,77 @@ let par_group =
       ])
     [ 1; 2; 4; 8 ]
 
+(* --- SUP: the supervision layer under injected kills ------------------------- *)
+
+(* The BENCH_sup.json scenarios: the §11 server at a fixed four-client
+   load, once under the lib/sup tree (default) and once as the bare
+   forkIO+semaphore prototype ([supervised = false]), both clean and
+   under the kill-point sweep targeting its conn-workers. The clean
+   pair prices the supervision tree itself (mailbox, bulkhead, restart
+   bookkeeping); the sweep pair prices what each mode pays per injected
+   worker kill — the supervised server restarts the slot and answers
+   503, the bare one leaves the client to its timeout. Sweeps are
+   sampled ([max_points]) and unshrunk: this is a throughput cell, the
+   exhaustive pass/fail run is `chrun sweep --suite sup` in CI. *)
+
+let sup_server_load ~supervised =
+  let open Hserver in
+  let open Io in
+  let config =
+    {
+      Server.default_config with
+      Server.supervised;
+      max_concurrent = 2;
+      max_waiting = 1;
+    }
+  in
+  Server.start ~config (Server.route [ ("/", fun _ -> Http.ok "x") ])
+  >>= fun server ->
+  let client =
+    Server.connect server >>= fun conn ->
+    Http.write_request conn
+      { Http.meth = "GET"; path = "/"; headers = []; body = "" }
+    >>= fun () ->
+    Combinators.timeout 2_000 (Http.read_response conn) >>= fun _ ->
+    return ()
+  in
+  Combinators.parallel_map Task.spawn [ client; client; client; client ]
+  >>= fun tasks ->
+  let rec joins = function
+    | [] -> return ()
+    | t :: rest ->
+        catch (Task.await t) (fun _ -> return ()) >>= fun () -> joins rest
+  in
+  joins tasks >>= fun () ->
+  Fault.Sweep.disarm >>= fun () ->
+  Server.shutdown server >>= fun stats ->
+  Io.return (stats.Server.served + stats.Server.shed)
+
+let sup_case ~supervised =
+  Fault.Sweep.case
+    (if supervised then "bench-sup-server" else "bench-bare-server")
+    (Io.( >>= ) (sup_server_load ~supervised) (fun _ -> Io.return ()))
+
+let sup_kill_sweep ~supervised =
+  let r =
+    Fault.Sweep.sweep ~max_points:48 ~shrink:false
+      ~target:(Fault.Plan.Named "conn-worker")
+      (sup_case ~supervised)
+  in
+  r.Fault.Sweep.r_faulted_steps
+
+let sup_group =
+  [
+    Test.make ~name:"sup/serve-4-supervised" (stage (fun () ->
+        run_rr (sup_server_load ~supervised:true)));
+    Test.make ~name:"sup/serve-4-bare" (stage (fun () ->
+        run_rr (sup_server_load ~supervised:false)));
+    Test.make ~name:"sup/kill-sweep-48-supervised" (stage (fun () ->
+        sup_kill_sweep ~supervised:true));
+    Test.make ~name:"sup/kill-sweep-48-bare" (stage (fun () ->
+        sup_kill_sweep ~supervised:false));
+  ]
+
 (* --- harness ---------------------------------------------------------------- *)
 
 let groups =
@@ -561,6 +633,7 @@ let groups =
     ("SC scheduler hot path", sc);
     ("OB observability overhead", ob);
     ("PAR domain-parallel engines", par_group);
+    ("SUP supervision layer", sup_group);
   ]
 
 (* CLI: [-quota SECONDS] bounds the per-test measuring time (CI smoke runs

@@ -367,7 +367,7 @@ let suite_arg =
     & opt
         (enum
            [ ("corpus", `Corpus); ("std", `Std); ("server", `Server);
-             ("all", `All) ])
+             ("sup", `Sup); ("all", `All) ])
         `Corpus
     & info [ "suite" ] ~docv:"SUITE"
         ~doc:
@@ -375,6 +375,9 @@ let suite_arg =
            through the Figure 4/5 rules), $(b,std) (the §7 hio abstractions: \
            Sem, Barrier, Chan, Bchan, Mvar locks, cleanup combinators), \
            $(b,server) (the §11 server, including targeted listener/worker \
+           kills), $(b,sup) (the supervision layer: restart strategies, \
+           retry + breaker, bulkhead, and the supervised server's graceful \
+           degradation, including targeted supervisor/listener/worker \
            kills), or $(b,all).")
 
 let max_points_arg =
@@ -425,18 +428,19 @@ let strip_jobs argv =
 
 (* JSON by hand (no JSON library in the tree): every string we emit is a
    known identifier, so escaping is not needed. *)
-let sweep_json path ~argv ~corpus ~std ~server ~failures =
+let sweep_json path ~argv ~corpus ~std ~server ~sup ~failures =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema_version\": 2,\n";
+  add "  \"schema_version\": 3,\n";
   add "  \"description\": \"Kill-point sweep record: every armed scheduler \
        step of each case re-executed with KillThread injected into the \
        acting (or targeted) thread, invariants checked after each faulted \
        run. faulted_steps/baseline_steps is the step-count overhead of \
        sweeping a case versus running it once. Deterministic: independent \
        of --jobs and free of wall-clock fields (schema 1 carried \
-       wall_seconds).\",\n";
+       wall_seconds; schema 3 added the sup suite: supervision trees, \
+       retry/breaker/bulkhead, and the supervised server).\",\n";
   add "  \"command\": \"%s\",\n" (String.concat " " (strip_jobs argv));
   add "  \"corpus\": [\n";
   List.iteri
@@ -474,12 +478,13 @@ let sweep_json path ~argv ~corpus ~std ~server ~failures =
   in
   hio_rows "std" std false;
   hio_rows "server" server false;
+  hio_rows "sup" sup false;
   let kp =
     List.fold_left (fun a (r : Fault.Ch_sweep.report) -> a + r.rc_kill_points)
       0 corpus
     + List.fold_left
         (fun a (r : Fault.Sweep.report) -> a + r.r_kill_points)
-        0 (std @ server)
+        0 (std @ server @ sup)
   in
   add "  \"totals\": { \"kill_points\": %d, \"failures\": %d }\n" kp failures;
   add "}\n";
@@ -493,7 +498,7 @@ let sweep_cmd =
         let jobs = resolve_jobs jobs in
         let failures = ref 0 in
         let corpus =
-          if suite = `Std || suite = `Server then []
+          if suite <> `Corpus && suite <> `All then []
           else
             List.map
               (fun (name, init) ->
@@ -505,7 +510,7 @@ let sweep_cmd =
               Fault.Ch_sweep.corpus
         in
         let std =
-          if suite = `Corpus || suite = `Server then []
+          if suite <> `Std && suite <> `All then []
           else
             List.map
               (fun c ->
@@ -516,7 +521,7 @@ let sweep_cmd =
               Fault.Cases.std
         in
         let server =
-          if suite = `Corpus || suite = `Std then []
+          if suite <> `Server && suite <> `All then []
           else
             List.map
               (fun target ->
@@ -529,11 +534,22 @@ let sweep_cmd =
                 r)
               Fault.Cases.server_targets
         in
+        let sup =
+          if suite <> `Sup && suite <> `All then []
+          else
+            List.map
+              (fun (case, target) ->
+                let r = Fault.Sweep.sweep ?max_points ~jobs ~target case in
+                Fmt.pr "%a@." Fault.Sweep.pp_report r;
+                failures := !failures + List.length r.Fault.Sweep.r_failures;
+                r)
+              Fault.Cases.sup_sweeps
+        in
         (match json with
         | Some path ->
             sweep_json path
               ~argv:(Array.to_list Sys.argv)
-              ~corpus ~std ~server ~failures:!failures
+              ~corpus ~std ~server ~sup ~failures:!failures
         | None -> ());
         if !failures > 0 then begin
           Fmt.pr "%d FAILING sweep%s@." !failures

@@ -363,6 +363,113 @@ let c17 () =
   Printf.printf "%-20s %12d %14d  %b\n" "explore catch-only" seq.Space.visited
     seq.Space.edges same
 
+(* --- C18: supervision — graceful degradation under worker kills -------------- *)
+
+let c18 () =
+  header "C18 — supervision (lib/sup): killed workers degrade, never wedge";
+  (* The robustness claim the supervision layer adds on top of §11: with
+     the same four-client load and the same injected worker kill, the
+     supervised server answers every client (a 503 from the restarted
+     slot, or a 200 when the kill lands before the request was consumed)
+     and counts one restart, while the bare forkIO+semaphore prototype
+     leaves the killed connection silent until the client's own timeout.
+     Both modes are then swept: every sampled kill point into a
+     conn-worker, judged by the sweep's wedge/invariant verdict. The
+     exhaustive version of that sweep (every suite, every armed step) is
+     the CI gate. *)
+  let open Io in
+  let outcomes = ref [] and stats = ref None in
+  let scenario ~supervised =
+    let config =
+      {
+        Hserver.Server.default_config with
+        Hserver.Server.supervised;
+        max_concurrent = 2;
+        max_waiting = 1;
+      }
+    in
+    let client id server =
+      catch
+        ( Hserver.Server.connect server >>= fun conn ->
+          Hserver.Http.write_request conn
+            { Hserver.Http.meth = "GET"; path = "/"; headers = []; body = "" }
+          >>= fun () ->
+          Combinators.timeout 2_000 (Hserver.Http.read_response conn)
+          >>= fun r ->
+          lift (fun () ->
+              let out =
+                match r with
+                | Some resp -> string_of_int resp.Hserver.Http.status
+                | None -> "silent"
+              in
+              outcomes := (id, out) :: !outcomes) )
+        (fun _ -> lift (fun () -> outcomes := (id, "killed") :: !outcomes))
+    in
+    lift (fun () ->
+        outcomes := [];
+        stats := None)
+    >>= fun () ->
+    Hserver.Server.start ~config
+      (Hserver.Server.route [ ("/", fun _ -> Hserver.Http.ok "x") ])
+    >>= fun server ->
+    Combinators.parallel_map Task.spawn
+      [ client 0 server; client 1 server; client 2 server; client 3 server ]
+    >>= fun tasks ->
+    let rec joins = function
+      | [] -> return ()
+      | t :: rest ->
+          catch (Task.await t) (fun _ -> return ()) >>= fun () -> joins rest
+    in
+    joins tasks >>= fun () ->
+    Fault.Sweep.disarm >>= fun () ->
+    Hserver.Server.shutdown server >>= fun s ->
+    lift (fun () -> stats := Some s)
+  in
+  let run_mode ~supervised =
+    let case =
+      Fault.Sweep.case
+        (if supervised then "c18-supervised" else "c18-bare")
+        (scenario ~supervised)
+    in
+    let sched = Fault.Sweep.record case in
+    let armed = sched.Fault.Sweep.s_armed in
+    (* one representative kill, 60% into this mode's own armed window —
+       late enough that a worker is mid-request *)
+    let at_step, _ = armed.(Array.length armed * 3 / 5) in
+    let plan =
+      [
+        {
+          Fault.Plan.at_step;
+          target = Fault.Plan.Named "conn-worker";
+          exn = Kill_thread;
+        };
+      ]
+    in
+    let verdict, _ = Fault.Sweep.run_plan case sched plan in
+    let outs =
+      List.sort compare !outcomes |> List.map snd |> String.concat " "
+    in
+    let s = Option.get !stats in
+    let report =
+      Fault.Sweep.sweep ~max_points:200 ~shrink:false
+        ~target:(Fault.Plan.Named "conn-worker") case
+    in
+    (outs, s, verdict, report)
+  in
+  Printf.printf "%-26s %-22s %29s\n" "" "client outcomes"
+    "served/shed/timeouts/restarts";
+  List.iter
+    (fun supervised ->
+      let outs, s, verdict, r = run_mode ~supervised in
+      Printf.printf "%-26s %-22s %17d/%d/%d/%d   sweep: %d/%d points failed%s\n"
+        (if supervised then "supervised (lib/sup)" else "bare (§11 prototype)")
+        outs s.Hserver.Server.served s.Hserver.Server.shed
+        s.Hserver.Server.timeouts s.Hserver.Server.restarts
+        (List.length r.Fault.Sweep.r_failures)
+        r.Fault.Sweep.r_kill_points
+        (match verdict with None -> "" | Some v -> "  [" ^ v ^ "]"))
+    [ true; false ]
+
 (* --- OBS: §5 delivery windows, quantified ------------------------------------ *)
 
 let obs_latency () =
@@ -409,5 +516,6 @@ let () =
   c8 ();
   c14 ();
   c17 ();
+  c18 ();
   fork_inheritance ();
   obs_latency ()

@@ -121,20 +121,44 @@ let timeout_nested =
   | Some None -> return 1
   | None -> return 0
 
+(* --- supervision corpus: lib/sup over the same primitives ----------------
+
+   This scenario is a function of the registry that --metrics attaches,
+   so the supervisor's own instruments land in the printed table next to
+   the scheduler's: one worker, killed once, restarted within budget,
+   then a graceful stop. The outcome is the restart count. *)
+
+let supervised reg =
+  Hsup.Sup.start ~metrics:reg
+    [ Hsup.Sup.child "worker" (Hio_std.Combinators.forever yield) ]
+  >>= fun sup ->
+  yields 4 >>= fun () ->
+  Hsup.Sup.child_tid sup "worker" >>= function
+  | None -> return (-1)
+  | Some tid ->
+      throw_to tid Kill_thread >>= fun () ->
+      yields 8 >>= fun () ->
+      Hsup.Sup.stop sup >>= fun _ -> Hsup.Sup.restart_count sup
+
+(* Most programs predate the supervision corpus and ignore the registry;
+   [plain] adapts them to the registry-passing interface. *)
+let plain p _reg = p
+
 let programs =
   [
-    ("fork-join", fork_join);
-    ("mvar-pingpong", mvar_pingpong);
-    ("throwto-kill", throwto_kill);
-    ("block-pending", block_pending);
-    ("sleep-timers", sleep_timers);
-    ("unblock-storm", unblock_storm);
-    ("stranded-take", stranded_take);
-    ("deadlock-cross", deadlock_cross);
-    ("finally-throw", finally_throw);
-    ("bracket-release", bracket_release);
-    ("either-race", either_race);
-    ("timeout-nested", timeout_nested);
+    ("fork-join", plain fork_join);
+    ("mvar-pingpong", plain mvar_pingpong);
+    ("throwto-kill", plain throwto_kill);
+    ("block-pending", plain block_pending);
+    ("sleep-timers", plain sleep_timers);
+    ("unblock-storm", plain unblock_storm);
+    ("stranded-take", plain stranded_take);
+    ("deadlock-cross", plain deadlock_cross);
+    ("finally-throw", plain finally_throw);
+    ("bracket-release", plain bracket_release);
+    ("either-race", plain either_race);
+    ("timeout-nested", plain timeout_nested);
+    ("supervised", supervised);
   ]
 
 let usage () =
@@ -171,7 +195,7 @@ let () =
           let config =
             if metrics then Obs.Runtime_obs.metrics registry config else config
           in
-          let r = Runtime.run ~config prog in
+          let r = Runtime.run ~config (prog registry) in
           Fmt.pr "outcome: %a@." (Runtime.pp_outcome Fmt.int) r.Runtime.outcome;
           Fmt.pr "steps: %d@." r.Runtime.steps;
           if r.Runtime.output <> "" then

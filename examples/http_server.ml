@@ -59,11 +59,8 @@ let main =
   let* server =
     Server.start
       ~config:
-        {
-          Server.request_timeout = 300;
-          max_concurrent = 3;
-          accept_queue = 16;
-        }
+        { Server.default_config with request_timeout = 300; max_concurrent = 3;
+          accept_queue = 16 }
       handler
   in
   let* () = put_string "server up\n" in

@@ -215,6 +215,258 @@ let server =
 let server_targets =
   [ Plan.Acting; Plan.Named "listener"; Plan.Named "conn-worker" ]
 
+(* --- lib/sup: supervision and resilience --------------------------------
+
+   These cases mechanise the tentpole claim of the supervision layer:
+   recovery, not just quiescence, survives a kill at every point. Each
+   case runs a supervised structure through its normal life in the armed
+   window, then disarms and probes that the structure is back in steady
+   state — children running (or the whole subtree down if the supervisor
+   itself was the victim), breaker closed, bulkhead accounting at zero,
+   the server answering 200s again. *)
+
+open Hsup
+
+(* The two generic restart cases share one shape. Two heartbeat children
+   increment counters under a supervisor; the probe phase must not guess
+   whether the supervisor was the kill victim — a killed supervisor stays
+   [alive] until its teardown handler has run, so any immediate check
+   races. Instead it calls [Sup.stop], which is idempotent and blocks on
+   the supervisor's final outcome: once it returns, the teardown is
+   complete in {e every} scenario, and its result says which scenario
+   happened — [Ok ()] iff the supervisor processed the [Stop] message,
+   i.e. survived the kill (and, mailbox being FIFO, had already restarted
+   any killed child). *)
+let sup_restart_case name ~strategy ~after_stop =
+  Sweep.case name
+    ( lift (fun () -> (ref 0, ref 0)) >>= fun (a, b) ->
+      let beat r =
+        Combinators.forever (lift (fun () -> incr r) >>= fun () -> yield)
+      in
+      Sup.start ~strategy
+        ~intensity:{ Sup.max_restarts = 5; window = 1_000 }
+        [ Sup.child "a" (beat a); Sup.child "b" (beat b) ]
+      >>= fun sup ->
+      yields 30 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      (* both children ran: even a child killed at the first armed step
+         was restarted in time to beat before the window closed *)
+      lift (fun () -> !a > 0 && !b > 0) >>= fun beat_ok ->
+      Sweep.require "sup: both children made progress" beat_ok >>= fun () ->
+      Sup.stop sup >>= fun r ->
+      Sweep.require "sup: only a kill ends the supervisor abnormally"
+        (r = Stdlib.Ok () || r = Stdlib.Error Kill_thread)
+      >>= fun () ->
+      (* stopped or killed, the subtree is down — the heartbeats must be
+         provably silent (no stranded child) *)
+      lift (fun () -> (!a, !b)) >>= fun (a0, b0) ->
+      yields 10 >>= fun () ->
+      lift (fun () -> (!a, !b)) >>= fun (a1, b1) ->
+      Sweep.require "sup: no stranded child after stop"
+        (a1 = a0 && b1 = b0)
+      >>= fun () ->
+      if r = Stdlib.Ok () then
+        (* the supervisor survived: one kill costs at most one restart *)
+        Sup.restart_count sup >>= fun rc ->
+        Sweep.require "sup: one kill costs at most one restart" (rc <= 1)
+        >>= fun () -> after_stop sup
+      else return () )
+
+let sup_one_for_one =
+  sup_restart_case "sup-one-for-one" ~strategy:Sup.One_for_one
+    ~after_stop:(fun _ -> return ())
+
+let sup_all_for_one =
+  sup_restart_case "sup-all-for-one" ~strategy:Sup.All_for_one
+    ~after_stop:(fun sup ->
+      (* collective restart: whichever child was hit, both slots were
+         restarted together, so their start counts stay equal *)
+      Sup.child_starts sup "a" >>= fun sa ->
+      Sup.child_starts sup "b" >>= fun sb ->
+      Sweep.require "all-for-one: children start in lockstep" (sa = sb))
+
+let sup_retry_breaker =
+  Sweep.case "sup-retry-breaker"
+    ( lift (fun () -> ref 0) >>= fun calls ->
+      Breaker.create ~failure_threshold:2 ~reset_timeout:50 () >>= fun br ->
+      let flaky =
+        lift (fun () ->
+            incr calls;
+            !calls)
+        >>= fun n -> if n <= 2 then throw (Failure "flaky") else return ()
+      in
+      (* baseline walks the whole state machine deterministically:
+         closed -> (two failures) open -> fail-fast rejections under
+         backoff -> half-open trial after the reset window -> closed *)
+      Task.spawn ~name:"caller"
+        (Retry.retry ~attempts:6 ~base:5 ~jitter:3 (Breaker.run br flaky))
+      >>= fun t ->
+      join t >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      (* whatever the kill hit, the breaker must not be wedged: past the
+         reset window a probe call must be admitted (a stuck half-open
+         trial would fail-fast it) and close the circuit *)
+      sleep 60 >>= fun () ->
+      Breaker.run br (return ()) >>= fun () ->
+      Breaker.state br >>= fun st ->
+      Sweep.require "breaker: probe success closes the circuit"
+        (st = Breaker.Closed) )
+
+let sup_bulkhead =
+  Sweep.case "sup-bulkhead"
+    ( Bulkhead.create ~capacity:2 ~max_waiting:1 () >>= fun bh ->
+      lift (fun () -> (ref 0, ref 0)) >>= fun (oks, sheds) ->
+      let job =
+        Bulkhead.run bh (yields 3) >>= function
+        | Ok () -> lift (fun () -> incr oks)
+        | Error `Shed -> lift (fun () -> incr sheds)
+      in
+      Task.spawn ~name:"b1" job >>= fun t1 ->
+      Task.spawn ~name:"b2" job >>= fun t2 ->
+      Task.spawn ~name:"b3" job >>= fun t3 ->
+      Task.spawn ~name:"b4" job >>= fun t4 ->
+      join t1 >>= fun () ->
+      join t2 >>= fun () ->
+      join t3 >>= fun () ->
+      join t4 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      Bulkhead.entered bh >>= fun n ->
+      Sweep.require "bulkhead: occupancy drained to zero" (n = 0)
+      >>= fun () ->
+      (* full capacity is back: a fresh call is admitted, not shed *)
+      Bulkhead.run bh (return ()) >>= fun r ->
+      Sweep.require "bulkhead: fresh call admitted" (r = Ok ()) )
+
+(* The tentpole case: graceful degradation of the supervised server.
+   Saturating clients (capacity 2 + 1 waiting, 4 clients) exercise the
+   shedding path in the baseline; the sweep then demands that after a
+   kill anywhere — client, worker, bulkhead, listener, supervisor — every
+   accepted request still gets an answer (200, 503 or the client's own
+   timeout) and the tree returns to steady state, proven by probe
+   requests that must be served with 200. *)
+let sup_server_config =
+  {
+    Server.default_config with
+    max_concurrent = 2;
+    max_waiting = 1;
+    restart_intensity = { Sup.max_restarts = 4; window = 10_000 };
+  }
+
+let sup_server =
+  Sweep.case ~max_steps:400_000 "sup-server"
+    ( let handler =
+        Server.route [ ("/hello", fun body -> Http.ok ("hi" ^ body)) ]
+      in
+      Server.start ~config:sup_server_config handler >>= fun server ->
+      lift (fun () -> Array.make 4 None) >>= fun outcomes ->
+      let client i =
+        Server.connect server >>= fun conn ->
+        Http.write_request conn
+          { Http.meth = "GET"; path = "/hello"; headers = []; body = "" }
+        >>= fun () ->
+        Combinators.timeout 1_000 (Http.read_response conn) >>= fun r ->
+        lift (fun () ->
+            outcomes.(i) <-
+              Some
+                (match r with
+                | None -> `Timed_out
+                | Some resp -> `Status resp.Http.status))
+      in
+      Task.spawn ~name:"client0" (client 0) >>= fun c0 ->
+      Task.spawn ~name:"client1" (client 1) >>= fun c1 ->
+      Task.spawn ~name:"client2" (client 2) >>= fun c2 ->
+      Task.spawn ~name:"client3" (client 3) >>= fun c3 ->
+      join c0 >>= fun () ->
+      join c1 >>= fun () ->
+      join c2 >>= fun () ->
+      join c3 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      (* graceful degradation: every client that survived recorded an
+         answer, and only answers the contract allows *)
+      let check t i =
+        Task.poll t >>= fun st ->
+        lift (fun () -> outcomes.(i)) >>= fun o ->
+        match st with
+        | Some (Stdlib.Ok ()) ->
+            Sweep.require "sup-server: accepted request answered"
+              (match o with
+              | Some (`Status (200 | 503 | 504)) | Some `Timed_out -> true
+              | _ -> false)
+        | _ -> return () (* the client itself was the kill victim *)
+      in
+      check c0 0 >>= fun () ->
+      check c1 1 >>= fun () ->
+      check c2 2 >>= fun () ->
+      check c3 3 >>= fun () ->
+      (* steady state: the tree answers 200s again — twice, so the first
+         probe wasn't a fluke of a half-restarted tree *)
+      let probe srv =
+        Server.connect srv >>= fun conn ->
+        Http.write_request conn
+          { Http.meth = "GET"; path = "/hello"; headers = []; body = "" }
+        >>= fun () ->
+        Combinators.timeout 1_000 (Http.read_response conn) >>= fun r ->
+        return
+          (match r with Some resp -> resp.Http.status = 200 | None -> false)
+      in
+      let sup_alive () =
+        match Server.supervisor server with
+        | None -> return true
+        | Some sup -> Sup.alive sup
+      in
+      (* the supervisor itself may be the victim; a process manager would
+         restart the whole tree — model that with a fresh server and
+         require service is restored *)
+      let fresh_tree () =
+        Server.start ~config:sup_server_config handler >>= fun fresh ->
+        probe fresh >>= fun ok ->
+        Sweep.require "sup-server: a fresh tree restores service" ok
+        >>= fun () ->
+        Server.shutdown fresh >>= fun _ -> return ()
+      in
+      sup_alive () >>= fun alive ->
+      (if alive then
+         (* [alive] can be a lie: a killed supervisor keeps the flag until
+            its teardown handler has run. The probe's own timeout gives
+            that teardown ample virtual time, so a failed probe with the
+            supervisor now dead is the kill surfacing, not a violation —
+            only a failed probe under a supervisor still alive is. *)
+         probe server >>= fun ok1 ->
+         if ok1 then
+           probe server >>= fun ok2 ->
+           Sweep.require "sup-server: steady state persists" ok2
+         else
+           sup_alive () >>= fun still_alive ->
+           Sweep.require "sup-server: steady state answers 200"
+             (not still_alive)
+           >>= fun () -> fresh_tree ()
+       else fresh_tree ())
+      >>= fun () ->
+      Server.shutdown server >>= fun _stats ->
+      catch
+        (Server.connect server >>= fun _ -> return false)
+        (fun e -> return (e = Server.Server_stopped))
+      >>= Sweep.require "sup-server: connect after shutdown is refused" )
+
+let sup_server_targets =
+  [
+    Plan.Acting;
+    Plan.Named "supervisor";
+    Plan.Named "listener";
+    Plan.Named "conn-worker";
+  ]
+
+let sup_sweeps =
+  [
+    (sup_one_for_one, Plan.Acting);
+    (sup_one_for_one, Plan.Named "supervisor");
+    (sup_one_for_one, Plan.Named "a");
+    (sup_all_for_one, Plan.Acting);
+    (sup_retry_breaker, Plan.Acting);
+    (sup_bulkhead, Plan.Acting);
+  ]
+  @ List.map (fun t -> (sup_server, t)) sup_server_targets
+
 (* --- a deliberately broken abstraction, to test the harness ------------- *)
 
 let naive_lock =

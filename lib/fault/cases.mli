@@ -18,6 +18,40 @@ val server : Sweep.case
 val server_targets : Plan.target list
 (** The three adversaries above, in that order. *)
 
+val sup_one_for_one : Sweep.case
+(** Two permanent heartbeat children under a one-for-one supervisor:
+    after any kill, either both children are live again (≤ 1 restart
+    spent) and the tree stops gracefully, or — if the supervisor itself
+    was hit — the heartbeats are provably silent (no stranded child). *)
+
+val sup_all_for_one : Sweep.case
+(** Same shape under {!Hsup.Sup.All_for_one}; additionally requires the
+    two children's start counts stay in lockstep (collective restart). *)
+
+val sup_retry_breaker : Sweep.case
+(** {!Hsup.Retry.retry} over {!Hsup.Breaker.run} of a flaky operation:
+    the baseline walks closed → open → fail-fast → half-open → closed;
+    after the kill, a probe past the reset window must still be admitted
+    and close the circuit (no wedged half-open trial). *)
+
+val sup_bulkhead : Sweep.case
+(** Four jobs through a capacity-2/waiting-1 {!Hsup.Bulkhead}: after the
+    kill, occupancy is back to zero and a fresh call is admitted. *)
+
+val sup_server : Sweep.case
+(** The tentpole: four clients saturate the supervised server (capacity
+    2 + 1 waiting, so the baseline sheds); after a kill anywhere, every
+    surviving client holds an allowed answer (200/503/504 or its own
+    timeout) and probe requests get 200 again — from the same tree if
+    the supervisor survived, from a fresh one otherwise. *)
+
+val sup_server_targets : Plan.target list
+(** [Acting; Named "supervisor"; Named "listener"; Named "conn-worker"]. *)
+
+val sup_sweeps : (Sweep.case * Plan.target) list
+(** The full [sup] suite: each generic case with its targets, then
+    {!sup_server} against each of {!sup_server_targets}. *)
+
 val naive_lock : Sweep.case
 (** A deliberately §5.2-violating lock (bare [take]/[put], nothing
     masked, no restore) — the harness must find and shrink its wedge;

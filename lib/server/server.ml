@@ -8,16 +8,28 @@ type config = {
   request_timeout : int;
   max_concurrent : int;
   accept_queue : int;
+  max_waiting : int;
+  supervised : bool;
+  restart_intensity : Hsup.Sup.intensity;
 }
 
 let default_config =
-  { request_timeout = 200; max_concurrent = 4; accept_queue = 8 }
+  {
+    request_timeout = 200;
+    max_concurrent = 4;
+    accept_queue = 8;
+    max_waiting = 16;
+    supervised = true;
+    restart_intensity = { Hsup.Sup.max_restarts = 16; window = 1_000 };
+  }
 
 type stats = {
   served : int;
   timeouts : int;
   bad_requests : int;
   rejected : int;
+  shed : int;
+  restarts : int;
 }
 
 (* All accounting lives in an Obs.Metrics registry — the same registry the
@@ -27,6 +39,8 @@ type instruments = {
   m_served : Obs.Metrics.counter;
   m_timeouts : Obs.Metrics.counter;
   m_bad : Obs.Metrics.counter;
+  m_shed : Obs.Metrics.counter;
+  m_degraded : Obs.Metrics.counter;
   m_rejected : Obs.Metrics.counter;
   m_inflight : Obs.Metrics.gauge;
   m_latency : Obs.Metrics.histogram;
@@ -40,6 +54,8 @@ let instruments reg =
     m_served = outcome "ok";
     m_timeouts = outcome "timeout";
     m_bad = outcome "bad_request";
+    m_shed = outcome "shed";
+    m_degraded = outcome "degraded";
     m_rejected = Obs.Metrics.counter reg "server_rejected_total";
     m_inflight = Obs.Metrics.gauge reg "server_in_flight";
     m_latency =
@@ -50,21 +66,31 @@ let instruments reg =
 
 exception Server_stopped
 
+let service_unavailable =
+  { Http.status = 503; reason = "Service Unavailable"; body = "" }
+
+type mode =
+  | Supervised of { sup : Hsup.Sup.t; bulk : Hsup.Bulkhead.t }
+  | Plain of { listener : Io.thread_id; admission : Sem.t }
+
 type t = {
-  listener : Io.thread_id;
   backlog : Http.Conn.t Bchan.t;
   registry : Obs.Metrics.t;
   ins : instruments;
   config : config;
   mutable accepting : bool;
+  mode : mode;
 }
 
-(* Serve one connection end to end: the composable timeout covers the
+let count c = lift (fun () -> Obs.Metrics.inc c)
+
+(* --- the unsupervised (§11-prototype) path -------------------------------
+
+   Serve one connection end to end: the composable timeout covers the
    admission wait, the (possibly trickling) request read, and the handler;
    the connection is always answered. Latency is measured on the
    virtual-step clock, first step to final response byte. *)
-let serve config ins admission handler conn =
-  let count c = lift (fun () -> Obs.Metrics.inc c) in
+let serve_plain config ins admission handler conn =
   steps >>= fun t0 ->
   Combinators.timeout config.request_timeout
     (Sem.with_unit admission
@@ -88,6 +114,72 @@ let serve config ins admission handler conn =
   >>= fun () ->
   steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
 
+(* --- the supervised path --------------------------------------------------
+
+   Admission goes through a bulkhead instead of a bare semaphore: at most
+   [max_concurrent] requests run, at most [max_waiting] more queue, and
+   the rest are shed with an immediate 503 — saturation degrades service
+   instead of growing an unbounded queue.
+
+   Each connection carries a [progress] ref shared by every incarnation
+   of its worker. A restarted worker (its predecessor was killed
+   mid-request) must not re-run the handler — the request stream is
+   already partly consumed and the effect may not be idempotent — so it
+   degrades: if the connection was never answered it writes a 503 and is
+   done. Setting [`Answered] and starting the response write happen under
+   one mask, so a kill cannot produce a second answer on the same
+   connection. *)
+type progress = Fresh | Serving | Answered
+
+let respond progress conn counter response =
+  count counter >>= fun () ->
+  mask_
+    ( lift (fun () -> progress := Answered) >>= fun () ->
+      Http.write_response conn response )
+
+let serve_supervised config ins bulk handler conn progress =
+  steps >>= fun t0 ->
+  Combinators.timeout config.request_timeout
+    (Hsup.Bulkhead.run bulk
+       (catch
+          ( Http.read_request conn >>= fun request ->
+            handler request >>= fun response -> return (`Reply response) )
+          (fun e ->
+            match e with
+            | Http.Bad_request m -> return (`Bad m)
+            | e -> throw e)))
+  >>= fun outcome ->
+  (match outcome with
+  | Some (Ok (`Reply response)) -> respond progress conn ins.m_served response
+  | Some (Ok (`Bad m)) ->
+      respond progress conn ins.m_bad (Http.bad_request m)
+  | Some (Error `Shed) ->
+      respond progress conn ins.m_shed service_unavailable
+  | None -> respond progress conn ins.m_timeouts Http.timeout_response)
+  >>= fun () ->
+  steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
+
+let worker_body config ins bulk handler conn progress =
+  Combinators.bracket_
+    (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
+    ( lift (fun () -> !progress) >>= function
+      | Answered -> return ()
+      | Serving ->
+          (* a previous incarnation was killed mid-request *)
+          respond progress conn ins.m_degraded service_unavailable
+      | Fresh ->
+          lift (fun () -> progress := Serving) >>= fun () ->
+          serve_supervised config ins bulk handler conn progress )
+    (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1)))
+
+let listener_body config ins sup bulk backlog handler =
+  Combinators.forever
+    ( Bchan.recv backlog >>= fun conn ->
+      lift (fun () -> ref Fresh) >>= fun progress ->
+      Hsup.Sup.start_child sup
+        (Hsup.Sup.child ~lifetime:Hsup.Sup.Transient "conn-worker"
+           (worker_body config ins bulk handler conn progress)) )
+
 let start ?(config = default_config) ?metrics handler =
   Bchan.create config.accept_queue >>= fun backlog ->
   (* The default registry must be created here, inside the continuation —
@@ -101,22 +193,56 @@ let start ?(config = default_config) ?metrics handler =
     match metrics with Some reg -> reg | None -> Obs.Metrics.create ()
   in
   let ins = instruments registry in
-  Sem.create config.max_concurrent >>= fun admission ->
-  let accept_loop =
-    Combinators.forever
-      ( Bchan.recv backlog >>= fun conn ->
-        fork ~name:"conn-worker"
-          (Combinators.bracket_
-             (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
-             (serve config ins admission handler conn)
-             (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1))))
-        >>= fun _tid -> return () )
-  in
-  fork ~name:"listener" (catch accept_loop (fun _ -> return ()))
-  >>= fun listener ->
-  return { listener; backlog; registry; ins; config; accepting = true }
+  if config.supervised then
+    Hsup.Sup.start ~name:"supervisor" ~strategy:Hsup.Sup.One_for_one
+      ~intensity:config.restart_intensity ~metrics:registry []
+    >>= fun sup ->
+    Hsup.Bulkhead.create ~name:"server" ~metrics:registry
+      ~capacity:config.max_concurrent ~max_waiting:config.max_waiting ()
+    >>= fun bulk ->
+    Hsup.Sup.start_child sup
+      (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent "listener"
+         (listener_body config ins sup bulk backlog handler))
+    >>= fun () ->
+    return
+      {
+        backlog;
+        registry;
+        ins;
+        config;
+        accepting = true;
+        mode = Supervised { sup; bulk };
+      }
+  else
+    Sem.create config.max_concurrent >>= fun admission ->
+    let accept_loop =
+      Combinators.forever
+        ( Bchan.recv backlog >>= fun conn ->
+          fork ~name:"conn-worker"
+            (Combinators.bracket_
+               (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
+               (serve_plain config ins admission handler conn)
+               (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1))))
+          >>= fun _tid -> return () )
+    in
+    fork ~name:"listener" (catch accept_loop (fun _ -> return ()))
+    >>= fun listener ->
+    return
+      {
+        backlog;
+        registry;
+        ins;
+        config;
+        accepting = true;
+        mode = Plain { listener; admission };
+      }
 
 let metrics server = server.registry
+
+let supervisor server =
+  match server.mode with
+  | Supervised { sup; _ } -> Some sup
+  | Plain _ -> None
 
 let connect server =
   if not server.accepting then throw Server_stopped
@@ -126,15 +252,26 @@ let connect server =
 
 let shutdown server =
   lift (fun () -> server.accepting <- false) >>= fun () ->
-  throw_to server.listener Kill_thread >>= fun () ->
+  (* stop accepting: kill the accept loop (without restart, in the
+     supervised mode) and wait until it is gone *)
+  (match server.mode with
+  | Plain { listener; _ } -> throw_to listener Kill_thread
+  | Supervised { sup; _ } ->
+      Hsup.Sup.stop_child sup "listener" >>= fun () ->
+      let rec wait_listener () =
+        Hsup.Sup.child_up sup "listener" >>= fun up ->
+        Hsup.Sup.alive sup >>= fun alive ->
+        if up && alive then yield >>= fun () -> wait_listener ()
+        else return ()
+      in
+      wait_listener ())
+  >>= fun () ->
   (* reject anything still queued *)
   let rec drain () =
     Bchan.try_recv server.backlog >>= function
     | Some conn ->
-        lift (fun () -> Obs.Metrics.inc server.ins.m_rejected) >>= fun () ->
-        Http.write_response conn
-          { Http.status = 503; reason = "Service Unavailable"; body = "" }
-        >>= fun () -> drain ()
+        count server.ins.m_rejected >>= fun () ->
+        Http.write_response conn service_unavailable >>= fun () -> drain ()
     | None -> return ()
   in
   drain () >>= fun () ->
@@ -144,12 +281,19 @@ let shutdown server =
     else sleep 5 >>= fun () -> wait_drained ()
   in
   wait_drained () >>= fun () ->
+  (match server.mode with
+  | Plain _ -> return 0
+  | Supervised { sup; _ } ->
+      Hsup.Sup.stop sup >>= fun _ -> Hsup.Sup.restart_count sup)
+  >>= fun restarts ->
   return
     {
       served = Obs.Metrics.counter_value server.ins.m_served;
       timeouts = Obs.Metrics.counter_value server.ins.m_timeouts;
       bad_requests = Obs.Metrics.counter_value server.ins.m_bad;
       rejected = Obs.Metrics.counter_value server.ins.m_rejected;
+      shed = Obs.Metrics.counter_value server.ins.m_shed;
+      restarts;
     }
 
 let route table request =

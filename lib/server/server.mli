@@ -1,7 +1,18 @@
 (** The fault-tolerant server of the paper's §11 prototype [8]: one thread
-    per connection, a quantity semaphore bounding concurrency, a composable
-    per-request timeout covering both the (interruptible, possibly
-    trickling) read and the handler, and graceful shutdown by [throwTo].
+    per connection, a per-request timeout covering both the
+    (interruptible, possibly trickling) read and the handler, and graceful
+    shutdown by [throwTo].
+
+    Since the supervision rework the server runs, by default, under an
+    {!Hsup.Sup} tree: the accept loop is a [Permanent] child and every
+    connection worker a [Transient] one, so a killed worker is restarted
+    within the tree's intensity budget — the restarted incarnation
+    degrades its half-served connection to a 503 rather than re-running
+    the handler. Admission goes through an {!Hsup.Bulkhead}: at most
+    [max_concurrent] requests in flight, at most [max_waiting] queued,
+    everything beyond {e shed} with an immediate 503 instead of an
+    unbounded queue. Set [supervised = false] for the original bare
+    [forkIO]+semaphore prototype (kept for comparison benchmarks).
 
     Every robustness property comes from a §7 combinator: workers release
     their admission slot via [bracket]; a killed or timed-out worker
@@ -16,6 +27,12 @@ type config = {
   request_timeout : int;  (** virtual µs per request, end to end *)
   max_concurrent : int;
   accept_queue : int;  (** listener backlog *)
+  max_waiting : int;
+      (** admission queue beyond [max_concurrent]; arrivals past it are
+          shed with a 503 (supervised mode only) *)
+  supervised : bool;  (** run under a supervision tree (default) *)
+  restart_intensity : Hsup.Sup.intensity;
+      (** worker/listener restart budget before the tree escalates *)
 }
 
 val default_config : config
@@ -25,6 +42,8 @@ type stats = {
   timeouts : int;
   bad_requests : int;
   rejected : int;  (** connections that arrived after shutdown *)
+  shed : int;  (** connections refused by the bulkhead (503) *)
+  restarts : int;  (** supervisor restarts over the server's lifetime *)
 }
 
 type t
@@ -33,26 +52,35 @@ type t
 exception Server_stopped
 
 val start : ?config:config -> ?metrics:Obs.Metrics.t -> handler -> t Io.t
-(** Fork the accept loop and return a handle.
+(** Fork the accept loop (under a supervisor unless
+    [config.supervised = false]) and return a handle.
 
     All accounting goes through an {!Obs.Metrics} registry — pass one to
     share a table with the runtime's own collector
     ({!Obs.Runtime_obs.metrics}); a private registry is created otherwise.
     The server maintains [server_requests_total{outcome=ok|timeout|
-    bad_request}], [server_rejected_total], the [server_in_flight] gauge
-    and the [server_request_latency_steps] histogram (end-to-end request
-    latency on the virtual-step clock). *)
+    bad_request|shed|degraded}], [server_rejected_total], the
+    [server_in_flight] gauge and the [server_request_latency_steps]
+    histogram (end-to-end request latency on the virtual-step clock); in
+    supervised mode the tree and bulkhead add [sup_restarts_total],
+    [sup_children], [sup_bulkhead_*]. *)
 
 val metrics : t -> Obs.Metrics.t
 (** The registry backing this server's accounting. *)
+
+val supervisor : t -> Hsup.Sup.t option
+(** The supervision tree (None when [supervised = false]) — exposed for
+    probes, demos and the kill sweep. *)
 
 val connect : t -> Http.Conn.t Io.t
 (** Create a client connection to the server (the simulated [accept]).
     @raise Server_stopped (as a synchronous throw) after {!shutdown}. *)
 
 val shutdown : t -> stats Io.t
-(** Kill the accept loop, wait for in-flight workers to finish (each is
-    bounded by the request timeout), and return final statistics. *)
+(** Stop the accept loop (a supervised listener is retired, not
+    restarted), answer anything still queued with a 503, wait for
+    in-flight workers (each bounded by the request timeout), stop the
+    supervisor, and return final statistics. *)
 
 val route : (string * (string -> Http.response)) list -> handler
 (** A tiny router over exact paths; the handler value receives the request

@@ -1,0 +1,44 @@
+(** A circuit breaker over {!Io.mask}: closed / open / half-open, with its
+    state mirrored into an {!Obs.Metrics} gauge.
+
+    While {e closed}, calls pass through and consecutive failures are
+    counted; at [failure_threshold] the breaker trips {e open} and calls
+    fail fast with {!Open_circuit} (no work started). After
+    [reset_timeout] virtual µs the next call is admitted as a {e
+    half-open} trial: its success closes the breaker, its failure re-opens
+    it. State transitions and the outcome bookkeeping run masked, so an
+    asynchronous kill can neither wedge the breaker with a phantom
+    in-flight trial nor count as a service failure. *)
+
+open Hio
+
+type t
+
+type state = Closed | Half_open | Open
+
+exception Open_circuit
+(** Thrown (synchronously) by {!run} when the breaker rejects the call. *)
+
+val create :
+  ?name:string ->
+  ?metrics:Obs.Metrics.t ->
+  ?failure_threshold:int ->
+  ?reset_timeout:int ->
+  ?count_error:(exn -> bool) ->
+  unit ->
+  t Io.t
+(** Defaults: [name = "default"], [failure_threshold = 3],
+    [reset_timeout = 1_000] virtual µs. [count_error] decides which
+    exceptions count toward the threshold — by default everything except
+    {!Io.Kill_thread} (a kill aimed at the {e caller} is not evidence
+    about the service). The registry (a private one if [?metrics] is
+    omitted) carries [sup_breaker_state{name}] (0 closed, 1 half-open,
+    2 open), [sup_breaker_trips_total{name}] and
+    [sup_breaker_rejected_total{name}]. *)
+
+val state : t -> state Io.t
+
+val run : t -> 'a Io.t -> 'a Io.t
+(** Run the call through the breaker: admission decision, the call itself
+    (under the caller's mask state), and success/failure recording.
+    @raise Open_circuit when rejected. *)

@@ -1,0 +1,53 @@
+open Hio
+open Hio_std
+open Io
+
+type t = {
+  capacity : int;
+  max_waiting : int;
+  sem : Sem.t;
+  mutable count : int;  (* occupants + waiters *)
+  g_entered : Obs.Metrics.gauge;
+  c_shed : Obs.Metrics.counter;
+}
+
+let create ?(name = "default") ?metrics ~capacity ?(max_waiting = 0) () =
+  Sem.create capacity >>= fun sem ->
+  lift (fun () ->
+      let reg =
+        match metrics with Some r -> r | None -> Obs.Metrics.create ()
+      in
+      let labels = [ ("name", name) ] in
+      {
+        capacity;
+        max_waiting;
+        sem;
+        count = 0;
+        g_entered = Obs.Metrics.gauge reg ~labels "sup_bulkhead_entered";
+        c_shed = Obs.Metrics.counter reg ~labels "sup_bulkhead_shed_total";
+      })
+
+let run b io =
+  Combinators.bracket
+    (lift (fun () ->
+         if b.count >= b.capacity + b.max_waiting then begin
+           Obs.Metrics.inc b.c_shed;
+           false
+         end
+         else begin
+           b.count <- b.count + 1;
+           Obs.Metrics.set b.g_entered b.count;
+           true
+         end))
+    (fun admitted ->
+      if admitted then Sem.with_unit b.sem (map (fun v -> Ok v) io)
+      else return (Error `Shed))
+    (fun admitted ->
+      if admitted then
+        lift (fun () ->
+            b.count <- b.count - 1;
+            Obs.Metrics.set b.g_entered b.count)
+      else return ())
+
+let entered b = lift (fun () -> b.count)
+let shed_count b = lift (fun () -> Obs.Metrics.counter_value b.c_shed)

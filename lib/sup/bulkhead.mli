@@ -1,0 +1,32 @@
+(** A bulkhead: at most [capacity] calls run concurrently, at most
+    [max_waiting] more may queue for a slot, and everything beyond that is
+    {e shed} immediately — the caller gets [Error `Shed] instead of an
+    unbounded queue. Admission accounting is a single atomic step inside
+    {!Hio_std.Combinators.bracket}, so a killed or timed-out occupant
+    always returns both its queue position and its semaphore unit. *)
+
+open Hio
+
+type t
+
+val create :
+  ?name:string ->
+  ?metrics:Obs.Metrics.t ->
+  capacity:int ->
+  ?max_waiting:int ->
+  unit ->
+  t Io.t
+(** [max_waiting] defaults to [0] (shed as soon as all slots are busy).
+    The registry carries [sup_bulkhead_entered{name}] (occupants +
+    waiters, with its high-water mark) and
+    [sup_bulkhead_shed_total{name}]. *)
+
+val run : t -> 'a Io.t -> ('a, [ `Shed ]) result Io.t
+(** Admit-or-shed, then run the call inside the concurrency semaphore.
+    Exceptions from the call (including asynchronous ones) propagate
+    after the slot accounting is released. *)
+
+val entered : t -> int Io.t
+(** Occupants plus waiters right now (snapshot, for tests/monitoring). *)
+
+val shed_count : t -> int Io.t

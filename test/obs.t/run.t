@@ -117,3 +117,15 @@ scheduler, not the semantics stepper):
   counter    sem_steps_total                            21
   counter    sem_thread_steps_total{thread=t0}          13
   counter    sem_thread_steps_total{thread=t1}          7
+
+The supervision layer (lib/sup) feeds the same registry: hio-trace's
+supervised scenario — one worker under a supervisor, killed once,
+restarted within the intensity budget, then a graceful stop — shows the
+supervisor's instruments next to the scheduler's. The outcome is the
+restart count:
+
+  $ hio-trace --metrics supervised | grep -E 'outcome|sup_'
+  outcome: Value 1
+  gauge      sup_children{sup=supervisor}               0 (max 1)
+  counter    sup_escalations_total{strategy=one_for_one} 0
+  counter    sup_restarts_total{strategy=one_for_one}   1

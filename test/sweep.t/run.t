@@ -33,7 +33,29 @@ and in CI):
   mvar-lock          target=acting: 5 kill points (5 applied), baseline 190 steps, 0 failures
   cleanup-flags      target=acting: 5 kill points (5 applied), baseline 89 steps, 0 failures
 
---json records the sweep for BENCH_fault.json (schema 2 is free of
+The supervision layer (lib/sup) is swept the same way — and here the
+claim is stronger than quiescence: after any single kill the tree must
+be back in steady state (children restarted within the intensity
+budget, breaker closed, bulkhead drained, the supervised server
+answering probes), which each case checks after disarming. The
+sup-server case is the ISSUE's graceful-degradation gate: saturating
+clients must each get an allowed answer (200/503/504 or their own
+timeout) whatever was killed — client, worker, listener, or the
+supervisor itself:
+
+  $ chrun sweep --suite sup --max-points 3
+  sup-one-for-one    target=acting: 3 kill points (3 applied), baseline 547 steps, 0 failures
+  sup-one-for-one    target="supervisor": 3 kill points (2 applied), baseline 547 steps, 0 failures
+  sup-one-for-one    target="a": 3 kill points (2 applied), baseline 547 steps, 0 failures
+  sup-all-for-one    target=acting: 3 kill points (3 applied), baseline 553 steps, 0 failures
+  sup-retry-breaker  target=acting: 3 kill points (3 applied), baseline 171 steps, 0 failures
+  sup-bulkhead       target=acting: 3 kill points (3 applied), baseline 375 steps, 0 failures
+  sup-server         target=acting: 3 kill points (3 applied), baseline 15213 steps, 0 failures
+  sup-server         target="supervisor": 3 kill points (2 applied), baseline 15213 steps, 0 failures
+  sup-server         target="listener": 3 kill points (2 applied), baseline 15213 steps, 0 failures
+  sup-server         target="conn-worker": 3 kill points (1 applied), baseline 15213 steps, 0 failures
+
+--json records the sweep for BENCH_fault.json (schema 3 is free of
 wall-clock fields, so the record is fully deterministic):
 
   $ chrun sweep --suite std --max-points 5 --json out.json > /dev/null
