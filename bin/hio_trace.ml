@@ -67,6 +67,17 @@ let sleep_timers =
   fork ~name:"s5" (sleep 5) >>= fun _ ->
   sleep 20 >>= fun () -> now
 
+let timer_storm =
+  (* Deadlines straddle the wheel's level-0 boundary (256 ticks), so the
+     pinned clock line sequence proves the cascade fires them in deadline
+     order, not slot order; the armed-then-cancelled timer proves a
+     cancelled entry neither wakes anyone nor shows up as a clock stop. *)
+  fork ~name:"near" (sleep 3) >>= fun _ ->
+  fork ~name:"edge" (sleep 255) >>= fun _ ->
+  fork ~name:"far" (sleep 300) >>= fun _ ->
+  block (arm_timer 100 >>= fun h -> cancel_timer h) >>= fun () ->
+  sleep 400 >>= fun () -> now
+
 let unblock_storm =
   let child i m = block (unblock (Mvar.take m >>= fun v -> Mvar.put m (v + i))) in
   Mvar.new_empty >>= fun m ->
@@ -151,6 +162,7 @@ let programs =
     ("throwto-kill", plain throwto_kill);
     ("block-pending", plain block_pending);
     ("sleep-timers", plain sleep_timers);
+    ("timer-storm", plain timer_storm);
     ("unblock-storm", plain unblock_storm);
     ("stranded-take", plain stranded_take);
     ("deadlock-cross", plain deadlock_cross);

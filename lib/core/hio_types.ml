@@ -17,6 +17,39 @@
    delivery — see Io.uninterruptibly. *)
 type mask_level = Mask_none | Mask_block | Mask_uninterruptible
 
+(* The closed set of reasons a thread can block. This used to be a
+   free-form string ("takeMVar", "sleep", …); a variant means a new
+   blocking primitive (the event manager's fd waits) cannot silently miss
+   the deadlock watchdog's wait graph or the observability layer — the
+   compiler forces every consumer to say what it does with the new
+   reason. [wait_reason_label] renders the exact legacy strings, so every
+   golden trace is byte-identical. *)
+type wait_reason =
+  | W_take_mvar
+  | W_put_mvar
+  | W_sleep
+  | W_get_char
+  | W_throw_to  (* the §9 synchronous throwTo waiting for delivery *)
+  | W_fd_read  (* event manager: fd not yet readable *)
+  | W_fd_write  (* event manager: fd not yet writable *)
+
+let wait_reason_label = function
+  | W_take_mvar -> "takeMVar"
+  | W_put_mvar -> "putMVar"
+  | W_sleep -> "sleep"
+  | W_get_char -> "getChar"
+  | W_throw_to -> "throwTo"
+  | W_fd_read -> "fdRead"
+  | W_fd_write -> "fdWrite"
+
+(* Which readiness a [Wait_fd] is asking the event manager for. *)
+type fd_dir = Fd_read | Fd_write
+
+(* The asynchronous token a fired [Arm_timer] posts to the arming thread:
+   carries the handle's unique id so nested timeouts cannot confuse each
+   other's deadlines (§7.3 composability). *)
+exception Timer_signal of int
+
 type _ io =
   | Pure : 'a -> 'a io
   | Bind : 'a io * ('a -> 'b io) -> 'b io
@@ -50,6 +83,20 @@ and _ prim =
   | Try_put_mvar : 'a mvar * 'a -> bool prim
   | Throw_to : thread * exn -> unit prim
   | Sleep : int -> unit prim
+  | Arm_timer : int -> timer_handle prim
+      (* arm a timer-wheel deadline [d] µs out; when it fires, a
+         [Timer_signal id] token is posted to {e this} thread's pending
+         queue (waking it by rule (Interrupt) if blocked). A delay <= 0
+         posts the token immediately. *)
+  | Cancel_timer : timer_handle -> unit prim
+      (* withdraw the wheel entry AND purge any not-yet-delivered
+         [Timer_signal id] token from this thread's pending queue — no
+         ghost wakeups after the race where the action finished at the
+         same instant the deadline fired *)
+  | Wait_fd : int * fd_dir -> unit prim
+      (* block (interruptibly) until the event manager reports the fd
+         ready in the given direction; without a configured event source
+         this waits forever (and shows in the deadlock report) *)
   | Yield : unit prim
   | Now : int prim
   | Put_char : char -> unit prim
@@ -62,7 +109,12 @@ and _ prim =
   | Status_of : thread -> status prim
   | Frame_depth : int prim
 
-and status = Status_running | Status_blocked of string | Status_dead
+and status = Status_running | Status_blocked of wait_reason | Status_dead
+
+(* A handle returned by [Arm_timer]. [th_cancel] is installed by the
+   runtime (it closes over the wheel entry); the id is the token's
+   payload. *)
+and timer_handle = { th_id : int; mutable th_cancel : unit -> unit }
 
 (* Continuation frames. [F_catch] records the mask state when pushed
    (paper §8.1: "extend the catch frame to include the state of
@@ -105,13 +157,16 @@ and t_state =
   | T_dead of exn option  (* [Some e]: died from uncaught exception [e] *)
 
 and blocked = {
-  b_why : string;
+  b_why : wait_reason;
   b_interrupt : exn -> packed;
       (* resume by raising: implements rule (Interrupt) *)
   b_cancel : unit -> unit;  (* withdraw the registration (waiter/timer) *)
   b_on : ex_mvar option;
       (* the MVar this thread waits on, if any — the edge the deadlock
          watchdog's wait graph is built from *)
+  b_fd : int option;
+      (* the fd this thread waits on, for the event-manager wait reasons —
+         the watchdog names it the way it names MVars *)
 }
 
 (* An MVar with its element type hidden: what a blocked thread can record

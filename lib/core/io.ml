@@ -6,6 +6,7 @@ type thread_id = Hio_types.thread
 exception Kill_thread
 exception Timeout
 exception Thread_not_found
+exception Timer_signal = Hio_types.Timer_signal
 
 let return v = Pure v
 let bind m k = Bind (m, k)
@@ -48,7 +49,18 @@ let my_thread_id = Prim My_tid
 let same_thread (a : thread_id) b = a.t_id = b.t_id
 let thread_name (t : thread_id) = t.t_name
 
-type thread_status = Running | Blocked_on of string | Dead
+type wait_reason = Hio_types.wait_reason =
+  | W_take_mvar
+  | W_put_mvar
+  | W_sleep
+  | W_get_char
+  | W_throw_to
+  | W_fd_read
+  | W_fd_write
+
+let wait_reason_label = Hio_types.wait_reason_label
+
+type thread_status = Running | Blocked_on of wait_reason | Dead
 
 let thread_status t =
   Bind
@@ -61,6 +73,19 @@ let thread_status t =
           | Status_dead -> Dead) )
 
 let sleep d = Prim (Sleep d)
+
+type timer = Hio_types.timer_handle
+
+let arm_timer d = Prim (Arm_timer d)
+let cancel_timer h = Prim (Cancel_timer h)
+let timer_id (h : timer) = h.th_id
+
+let is_timer_signal (h : timer) = function
+  | Timer_signal id -> id = h.th_id
+  | _ -> false
+
+let wait_readable fd = Prim (Wait_fd (fd, Fd_read))
+let wait_writable fd = Prim (Wait_fd (fd, Fd_write))
 let yield = Prim Yield
 let now = Prim Now
 let steps = Prim Steps

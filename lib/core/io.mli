@@ -28,6 +28,12 @@ exception Timeout
 exception Thread_not_found
 (** Never raised by the runtime — reserved for user protocols. *)
 
+exception Timer_signal of int
+(** The token an armed timer ({!arm_timer}) posts asynchronously to the
+    arming thread when its deadline fires. The payload is the timer's
+    unique id, so nested deadlines cannot be confused for one another —
+    match with {!is_timer_signal}, not on the constructor. *)
+
 (** {1 Monad} *)
 
 val return : 'a -> 'a t
@@ -143,9 +149,25 @@ val my_thread_id : thread_id t
 val same_thread : thread_id -> thread_id -> bool
 val thread_name : thread_id -> string option
 
+type wait_reason = Hio_types.wait_reason =
+  | W_take_mvar
+  | W_put_mvar
+  | W_sleep
+  | W_get_char
+  | W_throw_to
+  | W_fd_read
+  | W_fd_write
+      (** Why a thread is blocked — the closed variant shared with
+          {!Runtime} (wait graphs, tracer) and the observability layer.
+          See {!Runtime.wait_reason}. *)
+
+val wait_reason_label : wait_reason -> string
+(** ["takeMVar"], ["putMVar"], ["sleep"], ["getChar"], ["throwTo"],
+    ["fdRead"], ["fdWrite"]. *)
+
 type thread_status =
   | Running
-  | Blocked_on of string  (** e.g. ["takeMVar"], ["sleep"] *)
+  | Blocked_on of wait_reason
   | Dead
 
 val thread_status : thread_id -> thread_status t
@@ -154,7 +176,47 @@ val thread_status : thread_id -> thread_status t
 (** {1 Time and scheduling} *)
 
 val sleep : int -> unit t
-(** Sleep for the given number of (virtual) microseconds. Interruptible. *)
+(** Sleep for the given number of microseconds — virtual under the
+    simulated runtime, monotonic real time when an
+    {!Runtime.event_source} is installed. Interruptible. Backed by the
+    hierarchical timer wheel: arming and cancelling are O(1), so 100k+
+    concurrent sleepers are fine. *)
+
+type timer
+(** A handle to an armed deadline on the timer wheel. *)
+
+val arm_timer : int -> timer t
+(** [arm_timer d] registers a deadline [d] µs from now on the timer
+    wheel and returns immediately. When it fires, a {!Timer_signal}
+    token carrying this timer's unique id is delivered to {e this}
+    thread as an asynchronous exception (waking it from any
+    interruptible wait, even inside [block] — §5.3). [d <= 0] posts the
+    token at once. This is the primitive under
+    [Hio_std.Combinators.timeout]; unlike the paper's §7.3 sleep-thread
+    race it costs no forked clock thread per call. *)
+
+val cancel_timer : timer -> unit t
+(** Withdraw an armed deadline {e and} discard its token if the wheel
+    already fired but the token has not yet been delivered — after
+    [cancel_timer h] returns, [Timer_signal (timer_id h)] will never be
+    observed (no ghost wakeups). Idempotent. *)
+
+val timer_id : timer -> int
+
+val is_timer_signal : timer -> exn -> bool
+(** Does this exception carry {e this} timer's token? *)
+
+(** {1 File-descriptor readiness (event manager)} *)
+
+val wait_readable : int -> unit t
+(** Block (interruptibly) until the configured {!Runtime.event_source}
+    reports the file descriptor readable. The [int] is the raw fd number
+    as the event source knows it ([Ev] converts from [Unix.file_descr]).
+    Without an event source this waits forever — visible in the deadlock
+    report as [fdRead]. *)
+
+val wait_writable : int -> unit t
+(** Writable counterpart of {!wait_readable}. *)
 
 val yield : unit t
 (** Offer the scheduler a switch point. *)

@@ -5,10 +5,37 @@ type event =
   | Ev_exit of { tid : int; uncaught : exn option }
   | Ev_throw_to of { source : int; target : int; exn : exn }
   | Ev_deliver of { tid : int; exn : exn }
-  | Ev_blocked of { tid : int; why : string; mvar : int option }
+  | Ev_blocked of { tid : int; why : wait_reason; mvar : int option }
   | Ev_wakeup of { tid : int }
   | Ev_mask of { tid : int; masked : bool }
   | Ev_clock of { now : int }
+
+type wait_reason = Hio_types.wait_reason =
+  | W_take_mvar
+  | W_put_mvar
+  | W_sleep
+  | W_get_char
+  | W_throw_to
+  | W_fd_read
+  | W_fd_write
+
+let wait_reason_label = Hio_types.wait_reason_label
+
+type fd_event = { fde_fd : int; fde_readable : bool; fde_writable : bool }
+
+(* The pluggable clock-and-readiness substrate (lib/ev provides the
+   epoll-backed one). When absent the scheduler is the seed's simulated
+   runtime: virtual clock, no fds. When present:
+   - idle waits go through [es_wait] with the timer wheel's exact next
+     deadline as the timeout, instead of jumping the virtual clock;
+   - [es_now] drives [Io.now] (monotonic microseconds);
+   - [es_modify] keeps the poller's interest set in sync with the
+     [Wait_fd] waiter tables. *)
+type event_source = {
+  es_now : unit -> int;
+  es_modify : fd:int -> read:bool -> write:bool -> unit;
+  es_wait : timeout_us:int option -> fd_event list;
+}
 
 module Config = struct
   type policy = Round_robin | Random of int
@@ -23,6 +50,7 @@ module Config = struct
     tracer : (event -> unit) option;
     inject : (step:int -> running:int -> (int * exn) option) option;
     journal : Step_journal.t option;
+    event_source : event_source option;
   }
 
   let default =
@@ -36,6 +64,7 @@ module Config = struct
       tracer = None;
       inject = None;
       journal = None;
+      event_source = None;
     }
 end
 
@@ -53,7 +82,7 @@ let pp_event ppf = function
   | Ev_deliver { tid; exn } ->
       Fmt.pf ppf "deliver %s at t%d" (Printexc.to_string exn) tid
   | Ev_blocked { tid; why; mvar } ->
-      Fmt.pf ppf "t%d blocked on %s%a" tid why
+      Fmt.pf ppf "t%d blocked on %s%a" tid (wait_reason_label why)
         Fmt.(option (fmt " m%d"))
         mvar
   | Ev_wakeup { tid } -> Fmt.pf ppf "t%d woken" tid
@@ -79,10 +108,11 @@ type thread_stat = {
 type blocked_thread = {
   bt_tid : int;
   bt_name : string option;
-  bt_why : string;
+  bt_why : wait_reason;
   bt_mvar : int option;
   bt_mvar_full : bool option;
   bt_last_taker : int option;
+  bt_fd : int option;
 }
 
 type 'a result = {
@@ -105,7 +135,9 @@ let pp_thread_stat ppf ts =
 let pp_blocked_thread ppf bt =
   Fmt.pf ppf "t%d%a blocked on %s" bt.bt_tid
     Fmt.(option (fmt " (%s)"))
-    bt.bt_name bt.bt_why;
+    bt.bt_name
+    (wait_reason_label bt.bt_why);
+  (match bt.bt_fd with None -> () | Some fd -> Fmt.pf ppf " fd %d" fd);
   match bt.bt_mvar with
   | None -> ()
   | Some m ->
@@ -143,11 +175,17 @@ let pp_wait_graph ppf blocked =
       Fmt.pf ppf "@.")
     blocked
 
-type timer = {
-  tm_deadline : int;
-  tm_thread : thread;
-  tm_wake : unit -> packed;
-  mutable tm_cancelled : bool;
+(* A timer-wheel payload: either a sleeping thread to wake normally, or
+   an armed [Arm_timer] deadline whose token is posted asynchronously. *)
+type timer_kind =
+  | Tk_sleep of { tm_thread : thread; tm_wake : unit -> packed }
+  | Tk_alarm of { al_thread : thread; al_id : int }
+
+(* One thread parked in [Wait_fd], queued FIFO per (fd, direction). *)
+type fd_waiter = {
+  fw_thread : thread;
+  fw_wake : unit -> packed;
+  mutable fw_cancelled : bool;
 }
 
 type state = {
@@ -156,7 +194,11 @@ type state = {
   mutable now : int;
   runq : thread Runq.t;  (* FIFO ring deque: head runs next *)
   mutable all_threads : thread list;  (* newest first *)
-  mutable timers : timer list;  (* unsorted; scanned when idle *)
+  wheel : timer_kind Timer_wheel.t;  (* all sleep/alarm deadlines *)
+  fd_readers : (int, fd_waiter Queue.t) Hashtbl.t;
+  fd_writers : (int, fd_waiter Queue.t) Hashtbl.t;
+  mutable fd_live : int;  (* live (uncancelled) fd waiters, both tables *)
+  mutable next_timer : int;  (* Arm_timer handle ids *)
   mutable input : char list;
   output : Buffer.t;
   mutable steps : int;
@@ -259,6 +301,32 @@ let rec mvar_insert st (m : _ mvar) v =
       enqueue st tk.tk_thread
   | None -> m.mv_contents <- Some v
 
+(* --- fd waiter plumbing -------------------------------------------------- *)
+
+let fd_queue tbl fd =
+  match Hashtbl.find_opt tbl fd with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.add tbl fd q;
+      q
+
+let queue_has_live q =
+  Queue.fold (fun acc w -> acc || not w.fw_cancelled) false q
+
+(* Keep the poller's interest set in step with the waiter tables: called
+   after every registration, cancellation, and wakeup. *)
+let update_interest st fd =
+  match st.config.Config.event_source with
+  | None -> ()
+  | Some es ->
+      let has tbl =
+        match Hashtbl.find_opt tbl fd with
+        | Some q -> queue_has_live q
+        | None -> false
+      in
+      es.es_modify ~fd ~read:(has st.fd_readers) ~write:(has st.fd_writers)
+
 (* --- One scheduler step -------------------------------------------------- *)
 
 let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
@@ -267,7 +335,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
   let raise_now e = set_run t (Pack (Throw_async e, frames)) in
   (* An interruptible operation about to wait: pending exceptions are
      delivered even inside [block] (§5.3). *)
-  let block_interruptibly ?on ~why ~cancel () =
+  let block_interruptibly ?on ?fd ~why ~cancel () =
     if t.t_pending <> [] && t.t_mask <> Mask_uninterruptible then
       set_run t (deliver_pending st t (fun e -> Pack (Throw_async e, frames)))
     else begin
@@ -286,6 +354,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
             b_interrupt = (fun e -> Pack (Throw_async e, frames));
             b_cancel = cancel;
             b_on = on;
+            b_fd = fd;
           }
     end
   in
@@ -339,7 +408,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
               tk_cancelled = false;
             }
           in
-          block_interruptibly ~on:(Ex_mvar m) ~why:"takeMVar"
+          block_interruptibly ~on:(Ex_mvar m) ~why:W_take_mvar
             ~cancel:(fun () -> tk.tk_cancelled <- true)
             ();
           (* Register only if we actually blocked. *)
@@ -361,7 +430,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
               pt_cancelled = false;
             }
           in
-          block_interruptibly ~on:(Ex_mvar m) ~why:"putMVar"
+          block_interruptibly ~on:(Ex_mvar m) ~why:W_put_mvar
             ~cancel:(fun () -> pt.pt_cancelled <- true)
             ();
           (match t.t_state with
@@ -393,15 +462,16 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
               (* Block first, then register, so that an immediate delivery
                  (blocked target) finds the sender already waiting. *)
               let entry = { p_exn = e; p_on_delivered = None } in
-              emit st (Ev_blocked { tid = t.t_id; why = "throwTo"; mvar = None });
+              emit st (Ev_blocked { tid = t.t_id; why = W_throw_to; mvar = None });
               t.t_blocked_count <- t.t_blocked_count + 1;
               t.t_state <-
                 T_blocked
                   {
-                    b_why = "throwTo";
+                    b_why = W_throw_to;
                     b_interrupt = (fun ex -> Pack (Throw_async ex, frames));
                     b_cancel = (fun () -> entry.p_on_delivered <- None);
                     b_on = None;
+                    b_fd = None;
                   };
               let sender = t in
               entry.p_on_delivered <-
@@ -427,21 +497,87 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
   | Sleep d ->
       if d <= 0 then continue ()
       else begin
-        let tm =
-          {
-            tm_deadline = st.now + d;
-            tm_thread = t;
-            tm_wake = (fun () -> Pack (Pure (), frames));
-            tm_cancelled = false;
-          }
-        in
-        block_interruptibly ~why:"sleep"
-          ~cancel:(fun () -> tm.tm_cancelled <- true)
+        let entry = ref None in
+        block_interruptibly ~why:W_sleep
+          ~cancel:(fun () ->
+            match !entry with
+            | Some e -> Timer_wheel.cancel st.wheel e
+            | None -> ())
           ();
         match t.t_state with
-        | T_blocked _ -> st.timers <- tm :: st.timers
+        | T_blocked _ ->
+            entry :=
+              Some
+                (Timer_wheel.add st.wheel ~deadline:(st.now + d)
+                   (Tk_sleep
+                      {
+                        tm_thread = t;
+                        tm_wake = (fun () -> Pack (Pure (), frames));
+                      }))
         | T_run _ | T_dead _ -> ()
       end
+  | Arm_timer d ->
+      let id = st.next_timer in
+      st.next_timer <- st.next_timer + 1;
+      if d <= 0 then begin
+        (* an expired deadline: the token is pending before the thread
+           takes another interruptible step, exactly as if the wheel had
+           fired at this instant *)
+        t.t_pending <-
+          t.t_pending @ [ { p_exn = Timer_signal id; p_on_delivered = None } ];
+        continue { th_id = id; th_cancel = (fun () -> ()) }
+      end
+      else begin
+        let entry =
+          Timer_wheel.add st.wheel ~deadline:(st.now + d)
+            (Tk_alarm { al_thread = t; al_id = id })
+        in
+        continue
+          {
+            th_id = id;
+            th_cancel = (fun () -> Timer_wheel.cancel st.wheel entry);
+          }
+      end
+  | Cancel_timer h ->
+      h.th_cancel ();
+      (* purge an already-fired-but-undelivered token: cancellation means
+         "this deadline may no longer be observed", even if the wheel beat
+         us to the pending queue *)
+      t.t_pending <-
+        List.filter
+          (fun p ->
+            match p.p_exn with
+            | Timer_signal id -> id <> h.th_id
+            | _ -> true)
+          t.t_pending;
+      continue ()
+  | Wait_fd (fd, dir) ->
+      let w =
+        {
+          fw_thread = t;
+          fw_wake = (fun () -> Pack (Pure (), frames));
+          fw_cancelled = false;
+        }
+      in
+      let why, tbl =
+        match dir with
+        | Fd_read -> (W_fd_read, st.fd_readers)
+        | Fd_write -> (W_fd_write, st.fd_writers)
+      in
+      block_interruptibly ~why ~fd
+        ~cancel:(fun () ->
+          if not w.fw_cancelled then begin
+            w.fw_cancelled <- true;
+            st.fd_live <- st.fd_live - 1;
+            update_interest st fd
+          end)
+        ();
+      (match t.t_state with
+      | T_blocked _ ->
+          Queue.add w (fd_queue tbl fd);
+          st.fd_live <- st.fd_live + 1;
+          update_interest st fd
+      | T_run _ | T_dead _ -> ())
   | Yield -> continue ()
   | Now -> continue st.now
   | Put_char c ->
@@ -455,7 +591,7 @@ let exec_prim : type a. state -> thread -> a prim -> a frames -> unit =
       | c :: rest ->
           st.input <- rest;
           continue c
-      | [] -> block_interruptibly ~why:"getChar" ~cancel:(fun () -> ()) ())
+      | [] -> block_interruptibly ~why:W_get_char ~cancel:(fun () -> ()) ())
   | Lift f -> continue (f ())
   | Masked -> continue (t.t_mask <> Mask_none)
   | Mask_state -> continue t.t_mask
@@ -641,34 +777,84 @@ let pick_nonempty st =
   | None -> Runq.pop st.runq
   | Some rng -> Runq.remove st.runq (Random.State.int rng (Runq.length st.runq))
 
+(* One fired wheel entry: a sleeper wakes normally; an armed alarm posts
+   its token to the arming thread (rule (Interrupt) if it is blocked). *)
+let fire_timer st = function
+  | Tk_sleep { tm_thread; tm_wake } ->
+      emit st (Ev_wakeup { tid = tm_thread.t_id });
+      set_run tm_thread (tm_wake ());
+      enqueue st tm_thread
+  | Tk_alarm { al_thread; al_id } -> (
+      match al_thread.t_state with
+      | T_dead _ -> ()
+      | T_run _ | T_blocked _ ->
+          al_thread.t_pending <-
+            al_thread.t_pending
+            @ [ { p_exn = Timer_signal al_id; p_on_delivered = None } ];
+          interrupt_if_blocked st al_thread)
+
 (* Advance the virtual clock to the earliest live deadline and wake every
-   timer due at that instant. Returns false if no timer is pending. *)
+   timer due at that instant. Returns false if no timer is pending. The
+   wheel reproduces the seed's wake order (same-deadline cohorts in
+   reverse insertion order), so the golden traces are unchanged. *)
 let advance_clock st =
-  let live = List.filter (fun tm -> not tm.tm_cancelled) st.timers in
-  match live with
-  | [] ->
-      st.timers <- [];
-      false
-  | _ :: _ ->
-      let earliest =
-        List.fold_left (fun acc tm -> min acc tm.tm_deadline) max_int live
-      in
+  match Timer_wheel.next_deadline st.wheel with
+  | None -> false
+  | Some earliest ->
       st.now <- max st.now earliest;
       emit st (Ev_clock { now = st.now });
-      let due, rest =
-        List.partition (fun tm -> tm.tm_deadline <= st.now) live
-      in
-      List.iter
-        (fun tm ->
-          emit st (Ev_wakeup { tid = tm.tm_thread.t_id });
-          set_run tm.tm_thread (tm.tm_wake ());
-          enqueue st tm.tm_thread)
-        due;
-      st.timers <- rest;
+      let fired = Timer_wheel.advance st.wheel ~now:st.now in
+      List.iter (fire_timer st) fired;
       true
+
+(* Readiness arrived for [fd]: wake every live waiter in FIFO order
+   (level-triggered — a waiter that still cannot make progress re-arms). *)
+let wake_fd_waiters st tbl fd =
+  match Hashtbl.find_opt tbl fd with
+  | None -> ()
+  | Some q ->
+      let woke = ref false in
+      while not (Queue.is_empty q) do
+        let w = Queue.pop q in
+        if not w.fw_cancelled then begin
+          st.fd_live <- st.fd_live - 1;
+          woke := true;
+          emit st (Ev_wakeup { tid = w.fw_thread.t_id });
+          set_run w.fw_thread (w.fw_wake ());
+          enqueue st w.fw_thread
+        end
+      done;
+      if !woke then update_interest st fd
+
+(* One pass over the event source: collect readiness (blocking until the
+   wheel's next deadline when [blocking]), refresh the monotonic clock,
+   and fire whatever became due. *)
+let poll_event_source st es ~blocking =
+  let timeout_us =
+    if not blocking then Some 0
+    else
+      match Timer_wheel.next_deadline st.wheel with
+      | Some nd -> Some (max 0 (nd - st.now))
+      | None -> None
+  in
+  let evs = es.es_wait ~timeout_us in
+  st.now <- max st.now (es.es_now ());
+  List.iter
+    (fun { fde_fd; fde_readable; fde_writable } ->
+      if fde_readable then wake_fd_waiters st st.fd_readers fde_fd;
+      if fde_writable then wake_fd_waiters st st.fd_writers fde_fd)
+    evs;
+  match Timer_wheel.advance st.wheel ~now:st.now with
+  | [] -> ()
+  | fired ->
+      emit st (Ev_clock { now = st.now });
+      List.iter (fire_timer st) fired
 
 let run ?(config = Config.default) main_io =
   let result = ref None in
+  let start_now =
+    match config.event_source with None -> 0 | Some es -> es.es_now ()
+  in
   let st =
     {
       config;
@@ -676,10 +862,14 @@ let run ?(config = Config.default) main_io =
         (match config.policy with
         | Config.Round_robin -> None
         | Config.Random seed -> Some (Random.State.make [| seed |]));
-      now = 0;
+      now = start_now;
       runq = Runq.create ();
       all_threads = [];
-      timers = [];
+      wheel = Timer_wheel.create ~start:start_now ();
+      fd_readers = Hashtbl.create 16;
+      fd_writers = Hashtbl.create 16;
+      fd_live = 0;
+      next_timer = 0;
       input = List.init (String.length config.input) (String.get config.input);
       output = Buffer.create 64;
       steps = 0;
@@ -728,10 +918,29 @@ let run ?(config = Config.default) main_io =
       running := false;
       outcome := Out_of_steps
     end
-    else if not (Runq.is_empty st.runq) then run_slice st (pick_nonempty st)
-    else if not (advance_clock st) then begin
-      running := false;
-      outcome := Deadlock
+    else if not (Runq.is_empty st.runq) then begin
+      run_slice st (pick_nonempty st);
+      (* Under a real event source a busy scheduler must still notice
+         readiness and due deadlines: a cheap non-blocking poll every
+         1024 steps. Absent (the simulated runtime), this is free. *)
+      match st.config.Config.event_source with
+      | Some es when st.steps land 1023 = 0 ->
+          poll_event_source st es ~blocking:false
+      | Some _ | None -> ()
+    end
+    else begin
+      match st.config.Config.event_source with
+      | None ->
+          if not (advance_clock st) then begin
+            running := false;
+            outcome := Deadlock
+          end
+      | Some es ->
+          if st.fd_live = 0 && Timer_wheel.live st.wheel = 0 then begin
+            running := false;
+            outcome := Deadlock
+          end
+          else poll_event_source st es ~blocking:true
     end
   done;
   {
@@ -784,6 +993,7 @@ let run ?(config = Config.default) main_io =
                      bt_mvar = mvar;
                      bt_mvar_full = full;
                      bt_last_taker = last;
+                     bt_fd = b.b_fd;
                    })
            st.all_threads);
     injections = st.injections;

@@ -10,13 +10,30 @@
 (** Scheduler events, observable through {!Config.tracer}: the runtime's
     analogue of the semantics' rule applications, for tests, debugging and
     visualization. *)
+type wait_reason = Hio_types.wait_reason =
+  | W_take_mvar
+  | W_put_mvar
+  | W_sleep
+  | W_get_char
+  | W_throw_to  (** the §9 synchronous [throw_to] awaiting delivery *)
+  | W_fd_read  (** event manager: fd not yet readable *)
+  | W_fd_write  (** event manager: fd not yet writable *)
+      (** The closed set of reasons a thread can block. Previously a
+          free-form string; the variant ensures a new blocking primitive
+          cannot slip past the deadlock watchdog, the tracer, or the
+          observability layer unhandled. *)
+
+val wait_reason_label : wait_reason -> string
+(** The legacy rendering — ["takeMVar"], ["sleep"], ["fdRead"], … — used
+    by every printer, so pre-variant golden traces are byte-identical. *)
+
 type event =
   | Ev_fork of { parent : int; child : int; name : string option }
   | Ev_exit of { tid : int; uncaught : exn option }
   | Ev_throw_to of { source : int; target : int; exn : exn }
   | Ev_deliver of { tid : int; exn : exn }
       (** an asynchronous exception is raised at [tid]'s current point *)
-  | Ev_blocked of { tid : int; why : string; mvar : int option }
+  | Ev_blocked of { tid : int; why : wait_reason; mvar : int option }
       (** [mvar] is the box the thread waits on, when the blocking
           operation is [takeMVar]/[putMVar] *)
   | Ev_wakeup of { tid : int }
@@ -26,6 +43,27 @@ type event =
           instead. *)
   | Ev_mask of { tid : int; masked : bool }
   | Ev_clock of { now : int }  (** virtual time advanced while idle *)
+
+type fd_event = { fde_fd : int; fde_readable : bool; fde_writable : bool }
+(** One readiness notification from an {!event_source}. *)
+
+type event_source = {
+  es_now : unit -> int;
+      (** monotonic microseconds; drives [Io.now] and timer deadlines *)
+  es_modify : fd:int -> read:bool -> write:bool -> unit;
+      (** interest update: called whenever the set of threads waiting on
+          [fd] changes; [read = write = false] means deregister *)
+  es_wait : timeout_us:int option -> fd_event list;
+      (** collect readiness, waiting at most [timeout_us] ([None] =
+          indefinitely, [Some 0] = poll); the scheduler passes the timer
+          wheel's exact next deadline *)
+}
+(** The pluggable clock-and-readiness substrate behind [Io.wait_readable]
+    / [Io.wait_writable] and — when installed — real-time [Io.sleep].
+    [Ev] (lib/ev) provides the epoll-backed implementation; leaving it
+    unset keeps the seed's deterministic simulated runtime: virtual
+    clock, no fds, [Wait_fd] blocks forever (and is reported in the
+    deadlock wait graph). *)
 
 module Config : sig
   type policy =
@@ -64,6 +102,14 @@ module Config : sig
             to leave on under many-thread load where the closure-based
             hooks above would cost double-digit percent. {!Obs.Rec}
             reconstructs per-thread run slices from it after the run. *)
+    event_source : event_source option;
+        (** [None] (default): the simulated runtime — virtual clock
+            advancing only when idle, fully deterministic, used by every
+            golden trace, the kill sweep and the explorer. [Some es]: the
+            real event manager — idle waits block in [es.es_wait] with
+            the timer wheel's next deadline as timeout, the clock follows
+            [es.es_now], and a busy scheduler polls readiness every 1024
+            steps so fd waiters and deadlines are serviced under load. *)
   }
 
   val default : t
@@ -97,12 +143,13 @@ type thread_stat = {
 type blocked_thread = {
   bt_tid : int;  (** the blocked thread *)
   bt_name : string option;
-  bt_why : string;  (** ["takeMVar"], ["putMVar"], ["sleep"], … *)
+  bt_why : wait_reason;
   bt_mvar : int option;  (** the MVar it waits on, if any *)
   bt_mvar_full : bool option;  (** that MVar's state when the run ended *)
   bt_last_taker : int option;
       (** tid that last emptied that MVar — for a lock-style MVar, the
           current holder *)
+  bt_fd : int option;  (** the fd it waits on, for the event-manager waits *)
 }
 (** One node of the deadlock watchdog's wait graph. *)
 

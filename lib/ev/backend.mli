@@ -1,0 +1,82 @@
+(** The switchable I/O backend behind [Hserver] — the API redesign that
+    separates {e what} the server does (accept, read, write, time out)
+    from {e where} bytes and time come from.
+
+    A backend is a first-class record of operations with two
+    implementations:
+
+    - {!sim} — the seed's deterministic substrate: connections are pairs
+      of bounded in-memory byte channels ([Hio_std.Bchan]), the clock is
+      the runtime's virtual clock, and no {!Hio.Runtime.event_source} is
+      installed. Every golden trace, the kill sweep and the explorer run
+      here; the operations are structured so that a program using them
+      costs {e exactly} the same scheduler steps as the pre-redesign
+      inlined code, keeping those traces byte-identical.
+    - [Ev.Real.create] — the event manager: real TCP sockets on
+      loopback/the wire, epoll-backed readiness (poll/select fallback),
+      and a monotonic clock driving the runtime's timer wheel.
+
+    Connections and listeners are records of closures rather than a
+    functor or first-class module: the server stores heterogeneous
+    connections in one backlog queue and switches backends at runtime
+    ([Server.start ?backend]), which a type-level [Backend.conn] per
+    implementation would preclude. *)
+
+open Hio
+
+type conn = {
+  c_send : string -> unit Io.t;
+      (** Send all bytes, blocking (interruptibly) on back-pressure. *)
+  c_recv_char : unit -> char Io.t;
+      (** Receive one byte, blocking (interruptibly) until one is
+          available. Raises [End_of_file] once the peer has closed and
+          all buffered bytes are consumed (real backend; a simulated
+          connection never signals EOF — its peer simply stops). *)
+  c_try_recv : unit -> char option Io.t;  (** Non-blocking receive. *)
+  c_close : unit -> unit Io.t;  (** Idempotent. *)
+  c_fd : int option;
+      (** The raw file descriptor, when the transport has one — for
+          diagnostics and the deadlock watchdog's wait graph. *)
+}
+(** One bidirectional byte stream. *)
+
+type listener = {
+  l_accept : unit -> conn Io.t;
+      (** Wait (interruptibly) for the next inbound connection. *)
+  l_dial : unit -> conn Io.t;
+      (** Open a fresh client connection to this listener — the only
+          portable way to "connect" that does not need an address type
+          spanning both in-memory and socket transports. For the real
+          backend, out-of-process clients use {!l_port} instead. *)
+  l_close : unit -> unit Io.t;
+  l_port : int option;
+      (** The bound TCP port (real backend), for external clients. *)
+}
+
+type t = {
+  b_name : string;  (** ["sim"] or ["real"] — used as a metrics label. *)
+  b_listen : backlog:int -> listener Io.t;
+  b_event_source : Runtime.event_source option;
+      (** What {!install} plugs into the runtime: [None] keeps the
+          virtual clock (simulated backend), [Some es] switches the
+          scheduler to real time and fd readiness. *)
+}
+
+val install : t -> Runtime.Config.t -> Runtime.Config.t
+(** [install b config] returns [config] with [b]'s event source set —
+    pass the result to {!Hio.Runtime.run}. Installing {!sim} is the
+    identity on behaviour. *)
+
+val sim_pipe : ?capacity:int -> unit -> (conn * conn) Io.t
+(** A connected pair of in-memory connections (default [capacity] 64
+    bytes per direction) — the simulated transport's constructor,
+    formerly [Http.Conn.pipe]. Each direction is a bounded byte channel:
+    writers feel back-pressure from slow readers, and a reader blocked
+    on a trickling writer is interruptible, which is what makes timeouts
+    effective. *)
+
+val sim : unit -> t
+(** The deterministic in-memory backend. [l_dial] performs the
+    rendezvous the server's [connect] used to inline: create a
+    {!sim_pipe}, enqueue the far end on the listener's backlog, return
+    the near end. *)

@@ -1,0 +1,135 @@
+/* C substrate for the real event manager: epoll (Linux), a monotonic
+   microsecond clock, and a best-effort RLIMIT_NOFILE raise for the load
+   harness. Everything is errno-free at the OCaml boundary: failures are
+   returned as -1 (or an empty array) and handled by the fallback paths
+   in real.ml, so no unixsupport dependency is needed. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/signals.h>
+
+#include <errno.h>
+#include <time.h>
+#include <sys/resource.h>
+
+CAMLprim value hio_ev_monotonic_us(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return Val_long(-1);
+  return Val_long((intnat)ts.tv_sec * 1000000 + ts.tv_nsec / 1000);
+}
+
+/* Raise the soft RLIMIT_NOFILE towards [target]; return the soft limit
+   actually in force afterwards. Never fails: on any error the current
+   (or a conservative) limit is reported and the harness scales down. */
+CAMLprim value hio_ev_raise_nofile(value vtarget)
+{
+  struct rlimit rl;
+  rlim_t target = (rlim_t)Long_val(vtarget);
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+    return Val_long(1024);
+  if (rl.rlim_cur < target) {
+    if (rl.rlim_max != RLIM_INFINITY && rl.rlim_max < target) {
+      /* Raising the hard limit needs CAP_SYS_RESOURCE; try, keep going
+         with the old ceiling if refused. */
+      struct rlimit hrl = rl;
+      hrl.rlim_max = target;
+      if (hrl.rlim_cur > hrl.rlim_max) hrl.rlim_cur = hrl.rlim_max;
+      if (setrlimit(RLIMIT_NOFILE, &hrl) == 0)
+        rl = hrl;
+    }
+    rlim_t cap = (rl.rlim_max == RLIM_INFINITY) ? target : rl.rlim_max;
+    rlim_t want = target < cap ? target : cap;
+    struct rlimit nrl = rl;
+    nrl.rlim_cur = want;
+    if (setrlimit(RLIMIT_NOFILE, &nrl) == 0)
+      rl.rlim_cur = want;
+    else if (getrlimit(RLIMIT_NOFILE, &rl) != 0)
+      return Val_long(1024);
+  }
+  if (rl.rlim_cur == RLIM_INFINITY || rl.rlim_cur > ((rlim_t)1 << 30))
+    return Val_long((intnat)1 << 30);
+  return Val_long((intnat)rl.rlim_cur);
+}
+
+#ifdef __linux__
+
+#include <sys/epoll.h>
+
+CAMLprim value hio_ev_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_long(epoll_create1(0));
+}
+
+/* op: 0 = add, 1 = mod, 2 = del. Level-triggered on purpose: the
+   scheduler re-polls while interest persists, and interest is
+   withdrawn (del) as soon as no thread waits on the fd, so there is no
+   starvation and no need for the edge-triggered re-arm dance. */
+CAMLprim value hio_ev_epoll_ctl(value vep, value vop, value vfd,
+                                value vread, value vwrite)
+{
+  struct epoll_event ev;
+  int ops[3] = { EPOLL_CTL_ADD, EPOLL_CTL_MOD, EPOLL_CTL_DEL };
+  ev.events = (Bool_val(vread) ? EPOLLIN : 0)
+            | (Bool_val(vwrite) ? EPOLLOUT : 0);
+  ev.data.fd = Int_val(vfd);
+  return Val_long(epoll_ctl(Int_val(vep), ops[Int_val(vop)],
+                            Int_val(vfd), &ev));
+}
+
+#define HIO_EV_MAX_EVENTS 1024
+static struct epoll_event hio_ev_buf[HIO_EV_MAX_EVENTS];
+
+/* Returns a packed int array: (fd lsl 2) lor readable lor (writable lsl 1).
+   HUP/ERR wake both directions so a blocked thread learns of the close
+   from the subsequent read()/write() instead of hanging. */
+CAMLprim value hio_ev_epoll_wait(value vep, value vtimeout_ms)
+{
+  CAMLparam2(vep, vtimeout_ms);
+  CAMLlocal1(arr);
+  int n, i;
+  caml_enter_blocking_section();
+  do {
+    n = epoll_wait(Int_val(vep), hio_ev_buf, HIO_EV_MAX_EVENTS,
+                   Int_val(vtimeout_ms));
+  } while (n < 0 && errno == EINTR && Int_val(vtimeout_ms) < 0);
+  caml_leave_blocking_section();
+  if (n <= 0)
+    CAMLreturn(Atom(0));
+  arr = caml_alloc(n, 0);
+  for (i = 0; i < n; i++) {
+    int fd = hio_ev_buf[i].data.fd;
+    unsigned e = hio_ev_buf[i].events;
+    int r = (e & (EPOLLIN | EPOLLHUP | EPOLLERR)) ? 1 : 0;
+    int w = (e & (EPOLLOUT | EPOLLHUP | EPOLLERR)) ? 2 : 0;
+    Store_field(arr, i, Val_long(((intnat)fd << 2) | r | w));
+  }
+  CAMLreturn(arr);
+}
+
+#else /* !__linux__ — real.ml falls back to Unix.select */
+
+CAMLprim value hio_ev_epoll_create(value unit)
+{
+  (void)unit;
+  return Val_long(-1);
+}
+
+CAMLprim value hio_ev_epoll_ctl(value vep, value vop, value vfd,
+                                value vread, value vwrite)
+{
+  (void)vep; (void)vop; (void)vfd; (void)vread; (void)vwrite;
+  return Val_long(-1);
+}
+
+CAMLprim value hio_ev_epoll_wait(value vep, value vtimeout_ms)
+{
+  (void)vep; (void)vtimeout_ms;
+  return Atom(0);
+}
+
+#endif

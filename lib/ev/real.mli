@@ -1,0 +1,37 @@
+(** The real backend: TCP sockets on a non-blocking event manager.
+
+    Readiness is epoll on Linux (level-triggered; interest tracked per fd
+    and withdrawn when no thread waits), falling back to [Unix.select]
+    elsewhere — both behind the same {!Hio.Runtime.event_source}
+    interface, so the scheduler cannot tell them apart. Time is the
+    monotonic clock in microseconds, which the runtime feeds to the same
+    hierarchical timer wheel the simulated clock uses: [Io.sleep] and
+    [Combinators.timeout] are real-time under this backend with no code
+    change.
+
+    Blocking never happens in a syscall on the scheduler's thread except
+    inside the event source's wait (with the wheel's next deadline as
+    timeout): sockets are non-blocking, and would-block conditions park
+    the green thread on [Io.wait_readable]/[Io.wait_writable] — ordinary
+    §5.3 interruptible waits, so [throw_to] and timeouts cut through
+    socket I/O exactly as they cut through [takeMVar]. *)
+
+val create : unit -> Backend.t
+(** A fresh real backend (own epoll instance / select state). Listeners
+    bind loopback ephemeral ports; [l_dial] connects in-process,
+    [l_port] serves out-of-process clients. Run the program with
+    [Hio.Runtime.run ~config:(Ev.Backend.install backend config)]. *)
+
+val fd_limit : int -> int
+(** [fd_limit n] raises the process's soft [RLIMIT_NOFILE] towards [n]
+    (capped by the hard limit) and returns the limit actually in force —
+    the 10k-connection harness sizes itself with this. Best-effort,
+    never raises. *)
+
+val readiness : unit -> string
+(** Which readiness mechanism {!create} will use on this platform:
+    ["epoll"] on Linux, ["select"] elsewhere. *)
+
+val now_us : unit -> int
+(** The monotonic clock (microseconds), [Unix.gettimeofday]-based when
+    the platform has no monotonic source. *)

@@ -253,7 +253,7 @@ let record_runtime t (e : Hio.Runtime.event) =
       t.e_w.(i) <- 3;
       t.e_a.(i) <- tid;
       t.e_b.(i) <- (match mvar with None -> -1 | Some m -> m);
-      t.e_s.(i) <- why
+      t.e_s.(i) <- Hio.Runtime.wait_reason_label why
   | Ev_wakeup { tid } ->
       t.e_w.(i) <- 4;
       t.e_a.(i) <- tid

@@ -1,15 +1,15 @@
 open Hio
 
-let metrics reg (config : Runtime.Config.t) =
-  let steps = Metrics.counter reg "hio_steps_total" in
-  let switches = Metrics.counter reg "hio_context_switches_total" in
-  let forks = Metrics.counter reg "hio_forks_total" in
-  let exits = Metrics.counter reg "hio_exits_total" in
-  let sends = Metrics.counter reg "hio_throwto_total" in
-  let delivers = Metrics.counter reg "hio_deliveries_total" in
-  let wakeups = Metrics.counter reg "hio_wakeups_total" in
-  let blocked = Metrics.gauge reg "hio_blocked_threads" in
-  let runnable = Metrics.gauge reg "hio_runnable_threads" in
+let metrics ?(labels = []) reg (config : Runtime.Config.t) =
+  let steps = Metrics.counter reg ~labels "hio_steps_total" in
+  let switches = Metrics.counter reg ~labels "hio_context_switches_total" in
+  let forks = Metrics.counter reg ~labels "hio_forks_total" in
+  let exits = Metrics.counter reg ~labels "hio_exits_total" in
+  let sends = Metrics.counter reg ~labels "hio_throwto_total" in
+  let delivers = Metrics.counter reg ~labels "hio_deliveries_total" in
+  let wakeups = Metrics.counter reg ~labels "hio_wakeups_total" in
+  let blocked = Metrics.gauge reg ~labels "hio_blocked_threads" in
+  let runnable = Metrics.gauge reg ~labels "hio_runnable_threads" in
   Metrics.set runnable 1 (* the main thread *);
   let blocked_set : (int, unit) Hashtbl.t = Hashtbl.create 16 in
   let unblock tid =
@@ -61,21 +61,25 @@ let metrics reg (config : Runtime.Config.t) =
     Runtime.Config.inject = Some inject;
   }
 
-let observe_result reg (r : _ Runtime.result) =
-  Metrics.set (Metrics.gauge reg "hio_virtual_time_us") r.Runtime.time;
-  Metrics.set (Metrics.gauge reg "hio_max_frame_depth") r.Runtime.max_frame_depth;
+let observe_result ?(labels = []) reg (r : _ Runtime.result) =
+  Metrics.set (Metrics.gauge reg ~labels "hio_virtual_time_us") r.Runtime.time;
   Metrics.set
-    (Metrics.gauge reg "hio_blocked_at_exit")
+    (Metrics.gauge reg ~labels "hio_max_frame_depth")
+    r.Runtime.max_frame_depth;
+  Metrics.set
+    (Metrics.gauge reg ~labels "hio_blocked_at_exit")
     (List.length r.Runtime.blocked_at_exit);
   List.iter
     (fun (ts : Runtime.thread_stat) ->
       let thread = Printf.sprintf "t%d" ts.Runtime.ts_id in
       Metrics.inc
         ~by:ts.Runtime.ts_steps
-        (Metrics.counter reg ~labels:[ ("thread", thread) ]
+        (Metrics.counter reg
+           ~labels:(("thread", thread) :: labels)
            "hio_thread_steps_total");
       if ts.Runtime.ts_delivered > 0 then
         Metrics.inc ~by:ts.Runtime.ts_delivered
-          (Metrics.counter reg ~labels:[ ("thread", thread) ]
+          (Metrics.counter reg
+             ~labels:(("thread", thread) :: labels)
              "hio_thread_delivered_total"))
     r.Runtime.thread_stats

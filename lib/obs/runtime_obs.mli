@@ -2,9 +2,15 @@
     (through the same two hooks {!Rec.attach} uses) and post-run (from
     the {!Hio.Runtime.result} record). *)
 
-val metrics : Metrics.t -> Hio.Runtime.Config.t -> Hio.Runtime.Config.t
+val metrics :
+  ?labels:(string * string) list ->
+  Metrics.t ->
+  Hio.Runtime.Config.t ->
+  Hio.Runtime.Config.t
 (** Chain a live collector onto the configuration's [tracer]/[inject]
-    hooks. Registers and maintains:
+    hooks. [labels] (default none) is stamped on every instrument —
+    pass [[("backend", b.Ev.Backend.b_name)]] to keep scheduler series
+    from simulated and real runs apart in one registry. Registers and maintains:
     - [hio_steps_total], [hio_context_switches_total] (running thread
       changed between consecutive steps);
     - [hio_forks_total], [hio_exits_total], [hio_throwto_total],
@@ -13,8 +19,9 @@ val metrics : Metrics.t -> Hio.Runtime.Config.t -> Hio.Runtime.Config.t
       latter's high-water mark is the run-queue depth the scheduler
       actually saw). *)
 
-val observe_result : Metrics.t -> 'a Hio.Runtime.result -> unit
-(** Record a finished run: [hio_virtual_time_us], [hio_max_frame_depth]
+val observe_result :
+  ?labels:(string * string) list -> Metrics.t -> 'a Hio.Runtime.result -> unit
+(** Record a finished run ([labels] as in {!metrics}): [hio_virtual_time_us], [hio_max_frame_depth]
     and [hio_blocked_at_exit] gauges, plus per-thread
     [hio_thread_steps_total{thread=tN}] and
     [hio_thread_delivered_total{thread=tN}] counters (the latter only for

@@ -1,27 +1,16 @@
-open Hio_std
 open Hio.Io
 
 module Conn = struct
-  (* Each direction is a bounded byte channel: writers feel back-pressure
-     from slow readers, and a reader blocked on a trickling writer is
-     interruptible — which is what makes timeouts effective. *)
-  type t = { incoming : char Bchan.t; outgoing : char Bchan.t }
+  (* Transport-agnostic since the Backend redesign: a connection is
+     whatever record of operations the backend produced — in-memory
+     bounded channels ([Ev.Backend.sim]) or a non-blocking TCP socket
+     ([Ev.Real]). The message layer below only ever goes through these
+     four operations, so it runs unchanged on either. *)
+  type t = Ev.Backend.conn
 
-  let pipe ?(capacity = 64) () =
-    Bchan.create capacity >>= fun a_to_b ->
-    Bchan.create capacity >>= fun b_to_a ->
-    return
-      ( { incoming = b_to_a; outgoing = a_to_b },
-        { incoming = a_to_b; outgoing = b_to_a } )
-
-  let send_string conn s =
-    let rec go i =
-      if i >= String.length s then return ()
-      else Bchan.send conn.outgoing s.[i] >>= fun () -> go (i + 1)
-    in
-    go 0
-
-  let recv_char conn = Bchan.recv conn.incoming
+  let send_string (conn : t) s = conn.Ev.Backend.c_send s
+  let recv_char (conn : t) = conn.Ev.Backend.c_recv_char ()
+  let close (conn : t) = conn.Ev.Backend.c_close ()
 
   let recv_line conn =
     let buf = Buffer.create 32 in
@@ -42,10 +31,10 @@ module Conn = struct
     in
     go ()
 
-  let drain_available conn =
+  let drain_available (conn : t) =
     let buf = Buffer.create 32 in
     let rec go () =
-      Bchan.try_recv conn.incoming >>= function
+      conn.Ev.Backend.c_try_recv () >>= function
       | Some c ->
           Buffer.add_char buf c;
           go ()

@@ -1,23 +1,24 @@
-(** A minimal HTTP/1.0-style message layer over simulated byte streams —
+(** A minimal HTTP/1.0-style message layer over backend byte streams —
     the substrate for the fault-tolerant web server the paper's conclusion
     reports building ("a prototype fault-tolerant HTTP server which makes
     heavy use of time-outs, multithreading and exceptions", §11/[8]).
 
-    The "network" is a pair of bounded byte channels per connection
-    ({!Conn}); requests are parsed incrementally from the stream, so a
-    slow-writing client occupies a worker until a timeout kills the read —
-    exactly the scenario the §7.3 composable [timeout] exists for. *)
+    The "network" is whatever {!Ev.Backend} the server was started with:
+    in-memory bounded byte channels by default ([Ev.Backend.sim]), real
+    TCP sockets under [Ev.Real]. Requests are parsed incrementally from
+    the stream, so a slow-writing client occupies a worker until a
+    timeout kills the read — exactly the scenario the §7.3 composable
+    [timeout] exists for. *)
 
 open Hio
 
 module Conn : sig
-  type t
-  (** One side of a bidirectional byte stream. *)
-
-  val pipe : ?capacity:int -> unit -> (t * t) Io.t
-  (** A connected pair (client side, server side); each side's writes
-      appear on the other side's reads, with back-pressure at [capacity]
-      (default 64) bytes. *)
+  type t = Ev.Backend.conn
+  (** One side of a bidirectional byte stream. Transport-agnostic: there
+      is no simulated-only constructor here any more — obtain
+      connections from [Server.connect], a backend's listener, or (in
+      tests) [Ev.Backend.sim_pipe], which is the renamed [Conn.pipe] of
+      the pre-Backend API. *)
 
   val send_string : t -> string -> unit Io.t
   val recv_char : t -> char Io.t
@@ -26,6 +27,9 @@ module Conn : sig
 
   val drain_available : t -> string Io.t
   (** Everything currently buffered, without blocking. *)
+
+  val close : t -> unit Io.t
+  (** Release the transport (a no-op on simulated connections). *)
 end
 
 type request = {

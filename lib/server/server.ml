@@ -11,6 +11,7 @@ type config = {
   max_waiting : int;
   supervised : bool;
   restart_intensity : Hsup.Sup.intensity;
+  keep_alive : bool;
 }
 
 let default_config =
@@ -21,6 +22,7 @@ let default_config =
     max_waiting = 16;
     supervised = true;
     restart_intensity = { Hsup.Sup.max_restarts = 16; window = 1_000 };
+    keep_alive = false;
   }
 
 type stats = {
@@ -46,9 +48,18 @@ type instruments = {
   m_latency : Obs.Metrics.histogram;
 }
 
-let instruments reg =
+(* When an explicit backend is in play every series carries a
+   [backend=sim|real] label, so one registry can compare the two side by
+   side. The default (no [?backend]) stays label-free: the pre-redesign
+   metric names are pinned by golden output. *)
+let instruments ?backend_name reg =
+  let extra =
+    match backend_name with None -> [] | Some n -> [ ("backend", n) ]
+  in
   let outcome o =
-    Obs.Metrics.counter reg ~labels:[ ("outcome", o) ] "server_requests_total"
+    Obs.Metrics.counter reg
+      ~labels:(("outcome", o) :: extra)
+      "server_requests_total"
   in
   {
     m_served = outcome "ok";
@@ -56,12 +67,12 @@ let instruments reg =
     m_bad = outcome "bad_request";
     m_shed = outcome "shed";
     m_degraded = outcome "degraded";
-    m_rejected = Obs.Metrics.counter reg "server_rejected_total";
-    m_inflight = Obs.Metrics.gauge reg "server_in_flight";
+    m_rejected = Obs.Metrics.counter reg ~labels:extra "server_rejected_total";
+    m_inflight = Obs.Metrics.gauge reg ~labels:extra "server_in_flight";
     m_latency =
       Obs.Metrics.histogram reg
         ~buckets:[ 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 ]
-        "server_request_latency_steps";
+        ~labels:extra "server_request_latency_steps";
   }
 
 exception Server_stopped
@@ -73,6 +84,10 @@ type mode =
   | Supervised of { sup : Hsup.Sup.t; bulk : Hsup.Bulkhead.t }
   | Plain of { listener : Io.thread_id; admission : Sem.t }
 
+(* An external (backend-provided) listener and the thread pumping its
+   accepts into the in-process backlog queue. *)
+type ext = { el : Ev.Backend.listener; pump : Io.thread_id }
+
 type t = {
   backlog : Http.Conn.t Bchan.t;
   registry : Obs.Metrics.t;
@@ -80,6 +95,7 @@ type t = {
   config : config;
   mutable accepting : bool;
   mode : mode;
+  ext : ext option;
 }
 
 let count c = lift (fun () -> Obs.Metrics.inc c)
@@ -113,6 +129,53 @@ let serve_plain config ins admission handler conn =
       Http.write_response conn Http.timeout_response)
   >>= fun () ->
   steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
+
+(* Keep-alive variant of [serve_plain] (used only when
+   [config.keep_alive]; the one-shot path above is kept verbatim because
+   its step counts are pinned by the sweep baselines). Serves requests
+   off the same connection until the peer closes (End_of_file), a
+   request times out, or it is malformed — a parse error or timeout
+   leaves the byte stream unsynchronized, so the connection cannot be
+   reused and is closed after the error response. *)
+let serve_keep_alive config ins admission handler conn =
+  let serve_one () =
+    steps >>= fun t0 ->
+    Combinators.timeout config.request_timeout
+      (Sem.with_unit admission
+         (catch
+            ( Http.read_request conn >>= fun request ->
+              handler request >>= fun response -> return (`Reply response) )
+            (fun e ->
+              match e with
+              | Http.Bad_request m -> return (`Bad m)
+              | e -> throw e)))
+    >>= fun outcome ->
+    (match outcome with
+    | Some (`Reply response) ->
+        count ins.m_served >>= fun () ->
+        Http.write_response conn response >>= fun () -> return `Keep
+    | Some (`Bad m) ->
+        count ins.m_bad >>= fun () ->
+        Http.write_response conn (Http.bad_request m) >>= fun () ->
+        return `Close
+    | None ->
+        count ins.m_timeouts >>= fun () ->
+        Http.write_response conn Http.timeout_response >>= fun () ->
+        return `Close)
+    >>= fun verdict ->
+    steps >>= fun t1 ->
+    lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0)) >>= fun () ->
+    return verdict
+  in
+  let rec loop () =
+    catch (serve_one ()) (function
+      | End_of_file -> return `Close
+      | e -> throw e)
+    >>= function
+    | `Keep -> loop ()
+    | `Close -> Http.Conn.close conn
+  in
+  loop ()
 
 (* --- the supervised path --------------------------------------------------
 
@@ -180,7 +243,7 @@ let listener_body config ins sup bulk backlog handler =
         (Hsup.Sup.child ~lifetime:Hsup.Sup.Transient "conn-worker"
            (worker_body config ins bulk handler conn progress)) )
 
-let start ?(config = default_config) ?metrics handler =
+let start_core ~config ~metrics ?backend_name handler =
   Bchan.create config.accept_queue >>= fun backlog ->
   (* The default registry must be created here, inside the continuation —
      i.e. once per {e run} — not when [start] is applied. A server Io value
@@ -192,7 +255,7 @@ let start ?(config = default_config) ?metrics handler =
   let registry =
     match metrics with Some reg -> reg | None -> Obs.Metrics.create ()
   in
-  let ins = instruments registry in
+  let ins = instruments ?backend_name registry in
   if config.supervised then
     Hsup.Sup.start ~name:"supervisor" ~strategy:Hsup.Sup.One_for_one
       ~intensity:config.restart_intensity ~metrics:registry []
@@ -212,16 +275,20 @@ let start ?(config = default_config) ?metrics handler =
         config;
         accepting = true;
         mode = Supervised { sup; bulk };
+        ext = None;
       }
   else
     Sem.create config.max_concurrent >>= fun admission ->
+    let serve =
+      if config.keep_alive then serve_keep_alive else serve_plain
+    in
     let accept_loop =
       Combinators.forever
         ( Bchan.recv backlog >>= fun conn ->
           fork ~name:"conn-worker"
             (Combinators.bracket_
                (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
-               (serve_plain config ins admission handler conn)
+               (serve config ins admission handler conn)
                (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1))))
           >>= fun _tid -> return () )
     in
@@ -235,7 +302,29 @@ let start ?(config = default_config) ?metrics handler =
         config;
         accepting = true;
         mode = Plain { listener; admission };
+        ext = None;
       }
+
+(* The default (no [?backend]) path is [start_core] verbatim — same
+   monadic structure as before the redesign, so every Sim golden trace
+   and sweep baseline is untouched. An explicit backend adds, after the
+   server is up, a listener from the backend plus an accept pump feeding
+   the same in-process backlog the workers already drain: the serving
+   pipeline is shared, only the byte source differs. *)
+let start ?(config = default_config) ?metrics ?backend handler =
+  match backend with
+  | None -> start_core ~config ~metrics handler
+  | Some b ->
+      start_core ~config ~metrics ~backend_name:b.Ev.Backend.b_name handler
+      >>= fun server ->
+      b.Ev.Backend.b_listen ~backlog:config.accept_queue >>= fun el ->
+      fork ~name:"accept-pump"
+        (catch
+           (Combinators.forever
+              ( el.Ev.Backend.l_accept () >>= fun conn ->
+                Bchan.send server.backlog conn ))
+           (fun _ -> return ()))
+      >>= fun pump -> return { server with ext = Some { el; pump } }
 
 let metrics server = server.registry
 
@@ -247,8 +336,13 @@ let supervisor server =
 let connect server =
   if not server.accepting then throw Server_stopped
   else
-    Http.Conn.pipe () >>= fun (client_side, server_side) ->
-    Bchan.send server.backlog server_side >>= fun () -> return client_side
+    match server.ext with
+    | Some { el; _ } -> el.Ev.Backend.l_dial ()
+    | None ->
+        (* no backend was given: the implicit simulated transport *)
+        Ev.Backend.sim_pipe () >>= fun (client_side, server_side) ->
+        Bchan.send server.backlog server_side >>= fun () ->
+        return client_side
 
 let shutdown server =
   lift (fun () -> server.accepting <- false) >>= fun () ->
@@ -274,7 +368,14 @@ let shutdown server =
         Http.write_response conn service_unavailable >>= fun () -> drain ()
     | None -> return ()
   in
-  drain () >>= fun () ->
+  (match server.ext with
+  | None -> drain ()
+  | Some { el; pump } ->
+      (* stop the accept pump and close the external listener before
+         draining, so no new connection can slip into the backlog *)
+      throw_to pump Kill_thread >>= fun () ->
+      el.Ev.Backend.l_close () >>= fun () -> drain ())
+  >>= fun () ->
   (* wait for in-flight workers; each is bounded by the request timeout *)
   let rec wait_drained () =
     if Obs.Metrics.gauge_value server.ins.m_inflight = 0 then return ()

@@ -24,7 +24,9 @@ open Hio
 type handler = Http.request -> Http.response Io.t
 
 type config = {
-  request_timeout : int;  (** virtual µs per request, end to end *)
+  request_timeout : int;
+      (** µs per request, end to end — virtual time by default, real
+          time under a backend with an event source ([Ev.Real]) *)
   max_concurrent : int;
   accept_queue : int;  (** listener backlog *)
   max_waiting : int;
@@ -33,6 +35,13 @@ type config = {
   supervised : bool;  (** run under a supervision tree (default) *)
   restart_intensity : Hsup.Sup.intensity;
       (** worker/listener restart budget before the tree escalates *)
+  keep_alive : bool;
+      (** serve multiple requests per connection (plain mode only):
+          the worker loops until the peer closes, a request times out,
+          or parsing fails. Off by default — the one-shot path's step
+          counts are pinned by the sweep baselines. Ignored in
+          supervised mode, whose degrade-on-restart protocol is
+          per-request. *)
 }
 
 val default_config : config
@@ -51,9 +60,25 @@ type t
 
 exception Server_stopped
 
-val start : ?config:config -> ?metrics:Obs.Metrics.t -> handler -> t Io.t
+val start :
+  ?config:config ->
+  ?metrics:Obs.Metrics.t ->
+  ?backend:Ev.Backend.t ->
+  handler ->
+  t Io.t
 (** Fork the accept loop (under a supervisor unless
     [config.supervised = false]) and return a handle.
+
+    [?backend] selects the transport. Omitted, the server speaks the
+    implicit simulated transport ({!connect} is the only way in) with
+    {e exactly} the pre-redesign behaviour — this default exists for
+    the golden traces and the kill sweep; new code that cares about the
+    transport should pass [Ev.Backend.sim] or an [Ev.Real] backend
+    explicitly. With a backend, the server opens a listener via
+    [b_listen] and pumps its accepts into the same worker pipeline, and
+    every metric below gains a [backend=sim|real] label. Running with a
+    real backend additionally requires installing its event source into
+    the runtime: [Hio.Runtime.run ~config:(Ev.Backend.install b cfg)].
 
     All accounting goes through an {!Obs.Metrics} registry — pass one to
     share a table with the runtime's own collector
@@ -73,14 +98,22 @@ val supervisor : t -> Hsup.Sup.t option
     probes, demos and the kill sweep. *)
 
 val connect : t -> Http.Conn.t Io.t
-(** Create a client connection to the server (the simulated [accept]).
+(** Create a client connection to the server: [l_dial] on the backend's
+    listener when the server was started with [?backend], else a fresh
+    simulated pipe enqueued on the backlog.
+
+    {b Deprecated default:} relying on the implicit simulated transport
+    (no [?backend] at {!start}) is retained for the deterministic test
+    fleet but deprecated for new code — pass [Ev.Backend.sim ()]
+    explicitly so the transport choice is visible at the call site.
     @raise Server_stopped (as a synchronous throw) after {!shutdown}. *)
 
 val shutdown : t -> stats Io.t
 (** Stop the accept loop (a supervised listener is retired, not
-    restarted), answer anything still queued with a 503, wait for
-    in-flight workers (each bounded by the request timeout), stop the
-    supervisor, and return final statistics. *)
+    restarted), kill the accept pump and close the backend listener (if
+    any), answer anything still queued with a 503, wait for in-flight
+    workers (each bounded by the request timeout), stop the supervisor,
+    and return final statistics. *)
 
 val route : (string * (string -> Http.response)) list -> handler
 (** A tiny router over exact paths; the handler value receives the request

@@ -156,10 +156,42 @@ let parallel actions =
 
 let parallel_map f xs = parallel (List.map f xs)
 
+(* §7.3 on the timer wheel. The paper races a private clock thread
+   ([either (sleep t) a]); we instead arm a wheel deadline whose token is
+   posted to *this* thread — no forked clock thread per call, O(1) arm and
+   cancel, so 100k concurrent timeouts are fine. The action still runs in
+   a child (with the caller's mask restored), so a universal handler
+   inside [a] cannot intercept the deadline: the token lands in the
+   parent, which is only ever blocked at the interruptible [take]. Each
+   call's token carries a unique id ([Io.is_timer_signal]), so nested
+   timeouts cannot be confused for one another — the §7.3 composability
+   argument, transplanted from thread identity to timer identity. Other
+   asynchronous exceptions received while waiting are propagated to the
+   child, as in [either]. [cancel_timer] also purges an already-posted
+   token, so a timeout that returns [Some] cannot leave a ghost
+   [Timer_signal] behind (pinned by the props suite). *)
 let timeout t a =
-  either (sleep t) a >>= function
-  | Either.Left () -> return None
-  | Either.Right r -> return (Some r)
+  Mvar.new_empty >>= fun m ->
+  mask (fun restore ->
+      fork
+        (catch
+           (restore a >>= fun r -> Mvar.put m (Ok_r r))
+           (fun e -> Mvar.put m (Err_r e)))
+      >>= fun child ->
+      arm_timer t >>= fun alarm ->
+      let rec wait () =
+        catch
+          (Mvar.take m >>= fun s -> return (Some s))
+          (fun e ->
+            if is_timer_signal alarm e then
+              throw_to child Kill_thread >>= fun () -> return None
+            else throw_to child e >>= fun () -> wait ())
+      in
+      wait () >>= function
+      | None -> return None
+      | Some s -> (
+          cancel_timer alarm >>= fun () ->
+          match s with Ok_r r -> return (Some r) | Err_r e -> throw e))
 
 let safe_point = unblock (return ())
 

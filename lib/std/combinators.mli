@@ -56,10 +56,17 @@ val parallel_map : ('a -> 'b Io.t) -> 'a list -> 'b list Io.t
 (** [parallel] over [List.map]. *)
 
 val timeout : int -> 'a Io.t -> 'a option Io.t
-(** §7.3: [timeout t a] is [Just r] if [a] finishes within [t] (virtual)
+(** §7.3: [timeout t a] is [Just r] if [a] finishes within [t]
     microseconds, [Nothing] otherwise. Composable: timeouts may be
-    arbitrarily nested and cannot interfere with each other, because the
-    clock thread is private to each call. *)
+    arbitrarily nested and cannot interfere with each other — each call
+    arms its own uniquely-identified deadline. Unlike the paper's
+    implementation, no clock thread is forked: the deadline lives on the
+    runtime's timer wheel ({!Io.arm_timer}), so arming and cancelling are
+    O(1) and 100k concurrent timeouts cost no threads. [a] runs in a
+    child thread under the caller's mask state (restore-passing
+    {!Io.mask}), so a universal handler inside [a] cannot intercept the
+    deadline; a timeout that loses cleanly withdraws its token — no ghost
+    wakeups. *)
 
 val safe_point : unit Io.t
 (** §7.4: a checkpoint at which a masked long computation briefly accepts

@@ -41,7 +41,9 @@ answering probes), which each case checks after disarming. The
 sup-server case is the ISSUE's graceful-degradation gate: saturating
 clients must each get an allowed answer (200/503/504 or their own
 timeout) whatever was killed — client, worker, listener, or the
-supervisor itself:
+supervisor itself. (The sup-server baseline was re-pinned 15213 -> 15069
+steps when Combinators.timeout moved onto the timer wheel — one child
+thread per call instead of two; the kill-point verdicts are unchanged.)
 
   $ chrun sweep --suite sup --max-points 3
   sup-one-for-one    target=acting: 3 kill points (3 applied), baseline 547 steps, 0 failures
@@ -50,10 +52,10 @@ supervisor itself:
   sup-all-for-one    target=acting: 3 kill points (3 applied), baseline 553 steps, 0 failures
   sup-retry-breaker  target=acting: 3 kill points (3 applied), baseline 171 steps, 0 failures
   sup-bulkhead       target=acting: 3 kill points (3 applied), baseline 375 steps, 0 failures
-  sup-server         target=acting: 3 kill points (3 applied), baseline 15213 steps, 0 failures
-  sup-server         target="supervisor": 3 kill points (2 applied), baseline 15213 steps, 0 failures
-  sup-server         target="listener": 3 kill points (2 applied), baseline 15213 steps, 0 failures
-  sup-server         target="conn-worker": 3 kill points (1 applied), baseline 15213 steps, 0 failures
+  sup-server         target=acting: 3 kill points (3 applied), baseline 15069 steps, 0 failures
+  sup-server         target="supervisor": 3 kill points (2 applied), baseline 15069 steps, 0 failures
+  sup-server         target="listener": 3 kill points (2 applied), baseline 15069 steps, 0 failures
+  sup-server         target="conn-worker": 3 kill points (1 applied), baseline 15069 steps, 0 failures
 
 --json records the sweep for BENCH_fault.json (schema 3 is free of
 wall-clock fields, so the record is fully deterministic):

@@ -35,7 +35,7 @@ let alerts_tests =
                Io.thread_status t >>= function
                | Io.Dead -> return "dead"
                | Io.Running -> return "running"
-               | Io.Blocked_on w -> return w )));
+               | Io.Blocked_on w -> return (Io.wait_reason_label w) )));
     case "plain catch DOES intercept the kill (the §9 problem)" (fun () ->
         Alcotest.(check string) "victim survived" "running"
           (value
@@ -49,7 +49,7 @@ let alerts_tests =
                Io.thread_status t >>= function
                | Io.Dead -> return "dead"
                | Io.Running -> return "running"
-               | Io.Blocked_on w -> return w )));
+               | Io.Blocked_on w -> return (Io.wait_reason_label w) )));
     (* An inline timeout that throws Timeout into the *current* thread —
        the style §9's concern is about. (The §7.3 either-based timeout is
        immune in its result, because the clock thread wins the race

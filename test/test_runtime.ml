@@ -115,7 +115,7 @@ let fork_tests =
                fork (Mvar.take m >>= fun _ -> return ()) >>= fun t ->
                yields 2 >>= fun () ->
                Io.thread_status t >>= function
-               | Io.Blocked_on why -> return why
+               | Io.Blocked_on why -> return (Io.wait_reason_label why)
                | Io.Running -> return "running"
                | Io.Dead -> return "dead" )));
     case "run result counts forks and steps" (fun () ->

@@ -29,7 +29,7 @@ let http_tests =
     case "conn pipe carries bytes both ways" (fun () ->
         Alcotest.check (Alcotest.pair str_v str_v) "both" ("ping", "pong")
           (value
-             ( Http.Conn.pipe () >>= fun (a, b) ->
+             ( Ev.Backend.sim_pipe () >>= fun (a, b) ->
                Http.Conn.send_string a "ping\n" >>= fun () ->
                Http.Conn.send_string b "pong\n" >>= fun () ->
                Http.Conn.recv_line b >>= fun at_b ->
@@ -45,7 +45,7 @@ let http_tests =
         in
         let got =
           value
-            ( Http.Conn.pipe () >>= fun (client, server) ->
+            ( Ev.Backend.sim_pipe () >>= fun (client, server) ->
               fork (Http.write_request client request) >>= fun _ ->
               Http.read_request server )
         in
@@ -57,7 +57,7 @@ let http_tests =
     case "response round-trips" (fun () ->
         let got =
           value
-            ( Http.Conn.pipe () >>= fun (client, server) ->
+            ( Ev.Backend.sim_pipe () >>= fun (client, server) ->
               fork (Http.write_response server (Http.ok "hi there"))
               >>= fun _ -> Http.read_response client )
         in
@@ -66,18 +66,18 @@ let http_tests =
     case "drain_available returns buffered bytes without blocking" (fun () ->
         Alcotest.check str_v "drained" "abc"
           (value
-             ( Http.Conn.pipe () >>= fun (a, b) ->
+             ( Ev.Backend.sim_pipe () >>= fun (a, b) ->
                Http.Conn.send_string a "abc" >>= fun () ->
                Http.Conn.drain_available b )));
     case "drain_available on an empty stream is empty" (fun () ->
         Alcotest.check str_v "empty" ""
           (value
-             ( Http.Conn.pipe () >>= fun (_a, b) ->
+             ( Ev.Backend.sim_pipe () >>= fun (_a, b) ->
                Http.Conn.drain_available b )));
     case "malformed request line raises Bad_request" (fun () ->
         match
           run
-            ( Http.Conn.pipe () >>= fun (client, server) ->
+            ( Ev.Backend.sim_pipe () >>= fun (client, server) ->
               fork (Http.Conn.send_string client "NONSENSE\r\n\r\n")
               >>= fun _ -> Http.read_request server )
         with
@@ -86,7 +86,7 @@ let http_tests =
     case "bad content-length raises Bad_request" (fun () ->
         match
           run
-            ( Http.Conn.pipe () >>= fun (client, server) ->
+            ( Ev.Backend.sim_pipe () >>= fun (client, server) ->
               fork
                 (Http.Conn.send_string client
                    "GET / HTTP/1.0\r\ncontent-length: wat\r\n\r\n")

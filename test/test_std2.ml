@@ -29,7 +29,7 @@ let bchan_tests =
                fork (Bchan.send c 2) >>= fun t ->
                yields 3 >>= fun () ->
                Io.thread_status t >>= function
-               | Io.Blocked_on why -> return why
+               | Io.Blocked_on why -> return (Io.wait_reason_label why)
                | Io.Running -> return "running"
                | Io.Dead -> return "dead" )));
     case "recv unblocks a waiting sender" (fun () ->

@@ -63,7 +63,7 @@ let async_tests =
                Io.thread_status t >>= function
                | Io.Dead -> return "dead"
                | Io.Running -> return "running"
-               | Io.Blocked_on w -> return w )));
+               | Io.Blocked_on w -> return (Io.wait_reason_label w) )));
     case "kill cancels a waiting take (no ghost waiter)" (fun () ->
         (* after killing a blocked taker, a put must not be consumed by the
            dead waiter *)

@@ -112,7 +112,7 @@ let tracer_tests =
         Alcotest.(check bool) "takeMVar block" true
           (has
              (function
-               | Runtime.Ev_blocked { tid = 0; why = "takeMVar"; mvar = Some 0 }
+               | Runtime.Ev_blocked { tid = 0; why = Runtime.W_take_mvar; mvar = Some 0 }
                  ->
                    true
                | _ -> false)

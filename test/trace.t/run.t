@@ -69,6 +69,37 @@ over a scheduling change.
   outcome: Value 20
   steps: 15
 
+Timer storm across the wheel's level-0 boundary (256 ticks): the clock
+stops at each live deadline in order — the cascade refiles the 300us
+and 400us entries from level 1 as the wheel rolls past 256 — and the
+armed-then-cancelled 100us timer neither wakes anyone nor appears as a
+clock stop:
+
+  $ hio-trace timer-storm
+  fork t0 -> t1 (near)
+  t1 blocked on sleep
+  fork t0 -> t2 (edge)
+  t2 blocked on sleep
+  fork t0 -> t3 (far)
+  t3 blocked on sleep
+  t0 masked
+  t0 unmasked
+  t0 blocked on sleep
+  clock -> 3us
+  t1 woken
+  exit t1
+  clock -> 255us
+  t2 woken
+  exit t2
+  clock -> 300us
+  t3 woken
+  exit t3
+  clock -> 400us
+  t0 woken
+  exit t0
+  outcome: Value 400
+  steps: 28
+
   $ hio-trace unblock-storm
   fork t0 -> t1 (c1)
   t1 masked

@@ -4,6 +4,16 @@ were re-expressed via the restore-passing `mask`, and BEFORE the
 run-queue swap: together with test/trace.t they prove the O(1) queue
 preserved round-robin determinism byte-for-byte.
 
+The timeout-nested trace was re-pinned when `timeout` moved from the
+paper's either-of-two-threads race onto the timer wheel: each call now
+forks ONE child (the action) and arms a wheel deadline whose
+Timer_signal token is delivered to the arming thread — so the old
+per-call clock threads (t1/t3 sleeping, then woken) disappear from the
+trace, and the deadline shows up as a `deliver ... Timer_signal` at the
+parent instead of a sleeper wakeup. 86 steps -> 60 for the same
+program; the other three traces are untouched, pinning that the §7.1
+combinators were not disturbed.
+
   $ hio-trace finally-throw
   t0 masked
   t0 unmasked
@@ -46,36 +56,21 @@ preserved round-robin determinism byte-for-byte.
   t0 masked
   fork t0 -> t1
   t1 unmasked
-  fork t0 -> t2
-  t1 blocked on sleep
-  t2 unmasked
+  t1 masked
   t0 blocked on takeMVar m0
-  t2 masked
-  fork t2 -> t3
-  t3 unmasked
-  fork t2 -> t4
-  t3 blocked on sleep
-  t4 unmasked
-  t4 blocked on sleep
-  t2 blocked on takeMVar m1
-  clock -> 10us
-  t3 woken
-  t3 masked
-  t2 woken
-  exit t3
-  throwTo t2 -> t4 (Hio.Io.Kill_thread)
-  deliver Hio.Io.Kill_thread at t4
-  t4 masked
+  fork t1 -> t2
   t2 unmasked
+  t2 blocked on sleep
+  t1 blocked on takeMVar m1
+  clock -> 10us
+  deliver Hio.Hio_types.Timer_signal(1) at t1
+  throwTo t1 -> t2 (Hio.Io.Kill_thread)
+  deliver Hio.Io.Kill_thread at t2
   t2 masked
-  exit t4
   t0 woken
   exit t2
-  throwTo t0 -> t1 (Hio.Io.Kill_thread)
-  deliver Hio.Io.Kill_thread at t1
-  t1 masked
   exit t1
   t0 unmasked
   exit t0
   outcome: Value 1
-  steps: 86
+  steps: 60
