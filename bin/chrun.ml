@@ -367,7 +367,7 @@ let suite_arg =
     & opt
         (enum
            [ ("corpus", `Corpus); ("std", `Std); ("server", `Server);
-             ("sup", `Sup); ("all", `All) ])
+             ("sup", `Sup); ("chaos", `Chaos); ("all", `All) ])
         `Corpus
     & info [ "suite" ] ~docv:"SUITE"
         ~doc:
@@ -378,7 +378,9 @@ let suite_arg =
            kills), $(b,sup) (the supervision layer: restart strategies, \
            retry + breaker, bulkhead, and the supervised server's graceful \
            degradation, including targeted supervisor/listener/worker \
-           kills), or $(b,all).")
+           kills), $(b,chaos) (the I/O fault sweep: EOF / ECONNRESET / \
+           short writes / delays / trickles injected at every transport \
+           operation site, plus combined kill+fault runs), or $(b,all).")
 
 let max_points_arg =
   Arg.(
@@ -388,6 +390,26 @@ let max_points_arg =
         ~doc:
           "Down-sample each case's kill points to at most $(docv), evenly \
            spaced (first and last kept). Default: sweep every point.")
+
+let max_sites_arg =
+  Arg.(
+    value & opt int 6
+    & info [ "max-sites" ] ~docv:"N"
+        ~doc:
+          "Chaos suite: down-sample each case's I/O sites to at most \
+           $(docv) per operation kind, evenly spaced (first and last \
+           kept). Every applicable fault is still tried at each sampled \
+           site.")
+
+let kills_per_point_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "kills-per-point" ] ~docv:"N"
+        ~doc:
+          "Chaos suite: for each clean fault point, additionally re-record \
+           the faulted schedule and inject KillThread at $(docv) of its \
+           armed steps — asynchronous exceptions composed with transport \
+           faults. 0 disables the combined mode.")
 
 let json_arg =
   Arg.(
@@ -428,19 +450,22 @@ let strip_jobs argv =
 
 (* JSON by hand (no JSON library in the tree): every string we emit is a
    known identifier, so escaping is not needed. *)
-let sweep_json path ~argv ~corpus ~std ~server ~sup ~failures =
+let sweep_json path ~argv ~corpus ~std ~server ~sup ~chaos ~failures =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema_version\": 3,\n";
-  add "  \"description\": \"Kill-point sweep record: every armed scheduler \
+  add "  \"schema_version\": 4,\n";
+  add "  \"description\": \"Fault sweep record: every armed scheduler \
        step of each case re-executed with KillThread injected into the \
        acting (or targeted) thread, invariants checked after each faulted \
        run. faulted_steps/baseline_steps is the step-count overhead of \
        sweeping a case versus running it once. Deterministic: independent \
        of --jobs and free of wall-clock fields (schema 1 carried \
        wall_seconds; schema 3 added the sup suite: supervision trees, \
-       retry/breaker/bulkhead, and the supervised server).\",\n";
+       retry/breaker/bulkhead, and the supervised server; schema 4 added \
+       the chaos suite — transport faults injected at every I/O operation \
+       site, optionally composed with kills — and the per-row fault_kinds \
+       breakdown).\",\n";
   add "  \"command\": \"%s\",\n" (String.concat " " (strip_jobs argv));
   add "  \"corpus\": [\n";
   List.iteri
@@ -460,25 +485,51 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~failures =
     | Fault.Plan.Tid t -> Printf.sprintf "t%d" t
     | Fault.Plan.Named n -> n
   in
-  let hio_rows name rows last =
+  let kinds_json kinds =
+    String.concat ", "
+      (List.map (fun (k, n) -> Printf.sprintf "\"%s\": %d" k n) kinds)
+  in
+  let hio_rows name rows =
     add "  \"%s\": [\n" name;
     List.iteri
       (fun i (r : Fault.Sweep.report) ->
         add
           "    { \"case\": \"%s\", \"target\": \"%s\", \"kill_points\": %d, \
            \"applied\": %d, \"baseline_steps\": %d, \"faulted_steps\": %d, \
-           \"failures\": %d }%s\n"
+           \"fault_kinds\": { %s }, \"failures\": %d }%s\n"
           r.Fault.Sweep.r_case
           (target_name r.r_target)
           r.r_kill_points r.r_applied r.r_baseline_steps r.r_faulted_steps
+          (kinds_json [ ("kill", r.r_kill_points) ])
           (List.length r.r_failures)
           (if i = List.length rows - 1 then "" else ","))
       rows;
-    add "  ]%s\n" (if last then "" else ",")
+    add "  ],\n"
   in
-  hio_rows "std" std false;
-  hio_rows "server" server false;
-  hio_rows "sup" sup false;
+  hio_rows "std" std;
+  hio_rows "server" server;
+  hio_rows "sup" sup;
+  add "  \"chaos\": [\n";
+  List.iteri
+    (fun i (r : Fault.Io_sweep.report) ->
+      let sites =
+        String.concat ", "
+          (List.map
+             (fun (op, n) ->
+               Printf.sprintf "\"%s\": %d" (Ev.Chaos.op_label op) n)
+             r.Fault.Io_sweep.ir_sites)
+      in
+      add
+        "    { \"case\": \"%s\", \"sites\": { %s }, \"fault_points\": %d, \
+         \"kill_runs\": %d, \"baseline_steps\": %d, \"faulted_steps\": %d, \
+         \"fault_kinds\": { %s }, \"failures\": %d }%s\n"
+        r.Fault.Io_sweep.ir_case sites r.ir_points r.ir_kill_runs
+        r.ir_baseline_steps r.ir_faulted_steps
+        (kinds_json r.ir_by_kind)
+        (List.length r.ir_failures)
+        (if i = List.length chaos - 1 then "" else ","))
+    chaos;
+  add "  ],\n";
   let kp =
     List.fold_left (fun a (r : Fault.Ch_sweep.report) -> a + r.rc_kill_points)
       0 corpus
@@ -486,14 +537,23 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~failures =
         (fun a (r : Fault.Sweep.report) -> a + r.r_kill_points)
         0 (std @ server @ sup)
   in
-  add "  \"totals\": { \"kill_points\": %d, \"failures\": %d }\n" kp failures;
+  let fp =
+    List.fold_left
+      (fun a (r : Fault.Io_sweep.report) ->
+        a + r.ir_points + r.ir_kill_runs)
+      0 chaos
+  in
+  add
+    "  \"totals\": { \"kill_points\": %d, \"fault_points\": %d, \
+     \"failures\": %d }\n"
+    kp fp failures;
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc
 
 let sweep_cmd =
-  let run suite max_points jobs json strict =
+  let run suite max_points max_sites kills_per_point jobs json strict =
     handle_syntax (fun () ->
         let jobs = resolve_jobs jobs in
         let failures = ref 0 in
@@ -545,11 +605,26 @@ let sweep_cmd =
                 r)
               Fault.Cases.sup_sweeps
         in
+        let chaos =
+          if suite <> `Chaos && suite <> `All then []
+          else
+            List.map
+              (fun c ->
+                let r =
+                  Fault.Io_sweep.sweep ~max_sites_per_op:max_sites
+                    ~kills_per_point ~jobs c
+                in
+                Fmt.pr "%a@." Fault.Io_sweep.pp_report r;
+                failures :=
+                  !failures + List.length r.Fault.Io_sweep.ir_failures;
+                r)
+              Fault.Io_cases.chaos
+        in
         (match json with
         | Some path ->
             sweep_json path
               ~argv:(Array.to_list Sys.argv)
-              ~corpus ~std ~server ~sup ~failures:!failures
+              ~corpus ~std ~server ~sup ~chaos ~failures:!failures
         | None -> ());
         if !failures > 0 then begin
           Fmt.pr "%d FAILING sweep%s@." !failures
@@ -567,8 +642,8 @@ let sweep_cmd =
           whatever the job count.")
     Term.(
       term_result'
-        (const run $ suite_arg $ max_points_arg $ jobs_arg $ json_arg
-       $ strict_arg))
+        (const run $ suite_arg $ max_points_arg $ max_sites_arg
+       $ kills_per_point_arg $ jobs_arg $ json_arg $ strict_arg))
 
 (* --- chrun repl -------------------------------------------------------------- *)
 

@@ -2,6 +2,17 @@ open Hio
 open Hio_std
 open Hio.Io
 
+exception Connection_reset
+exception Connection_refused
+exception Accept_failed
+
+let () =
+  Printexc.register_printer (function
+    | Connection_reset -> Some "Connection_reset"
+    | Connection_refused -> Some "Connection_refused"
+    | Accept_failed -> Some "Accept_failed"
+    | _ -> None)
+
 type conn = {
   c_send : string -> unit Io.t;
   c_recv_char : unit -> char Io.t;
@@ -26,29 +37,154 @@ type t = {
 let install b (config : Runtime.Config.t) =
   { config with Runtime.Config.event_source = b.b_event_source }
 
-(* The per-character structure below is load-bearing: these closures
-   build exactly the monadic trees the pre-redesign [Http.Conn] inlined,
-   so a program using the simulated backend costs the same scheduler
-   steps it did before the Backend abstraction existed — which is what
-   keeps the golden traces and sweep baselines byte-identical. *)
+(* ---- the simulated transport: a closeable bounded byte pipe -----------
+
+   One direction of a connection. Unlike the original [Bchan]-of-chars
+   transport, a pipe can be {e closed}: buffered bytes drain first, then
+   reads raise [End_of_file] — exactly the real backend's read-0/EPIPE
+   behaviour — and a reader already blocked on an empty pipe is woken
+   immediately.
+
+   Parked readers/writers wait on private one-shot MVars and are woken
+   with [Mvar.try_put] (never blocks, so a waiter that was killed while
+   parked leaves only harmless garbage). All state changes happen inside
+   single [lift] steps, so they are atomic under the scheduler; the
+   retry loops run under [block], making the park itself the only
+   interruptible point (§5.3) — a kill while parked unregisters the
+   waiter and re-raises, restoring the pipe like Bchan's §5.2 cursor
+   discipline. *)
+
+type pipe = {
+  p_q : char Queue.t;
+  p_cap : int;
+  mutable p_closed : bool;
+  mutable p_readers : unit Mvar.t list; (* oldest first *)
+  mutable p_writers : unit Mvar.t list;
+}
+
+let pipe_create cap =
+  {
+    p_q = Queue.create ();
+    p_cap = cap;
+    p_closed = false;
+    p_readers = [];
+    p_writers = [];
+  }
+
+let rec wake = function
+  | [] -> return ()
+  | w :: ws -> Mvar.try_put w () >>= fun _ -> wake ws
+
+(* Park on [w] until woken; on an exception (a kill, a timeout) withdraw
+   the registration with [unregister] and re-raise. *)
+let park w ~unregister =
+  catch (Mvar.take w) (fun e -> unregister () >>= fun () -> throw e)
+
+let pipe_recv p =
+  block
+    (let rec go () =
+       Mvar.new_empty >>= fun w ->
+       lift (fun () ->
+           if not (Queue.is_empty p.p_q) then begin
+             let c = Queue.pop p.p_q in
+             let ws = p.p_writers in
+             p.p_writers <- [];
+             `Got (c, ws)
+           end
+           else if p.p_closed then `Eof
+           else begin
+             p.p_readers <- p.p_readers @ [ w ];
+             `Wait
+           end)
+       >>= function
+       | `Got (c, ws) -> wake ws >>= fun () -> return c
+       | `Eof -> throw End_of_file
+       | `Wait ->
+           park w ~unregister:(fun () ->
+               lift (fun () ->
+                   p.p_readers <- List.filter (fun x -> x != w) p.p_readers))
+           >>= fun () -> go ()
+     in
+     go ())
+
+let pipe_try_recv p =
+  lift (fun () ->
+      if not (Queue.is_empty p.p_q) then begin
+        let c = Queue.pop p.p_q in
+        let ws = p.p_writers in
+        p.p_writers <- [];
+        `Got (c, ws)
+      end
+      else `Empty)
+  >>= function
+  | `Got (c, ws) -> wake ws >>= fun () -> return (Some c)
+  | `Empty -> return None
+
+let pipe_send_char p c =
+  block
+    (let rec go () =
+       Mvar.new_empty >>= fun w ->
+       lift (fun () ->
+           if p.p_closed then `Closed
+           else if Queue.length p.p_q < p.p_cap then begin
+             Queue.push c p.p_q;
+             let rs = p.p_readers in
+             p.p_readers <- [];
+             `Sent rs
+           end
+           else begin
+             p.p_writers <- p.p_writers @ [ w ];
+             `Wait
+           end)
+       >>= function
+       | `Sent rs -> wake rs
+       | `Closed -> throw End_of_file
+       | `Wait ->
+           park w ~unregister:(fun () ->
+               lift (fun () ->
+                   p.p_writers <- List.filter (fun x -> x != w) p.p_writers))
+           >>= fun () -> go ()
+     in
+     go ())
+
+let pipe_send p s =
+  let rec go i =
+    if i >= String.length s then return ()
+    else pipe_send_char p s.[i] >>= fun () -> go (i + 1)
+  in
+  go 0
+
+(* Idempotent; wakes every parked reader and writer of this pipe so they
+   re-check and observe the close. *)
+let pipe_close p =
+  lift (fun () ->
+      if p.p_closed then []
+      else begin
+        p.p_closed <- true;
+        let all = p.p_readers @ p.p_writers in
+        p.p_readers <- [];
+        p.p_writers <- [];
+        all
+      end)
+  >>= wake
+
 let sim_conn ~incoming ~outgoing =
   {
-    c_send =
-      (fun s ->
-        let rec go i =
-          if i >= String.length s then return ()
-          else Bchan.send outgoing s.[i] >>= fun () -> go (i + 1)
-        in
-        go 0);
-    c_recv_char = (fun () -> Bchan.recv incoming);
-    c_try_recv = (fun () -> Bchan.try_recv incoming);
-    c_close = (fun () -> return ());
+    c_send = (fun s -> pipe_send outgoing s);
+    c_recv_char = (fun () -> pipe_recv incoming);
+    c_try_recv = (fun () -> pipe_try_recv incoming);
+    (* Full close, like [Unix.close] on a socket: the peer's reads drain
+       then raise [End_of_file], the peer's sends raise [End_of_file],
+       and a reader of {e this} conn blocked in [c_recv_char] wakes with
+       [End_of_file]. *)
+    c_close =
+      (fun () -> pipe_close incoming >>= fun () -> pipe_close outgoing);
     c_fd = None;
   }
 
 let sim_pipe ?(capacity = 64) () =
-  Bchan.create capacity >>= fun a_to_b ->
-  Bchan.create capacity >>= fun b_to_a ->
+  lift (fun () -> (pipe_create capacity, pipe_create capacity))
+  >>= fun (a_to_b, b_to_a) ->
   return
     ( sim_conn ~incoming:b_to_a ~outgoing:a_to_b,
       sim_conn ~incoming:a_to_b ~outgoing:b_to_a )
@@ -60,14 +196,18 @@ let sim () =
     b_listen =
       (fun ~backlog ->
         Bchan.create backlog >>= fun q ->
+        lift (fun () -> ref false) >>= fun closed ->
         return
           {
             l_accept = (fun () -> Bchan.recv q);
             l_dial =
               (fun () ->
-                sim_pipe () >>= fun (near, far) ->
-                Bchan.send q far >>= fun () -> return near);
-            l_close = (fun () -> return ());
+                lift (fun () -> !closed) >>= fun c ->
+                if c then throw Connection_refused
+                else
+                  sim_pipe () >>= fun (near, far) ->
+                  Bchan.send q far >>= fun () -> return near);
+            l_close = (fun () -> lift (fun () -> closed := true));
             l_port = None;
           });
   }

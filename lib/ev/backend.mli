@@ -6,12 +6,13 @@
     implementations:
 
     - {!sim} — the seed's deterministic substrate: connections are pairs
-      of bounded in-memory byte channels ([Hio_std.Bchan]), the clock is
-      the runtime's virtual clock, and no {!Hio.Runtime.event_source} is
+      of bounded, {e closeable} in-memory byte pipes, the clock is the
+      runtime's virtual clock, and no {!Hio.Runtime.event_source} is
       installed. Every golden trace, the kill sweep and the explorer run
-      here; the operations are structured so that a program using them
-      costs {e exactly} the same scheduler steps as the pre-redesign
-      inlined code, keeping those traces byte-identical.
+      here. Closing a simulated connection behaves like closing a
+      socket: the peer's reads drain buffered bytes then raise
+      [End_of_file], its sends raise [End_of_file] (the EPIPE mapping),
+      and readers already parked on the pipe wake immediately.
     - [Ev.Real.create] — the event manager: real TCP sockets on
       loopback/the wire, epoll-backed readiness (poll/select fallback),
       and a monotonic clock driving the runtime's timer wheel.
@@ -24,14 +25,31 @@
 
 open Hio
 
+exception Connection_reset
+(** The deterministic stand-in for ECONNRESET: raised only by injected
+    faults ({!Chaos}), mapped by the server to a close/503, and retried
+    by [Hsup.Retry.transient_io]. *)
+
+exception Connection_refused
+(** Raised by [l_dial] on a closed simulated listener, and by injected
+    dial faults. *)
+
+exception Accept_failed
+(** A transient [l_accept] failure (injected; real accept maps its
+    transient errno cases to retries internally). The server's accept
+    pump must survive it. *)
+
 type conn = {
   c_send : string -> unit Io.t;
-      (** Send all bytes, blocking (interruptibly) on back-pressure. *)
+      (** Send all bytes, blocking (interruptibly) on back-pressure.
+          Raises [End_of_file] if the peer (or this conn) is closed. *)
   c_recv_char : unit -> char Io.t;
       (** Receive one byte, blocking (interruptibly) until one is
-          available. Raises [End_of_file] once the peer has closed and
-          all buffered bytes are consumed (real backend; a simulated
-          connection never signals EOF — its peer simply stops). *)
+          available. Raises [End_of_file] once the connection has been
+          closed — by either end — and all buffered bytes are consumed;
+          a reader already blocked here when the close happens wakes
+          with [End_of_file] rather than stranding in the wait graph.
+          Both backends agree on this. *)
   c_try_recv : unit -> char option Io.t;  (** Non-blocking receive. *)
   c_close : unit -> unit Io.t;  (** Idempotent. *)
   c_fd : int option;
@@ -69,14 +87,16 @@ val install : t -> Runtime.Config.t -> Runtime.Config.t
 
 val sim_pipe : ?capacity:int -> unit -> (conn * conn) Io.t
 (** A connected pair of in-memory connections (default [capacity] 64
-    bytes per direction) — the simulated transport's constructor,
-    formerly [Http.Conn.pipe]. Each direction is a bounded byte channel:
-    writers feel back-pressure from slow readers, and a reader blocked
-    on a trickling writer is interruptible, which is what makes timeouts
-    effective. *)
+    bytes per direction). Each direction is a bounded closeable byte
+    pipe: writers feel back-pressure from slow readers, a reader blocked
+    on a trickling writer is interruptible (which is what makes timeouts
+    effective), and [c_close] on either end closes both directions like
+    [Unix.close] — drained reads raise [End_of_file] exactly as
+    [Ev.Real] maps read-0/ECONNRESET/EPIPE. *)
 
 val sim : unit -> t
 (** The deterministic in-memory backend. [l_dial] performs the
     rendezvous the server's [connect] used to inline: create a
     {!sim_pipe}, enqueue the far end on the listener's backlog, return
-    the near end. *)
+    the near end. Dialling a closed listener raises
+    {!Connection_refused}. *)

@@ -1,0 +1,239 @@
+open Hio.Io
+
+type op = Send | Recv | Try_recv | Accept | Dial
+
+type fault =
+  | Eof
+  | Reset
+  | Short_write of int
+  | Delay of int
+  | Trickle of int
+
+type rule = { r_op : op; r_at : int; r_fault : fault }
+type plan = rule list
+
+let all_ops = [ Send; Recv; Try_recv; Accept; Dial ]
+
+let op_index = function
+  | Send -> 0
+  | Recv -> 1
+  | Try_recv -> 2
+  | Accept -> 3
+  | Dial -> 4
+
+let op_label = function
+  | Send -> "send"
+  | Recv -> "recv"
+  | Try_recv -> "try_recv"
+  | Accept -> "accept"
+  | Dial -> "dial"
+
+let fault_label = function
+  | Eof -> "eof"
+  | Reset -> "reset"
+  | Short_write n -> Printf.sprintf "short%d" n
+  | Delay n -> Printf.sprintf "delay%d" n
+  | Trickle n -> Printf.sprintf "trickle%d" n
+
+let pp_rule ppf r =
+  Format.fprintf ppf "%s@%d:%s" (op_label r.r_op) r.r_at
+    (fault_label r.r_fault)
+
+let pp_plan ppf = function
+  | [] -> Format.pp_print_string ppf "(empty)"
+  | rules ->
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+        pp_rule ppf rules
+
+type ctl = {
+  plan : rule list;
+  counts : int array; (* per-op armed sites reached, indexed by op_index *)
+  mutable armed : bool;
+  mutable injections : (op * int * fault) list; (* newest first *)
+  (* Sticky per-conn trickle cells, so [disarm] can silence a trickling
+     connection mid-read. *)
+  mutable trickles : int ref list;
+  metrics : Obs.Metrics.t option;
+}
+
+let create ?metrics plan =
+  {
+    plan;
+    counts = Array.make (List.length all_ops) 0;
+    armed = true;
+    injections = [];
+    trickles = [];
+    metrics;
+  }
+
+(* One atomic step: number this op occurrence, look it up in the plan,
+   log + count any hit. Runs inside [lift] so site numbering follows
+   scheduler order exactly. *)
+let decide ctl op =
+  if not ctl.armed then None
+  else begin
+    let i = op_index op in
+    let site = ctl.counts.(i) in
+    ctl.counts.(i) <- site + 1;
+    match
+      List.find_opt (fun r -> r.r_op = op && r.r_at = site) ctl.plan
+    with
+    | None -> None
+    | Some r ->
+        ctl.injections <- (op, site, r.r_fault) :: ctl.injections;
+        (match ctl.metrics with
+        | None -> ()
+        | Some m ->
+            Obs.Metrics.inc
+              (Obs.Metrics.counter m
+                 ~labels:
+                   [ ("kind", fault_label r.r_fault); ("op", op_label op) ]
+                 "chaos_injected_total"));
+        Some r.r_fault
+  end
+
+let disarm ctl =
+  lift (fun () ->
+      ctl.armed <- false;
+      List.iter (fun t -> t := 0) ctl.trickles;
+      ctl.trickles <- [])
+
+let site_counts ctl =
+  List.map (fun op -> (op, ctl.counts.(op_index op))) all_ops
+
+let injected ctl = List.rev ctl.injections
+let injected_count ctl = List.length ctl.injections
+
+(* ---- the decorator ---------------------------------------------------- *)
+
+let wrap_conn ctl (c : Backend.conn) =
+  let trickle = ref 0 in
+  let pre op = lift (fun () -> decide ctl op) in
+  let trickled io =
+    lift (fun () -> if ctl.armed then !trickle else 0) >>= fun d ->
+    if d > 0 then sleep d >>= fun () -> io else io
+  in
+  let send s =
+    pre Send >>= function
+    | None -> c.Backend.c_send s
+    | Some Eof -> throw End_of_file
+    | Some Reset -> throw Backend.Connection_reset
+    | Some (Short_write n) ->
+        let n = min (max n 0) (String.length s) in
+        c.Backend.c_send (String.sub s 0 n) >>= fun () ->
+        throw Backend.Connection_reset
+    | Some (Delay d) -> sleep d >>= fun () -> c.Backend.c_send s
+    | Some (Trickle d) ->
+        let rec go i =
+          if i >= String.length s then return ()
+          else
+            sleep d >>= fun () ->
+            c.Backend.c_send (String.make 1 s.[i]) >>= fun () -> go (i + 1)
+        in
+        go 0
+  in
+  let recv_char () =
+    pre Recv >>= function
+    | None -> trickled (c.Backend.c_recv_char ())
+    | Some Eof -> throw End_of_file
+    | Some (Reset | Short_write _) -> throw Backend.Connection_reset
+    | Some (Delay d) -> sleep d >>= fun () -> c.Backend.c_recv_char ()
+    | Some (Trickle d) ->
+        lift (fun () ->
+            trickle := d;
+            ctl.trickles <- trickle :: ctl.trickles)
+        >>= fun () ->
+        sleep d >>= fun () -> c.Backend.c_recv_char ()
+  in
+  let try_recv () =
+    pre Try_recv >>= function
+    | None -> c.Backend.c_try_recv ()
+    | Some Eof -> throw End_of_file
+    | Some (Reset | Short_write _) -> throw Backend.Connection_reset
+    | Some (Delay d | Trickle d) ->
+        sleep d >>= fun () -> c.Backend.c_try_recv ()
+  in
+  {
+    (* Close is never faulted: teardown must stay reliable or every
+       cleanup path would have to defend against its own bracket. *)
+    Backend.c_send = send;
+    c_recv_char = recv_char;
+    c_try_recv = try_recv;
+    c_close = c.Backend.c_close;
+    c_fd = c.Backend.c_fd;
+  }
+
+let wrap_listener ctl (l : Backend.listener) =
+  let pre op = lift (fun () -> decide ctl op) in
+  let accept () =
+    pre Accept >>= function
+    | None -> l.Backend.l_accept () >>= fun c -> return (wrap_conn ctl c)
+    | Some (Eof | Reset | Short_write _) -> throw Backend.Accept_failed
+    | Some (Delay d | Trickle d) ->
+        sleep d >>= fun () ->
+        l.Backend.l_accept () >>= fun c -> return (wrap_conn ctl c)
+  in
+  let dial () =
+    pre Dial >>= function
+    | None -> l.Backend.l_dial () >>= fun c -> return (wrap_conn ctl c)
+    | Some (Eof | Reset | Short_write _) -> throw Backend.Connection_refused
+    | Some (Delay d | Trickle d) ->
+        sleep d >>= fun () ->
+        l.Backend.l_dial () >>= fun c -> return (wrap_conn ctl c)
+  in
+  {
+    Backend.l_accept = accept;
+    l_dial = dial;
+    l_close = l.Backend.l_close;
+    l_port = l.Backend.l_port;
+  }
+
+let wrap ctl (b : Backend.t) =
+  {
+    b with
+    Backend.b_listen =
+      (fun ~backlog ->
+        b.Backend.b_listen ~backlog >>= fun l ->
+        return (wrap_listener ctl l));
+  }
+
+(* ---- seeded plans ------------------------------------------------------
+
+   Splitmix64-style hashing (same idiom as [Hsup.Retry]'s deterministic
+   jitter): no global [Random] state, replayable by seed alone. *)
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xbf58476d1ce4e5b9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94d049bb133111ebL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let hash seed i =
+  let h = mix (Int64.add (Int64.of_int seed)
+                 (Int64.mul 0x9e3779b97f4a7c15L (Int64.of_int (i + 1)))) in
+  Int64.to_int (Int64.logand h 0x3fffffffffffffffL)
+
+let faults_for = function
+  | Send -> [| Eof; Reset; Short_write 2; Delay 50; Trickle 25 |]
+  | Recv -> [| Eof; Reset; Delay 50; Trickle 25 |]
+  | Try_recv -> [| Eof; Reset; Delay 50 |]
+  | Accept -> [| Reset; Delay 50 |]
+  | Dial -> [| Reset; Delay 50 |]
+
+let default_faults op = Array.to_list (faults_for op)
+
+let random_plan ~seed ~sites ~rules =
+  let sites = List.filter (fun (_, n) -> n > 0) sites in
+  if sites = [] then []
+  else
+    let arr = Array.of_list sites in
+    List.init rules (fun i ->
+        let op, n = arr.(hash seed (3 * i) mod Array.length arr) in
+        let faults = faults_for op in
+        {
+          r_op = op;
+          r_at = hash seed ((3 * i) + 1) mod n;
+          r_fault = faults.(hash seed ((3 * i) + 2) mod Array.length faults);
+        })

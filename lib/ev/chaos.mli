@@ -1,0 +1,108 @@
+(** [Chaos] — a deterministic fault-injecting decorator over
+    {!Backend.t}.
+
+    [wrap ctl b] returns a backend observationally identical to [b]
+    except where the {e fault plan} inside [ctl] says otherwise: the
+    decorator interposes on every connection and listener operation,
+    numbers the operations of each kind in scheduler order ({e sites}),
+    and when site [at] of op [op] matches a plan rule it injects that
+    rule's fault instead of (or around) the real operation.
+
+    Everything is deterministic: sites are counted by a single [lift]
+    step at each operation, so for a fixed program and plan the same
+    faults land at the same operations on every run — which is what lets
+    {!Fault.Io_sweep} enumerate sites from one recorded run, re-run
+    with each fault at each site, replay any failure, and shrink it with
+    the same discipline as the kill sweep's [Plan]/[Shrink].
+
+    With an empty plan the wrapped backend performs the same operations
+    with the same blocking behaviour as the bare one (the interposition
+    costs scheduler steps, so step {e counts} differ; replies, metrics
+    and outcomes do not). Goldens never construct a [Chaos] backend, so
+    they are untouched by this module's existence. *)
+
+open Hio
+
+(** Which operation a rule attacks. *)
+type op = Send | Recv | Try_recv | Accept | Dial
+
+type fault =
+  | Eof  (** The op raises [End_of_file]. *)
+  | Reset
+      (** The op raises {!Backend.Connection_reset} (ECONNRESET); on
+          [Dial] it raises {!Backend.Connection_refused}, on [Accept]
+          {!Backend.Accept_failed}. *)
+  | Short_write of int
+      (** [Send] delivers only the first [n] bytes, then raises
+          {!Backend.Connection_reset} — the partial-write-then-reset
+          case. On other ops, behaves like [Reset]. *)
+  | Delay of int
+      (** The op sleeps [n] µs first (arming the timer wheel, so the
+          virtual clock advances in sim runs), then proceeds normally —
+          delayed readiness / a back-pressure stall. *)
+  | Trickle of int
+      (** [Recv]: this and {e every later} read on the same connection
+          sleeps [n] µs first — a byte-at-a-time trickling peer. [Send]:
+          the bytes go out one at a time with an [n] µs stall between
+          each. Elsewhere, like [Delay]. *)
+
+type rule = { r_op : op; r_at : int; r_fault : fault }
+(** Inject [r_fault] at the [r_at]-th (0-based) armed occurrence of
+    [r_op], counted globally across all connections of the wrapped
+    backend. *)
+
+type plan = rule list
+
+type ctl
+(** Per-run injection state: the plan, the per-op site counters, the
+    armed flag and the log of injections. Create a fresh one inside each
+    run ([lift (fun () -> create plan)]) — sharing a [ctl] across runs
+    would leak site counts between them and break determinism, exactly
+    like sharing a metrics registry would. *)
+
+val create : ?metrics:Obs.Metrics.t -> plan -> ctl
+(** When [metrics] is given, every injection increments
+    [chaos_injected_total{op,kind}]. *)
+
+val wrap : ctl -> Backend.t -> Backend.t
+val wrap_conn : ctl -> Backend.conn -> Backend.conn
+(** Decorate a single connection — for attacking a bare {!Backend.sim_pipe}
+    without a listener. *)
+
+val disarm : ctl -> unit Io.t
+(** Stop counting sites and injecting faults — pass-through from here
+    on. Cases call this before their quiescence probe so the probe's
+    operations can neither be faulted nor shift site numbering. Also
+    clears any sticky [Trickle] state. *)
+
+val site_counts : ctl -> (op * int) list
+(** How many armed sites of each op the run reached, in {!all_ops}
+    order. Zero-count ops are included. *)
+
+val injected : ctl -> (op * int * fault) list
+(** The injections performed, in execution order. *)
+
+val injected_count : ctl -> int
+
+val all_ops : op list
+
+val default_faults : op -> fault list
+(** The faults {!Fault.Io_sweep} (and {!random_plan}) try at each site
+    of an op: every fault kind applicable to it, with small default
+    delays (50 µs stalls, 25 µs trickles) sized against the server's
+    200 µs request deadline so both the absorbed and the timed-out paths
+    get exercised. *)
+
+val op_label : op -> string
+val fault_label : fault -> string
+(** Short stable labels ("send", "reset", "short4", …) — used as metric
+    label values and in the sweep JSON's fault-kind breakdown. *)
+
+val pp_rule : Format.formatter -> rule -> unit
+val pp_plan : Format.formatter -> plan -> unit
+
+val random_plan :
+  seed:int -> sites:(op * int) list -> rules:int -> plan
+(** A reproducible random plan: [rules] rules drawn (splitmix-style hash
+    of [seed], no global [Random] state) over the given per-op site
+    counts, each with a fault applicable to its op. Replayable by seed. *)

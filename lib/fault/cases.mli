@@ -5,6 +5,13 @@
     withdrawn, channel cursors restored, cleanup flags consistent, the
     server quiescent after shutdown. *)
 
+val join : 'a Hio_std.Task.t -> unit Hio.Io.t
+(** Await a task, discarding its outcome — unless the awaited exception
+    was aimed at {e us} while waiting (the task is still unfinished), in
+    which case it is re-thrown so a killed main dies properly. The
+    standard way for a sweep case to reap children that may themselves
+    be kill victims. *)
+
 val std : Sweep.case list
 (** [sem-units], [barrier-withdraw], [chan-conserve], [bchan-conserve],
     [mvar-lock], [cleanup-flags] — swept with {!Plan.Acting}. *)

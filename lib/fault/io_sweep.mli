@@ -1,0 +1,91 @@
+(** The I/O fault sweep: {!Sweep}'s discipline, aimed at the transport.
+
+    Where the kill sweep injects {!Hio.Io.Kill_thread} at every armed
+    {e scheduler step}, this driver injects transport faults at every
+    armed {e I/O operation site}: it records the case once with an empty
+    {!Ev.Chaos} plan, reads how many sends / recvs / accepts / dials the
+    schedule reached, and re-runs the case once per (site, fault) pair —
+    EOF, ECONNRESET, short writes, delayed readiness, trickled reads —
+    demanding the same verdict as the kill sweep ([Value ()], invariants
+    held, no thread blocked at exit).
+
+    {b Combined kill×I/O mode} ([kills_per_point > 0]) goes one step
+    further: for each fault point whose run was clean, the faulted
+    schedule is re-recorded and {!Hio.Io.Kill_thread} is additionally
+    injected at a sample of its armed steps — asynchronous exceptions
+    landing {e while the transport is misbehaving}, the paper's §5.2
+    adversary composed with partial failure.
+
+    Everything is deterministic: the chaos control state is created
+    fresh inside each run (one [lift] step), plans are plain data, and
+    re-runs are farmed to worker domains with results merged in point
+    order, so reports are byte-identical for every [jobs] value. *)
+
+type case
+(** A named program prepared for I/O sweeping. The body receives the
+    per-run {!Ev.Chaos.ctl} so it can build a wrapped backend (or wrap
+    bare pipe ends) and call {!Ev.Chaos.disarm} before its probe
+    phase. *)
+
+val case :
+  ?max_steps:int -> string -> (Ev.Chaos.ctl -> unit Hio.Io.t) -> case
+(** Default [max_steps] is [400_000] — I/O cases run servers. *)
+
+val case_name : case -> string
+
+type io_failure = {
+  if_case : string;
+  if_rule : Ev.Chaos.rule;  (** the failing fault injection *)
+  if_shrunk : Ev.Chaos.rule;  (** its site moved as early as it will go *)
+  if_kill : Plan.t;
+      (** the kill plan layered on top ([[]] for a pure I/O failure);
+          already {!Shrink.minimize}d *)
+  if_reason : string;
+}
+
+type report = {
+  ir_case : string;
+  ir_baseline_steps : int;
+  ir_sites : (Ev.Chaos.op * int) list;
+      (** armed sites per op in the recorded schedule, {!Ev.Chaos.all_ops}
+          order *)
+  ir_points : int;  (** (site, fault) pairs injected — faulted runs made *)
+  ir_kill_runs : int;  (** combined kill×I/O runs made on top *)
+  ir_faulted_steps : int;  (** total steps across all faulted runs *)
+  ir_by_kind : (string * int) list;
+      (** fault points per {!Ev.Chaos.fault_label} kind (plus a ["kill"]
+          entry for combined runs), label-sorted *)
+  ir_failures : io_failure list;
+}
+
+val record : case -> Sweep.schedule * (Ev.Chaos.op * int) list
+(** One clean-plan run: the schedule plus the armed site counts.
+    @raise Failure if the baseline does not end in [Value ()] with no
+    blocked threads. *)
+
+val run_rule :
+  case ->
+  Sweep.schedule ->
+  Ev.Chaos.rule ->
+  Plan.t ->
+  string option * unit Hio.Runtime.result
+(** One faulted run with [rule] armed and the kill plan layered on top
+    ([[]] for fault-only); [None] means all invariants held. Exposed for
+    replaying a reported failure. *)
+
+val sweep :
+  ?max_sites_per_op:int ->
+  ?kills_per_point:int ->
+  ?shrink:bool ->
+  ?jobs:int ->
+  case ->
+  report
+(** Enumerate every (op, site, fault) point — sites down-sampled evenly
+    per op to [max_sites_per_op] if given, faults from
+    {!Ev.Chaos.default_faults} — and re-run the case once per point.
+    [kills_per_point] (default [0]) additionally re-records each clean
+    point's faulted schedule and layers a kill at that many of its armed
+    steps, evenly sampled. [jobs] farms points to worker domains; the
+    report is identical for every value. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -29,7 +29,9 @@ module Conn : sig
   (** Everything currently buffered, without blocking. *)
 
   val close : t -> unit Io.t
-  (** Release the transport (a no-op on simulated connections). *)
+  (** Release the transport. Idempotent on both backends; on simulated
+      connections the peer's subsequent reads drain then raise
+      [End_of_file], like a socket close. *)
 end
 
 type request = {

@@ -6,6 +6,7 @@ type handler = Http.request -> Http.response Io.t
 
 type config = {
   request_timeout : int;
+  dial_timeout : int;
   max_concurrent : int;
   accept_queue : int;
   max_waiting : int;
@@ -17,6 +18,7 @@ type config = {
 let default_config =
   {
     request_timeout = 200;
+    dial_timeout = 50_000;
     max_concurrent = 4;
     accept_queue = 8;
     max_waiting = 16;
@@ -46,6 +48,10 @@ type instruments = {
   m_rejected : Obs.Metrics.counter;
   m_inflight : Obs.Metrics.gauge;
   m_latency : Obs.Metrics.histogram;
+  m_io_fault : string -> Obs.Metrics.counter;
+      (* server_io_faults_total{kind}: transport faults absorbed instead
+         of escaping as crashes — registered lazily per kind so quiet
+         runs don't grow the metrics table. *)
 }
 
 (* When an explicit backend is in play every series carries a
@@ -73,9 +79,25 @@ let instruments ?backend_name reg =
       Obs.Metrics.histogram reg
         ~buckets:[ 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 ]
         ~labels:extra "server_request_latency_steps";
+    m_io_fault =
+      (fun kind ->
+        Obs.Metrics.counter reg
+          ~labels:(("kind", kind) :: extra)
+          "server_io_faults_total");
   }
 
 exception Server_stopped
+exception Dial_timeout
+
+(* Transport faults a hardened server absorbs (close/503/keep going)
+   rather than letting them escape as crashes; everything else — handler
+   bugs, kills — keeps its §5 semantics. *)
+let io_fault_kind = function
+  | End_of_file -> Some "eof"
+  | Ev.Backend.Connection_reset -> Some "reset"
+  | Ev.Backend.Connection_refused -> Some "refused"
+  | Ev.Backend.Accept_failed -> Some "accept"
+  | _ -> None
 
 let service_unavailable =
   { Http.status = 503; reason = "Service Unavailable"; body = "" }
@@ -85,8 +107,11 @@ type mode =
   | Plain of { listener : Io.thread_id; admission : Sem.t }
 
 (* An external (backend-provided) listener and the thread pumping its
-   accepts into the in-process backlog queue. *)
-type ext = { el : Ev.Backend.listener; pump : Io.thread_id }
+   accepts into the in-process backlog queue. In supervised mode the
+   pump runs as a Permanent child of the tree ([pump = None]) so a kill
+   or crash restarts it instead of deafening the server; in plain mode
+   it is a bare fork we kill at shutdown. *)
+type ext = { el : Ev.Backend.listener; pump : Io.thread_id option }
 
 type t = {
   backlog : Http.Conn.t Bchan.t;
@@ -100,68 +125,119 @@ type t = {
 
 let count c = lift (fun () -> Obs.Metrics.inc c)
 
+(* --- the serving protocol -------------------------------------------------
+
+   Each connection carries a [progress] ref shared by every incarnation
+   of its worker. A restarted worker (its predecessor was killed or
+   crashed mid-request) must not re-run the handler — the request stream
+   is already partly consumed and the effect may not be idempotent — so
+   it degrades: a never-answered connection gets a 503, a connection
+   whose response write was cut gets closed. Setting [`Answered] and
+   starting the response write happen under one mask, so a kill cannot
+   produce a second answer on the same connection. *)
+type progress = Fresh | Serving | Answered
+
+let count_io ins kind = lift (fun () -> Obs.Metrics.inc (ins.m_io_fault kind))
+let close_quietly conn = catch (Http.Conn.close conn) (fun _ -> return ())
+
+(* [counter] is bumped only after the full response is on the wire, so
+   outcome counters mean "answered", not "tried to answer". *)
+let respond progress conn counter response =
+  mask_
+    ( lift (fun () -> progress := Answered) >>= fun () ->
+      Http.write_response conn response >>= fun () -> count counter )
+
+(* A bounded, fault-tolerant response write for paths outside the main
+   request deadline (504/degrade fallbacks, shutdown drain): the write
+   gets its own deadline, and a transport fault — the peer reset or
+   vanished — closes the connection instead of propagating. *)
+let safe_respond config ins progress conn counter response =
+  catch
+    ( Combinators.timeout config.request_timeout
+        (respond progress conn counter response)
+      >>= function
+      | Some () -> return ()
+      | None -> count_io ins "deadline" >>= fun () -> close_quietly conn )
+    (fun e ->
+      match io_fault_kind e with
+      | Some kind -> count_io ins kind >>= fun () -> close_quietly conn
+      | None -> throw e)
+
+(* The per-request deadline fired. If the response write was already in
+   progress ([Answered]) the byte stream is unusable — close the
+   connection; otherwise answer 504 under its own bounded write. *)
+let deadline_exceeded config ins progress conn =
+  lift (fun () -> !progress) >>= function
+  | Answered -> count_io ins "deadline" >>= fun () -> close_quietly conn
+  | Fresh | Serving ->
+      safe_respond config ins progress conn ins.m_timeouts
+        Http.timeout_response
+
+(* Read + handle, mapping the two expected failures — a malformed
+   request, a peer that reset or closed mid-request — to data. *)
+let read_and_handle handler conn =
+  catch
+    ( Http.read_request conn >>= fun request ->
+      handler request >>= fun response -> return (`Reply response) )
+    (fun e ->
+      match e with
+      | Http.Bad_request m -> return (`Bad m)
+      | e -> (
+          match io_fault_kind e with
+          | Some kind -> return (`Peer_gone (kind, e))
+          | None -> throw e))
+
 (* --- the unsupervised (§11-prototype) path -------------------------------
 
    Serve one connection end to end: the composable timeout covers the
-   admission wait, the (possibly trickling) request read, and the handler;
-   the connection is always answered. Latency is measured on the
-   virtual-step clock, first step to final response byte. *)
+   admission wait, the (possibly trickling) request read, the handler,
+   {e and the response write} — a stalled reader can no longer hold a
+   worker past the deadline. Latency is measured on the virtual-step
+   clock, first step to final response byte. *)
 let serve_plain config ins admission handler conn =
   steps >>= fun t0 ->
+  lift (fun () -> ref Fresh) >>= fun progress ->
   Combinators.timeout config.request_timeout
-    (Sem.with_unit admission
-       (catch
-          ( Http.read_request conn >>= fun request ->
-            handler request >>= fun response -> return (`Reply response) )
-          (fun e ->
-            match e with
-            | Http.Bad_request m -> return (`Bad m)
-            | e -> throw e)))
-  >>= fun outcome ->
-  (match outcome with
-  | Some (`Reply response) ->
-      count ins.m_served >>= fun () -> Http.write_response conn response
-  | Some (`Bad m) ->
-      count ins.m_bad >>= fun () ->
-      Http.write_response conn (Http.bad_request m)
-  | None ->
-      count ins.m_timeouts >>= fun () ->
-      Http.write_response conn Http.timeout_response)
+    ( Sem.with_unit admission (read_and_handle handler conn) >>= function
+      | `Reply response -> respond progress conn ins.m_served response
+      | `Bad m -> respond progress conn ins.m_bad (Http.bad_request m)
+      | `Peer_gone (kind, _) ->
+          (* nobody left to answer *)
+          count_io ins kind >>= fun () -> close_quietly conn )
+  >>= (function
+        | Some () -> return ()
+        | None -> deadline_exceeded config ins progress conn)
   >>= fun () ->
   steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
 
 (* Keep-alive variant of [serve_plain] (used only when
-   [config.keep_alive]; the one-shot path above is kept verbatim because
-   its step counts are pinned by the sweep baselines). Serves requests
-   off the same connection until the peer closes (End_of_file), a
-   request times out, or it is malformed — a parse error or timeout
-   leaves the byte stream unsynchronized, so the connection cannot be
-   reused and is closed after the error response. *)
+   [config.keep_alive]). Serves requests off the same connection until
+   the peer closes or resets, a request times out, or it is malformed —
+   a parse error or timeout leaves the byte stream unsynchronized, so
+   the connection cannot be reused and is closed after the error
+   response. *)
 let serve_keep_alive config ins admission handler conn =
   let serve_one () =
     steps >>= fun t0 ->
+    lift (fun () -> ref Fresh) >>= fun progress ->
     Combinators.timeout config.request_timeout
-      (Sem.with_unit admission
-         (catch
-            ( Http.read_request conn >>= fun request ->
-              handler request >>= fun response -> return (`Reply response) )
-            (fun e ->
-              match e with
-              | Http.Bad_request m -> return (`Bad m)
-              | e -> throw e)))
-    >>= fun outcome ->
-    (match outcome with
-    | Some (`Reply response) ->
-        count ins.m_served >>= fun () ->
-        Http.write_response conn response >>= fun () -> return `Keep
-    | Some (`Bad m) ->
-        count ins.m_bad >>= fun () ->
-        Http.write_response conn (Http.bad_request m) >>= fun () ->
-        return `Close
-    | None ->
-        count ins.m_timeouts >>= fun () ->
-        Http.write_response conn Http.timeout_response >>= fun () ->
-        return `Close)
+      ( Sem.with_unit admission (read_and_handle handler conn) >>= function
+        | `Reply response ->
+            respond progress conn ins.m_served response >>= fun () ->
+            return `Keep
+        | `Bad m ->
+            respond progress conn ins.m_bad (Http.bad_request m)
+            >>= fun () -> return `Close
+        | `Peer_gone (_, e) ->
+            (* at a request boundary this is the normal end of a
+               keep-alive conversation: re-throw so the outer loop
+               closes without booking a phantom request *)
+            throw e )
+    >>= (function
+          | Some verdict -> return verdict
+          | None ->
+              deadline_exceeded config ins progress conn >>= fun () ->
+              return `Close)
     >>= fun verdict ->
     steps >>= fun t1 ->
     lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0)) >>= fun () ->
@@ -169,7 +245,7 @@ let serve_keep_alive config ins admission handler conn =
   in
   let rec loop () =
     catch (serve_one ()) (function
-      | End_of_file -> return `Close
+      | End_of_file | Ev.Backend.Connection_reset -> return `Close
       | e -> throw e)
     >>= function
     | `Keep -> loop ()
@@ -184,41 +260,39 @@ let serve_keep_alive config ins admission handler conn =
    the rest are shed with an immediate 503 — saturation degrades service
    instead of growing an unbounded queue.
 
-   Each connection carries a [progress] ref shared by every incarnation
-   of its worker. A restarted worker (its predecessor was killed
-   mid-request) must not re-run the handler — the request stream is
-   already partly consumed and the effect may not be idempotent — so it
-   degrades: if the connection was never answered it writes a 503 and is
-   done. Setting [`Answered] and starting the response write happen under
-   one mask, so a kill cannot produce a second answer on the same
-   connection. *)
-type progress = Fresh | Serving | Answered
-
-let respond progress conn counter response =
-  count counter >>= fun () ->
-  mask_
-    ( lift (fun () -> progress := Answered) >>= fun () ->
-      Http.write_response conn response )
+   The request deadline covers the response write. Transport faults
+   during the read are absorbed here (peer gone: close, count, exit Ok —
+   no restart burned); a fault {e during the response write} is counted
+   and then escapes the worker on purpose: the supervisor restarts it,
+   and the fresh incarnation finds [Answered] and degrades the
+   connection by closing it — the crash is contained one level up
+   instead of escalating. *)
+let counted_escape ins io =
+  catch io (fun e ->
+      match io_fault_kind e with
+      | Some kind -> count_io ins kind >>= fun () -> throw e
+      | None -> throw e)
 
 let serve_supervised config ins bulk handler conn progress =
   steps >>= fun t0 ->
   Combinators.timeout config.request_timeout
-    (Hsup.Bulkhead.run bulk
-       (catch
-          ( Http.read_request conn >>= fun request ->
-            handler request >>= fun response -> return (`Reply response) )
-          (fun e ->
-            match e with
-            | Http.Bad_request m -> return (`Bad m)
-            | e -> throw e)))
-  >>= fun outcome ->
-  (match outcome with
-  | Some (Ok (`Reply response)) -> respond progress conn ins.m_served response
-  | Some (Ok (`Bad m)) ->
-      respond progress conn ins.m_bad (Http.bad_request m)
-  | Some (Error `Shed) ->
-      respond progress conn ins.m_shed service_unavailable
-  | None -> respond progress conn ins.m_timeouts Http.timeout_response)
+    ( Hsup.Bulkhead.run bulk (read_and_handle handler conn) >>= function
+      | Ok (`Reply response) ->
+          counted_escape ins (respond progress conn ins.m_served response)
+      | Ok (`Bad m) ->
+          counted_escape ins
+            (respond progress conn ins.m_bad (Http.bad_request m))
+      | Ok (`Peer_gone (kind, _)) ->
+          count_io ins kind >>= fun () ->
+          mask_
+            ( lift (fun () -> progress := Answered) >>= fun () ->
+              close_quietly conn )
+      | Error `Shed ->
+          counted_escape ins
+            (respond progress conn ins.m_shed service_unavailable) )
+  >>= (function
+        | Some () -> return ()
+        | None -> deadline_exceeded config ins progress conn)
   >>= fun () ->
   steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
 
@@ -226,10 +300,15 @@ let worker_body config ins bulk handler conn progress =
   Combinators.bracket_
     (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
     ( lift (fun () -> !progress) >>= function
-      | Answered -> return ()
+      | Answered ->
+          (* the previous incarnation died after its answer started: the
+             response may be incomplete, so degrade the connection by
+             closing it — the peer sees EOF, not a stalled stream *)
+          close_quietly conn
       | Serving ->
           (* a previous incarnation was killed mid-request *)
-          respond progress conn ins.m_degraded service_unavailable
+          safe_respond config ins progress conn ins.m_degraded
+            service_unavailable
       | Fresh ->
           lift (fun () -> progress := Serving) >>= fun () ->
           serve_supervised config ins bulk handler conn progress )
@@ -318,12 +397,27 @@ let start ?(config = default_config) ?metrics ?backend handler =
       start_core ~config ~metrics ~backend_name:b.Ev.Backend.b_name handler
       >>= fun server ->
       b.Ev.Backend.b_listen ~backlog:config.accept_queue >>= fun el ->
-      fork ~name:"accept-pump"
-        (catch
-           (Combinators.forever
-              ( el.Ev.Backend.l_accept () >>= fun conn ->
-                Bchan.send server.backlog conn ))
-           (fun _ -> return ()))
+      (* A transient accept failure must not deafen the server: count it
+         and keep accepting. *)
+      let pump_body =
+        Combinators.forever
+          (catch
+             ( el.Ev.Backend.l_accept () >>= fun conn ->
+               Bchan.send server.backlog conn )
+             (fun e ->
+               match io_fault_kind e with
+               | Some kind -> count_io server.ins kind
+               | None -> throw e))
+      in
+      (match server.mode with
+      | Supervised { sup; _ } ->
+          Hsup.Sup.start_child sup
+            (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent "accept-pump"
+               pump_body)
+          >>= fun () -> return None
+      | Plain _ ->
+          fork ~name:"accept-pump" (catch pump_body (fun _ -> return ()))
+          >>= fun tid -> return (Some tid))
       >>= fun pump -> return { server with ext = Some { el; pump } }
 
 let metrics server = server.registry
@@ -337,7 +431,14 @@ let connect server =
   if not server.accepting then throw Server_stopped
   else
     match server.ext with
-    | Some { el; _ } -> el.Ev.Backend.l_dial ()
+    | Some { el; _ } -> (
+        (* a dead, saturated or chaos-refusing listener yields
+           [Dial_timeout], not a forever-blocked client thread *)
+        Combinators.timeout server.config.dial_timeout
+          (el.Ev.Backend.l_dial ())
+        >>= function
+        | Some conn -> return conn
+        | None -> throw Dial_timeout)
     | None ->
         (* no backend was given: the implicit simulated transport *)
         Ev.Backend.sim_pipe () >>= fun (client_side, server_side) ->
@@ -348,24 +449,40 @@ let shutdown server =
   lift (fun () -> server.accepting <- false) >>= fun () ->
   (* stop accepting: kill the accept loop (without restart, in the
      supervised mode) and wait until it is gone *)
+  let stop_sup_child sup name =
+    Hsup.Sup.stop_child sup name >>= fun () ->
+    let rec wait_child () =
+      Hsup.Sup.child_up sup name >>= fun up ->
+      Hsup.Sup.alive sup >>= fun alive ->
+      if up && alive then yield >>= fun () -> wait_child ()
+      else return ()
+    in
+    wait_child ()
+  in
   (match server.mode with
   | Plain { listener; _ } -> throw_to listener Kill_thread
-  | Supervised { sup; _ } ->
-      Hsup.Sup.stop_child sup "listener" >>= fun () ->
-      let rec wait_listener () =
-        Hsup.Sup.child_up sup "listener" >>= fun up ->
-        Hsup.Sup.alive sup >>= fun alive ->
-        if up && alive then yield >>= fun () -> wait_listener ()
-        else return ()
-      in
-      wait_listener ())
+  | Supervised { sup; _ } -> stop_sup_child sup "listener")
   >>= fun () ->
-  (* reject anything still queued *)
+  (* Reject anything still queued. Each 503 write is bounded and
+     fault-tolerant — a queued connection whose peer already vanished
+     (or is being chaos-trickled) must not stall the shutdown — and the
+     connection is closed so the peer sees EOF, not silence. *)
   let rec drain () =
     Bchan.try_recv server.backlog >>= function
     | Some conn ->
         count server.ins.m_rejected >>= fun () ->
-        Http.write_response conn service_unavailable >>= fun () -> drain ()
+        catch
+          ( Combinators.timeout server.config.request_timeout
+              (Http.write_response conn service_unavailable)
+          >>= function
+            | Some () -> return ()
+            | None -> count_io server.ins "deadline" )
+          (fun e ->
+            match io_fault_kind e with
+            | Some kind -> count_io server.ins kind
+            | None -> throw e)
+        >>= fun () ->
+        close_quietly conn >>= fun () -> drain ()
     | None -> return ()
   in
   (match server.ext with
@@ -373,7 +490,11 @@ let shutdown server =
   | Some { el; pump } ->
       (* stop the accept pump and close the external listener before
          draining, so no new connection can slip into the backlog *)
-      throw_to pump Kill_thread >>= fun () ->
+      (match (pump, server.mode) with
+      | Some tid, _ -> throw_to tid Kill_thread
+      | None, Supervised { sup; _ } -> stop_sup_child sup "accept-pump"
+      | None, Plain _ -> return ())
+      >>= fun () ->
       el.Ev.Backend.l_close () >>= fun () -> drain ())
   >>= fun () ->
   (* wait for in-flight workers; each is bounded by the request timeout *)

@@ -17,7 +17,19 @@
     Every robustness property comes from a §7 combinator: workers release
     their admission slot via [bracket]; a killed or timed-out worker
     cannot wedge a connection (channel ends are restored per §5.2); and
-    shutdown is a plain asynchronous exception into the accept loop. *)
+    shutdown is a plain asynchronous exception into the accept loop.
+
+    Since the I/O-chaos hardening the per-request deadline also covers
+    the {e response write} (a stalled or trickling reader cannot hold a
+    worker past [request_timeout]); transport faults during the read —
+    the peer reset, closed, or never finished its request — are absorbed
+    as a counted close ([server_io_faults_total{kind}]) rather than
+    escaping as crashes; a fault {e during} the response write escapes
+    on purpose so the supervisor restarts the worker, whose fresh
+    incarnation closes the broken connection; the accept pump survives
+    transient accept failures; and the shutdown drain's 503s are
+    individually bounded and fault-tolerant. The combined kill×I/O sweep
+    ([chrun sweep --suite chaos]) holds all of this at zero failures. *)
 
 open Hio
 
@@ -25,8 +37,14 @@ type handler = Http.request -> Http.response Io.t
 
 type config = {
   request_timeout : int;
-      (** µs per request, end to end — virtual time by default, real
-          time under a backend with an event source ([Ev.Real]) *)
+      (** µs per request, end to end {e including the response write} —
+          virtual time by default, real time under a backend with an
+          event source ([Ev.Real]) *)
+  dial_timeout : int;
+      (** µs budget for {!connect}'s [l_dial] when the server runs on an
+          explicit backend; expiry raises {!Dial_timeout}. Generous by
+          default (50ms): it exists so a dead or fault-injected listener
+          cannot strand a client forever, not to race healthy dials. *)
   max_concurrent : int;
   accept_queue : int;  (** listener backlog *)
   max_waiting : int;
@@ -60,6 +78,10 @@ type t
 
 exception Server_stopped
 
+exception Dial_timeout
+(** {!connect} could not reach the backend listener within
+    [config.dial_timeout]. *)
+
 val start :
   ?config:config ->
   ?metrics:Obs.Metrics.t ->
@@ -84,7 +106,9 @@ val start :
     share a table with the runtime's own collector
     ({!Obs.Runtime_obs.metrics}); a private registry is created otherwise.
     The server maintains [server_requests_total{outcome=ok|timeout|
-    bad_request|shed|degraded}], [server_rejected_total], the
+    bad_request|shed|degraded}], [server_rejected_total],
+    [server_io_faults_total{kind=eof|reset|refused|accept|deadline}]
+    (transport faults absorbed by the hardened paths), the
     [server_in_flight] gauge and the [server_request_latency_steps]
     histogram (end-to-end request latency on the virtual-step clock); in
     supervised mode the tree and bulkhead add [sup_restarts_total],
@@ -106,7 +130,9 @@ val connect : t -> Http.Conn.t Io.t
     (no [?backend] at {!start}) is retained for the deterministic test
     fleet but deprecated for new code — pass [Ev.Backend.sim ()]
     explicitly so the transport choice is visible at the call site.
-    @raise Server_stopped (as a synchronous throw) after {!shutdown}. *)
+    @raise Server_stopped (as a synchronous throw) after {!shutdown}.
+    @raise Dial_timeout when an explicit backend's listener does not
+    answer the dial within [config.dial_timeout]. *)
 
 val shutdown : t -> stats Io.t
 (** Stop the accept loop (a supervised listener is retired, not

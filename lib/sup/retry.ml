@@ -27,6 +27,12 @@ let default_retry_on = function
   | Kill_thread | Timeout -> false
   | _ -> true
 
+let transient_io = function
+  | End_of_file | Ev.Backend.Connection_reset | Ev.Backend.Connection_refused
+  | Ev.Backend.Accept_failed ->
+      true
+  | _ -> false
+
 let retry ?(attempts = 4) ?base ?factor ?max_delay ?jitter
     ?(retry_on = default_retry_on) io =
   let rec go k =

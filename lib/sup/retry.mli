@@ -38,3 +38,11 @@ val retry :
     sweep's injection, a supervisor takedown) or an enclosing
     {!Hio_std.Combinators.timeout} must terminate the computation, not
     restart it. *)
+
+val transient_io : exn -> bool
+(** The retry-on-reset policy for clients of a chaos-prone transport:
+    [true] exactly for the transient transport faults — [End_of_file],
+    [Ev.Backend.Connection_reset], [Ev.Backend.Connection_refused],
+    [Ev.Backend.Accept_failed]. Pass as [~retry_on] to {!retry} to
+    redial through resets and refusals while still letting kills,
+    timeouts and real bugs terminate the computation. *)

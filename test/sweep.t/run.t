@@ -41,9 +41,13 @@ answering probes), which each case checks after disarming. The
 sup-server case is the ISSUE's graceful-degradation gate: saturating
 clients must each get an allowed answer (200/503/504 or their own
 timeout) whatever was killed — client, worker, listener, or the
-supervisor itself. (The sup-server baseline was re-pinned 15213 -> 15069
-steps when Combinators.timeout moved onto the timer wheel — one child
-thread per call instead of two; the kill-point verdicts are unchanged.)
+supervisor itself. (The sup-server baseline was re-pinned 15069 -> 10480
+steps when the sim backend's lossy ring buffers became closeable bounded
+pipes with EOF-on-close — blocked reads park on MVars instead of
+polling, so conversations cost far fewer steps — and the server grew
+its I/O hardening: response writes inside the request deadline, a
+supervised accept pump, transport faults mapped to counters instead of
+crashes. The kill-point verdicts are unchanged.)
 
   $ chrun sweep --suite sup --max-points 3
   sup-one-for-one    target=acting: 3 kill points (3 applied), baseline 547 steps, 0 failures
@@ -52,19 +56,35 @@ thread per call instead of two; the kill-point verdicts are unchanged.)
   sup-all-for-one    target=acting: 3 kill points (3 applied), baseline 553 steps, 0 failures
   sup-retry-breaker  target=acting: 3 kill points (3 applied), baseline 171 steps, 0 failures
   sup-bulkhead       target=acting: 3 kill points (3 applied), baseline 375 steps, 0 failures
-  sup-server         target=acting: 3 kill points (3 applied), baseline 15069 steps, 0 failures
-  sup-server         target="supervisor": 3 kill points (2 applied), baseline 15069 steps, 0 failures
-  sup-server         target="listener": 3 kill points (2 applied), baseline 15069 steps, 0 failures
-  sup-server         target="conn-worker": 3 kill points (1 applied), baseline 15069 steps, 0 failures
+  sup-server         target=acting: 3 kill points (3 applied), baseline 10480 steps, 0 failures
+  sup-server         target="supervisor": 3 kill points (2 applied), baseline 10480 steps, 0 failures
+  sup-server         target="listener": 3 kill points (2 applied), baseline 10480 steps, 0 failures
+  sup-server         target="conn-worker": 3 kill points (1 applied), baseline 10480 steps, 0 failures
 
---json records the sweep for BENCH_fault.json (schema 3 is free of
-wall-clock fields, so the record is fully deterministic):
+The chaos suite aims the same discipline at the transport: every I/O
+operation site the recorded schedule reaches (sends, byte reads,
+accepts, dials) is re-run with each applicable fault — EOF, ECONNRESET,
+short writes, delayed readiness, trickled reads — and, with
+--kills-per-point, a KillThread is additionally injected at armed steps
+of the faulted schedule. The hardened server and the pipe case must
+absorb every one:
+
+  $ chrun sweep --suite chaos --max-sites 2 --kills-per-point 1
+  io-pipe            io: sites {send=1 recv=14}, 13 fault points, 13 kill runs, baseline 784 steps, 0 failures
+  io-server          io: sites {send=6 recv=189 accept=4 dial=3}, 26 fault points, 26 kill runs, baseline 11363 steps, 0 failures
+
+--json records the sweep for BENCH_fault.json / BENCH_chaos.json
+(schema 4 is free of wall-clock fields, so the record is fully
+deterministic):
 
   $ chrun sweep --suite std --max-points 5 --json out.json > /dev/null
   $ grep -c '"case"' out.json
   6
-  $ grep -o '"kill_points": [0-9]*, "failures": [0-9]*' out.json
-  "kill_points": 30, "failures": 0
+  $ grep -o '"kill_points": [0-9]*, "fault_points": [0-9]*, "failures": [0-9]*' out.json
+  "kill_points": 30, "fault_points": 0, "failures": 0
+  $ chrun sweep --suite chaos --max-sites 2 --kills-per-point 1 --json chaos.json > /dev/null
+  $ grep -o '"fault_kinds": { [^}]*"kill": [0-9]* }' chaos.json | head -1
+  "fault_kinds": { "delay50": 3, "eof": 3, "reset": 3, "short2": 1, "trickle25": 3, "kill": 13 }
 
 The parallel sweep is observationally sequential: --jobs changes wall
 clock only. The embedded command line is normalised (--jobs and --json

@@ -308,6 +308,62 @@ let switch_tests =
                 "server_requests_total")));
   ]
 
+(* ---- close semantics, identical on both backends ----------------------
+   [c_close] is idempotent, and a peer that closes while we are blocked
+   in [c_recv_char] wakes us with [End_of_file] — the sim pipes must
+   behave exactly like a TCP FIN through the epoll event source. *)
+
+let close_scenario (b : Ev.Backend.t) =
+  b.Ev.Backend.b_listen ~backlog:4 >>= fun l ->
+  l.Ev.Backend.l_dial () >>= fun client ->
+  l.Ev.Backend.l_accept () >>= fun served ->
+  Mvar.new_empty >>= fun res ->
+  fork
+    (catch
+       (served.Ev.Backend.c_recv_char () >>= fun _ -> Mvar.put res "got")
+       (fun e ->
+         Mvar.put res (if e = End_of_file then "eof" else "other")))
+  >>= fun _ ->
+  (* give the reader time to block before the close lands *)
+  sleep 1_000 >>= fun () ->
+  client.Ev.Backend.c_close () >>= fun () ->
+  client.Ev.Backend.c_close () >>= fun () ->
+  Mvar.take res >>= fun woke ->
+  served.Ev.Backend.c_close () >>= fun () ->
+  served.Ev.Backend.c_close () >>= fun () ->
+  l.Ev.Backend.l_close () >>= fun () -> return woke
+
+let close_tests =
+  [
+    case "sim: close during a blocked read wakes it with End_of_file"
+      (fun () ->
+        Alcotest.(check string) "woken" "eof"
+          (value (close_scenario (Ev.Backend.sim ()))));
+    case "sim pipe: queued bytes drain before the EOF surfaces" (fun () ->
+        Alcotest.(check string) "drain then eof" "xy:eof"
+          (value
+             ( Ev.Backend.sim_pipe () >>= fun (a, b) ->
+               a.Ev.Backend.c_send "xy" >>= fun () ->
+               a.Ev.Backend.c_close () >>= fun () ->
+               a.Ev.Backend.c_close () >>= fun () ->
+               b.Ev.Backend.c_recv_char () >>= fun c1 ->
+               b.Ev.Backend.c_recv_char () >>= fun c2 ->
+               catch
+                 (b.Ev.Backend.c_recv_char () >>= fun _ -> return "more")
+                 (fun e ->
+                   return (if e = End_of_file then "eof" else "other"))
+               >>= fun tail ->
+               return (Printf.sprintf "%c%c:%s" c1 c2 tail) )));
+    case "sim pipe: send after close raises End_of_file" (fun () ->
+        Alcotest.(check bool) "raises" true
+          (value
+             ( Ev.Backend.sim_pipe () >>= fun (a, _b) ->
+               a.Ev.Backend.c_close () >>= fun () ->
+               catch
+                 (a.Ev.Backend.c_send "z" >>= fun () -> return false)
+                 (fun e -> return (e = End_of_file)) )));
+  ]
+
 (* ---- the real backend (loopback TCP, epoll/select event source) ------- *)
 
 let real_config () =
@@ -329,6 +385,16 @@ let run_real io =
 
 let real_tests =
   [
+    slow_case "real: close during a blocked read wakes it with End_of_file"
+      (fun () ->
+        let _, r = run_real (fun backend -> close_scenario backend) in
+        match r.Runtime.outcome with
+        | Runtime.Value woke ->
+            Alcotest.(check string) "woken" "eof" woke
+        | Runtime.Uncaught e ->
+            Alcotest.failf "uncaught: %s" (Printexc.to_string e)
+        | Runtime.Deadlock -> Alcotest.fail "deadlock"
+        | Runtime.Out_of_steps -> Alcotest.fail "out of steps");
     slow_case "sleep is real time under the event source" (fun () ->
         let _, r =
           run_real (fun _ ->
@@ -396,5 +462,6 @@ let suites =
     ("ev:wheel-props", wheel_props);
     ("ev:timers", timer_tests);
     ("ev:switch", switch_tests);
+    ("ev:close", close_tests);
     ("ev:real", real_tests);
   ]
