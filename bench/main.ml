@@ -17,6 +17,7 @@
    OB  —         observability overhead: Obs.Rec vs logs tracer vs off
    PAR —         domain-parallel sweep/exploration at 1/2/4/8 domains
    SUP —         supervised vs bare server, clean and under injected kills
+   ACT —         actor layer: call round-trip, mailbox ring, selective stash
 
    Run with: dune exec bench/main.exe *)
 
@@ -612,6 +613,74 @@ let sup_group =
         sup_kill_sweep ~supervised:false));
   ]
 
+(* --- ACT: actor layer -------------------------------------------------------- *)
+
+(* The fixed costs of lib/actor, headline numbers for BENCH_actor.json's
+   mailbox section: a call round-trip (mailbox send + selective receive +
+   reply mvar), a token lap around a ring of mailboxes, and selective
+   receive when every message must first be stashed past. *)
+
+let act_call_roundtrips n =
+  let open Io in
+  let module Actor = Hactor.Actor in
+  Actor.spawn ~name:"ponger" (fun self ->
+      Combinators.forever
+        ( Actor.receive self (fun (`Ping r) -> Some r) >>= fun r ->
+          Actor.reply r () ))
+  >>= fun ponger ->
+  Combinators.repeat n (Actor.call ponger (fun r -> `Ping r)) >>= fun () ->
+  Actor.stop ponger >>= fun _ -> return n
+
+let act_ring ~members:m ~laps =
+  let open Io in
+  let module Actor = Hactor.Actor in
+  Mvar.new_empty >>= fun done_mv ->
+  let rec mk i acc =
+    if i = 0 then return (Array.of_list acc)
+    else Actor.create () >>= fun a -> mk (i - 1) (a :: acc)
+  in
+  mk m [] >>= fun ring ->
+  let rec start i =
+    if i = m then return ()
+    else
+      Actor.fork_body ring.(i) (fun self ->
+          Combinators.forever
+            ( Actor.receive self (fun (`Token k) -> Some k) >>= fun k ->
+              if k = 0 then Mvar.put done_mv ()
+              else Actor.send ring.((i + 1) mod m) (`Token (k - 1)) ))
+      >>= fun () -> start (i + 1)
+  in
+  start 0 >>= fun () ->
+  Actor.send ring.(0) (`Token (m * laps)) >>= fun () ->
+  Mvar.take done_mv >>= fun () ->
+  let rec kill_all i =
+    if i = m then return (m * laps)
+    else Actor.kill ring.(i) >>= fun () -> kill_all (i + 1)
+  in
+  kill_all 0
+
+let act_selective_stash n =
+  (* n low-priority messages arrive first; the receiver picks the one
+     high-priority message, restashing past all of them, then drains *)
+  let open Io in
+  let module Mailbox = Hactor.Mailbox in
+  Mailbox.create () >>= fun mb ->
+  Combinators.repeat n (Mailbox.push mb 0) >>= fun () ->
+  Mailbox.push mb 1 >>= fun () ->
+  Mailbox.receive mb (fun v -> if v = 1 then Some v else None) >>= fun _ ->
+  Combinators.repeat n (Mailbox.next mb >>= fun _ -> return ()) >>= fun () ->
+  return n
+
+let act =
+  [
+    Test.make ~name:"act/call-roundtrip-100" (stage (fun () ->
+        run_rr (act_call_roundtrips 100)));
+    Test.make ~name:"act/ring-16x20" (stage (fun () ->
+        run_rr (act_ring ~members:16 ~laps:20)));
+    Test.make ~name:"act/selective-stash-200" (stage (fun () ->
+        run_rr (act_selective_stash 200)));
+  ]
+
 (* --- harness ---------------------------------------------------------------- *)
 
 let groups =
@@ -634,6 +703,7 @@ let groups =
     ("OB observability overhead", ob);
     ("PAR domain-parallel engines", par_group);
     ("SUP supervision layer", sup_group);
+    ("ACT actor layer", act);
   ]
 
 (* CLI: [-quota SECONDS] bounds the per-test measuring time (CI smoke runs

@@ -361,26 +361,44 @@ let equiv_cmd =
 
 (* --- chrun sweep ------------------------------------------------------------- *)
 
+(* The suite names, in the order the suites run and the JSON lists
+   them. Parsed by hand (not Arg.enum) so an unknown suite can exit 2
+   with the full list — cmdliner's enum error exits 124 and its
+   message drifts from the actual suite set. *)
+let suite_names = [ "corpus"; "std"; "server"; "sup"; "chaos"; "actor"; "all" ]
+
+let suite_of_string = function
+  | "corpus" -> Some `Corpus
+  | "std" -> Some `Std
+  | "server" -> Some `Server
+  | "sup" -> Some `Sup
+  | "chaos" -> Some `Chaos
+  | "actor" -> Some `Actor
+  | "all" -> Some `All
+  | _ -> None
+
 let suite_arg =
   Arg.(
-    value
-    & opt
-        (enum
-           [ ("corpus", `Corpus); ("std", `Std); ("server", `Server);
-             ("sup", `Sup); ("chaos", `Chaos); ("all", `All) ])
-        `Corpus
+    value & opt string "corpus"
     & info [ "suite" ] ~docv:"SUITE"
         ~doc:
-          "What to sweep: $(b,corpus) (the Ch object-language programs, \
-           through the Figure 4/5 rules), $(b,std) (the §7 hio abstractions: \
-           Sem, Barrier, Chan, Bchan, Mvar locks, cleanup combinators), \
-           $(b,server) (the §11 server, including targeted listener/worker \
-           kills), $(b,sup) (the supervision layer: restart strategies, \
-           retry + breaker, bulkhead, and the supervised server's graceful \
-           degradation, including targeted supervisor/listener/worker \
-           kills), $(b,chaos) (the I/O fault sweep: EOF / ECONNRESET / \
-           short writes / delays / trickles injected at every transport \
-           operation site, plus combined kill+fault runs), or $(b,all).")
+          "What to sweep — one of $(b,corpus), $(b,std), $(b,server), \
+           $(b,sup), $(b,chaos), $(b,actor), or $(b,all): $(b,corpus) (the \
+           Ch object-language programs, through the Figure 4/5 rules), \
+           $(b,std) (the §7 hio abstractions: Sem, Barrier, Chan, Bchan, \
+           Mvar locks, cleanup combinators), $(b,server) (the §11 server, \
+           including targeted listener/worker kills), $(b,sup) (the \
+           supervision layer: restart strategies, retry + breaker, \
+           bulkhead, and the supervised server's graceful degradation, \
+           including targeted supervisor/listener/worker kills), \
+           $(b,chaos) (the I/O fault sweep: EOF / ECONNRESET / short \
+           writes / delays / trickles injected at every transport \
+           operation site, plus combined kill+fault runs), $(b,actor) \
+           (the exception-linked actor layer: link/monitor delivery \
+           races, call/stop, the mailbox-FIFO token ring, and the \
+           sharded supervised server with targeted router / shard / \
+           supervisor kills), or $(b,all). An unknown suite exits 2 \
+           with this list.")
 
 let max_points_arg =
   Arg.(
@@ -419,9 +437,9 @@ let json_arg =
         ~doc:
           "Also write a machine-readable summary (kill points, failures, \
            step overhead) to $(docv). The report is fully deterministic — \
-           no wall-clock field, and $(b,--jobs) is stripped from the \
-           recorded command — so runs at different job counts must be \
-           byte-identical (CI diffs them).")
+           no wall-clock field, and $(b,--jobs) and $(b,--json) are \
+           stripped from the recorded command — so runs at different job \
+           counts must be byte-identical (CI diffs them).")
 
 let strict_arg =
   Arg.(
@@ -433,28 +451,30 @@ let strict_arg =
            so their wedges are the paper's motivating counterexamples, \
            reported but expected.")
 
-(* The recorded command must not mention the jobs count: the report is
-   diffed byte-for-byte across --jobs values by CI's determinism guard
-   (timing already lives in BENCH_par.json, not here). *)
+(* The recorded command must not mention the jobs count or the output
+   path: the report is diffed byte-for-byte across --jobs values (and
+   scratch filenames) by CI's determinism guard (timing already lives in
+   BENCH_par.json, not here). *)
 let strip_jobs argv =
   let prefixed p s =
     String.length s >= String.length p && String.sub s 0 (String.length p) = p
   in
   let rec go = function
     | [] -> []
-    | ("--jobs" | "-j") :: _ :: rest -> go rest
+    | ("--jobs" | "-j" | "--json") :: _ :: rest -> go rest
     | a :: rest when prefixed "--jobs=" a || prefixed "-j=" a -> go rest
+    | a :: rest when prefixed "--json=" a -> go rest
     | a :: rest -> a :: go rest
   in
   go argv
 
 (* JSON by hand (no JSON library in the tree): every string we emit is a
    known identifier, so escaping is not needed. *)
-let sweep_json path ~argv ~corpus ~std ~server ~sup ~chaos ~failures =
+let sweep_json path ~argv ~corpus ~std ~server ~sup ~actor ~chaos ~failures =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema_version\": 4,\n";
+  add "  \"schema_version\": 5,\n";
   add "  \"description\": \"Fault sweep record: every armed scheduler \
        step of each case re-executed with KillThread injected into the \
        acting (or targeted) thread, invariants checked after each faulted \
@@ -465,7 +485,9 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~chaos ~failures =
        retry/breaker/bulkhead, and the supervised server; schema 4 added \
        the chaos suite — transport faults injected at every I/O operation \
        site, optionally composed with kills — and the per-row fault_kinds \
-       breakdown).\",\n";
+       breakdown; schema 5 added the actor suite: exception-linked \
+       actors — link/monitor delivery, call/stop, mailbox FIFO — and the \
+       sharded supervised server).\",\n";
   add "  \"command\": \"%s\",\n" (String.concat " " (strip_jobs argv));
   add "  \"corpus\": [\n";
   List.iteri
@@ -509,6 +531,7 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~chaos ~failures =
   hio_rows "std" std;
   hio_rows "server" server;
   hio_rows "sup" sup;
+  hio_rows "actor" actor;
   add "  \"chaos\": [\n";
   List.iteri
     (fun i (r : Fault.Io_sweep.report) ->
@@ -535,7 +558,8 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~chaos ~failures =
       0 corpus
     + List.fold_left
         (fun a (r : Fault.Sweep.report) -> a + r.r_kill_points)
-        0 (std @ server @ sup)
+        0
+        (std @ server @ sup @ actor)
   in
   let fp =
     List.fold_left
@@ -555,6 +579,15 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~chaos ~failures =
 let sweep_cmd =
   let run suite max_points max_sites kills_per_point jobs json strict =
     handle_syntax (fun () ->
+        let suite =
+          match suite_of_string suite with
+          | Some s -> s
+          | None ->
+              Fmt.epr "chrun sweep: unknown suite %S (expected one of: %s)@."
+                suite
+                (String.concat ", " suite_names);
+              exit 2
+        in
         let jobs = resolve_jobs jobs in
         let failures = ref 0 in
         let corpus =
@@ -605,6 +638,17 @@ let sweep_cmd =
                 r)
               Fault.Cases.sup_sweeps
         in
+        let actor =
+          if suite <> `Actor && suite <> `All then []
+          else
+            List.map
+              (fun (case, target) ->
+                let r = Fault.Sweep.sweep ?max_points ~jobs ~target case in
+                Fmt.pr "%a@." Fault.Sweep.pp_report r;
+                failures := !failures + List.length r.Fault.Sweep.r_failures;
+                r)
+              Fault.Cases.actor_sweeps
+        in
         let chaos =
           if suite <> `Chaos && suite <> `All then []
           else
@@ -624,7 +668,7 @@ let sweep_cmd =
         | Some path ->
             sweep_json path
               ~argv:(Array.to_list Sys.argv)
-              ~corpus ~std ~server ~sup ~chaos ~failures:!failures
+              ~corpus ~std ~server ~sup ~actor ~chaos ~failures:!failures
         | None -> ());
         if !failures > 0 then begin
           Fmt.pr "%d FAILING sweep%s@." !failures

@@ -58,6 +58,7 @@ let vandal server id =
 let main =
   let* server =
     Server.start
+      ~backend:(Ev.Backend.sim ())
       ~config:
         { Server.default_config with request_timeout = 300; max_concurrent = 3;
           accept_queue = 16 }

@@ -45,6 +45,7 @@ let get server id path =
 let server_story =
   let* server =
     Server.start
+      ~backend:(Ev.Backend.sim ())
       ~config:
         {
           Server.default_config with

@@ -2,11 +2,14 @@
    ("a Haskell web server [that] makes heavy use of time-outs,
    multithreading and exceptions", reference [8]).
 
-   The "network" is simulated with channels: clients push requests whose
-   handling time varies wildly; the server runs one thread per connection,
-   imposes a per-request timeout with the composable §7.3 combinator,
-   bounds concurrency with a quantity semaphore, and is finally shut down
-   gracefully by throwTo-ing the listener.
+   This used to hand-roll the whole thing from channels and semaphores;
+   it now rides the hserver library, which packages the same §11
+   discipline — one thread per connection, a per-request timeout built
+   from the composable §7.3 combinator, bounded concurrency — behind
+   [Server.start]. The simulated network is requested explicitly with
+   [Ev.Backend.sim ()]: the implicit default is deprecated, and the same
+   program runs on the real epoll backend by swapping that one argument
+   (see examples/tcp_load.ml).
 
    Run with: dune exec examples/web_server.exe *)
 
@@ -14,70 +17,52 @@ open Hio
 open Hio_std
 open Hio.Io.Syntax
 open Hio.Io
-
-type request = { client : int; url : string; work : int }
-
-type stats = {
-  mutable served : int;
-  mutable timed_out : int;
-  mutable rejected : int;
-}
+open Hserver
 
 let request_timeout = 200
 let max_concurrent = 4
 
-(* Pretend to render a page: takes [work] microseconds of virtual time. *)
-let handle stats req =
-  let* () = sleep req.work in
-  let* () = lift (fun () -> stats.served <- stats.served + 1) in
-  put_string
-    (Printf.sprintf "  [%3d] 200 OK       %-12s (%dus)\n" req.client req.url
-       req.work)
+(* Pretend to render a page: the body carries how many microseconds of
+   virtual time the render takes. Long renders blow the request timeout
+   and the client sees a 504 — the handler itself stays oblivious. *)
+let handler (request : Http.request) =
+  let work = int_of_string request.Http.body in
+  let* () = sleep work in
+  return (Http.ok (Printf.sprintf "rendered %s in %dus" request.Http.path work))
 
-let serve_connection stats sem req =
-  (* Each connection: admission control, then a strictly-bounded handler.
-     The timeout cannot leak into the logging: it is scoped to [handle]. *)
-  Sem.with_unit sem
-    (let* outcome = Combinators.timeout request_timeout (handle stats req) in
-     match outcome with
-     | Some () -> return ()
-     | None ->
-         let* () = lift (fun () -> stats.timed_out <- stats.timed_out + 1) in
-         put_string
-           (Printf.sprintf "  [%3d] 504 TIMEOUT  %-12s (needed %dus)\n"
-              req.client req.url req.work))
-
-let listener stats sem (incoming : request Chan.t) =
-  let rec accept_loop () =
-    let* req = Chan.recv incoming in
-    let* _worker =
-      fork ~name:(Printf.sprintf "conn-%d" req.client)
-        (serve_connection stats sem req)
-    in
-    accept_loop ()
-  in
-  (* A graceful shutdown: when killed, report instead of vanishing. *)
-  catch (accept_loop ()) (fun _ -> put_string "listener: shutting down\n")
-
-let client incoming id =
-  (* Clients arrive at random-ish intervals with varying work sizes. *)
+let client server id =
   let url = [| "/index"; "/search"; "/report"; "/assets" |].(id mod 4) in
   let work = 37 * ((id * 13 mod 9) + 1) in
-  let* () = sleep (17 * (id mod 7)) in
-  Chan.send incoming { client = id; url; work }
+  (* staggered arrivals: the timeout clock runs from accept, so a
+     stampede would spend its whole budget queueing behind
+     [max_concurrent] and 504 even the cheap renders *)
+  let* () = sleep (40 * id) in
+  let* conn = Server.connect server in
+  let* () =
+    Http.write_request conn
+      { Http.meth = "GET"; path = url; headers = []; body = string_of_int work }
+  in
+  let* r = Http.read_response conn in
+  put_string
+    (Printf.sprintf "  [%3d] %d %-8s %-12s (%dus)\n" id r.Http.status
+       (if r.Http.status = 200 then "OK" else "TIMEOUT")
+       url work)
 
 let main =
-  let stats = { served = 0; timed_out = 0; rejected = 0 } in
-  let* incoming = Chan.create () in
-  let* sem = Sem.create max_concurrent in
+  let* server =
+    Server.start
+      ~backend:(Ev.Backend.sim ())
+      ~config:
+        { Server.default_config with request_timeout; max_concurrent }
+      handler
+  in
   let* () = put_string "server: listening (simulated)\n" in
-  let* listener_t = fork ~name:"listener" (listener stats sem incoming) in
   (* 20 clients fire requests. *)
   let* clients =
     let rec spawn i acc =
       if i > 20 then return acc
       else
-        let* t = Task.spawn (client incoming i) in
+        let* t = Task.spawn (client server i) in
         spawn (i + 1) (t :: acc)
     in
     spawn 1 []
@@ -86,21 +71,18 @@ let main =
     let rec wait_all = function
       | [] -> return ()
       | t :: rest ->
-          let* () = Task.await t in
+          let* () = catch (Task.await t) (fun _ -> return ()) in
           wait_all rest
     in
     wait_all clients
   in
-  (* Let in-flight requests drain, then shut the listener down. *)
-  let* () = sleep 2_000 in
-  let* () = throw_to listener_t Kill_thread in
-  let* () = sleep 10 in
+  let* stats = Server.shutdown server in
   let* () =
     put_string
-      (Printf.sprintf "stats: served=%d timed_out=%d\n" stats.served
-         stats.timed_out)
+      (Printf.sprintf "stats: served=%d timed_out=%d\n" stats.Server.served
+         stats.Server.timeouts)
   in
-  return (stats.served, stats.timed_out)
+  return (stats.Server.served, stats.Server.timeouts)
 
 let () =
   let result = Runtime.run main in

@@ -1,0 +1,65 @@
+open Hio
+open Hio_std
+open Io
+
+type 'a t = {
+  q : 'a Chan.t;
+  mutable stash : 'a list;  (* arrival order; owner-thread only *)
+}
+
+let create () = Chan.create () >>= fun q -> return { q; stash = [] }
+let push t m = Chan.send t.q m
+let stashed t = lift (fun () -> List.length t.stash)
+
+(* One atomic step: scan the stash in arrival order for the first match
+   and remove it. *)
+let take_stash t f =
+  lift (fun () ->
+      let rec go acc = function
+        | [] -> None
+        | m :: rest -> (
+            match f m with
+            | Some x ->
+                t.stash <- List.rev_append acc rest;
+                Some x
+            | None -> go (m :: acc) rest)
+      in
+      go [] t.stash)
+
+(* The receive loop proper. Runs masked by the callers below: between
+   [Chan.recv] handing us a message and the match/stash decision there
+   is no delivery point, so a kill cannot strand a taken message. *)
+let rec recv_match t f =
+  Chan.recv t.q >>= fun m ->
+  match f m with
+  | Some x -> return x
+  | None -> lift (fun () -> t.stash <- t.stash @ [ m ]) >>= fun () ->
+      recv_match t f
+
+let receive t f =
+  mask_
+    ( take_stash t f >>= function
+      | Some x -> return x
+      | None -> recv_match t f )
+
+(* Same loop with a deadline. The timer is armed in this thread — a
+   forked [Combinators.timeout] child would be the one blocked in
+   [Chan.recv], and killing it on expiry could lose the message it just
+   took. Here expiry is a [Timer_signal] delivered to us at the
+   interruptible [Chan.recv] wait: either we already hold a message
+   (signal arrives at a later wait, or is purged by [cancel_timer]) or
+   we hold nothing. Either way no message is in limbo. *)
+let receive_timeout d t f =
+  mask_
+    ( arm_timer d >>= fun tm ->
+      catch
+        ( (take_stash t f >>= function
+           | Some x -> return x
+           | None -> recv_match t f)
+          >>= fun x ->
+          cancel_timer tm >>= fun () -> return (Some x) )
+        (fun e ->
+          if is_timer_signal tm e then return None
+          else cancel_timer tm >>= fun () -> throw e) )
+
+let next t = receive t (fun m -> Some m)

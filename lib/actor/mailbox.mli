@@ -1,0 +1,46 @@
+(** A typed actor mailbox: an unbounded {!Hio_std.Chan} in arrival
+    order, plus a {e stash} for selective receive — messages the current
+    receive pattern does not match are parked (still in arrival order)
+    and offered again to later receives, Erlang-style.
+
+    Ownership discipline: any thread may {!push}; exactly one thread —
+    the owning actor — calls {!receive}/{!receive_timeout}. The stash is
+    plain mutable state touched only inside atomic [lift] steps of that
+    single consumer, so no lock is needed.
+
+    Asynchronous-exception safety (the reason this module exists rather
+    than "just use [Chan]"): the whole receive loop runs under
+    {!Hio.Io.mask_}. The only interruptible point is the [Chan.recv]
+    wait itself (§5.3: blocked threads are killable), so a kill can
+    never land {e between} taking a message off the channel and either
+    returning it or stashing it — messages are delivered once or not
+    taken at all, never lost in flight. *)
+
+open Hio
+
+type 'a t
+
+val create : unit -> 'a t Io.t
+
+val push : 'a t -> 'a -> unit Io.t
+(** Enqueue a message. Never blocks (the queue is unbounded) and is safe
+    from any thread. *)
+
+val receive : 'a t -> ('a -> 'b option) -> 'b Io.t
+(** [receive t f] returns [x] for the first message [m] (stash first,
+    then arrivals) with [f m = Some x], removing [m]. Non-matching
+    arrivals are appended to the stash. Blocks interruptibly while the
+    mailbox has no matching message. *)
+
+val receive_timeout : int -> 'a t -> ('a -> 'b option) -> 'b option Io.t
+(** Like {!receive} with a deadline of virtual µs on the timer wheel.
+    Returns [None] on expiry. Built on {!Hio.Io.arm_timer} in the
+    calling thread — no helper thread that could be holding a message
+    when killed — and the timer is cancelled (posted token purged)
+    before returning, so no ghost wakeup survives. *)
+
+val next : 'a t -> 'a Io.t
+(** [receive t Option.some]: the plain FIFO head. *)
+
+val stashed : 'a t -> int Io.t
+(** Messages currently parked by selective receives (tests/metrics). *)

@@ -467,6 +467,316 @@ let sup_sweeps =
   ]
   @ List.map (fun t -> (sup_server, t)) sup_server_targets
 
+(* --- the actor layer ----------------------------------------------------
+
+   Links are throwTo, monitors are messages, and the exit protocol runs
+   under uninterruptibly — so the claims to sweep are delivery claims:
+   a Down arrives at most once (exactly once when watcher and monitor
+   both survived), a linked parent always learns of its child's death,
+   per-sender mailbox order holds whatever the schedule, and the
+   sharded server degrades instead of wedging when any layer of its
+   tree is the victim. *)
+
+module Actor = Hactor.Actor
+module Router = Hactor.Router
+
+let actor_link =
+  Sweep.case "actor-link"
+    ( lift (fun () -> (ref 0, ref 0, ref false, ref None))
+      >>= fun (downs, exits, armed, child_ref) ->
+      (* the watcher only counts Down messages *)
+      Actor.spawn ~name:"watcher" (fun self ->
+          Combinators.forever
+            ( Actor.receive self (fun (`Down (_ : Actor.down)) -> Some ())
+              >>= fun () -> lift (fun () -> incr downs) ))
+      >>= fun watcher ->
+      (* the parent spawns a linked child that crashes on demand,
+         monitors it on behalf of the watcher, then waits for the link
+         to fire *)
+      Actor.spawn ~name:"parent" (fun self ->
+          Actor.spawn_link ~parent:self ~name:"child" (fun cself ->
+              Actor.receive cself (fun `Boom -> Some ()) >>= fun () ->
+              throw (Failure "boom"))
+          >>= fun child ->
+          lift (fun () -> child_ref := Some child) >>= fun () ->
+          Actor.monitor ~watcher ~inject:(fun d -> `Down d) child
+          >>= fun _mref ->
+          lift (fun () -> armed := true) >>= fun () ->
+          Actor.send child `Boom >>= fun () ->
+          catch
+            (Actor.receive self (fun `Boom -> (None : unit option)))
+            (function
+              | Actor.Exit_signal _ -> lift (fun () -> incr exits)
+              | e -> throw e))
+      >>= fun parent ->
+      Actor.await parent >>= fun _ ->
+      (* settle the child whichever way the kill went: it always dies
+         abnormally (crash, link cascade from the parent, or this kill) *)
+      lift (fun () -> !child_ref) >>= (function
+        | Some child ->
+            Actor.kill child >>= fun () ->
+            Actor.await child >>= fun _ -> return ()
+        | None -> return ())
+      >>= fun () ->
+      (* give the watcher thread time to drain its mailbox *)
+      yields 10 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      Actor.alive watcher >>= fun watcher_alive ->
+      lift (fun () -> (!downs, !armed)) >>= fun (d, a) ->
+      Sweep.require "actor: Down delivered at most once" (d <= 1)
+      >>= fun () ->
+      (if watcher_alive && a then
+         (* monitor armed and the watcher never died: the watched
+            actor's death must deliver exactly one Down *)
+         Sweep.require "actor: Down delivered exactly once" (d = 1)
+       else return ())
+      >>= fun () ->
+      Actor.stop watcher >>= fun _ -> return () )
+
+let actor_call =
+  Sweep.case "actor-call"
+    ( Actor.spawn ~name:"counter" (fun self ->
+          lift (fun () -> ref 0) >>= fun state ->
+          Combinators.forever
+            ( Actor.receive self (fun m -> Some m) >>= function
+              | `Add (n, r) ->
+                  lift (fun () -> state := !state + n) >>= fun () ->
+                  Actor.reply r ()
+              | `Get r -> lift (fun () -> !state) >>= fun v -> Actor.reply r v ))
+      >>= fun counter ->
+      (* two clients race calls; a dead server must fail them fast
+         (monitor), not leave them waiting out the timeout *)
+      let client =
+        Combinators.repeat 2
+          (catch
+             (Actor.call ~timeout:1_000 counter (fun r -> `Add (1, r)))
+             (function
+               | Actor.Exit_signal _ | Actor.Call_timeout -> return ()
+               | e -> throw e))
+      in
+      Task.spawn ~name:"caller1" client >>= fun t1 ->
+      Task.spawn ~name:"caller2" client >>= fun t2 ->
+      join t1 >>= fun () ->
+      join t2 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      Actor.alive counter >>= fun up ->
+      (if up then
+         (* [up] can be a lie: a kill posted while the masked server was
+            mid-message is delivered at its next receive wait — i.e.
+            during this very probe, which then fails fast with the
+            kill's Exit_signal. That is the monitor doing its job, not
+            a violation; any other reason is. *)
+         catch
+           ( Actor.call ~timeout:1_000 counter (fun r -> `Get r)
+             >>= fun v ->
+             Sweep.require "actor: counter bounded by completed calls"
+               (v >= 0 && v <= 4)
+             >>= fun () ->
+             Actor.stop counter >>= fun r ->
+             Sweep.require "actor: graceful stop acknowledged"
+               (r = Stdlib.Ok ()) )
+           (function
+             | Actor.Exit_signal { reason = Kill_thread; _ } -> return ()
+             | e -> throw e)
+       else return ()) )
+
+let actor_ring =
+  Sweep.case "actor-ring"
+    ( let n = 4 and laps = 2 in
+      let limit = n * laps in
+      lift (fun () -> (Array.make n [], ref false)) >>= fun (seen, completed) ->
+      Mvar.new_empty >>= fun done_mv ->
+      let rec mk i acc =
+        if i < 0 then return acc
+        else
+          Actor.create ~name:(Printf.sprintf "ring-%d" i) () >>= fun a ->
+          mk (i - 1) (a :: acc)
+      in
+      mk (n - 1) [] >>= fun ring_list ->
+      let ring = Array.of_list ring_list in
+      (* each member records the hop count it saw and forwards; the
+         last hop fills done_mv *)
+      let member i self =
+        Combinators.forever
+          ( Actor.receive self (fun (`Token k) -> Some k) >>= fun k ->
+            lift (fun () -> seen.(i) <- k :: seen.(i)) >>= fun () ->
+            if k + 1 >= limit then
+              lift (fun () -> completed := true) >>= fun () ->
+              Mvar.try_put done_mv () >>= fun _ -> return ()
+            else Actor.send ring.((i + 1) mod n) (`Token (k + 1)) )
+      in
+      let rec go i =
+        if i >= n then return ()
+        else Actor.fork_body ring.(i) (member i) >>= fun () -> go (i + 1)
+      in
+      go 0 >>= fun () ->
+      Actor.send ring.(0) (`Token 0) >>= fun () ->
+      (* a killed member drops the token: bound the wait. The timeout
+         combinator forks its payload as a child thread and, per its §7
+         contract, rethrows the child's exception here — so an injected
+         kill whose acting thread is that child surfaces as Kill_thread
+         in main. Absorb it and wait again (injections are one-shot;
+         the ring itself was untouched and the token still circulates). *)
+      let rec bounded_wait () =
+        catch
+          (Combinators.timeout 2_000 (Mvar.read done_mv) >>= fun _ ->
+           return ())
+          (function Kill_thread -> bounded_wait () | e -> throw e)
+      in
+      bounded_wait () >>= fun () ->
+      let rec all_alive i acc =
+        if i >= n then return acc
+        else Actor.alive ring.(i) >>= fun a -> all_alive (i + 1) (acc && a)
+      in
+      all_alive 0 true >>= fun alive ->
+      lift (fun () -> !completed) >>= fun ok ->
+      (* tear the ring down (members loop forever) *)
+      let rec kill_all i =
+        if i >= n then return ()
+        else
+          Actor.kill ring.(i) >>= fun () ->
+          Actor.await ring.(i) >>= fun _ -> kill_all (i + 1)
+      in
+      kill_all 0 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      Sweep.require "ring: token completes its laps when nobody was killed"
+        ((not alive) || ok)
+      >>= fun () ->
+      (* per-member FIFO: the single-predecessor hop numbers must be
+         strictly increasing however the schedule interleaved *)
+      lift (fun () ->
+          Array.for_all
+            (fun l ->
+              let rec increasing = function
+                | a :: (b :: _ as rest) -> a < b && increasing rest
+                | _ -> true
+              in
+              increasing (List.rev l))
+            seen)
+      >>= Sweep.require "ring: per-member hop order is FIFO" )
+
+(* The sharded-server tentpole, same shape as sup-server: keyed
+   clients (one per shard — the case is swept unsampled over seven
+   targets, so it is kept deliberately small), allowed-answers
+   contract, double probe, fresh tree if the root died, refused
+   connect after shutdown — but the kill targets now include the
+   router actor, a shard subtree, the shard's serving actor and its
+   workers. *)
+let actor_shard_config =
+  {
+    Server.default_config with
+    max_concurrent = 2;
+    max_waiting = 1;
+    restart_intensity = { Sup.max_restarts = 6; window = 10_000 };
+  }
+
+let actor_shard =
+  Sweep.case ~max_steps:400_000 "actor-shard"
+    ( let handler =
+        Server.route [ ("/hello", fun body -> Http.ok ("hi" ^ body)) ]
+      in
+      Shard.start ~config:actor_shard_config ~shards:2 handler
+      >>= fun server ->
+      lift (fun () -> Array.make 2 None) >>= fun outcomes ->
+      let client i =
+        Shard.connect ~key:(Printf.sprintf "key-%d" i) server >>= fun conn ->
+        Http.write_request conn
+          { Http.meth = "GET"; path = "/hello"; headers = []; body = "" }
+        >>= fun () ->
+        Combinators.timeout 1_000 (Http.read_response conn) >>= fun r ->
+        lift (fun () ->
+            outcomes.(i) <-
+              Some
+                (match r with
+                | None -> `Timed_out
+                | Some resp -> `Status resp.Http.status))
+      in
+      Task.spawn ~name:"client0" (client 0) >>= fun c0 ->
+      Task.spawn ~name:"client1" (client 1) >>= fun c1 ->
+      join c0 >>= fun () ->
+      join c1 >>= fun () ->
+      Sweep.disarm >>= fun () ->
+      let check t i =
+        Task.poll t >>= fun st ->
+        lift (fun () -> outcomes.(i)) >>= fun o ->
+        match st with
+        | Some (Stdlib.Ok ()) ->
+            Sweep.require "actor-shard: accepted request answered"
+              (match o with
+              | Some (`Status (200 | 503 | 504)) | Some `Timed_out -> true
+              | _ -> false)
+        | _ -> return () (* the client itself was the kill victim *)
+      in
+      check c0 0 >>= fun () ->
+      check c1 1 >>= fun () ->
+      let probe srv key =
+        Shard.connect ~key srv >>= fun conn ->
+        Http.write_request conn
+          { Http.meth = "GET"; path = "/hello"; headers = []; body = "" }
+        >>= fun () ->
+        Combinators.timeout 1_000 (Http.read_response conn) >>= fun r ->
+        return
+          (match r with Some resp -> resp.Http.status = 200 | None -> false)
+      in
+      let root_alive () = Sup.alive (Shard.supervisor server) in
+      (* a dead root: a process manager would restart the tree — model
+         that and require service restored *)
+      let fresh_tree () =
+        Shard.start ~config:actor_shard_config ~shards:2 handler
+        >>= fun fresh ->
+        probe fresh "fresh-a" >>= fun ok ->
+        Sweep.require "actor-shard: a fresh tree restores service" ok
+        >>= fun () ->
+        Shard.shutdown fresh >>= fun _ -> return ()
+      in
+      root_alive () >>= fun alive ->
+      (if alive then
+         (* both shards must answer: probe a key per shard. As with
+            sup-server, [alive] can lag a killed root's teardown — a
+            failed probe is only a violation if the root is still alive
+            afterwards. *)
+         probe server "key-0" >>= fun ok1 ->
+         probe server "key-1" >>= fun ok2 ->
+         if ok1 && ok2 then
+           probe server "key-0" >>= fun ok3 ->
+           Sweep.require "actor-shard: steady state persists" ok3
+         else
+           root_alive () >>= fun still_alive ->
+           Sweep.require "actor-shard: steady state answers 200"
+             (not still_alive)
+           >>= fun () -> fresh_tree ()
+       else fresh_tree ())
+      >>= fun () ->
+      Shard.shutdown server >>= fun _stats ->
+      catch
+        (Shard.connect server >>= fun _ -> return false)
+        (fun e -> return (e = Server.Server_stopped))
+      >>= Sweep.require "actor-shard: connect after shutdown is refused" )
+
+let actor_shard_targets =
+  [
+    Plan.Acting;
+    Plan.Named "router";
+    Plan.Named "shard-0";
+    Plan.Named "shard-sup-0";
+    Plan.Named "shard-serve";
+    Plan.Named "conn-worker";
+    Plan.Named "shard-root";
+  ]
+
+let actor_sweeps =
+  [
+    (actor_link, Plan.Acting);
+    (actor_link, Plan.Named "watcher");
+    (actor_link, Plan.Named "parent");
+    (actor_link, Plan.Named "child");
+    (actor_call, Plan.Acting);
+    (actor_call, Plan.Named "counter");
+    (actor_ring, Plan.Acting);
+    (actor_ring, Plan.Named "ring-1");
+  ]
+  @ List.map (fun t -> (actor_shard, t)) actor_shard_targets
+
 (* --- a deliberately broken abstraction, to test the harness ------------- *)
 
 let naive_lock =

@@ -59,6 +59,41 @@ val sup_sweeps : (Sweep.case * Plan.target) list
 (** The full [sup] suite: each generic case with its targets, then
     {!sup_server} against each of {!sup_server_targets}. *)
 
+val actor_link : Sweep.case
+(** A monitored, linked child that crashes on demand: whatever single
+    kill lands (watcher, parent, child, main), a monitor's [Down]
+    arrives {e at most} once — and exactly once when both the watcher
+    and the armed monitor outlived the watched actor. The link must
+    always unblock the parent (an actor death is never silent). *)
+
+val actor_call : Sweep.case
+(** Two clients [call] a counter server: a killed server fails waiting
+    calls fast via its exit protocol (no timeout wedge); if the server
+    survived, its state is bounded by the completed calls and a
+    graceful [stop] drains the mailbox FIFO before acknowledging. *)
+
+val actor_ring : Sweep.case
+(** A token ring (4 actors × 2 laps): if nobody was killed the token
+    completes; killed or not, each member's single-predecessor hop
+    numbers are strictly increasing — per-sender mailbox FIFO under
+    every schedule the sweep reaches. *)
+
+val actor_shard : Sweep.case
+(** The sharded supervised server ({!Hserver.Shard}): four keyed
+    clients against 2 shards (capacity 2 + 1 waiting each), then the
+    sup-server contract — allowed answers only, probes per shard answer
+    200 again (same tree, or a fresh one if shard-root itself died),
+    connect refused after shutdown. *)
+
+val actor_shard_targets : Plan.target list
+(** [Acting; Named "router"; Named "shard-0"; Named "shard-sup-0";
+    Named "shard-serve"; Named "conn-worker"; Named "shard-root"] —
+    every layer of the sharded tree. *)
+
+val actor_sweeps : (Sweep.case * Plan.target) list
+(** The full [actor] suite: link/call/ring cases with their targets,
+    then {!actor_shard} against each of {!actor_shard_targets}. *)
+
 val naive_lock : Sweep.case
 (** A deliberately §5.2-violating lock (bare [take]/[put], nothing
     masked, no restore) — the harness must find and shrink its wedge;

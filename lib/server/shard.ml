@@ -1,0 +1,418 @@
+open Hio_std
+open Hio.Io
+
+type msg = [ `Serve of Http.Conn.t ]
+
+(* Same instrument set as Server's, under a [layer="shard"] label so a
+   shared registry distinguishes the two, plus the routed-backlog gauge
+   (connections handed to the router/shard mailboxes and not yet picked
+   up by a worker) that shutdown's quiesce loop watches. *)
+type instruments = {
+  m_served : Obs.Metrics.counter;
+  m_timeouts : Obs.Metrics.counter;
+  m_bad : Obs.Metrics.counter;
+  m_shed : Obs.Metrics.counter;
+  m_degraded : Obs.Metrics.counter;
+  m_rejected : Obs.Metrics.counter;
+  m_inflight : Obs.Metrics.gauge;
+  m_queued : Obs.Metrics.gauge;
+  m_latency : Obs.Metrics.histogram;
+  m_io_fault : string -> Obs.Metrics.counter;
+}
+
+let instruments reg =
+  let extra = [ ("layer", "shard") ] in
+  let outcome o =
+    Obs.Metrics.counter reg
+      ~labels:(("outcome", o) :: extra)
+      "server_requests_total"
+  in
+  {
+    m_served = outcome "ok";
+    m_timeouts = outcome "timeout";
+    m_bad = outcome "bad_request";
+    m_shed = outcome "shed";
+    m_degraded = outcome "degraded";
+    m_rejected = Obs.Metrics.counter reg ~labels:extra "server_rejected_total";
+    m_inflight = Obs.Metrics.gauge reg ~labels:extra "server_in_flight";
+    m_queued = Obs.Metrics.gauge reg ~labels:extra "shard_routed_backlog";
+    m_latency =
+      Obs.Metrics.histogram reg
+        ~buckets:[ 10; 20; 50; 100; 200; 500; 1000; 2000; 5000 ]
+        ~labels:extra "server_request_latency_steps";
+    m_io_fault =
+      (fun kind ->
+        Obs.Metrics.counter reg
+          ~labels:(("kind", kind) :: extra)
+          "server_io_faults_total");
+  }
+
+type ext = { el : Ev.Backend.listener }
+
+type t = {
+  config : Server.config;
+  n_shards : int;
+  registry : Obs.Metrics.t;
+  ins : instruments;
+  handler : Server.handler;
+  root : Hsup.Sup.t;
+  rt : msg Hactor.Router.t;
+  actors : msg Hactor.Actor.t array;
+  subs : Hsup.Sup.t option array;
+  mutable accepting : bool;
+  mutable conn_seq : int;
+  ext : ext option;
+}
+
+let count c = lift (fun () -> Obs.Metrics.inc c)
+let count_io ins kind = lift (fun () -> Obs.Metrics.inc (ins.m_io_fault kind))
+let close_quietly conn = catch (Http.Conn.close conn) (fun _ -> return ())
+
+(* Same fault classification as Server's — duplicated rather than
+   exported because Server's module surface is pinned by its goldens. *)
+let io_fault_kind = function
+  | End_of_file -> Some "eof"
+  | Ev.Backend.Connection_reset -> Some "reset"
+  | Ev.Backend.Connection_refused -> Some "refused"
+  | Ev.Backend.Accept_failed -> Some "accept"
+  | _ -> None
+
+let service_unavailable =
+  { Http.status = 503; reason = "Service Unavailable"; body = "" }
+
+(* --- the serving discipline ----------------------------------------------
+
+   Mirrors the hardened Server worker (progress protocol, bounded
+   writes, absorbed read faults, escaping write faults — see server.ml's
+   commentary), with keep-alive folded in: [progress] is reset per
+   request, and a response that left the stream synchronized loops for
+   the next request when [config.keep_alive]. *)
+type progress = Fresh | Serving | Answered
+
+let respond progress conn counter response =
+  mask_
+    ( lift (fun () -> progress := Answered) >>= fun () ->
+      Http.write_response conn response >>= fun () -> count counter )
+
+let safe_respond config ins progress conn counter response =
+  catch
+    ( Combinators.timeout config.Server.request_timeout
+        (respond progress conn counter response)
+      >>= function
+      | Some () -> return ()
+      | None -> count_io ins "deadline" >>= fun () -> close_quietly conn )
+    (fun e ->
+      match io_fault_kind e with
+      | Some kind -> count_io ins kind >>= fun () -> close_quietly conn
+      | None -> throw e)
+
+let deadline_exceeded config ins progress conn =
+  lift (fun () -> !progress) >>= function
+  | Answered -> count_io ins "deadline" >>= fun () -> close_quietly conn
+  | Fresh | Serving ->
+      safe_respond config ins progress conn ins.m_timeouts
+        Http.timeout_response
+
+let read_and_handle handler conn =
+  catch
+    ( Http.read_request conn >>= fun request ->
+      handler request >>= fun response -> return (`Reply response) )
+    (fun e ->
+      match e with
+      | Http.Bad_request m -> return (`Bad m)
+      | e -> (
+          match io_fault_kind e with
+          | Some kind -> return (`Peer_gone (kind, e))
+          | None -> throw e))
+
+let counted_escape ins io =
+  catch io (fun e ->
+      match io_fault_kind e with
+      | Some kind -> count_io ins kind >>= fun () -> throw e
+      | None -> throw e)
+
+(* One request. [`Keep] only when the response left the byte stream
+   synchronized and keep-alive is on; everything else closes. A peer
+   gone at the request boundary is the normal end of a keep-alive
+   conversation — counted, closed, no phantom request completes the
+   outcome counters because only [respond] bumps them. *)
+let serve_one config ins bulk handler conn progress =
+  steps >>= fun t0 ->
+  lift (fun () -> progress := Serving) >>= fun () ->
+  Combinators.timeout config.Server.request_timeout
+    ( Hsup.Bulkhead.run bulk (read_and_handle handler conn) >>= function
+      | Ok (`Reply response) ->
+          counted_escape ins (respond progress conn ins.m_served response)
+          >>= fun () ->
+          return (if config.Server.keep_alive then `Keep else `Close)
+      | Ok (`Bad m) ->
+          counted_escape ins (respond progress conn ins.m_bad (Http.bad_request m))
+          >>= fun () -> return `Close
+      | Ok (`Peer_gone (kind, _)) ->
+          count_io ins kind >>= fun () ->
+          mask_
+            ( lift (fun () -> progress := Answered) >>= fun () ->
+              close_quietly conn )
+          >>= fun () -> return `Close
+      | Error `Shed ->
+          counted_escape ins (respond progress conn ins.m_shed service_unavailable)
+          >>= fun () -> return `Close )
+  >>= (function
+        | Some verdict -> return verdict
+        | None ->
+            deadline_exceeded config ins progress conn >>= fun () ->
+            return `Close)
+  >>= fun verdict ->
+  steps >>= fun t1 ->
+  lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0)) >>= fun () ->
+  return verdict
+
+let worker_body config ins bulk handler conn progress =
+  Combinators.bracket_
+    (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
+    ( lift (fun () -> !progress) >>= function
+      | Answered ->
+          (* predecessor died with a response possibly half-written:
+             the stream is unusable, degrade by closing *)
+          close_quietly conn
+      | Serving ->
+          (* predecessor killed mid-request *)
+          safe_respond config ins progress conn ins.m_degraded
+            service_unavailable
+          >>= fun () -> close_quietly conn
+      | Fresh ->
+          let rec loop () =
+            serve_one config ins bulk handler conn progress >>= function
+            | `Keep -> lift (fun () -> progress := Fresh) >>= fun () -> loop ()
+            | `Close -> close_quietly conn
+          in
+          loop () )
+    (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1)))
+
+(* --- the shard actor ------------------------------------------------------
+
+   The serving loop is an actor body: connections arrive as mailbox
+   messages (from the router or the accept pump), each spawns a
+   Transient worker under the shard's nested supervisor. The actor is
+   itself a Permanent child of that supervisor — killed, it restarts
+   and resumes draining the same mailbox: that is the property the
+   sweep leans on (a routed connection is never lost, only delayed). *)
+let serve_loop config ins sub bulk handler self =
+  Combinators.forever
+    ( Hactor.Actor.receive self (fun (`Serve conn) -> Some conn)
+      >>= fun conn ->
+      lift (fun () ->
+          Obs.Metrics.add ins.m_queued (-1);
+          ref Fresh)
+      >>= fun progress ->
+      Hsup.Sup.start_child sub
+        (Hsup.Sup.child ~lifetime:Hsup.Sup.Transient "conn-worker"
+           (worker_body config ins bulk handler conn progress)) )
+
+(* The root-level child that owns one shard's whole subtree. Its own
+   death (kill, escalation) takes the nested supervisor down with it
+   so the root's restart starts from a clean slate; the shard actor's
+   mailbox lives outside and survives. The nested sup is acquired and
+   released through [bracket]: a plain [Sup.start >>= ... finally]
+   leaves a window between the fork of the nested supervisor and the
+   arming of its teardown, and a kill landing there (the sweep found
+   it, killing shard-root mid-startup) orphans the sub and its serving
+   actor forever. *)
+let shard_child_body t i =
+  Combinators.bracket
+    (Hsup.Sup.start
+       ~name:(Printf.sprintf "shard-sup-%d" i)
+       ~intensity:t.config.Server.restart_intensity ~metrics:t.registry []
+     >>= fun sub ->
+     lift (fun () -> t.subs.(i) <- Some sub) >>= fun () -> return sub)
+    (fun sub ->
+      Hsup.Bulkhead.create
+        ~name:(Printf.sprintf "shard-%d" i)
+        ~metrics:t.registry ~capacity:t.config.Server.max_concurrent
+        ~max_waiting:t.config.Server.max_waiting ()
+      >>= fun bulk ->
+      Hsup.Sup.start_child sub
+        (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent "shard-serve"
+           (Hactor.Actor.body t.actors.(i)
+              (serve_loop t.config t.ins sub bulk t.handler)))
+      >>= fun () ->
+      Hsup.Sup.await sub >>= function
+      | Stdlib.Ok () -> return ()
+      | Stdlib.Error e -> throw e)
+    (fun sub -> catch (ignore_result (Hsup.Sup.stop sub)) (fun _ -> return ()))
+
+let pump_body t el =
+  Combinators.forever
+    (catch
+       ( el.Ev.Backend.l_accept () >>= fun conn ->
+         lift (fun () ->
+             t.conn_seq <- t.conn_seq + 1;
+             Obs.Metrics.add t.ins.m_queued 1;
+             Printf.sprintf "conn-%d" t.conn_seq)
+         >>= fun key -> Hactor.Router.route t.rt key (`Serve conn) )
+       (fun e ->
+         match io_fault_kind e with
+         | Some kind -> count_io t.ins kind
+         | None -> throw e))
+
+let start ?(config = Server.default_config) ?metrics ?backend ~shards handler =
+  let n_shards = max 1 shards in
+  (* registry per run, not per application — see server.ml's note *)
+  lift (fun () ->
+      match metrics with Some reg -> reg | None -> Obs.Metrics.create ())
+  >>= fun registry ->
+  let ins = instruments registry in
+  let rec mk i acc =
+    if i < 0 then return acc
+    else
+      Hactor.Actor.create ~name:(Printf.sprintf "shard-actor-%d" i) ()
+      >>= fun a -> mk (i - 1) (a :: acc)
+  in
+  mk (n_shards - 1) [] >>= fun actor_list ->
+  Hactor.Router.create ~name:"router"
+    (List.mapi (fun i a -> (Printf.sprintf "shard-%d" i, a)) actor_list)
+  >>= fun rt ->
+  Hsup.Sup.start ~name:"shard-root" ~strategy:Hsup.Sup.One_for_one
+    ~intensity:config.Server.restart_intensity ~metrics:registry []
+  >>= fun root ->
+  (match backend with
+  | None -> return None
+  | Some b ->
+      b.Ev.Backend.b_listen ~backlog:config.Server.accept_queue
+      >>= fun el -> return (Some { el }))
+  >>= fun ext ->
+  let t =
+    {
+      config;
+      n_shards;
+      registry;
+      ins;
+      handler;
+      root;
+      rt;
+      actors = Array.of_list actor_list;
+      subs = Array.make n_shards None;
+      accepting = true;
+      conn_seq = 0;
+      ext;
+    }
+  in
+  (* children in deterministic order: router, shards, pump *)
+  Hsup.Sup.start_child root
+    (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent "router"
+       (Hactor.Router.body rt))
+  >>= fun () ->
+  let rec start_shards i =
+    if i >= n_shards then return ()
+    else
+      Hsup.Sup.start_child root
+        (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent
+           (Printf.sprintf "shard-%d" i)
+           (shard_child_body t i))
+      >>= fun () -> start_shards (i + 1)
+  in
+  start_shards 0 >>= fun () ->
+  (match ext with
+  | None -> return ()
+  | Some { el } ->
+      Hsup.Sup.start_child root
+        (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent "accept-pump"
+           (pump_body t el)))
+  >>= fun () -> return t
+
+let connect ?key t =
+  if not t.accepting then throw Server.Server_stopped
+  else
+    match t.ext with
+    | Some { el } -> (
+        Combinators.timeout t.config.Server.dial_timeout
+          (el.Ev.Backend.l_dial ())
+        >>= function
+        | Some conn -> return conn
+        | None -> throw Server.Dial_timeout)
+    | None ->
+        lift (fun () ->
+            let k =
+              match key with
+              | Some k -> k
+              | None ->
+                  t.conn_seq <- t.conn_seq + 1;
+                  Printf.sprintf "conn-%d" t.conn_seq
+            in
+            Obs.Metrics.add t.ins.m_queued 1;
+            k)
+        >>= fun k ->
+        Ev.Backend.sim_pipe () >>= fun (client_side, server_side) ->
+        Hactor.Router.route t.rt k (`Serve server_side) >>= fun () ->
+        return client_side
+
+let stop_sup_child sup name =
+  Hsup.Sup.stop_child sup name >>= fun () ->
+  let rec wait_child () =
+    Hsup.Sup.child_up sup name >>= fun up ->
+    Hsup.Sup.alive sup >>= fun alive ->
+    if up && alive then yield >>= fun () -> wait_child ()
+    else return ()
+  in
+  wait_child ()
+
+let shutdown t =
+  lift (fun () -> t.accepting <- false) >>= fun () ->
+  (match t.ext with
+  | None -> return ()
+  | Some { el } ->
+      (* retire the pump before closing the listener so no accepted
+         connection is dropped between the two *)
+      stop_sup_child t.root "accept-pump" >>= fun () ->
+      el.Ev.Backend.l_close ())
+  >>= fun () ->
+  (* Quiesce: wait for the routed backlog and in-flight workers to
+     drain. Every worker is bounded by the request timeout, but a
+     killed tree cannot drain at all — bail when shard-root is dead
+     (its mailboxes go down with the [Sup.stop] below) and bound the
+     whole wait by a generous multiple of the request timeout so an
+     escalated shard (dead subtree, connections stuck in its mailbox)
+     cannot stall shutdown forever. *)
+  now >>= fun t0 ->
+  let deadline = t0 + (10 * t.config.Server.request_timeout) in
+  let rec quiesce () =
+    lift (fun () ->
+        Obs.Metrics.gauge_value t.ins.m_queued = 0
+        && Obs.Metrics.gauge_value t.ins.m_inflight = 0)
+    >>= fun quiet ->
+    if quiet then return ()
+    else
+      Hsup.Sup.alive t.root >>= fun alive ->
+      now >>= fun tn ->
+      if (not alive) || tn >= deadline then return ()
+      else sleep 5 >>= fun () -> quiesce ()
+  in
+  quiesce () >>= fun () ->
+  Hsup.Sup.stop t.root >>= fun _ ->
+  (* restart totals: the root plus every nested supervisor we saw *)
+  Hsup.Sup.restart_count t.root >>= fun root_restarts ->
+  let rec sum_subs i acc =
+    if i >= t.n_shards then return acc
+    else
+      match t.subs.(i) with
+      | None -> sum_subs (i + 1) acc
+      | Some sub ->
+          Hsup.Sup.restart_count sub >>= fun r -> sum_subs (i + 1) (acc + r)
+  in
+  sum_subs 0 root_restarts >>= fun restarts ->
+  return
+    {
+      Server.served = Obs.Metrics.counter_value t.ins.m_served;
+      timeouts = Obs.Metrics.counter_value t.ins.m_timeouts;
+      bad_requests = Obs.Metrics.counter_value t.ins.m_bad;
+      rejected = Obs.Metrics.counter_value t.ins.m_rejected;
+      shed = Obs.Metrics.counter_value t.ins.m_shed;
+      restarts;
+    }
+
+let router t = t.rt
+let shard_actor t i = t.actors.(i)
+let supervisor t = t.root
+let shard_sup t i = t.subs.(i)
+let metrics t = t.registry
+let shards t = t.n_shards

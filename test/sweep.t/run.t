@@ -73,8 +73,39 @@ absorb every one:
   io-pipe            io: sites {send=1 recv=14}, 13 fault points, 13 kill runs, baseline 784 steps, 0 failures
   io-server          io: sites {send=6 recv=189 accept=4 dial=3}, 26 fault points, 26 kill runs, baseline 11363 steps, 0 failures
 
+The actor layer (lib/actor) rides on the same machinery: links and
+monitors are implemented with throwTo, so killing a linked watcher, a
+call's server, a ring member, or any thread of the sharded server must
+either propagate as an Exit_signal / Down message or leave the tree to
+restart the victim — never wedge, never lose a reply:
+
+  $ chrun sweep --suite actor --max-points 2
+  actor-link         target=acting: 2 kill points (2 applied), baseline 460 steps, 0 failures
+  actor-link         target="watcher": 2 kill points (1 applied), baseline 460 steps, 0 failures
+  actor-link         target="parent": 2 kill points (0 applied), baseline 460 steps, 0 failures
+  actor-link         target="child": 2 kill points (0 applied), baseline 460 steps, 0 failures
+  actor-call         target=acting: 2 kill points (2 applied), baseline 660 steps, 0 failures
+  actor-call         target="counter": 2 kill points (1 applied), baseline 660 steps, 0 failures
+  actor-ring         target=acting: 2 kill points (2 applied), baseline 768 steps, 0 failures
+  actor-ring         target="ring-1": 2 kill points (0 applied), baseline 768 steps, 0 failures
+  actor-shard        target=acting: 2 kill points (2 applied), baseline 9619 steps, 0 failures
+  actor-shard        target="router": 2 kill points (1 applied), baseline 9619 steps, 0 failures
+  actor-shard        target="shard-0": 2 kill points (1 applied), baseline 9619 steps, 0 failures
+  actor-shard        target="shard-sup-0": 2 kill points (1 applied), baseline 9619 steps, 0 failures
+  actor-shard        target="shard-serve": 2 kill points (1 applied), baseline 9619 steps, 0 failures
+  actor-shard        target="conn-worker": 2 kill points (0 applied), baseline 9619 steps, 0 failures
+  actor-shard        target="shard-root": 2 kill points (1 applied), baseline 9619 steps, 0 failures
+
+A suite name outside the known set is a usage error (exit 2), and the
+message lists every suite so scripts fail loudly rather than sweeping
+nothing:
+
+  $ chrun sweep --suite nope
+  chrun sweep: unknown suite "nope" (expected one of: corpus, std, server, sup, chaos, actor, all)
+  [2]
+
 --json records the sweep for BENCH_fault.json / BENCH_chaos.json
-(schema 4 is free of wall-clock fields, so the record is fully
+(schema 5 is free of wall-clock fields, so the record is fully
 deterministic):
 
   $ chrun sweep --suite std --max-points 5 --json out.json > /dev/null
@@ -88,10 +119,10 @@ deterministic):
 
 The parallel sweep is observationally sequential: --jobs changes wall
 clock only. The embedded command line is normalised (--jobs and --json
-arguments stripped), so same-named output files are byte-identical:
+arguments stripped), so the reports are byte-identical even when the
+output files are named differently:
 
-  $ chrun sweep --suite std --jobs 1 --json out.json > seq.out
-  $ mv out.json seq.json
-  $ chrun sweep --suite std --jobs 4 --json out.json > par.out
-  $ diff seq.json out.json
+  $ chrun sweep --suite std --jobs 1 --json seq.json > seq.out
+  $ chrun sweep --suite std --jobs 4 --json par.json > par.out
+  $ diff seq.json par.json
   $ diff seq.out par.out

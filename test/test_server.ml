@@ -101,7 +101,7 @@ let server_tests =
     case "end-to-end: routed request gets its answer" (fun () ->
         let response =
           value
-            ( Server.start echo_handler >>= fun server ->
+            ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
               get server "/hello" >>= fun r ->
               Server.shutdown server >>= fun _ -> return r )
         in
@@ -110,20 +110,20 @@ let server_tests =
     case "unknown path gets 404" (fun () ->
         Alcotest.check int_v "status" 404
           (value
-             ( Server.start echo_handler >>= fun server ->
+             ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
                get server "/nope" >>= fun r ->
                Server.shutdown server >>= fun _ -> return r.Http.status )));
     case "post body is echoed" (fun () ->
         Alcotest.check str_v "echo" "data-123"
           (value
-             ( Server.start echo_handler >>= fun server ->
+             ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
                get server ~body:"data-123" "/echo" >>= fun r ->
                Server.shutdown server >>= fun _ -> return r.Http.body )));
     case "many concurrent clients are all served" (fun () ->
         let n = 12 in
         let stats, statuses =
           value
-            ( Server.start echo_handler >>= fun server ->
+            ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
               Combinators.parallel_map
                 (fun _ -> get server "/hello")
                 (List.init n Fun.id)
@@ -138,7 +138,7 @@ let server_tests =
     case "a slowloris client is answered 504 by the timeout" (fun () ->
         let response =
           value
-            ( Server.start echo_handler >>= fun server ->
+            ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
               Server.connect server >>= fun conn ->
               (* trickle an incomplete request forever *)
               fork
@@ -156,7 +156,7 @@ let server_tests =
         in
         Alcotest.check int_v "status" 504
           (value
-             ( Server.start slow_handler >>= fun server ->
+             ( Server.start ~backend:(Ev.Backend.sim ()) slow_handler >>= fun server ->
                get server "/x" >>= fun r ->
                Server.shutdown server >>= fun _ -> return r.Http.status )));
     case "admission control requires timeouts to cover queueing" (fun () ->
@@ -168,7 +168,7 @@ let server_tests =
         let slowish _req = sleep 150 >>= fun () -> return (Http.ok "done") in
         let statuses =
           value
-            ( Server.start ~config slowish >>= fun server ->
+            ( Server.start ~backend:(Ev.Backend.sim ()) ~config slowish >>= fun server ->
               Combinators.parallel_map
                 (fun _ -> get server "/x" >>= fun r -> return r.Http.status)
                 [ 0; 1; 2 ]
@@ -180,7 +180,7 @@ let server_tests =
     case "shutdown rejects queued connections and reports stats" (fun () ->
         let stats =
           value
-            ( Server.start echo_handler >>= fun server ->
+            ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
               get server "/hello" >>= fun _ ->
               Server.shutdown server >>= fun stats -> return stats )
         in
@@ -189,7 +189,7 @@ let server_tests =
     case "connect after shutdown raises Server_stopped" (fun () ->
         match
           run
-            ( Server.start echo_handler >>= fun server ->
+            ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
               Server.shutdown server >>= fun _ -> Server.connect server )
         with
         | { Runtime.outcome = Runtime.Uncaught Server.Server_stopped; _ } -> ()
@@ -197,7 +197,7 @@ let server_tests =
     case "bad request over the wire gets 400, server survives" (fun () ->
         let first_status, second =
           value
-            ( Server.start echo_handler >>= fun server ->
+            ( Server.start ~backend:(Ev.Backend.sim ()) echo_handler >>= fun server ->
               Server.connect server >>= fun conn ->
               Http.Conn.send_string conn "BROKEN\r\n\r\n" >>= fun () ->
               Http.read_response conn >>= fun bad ->
