@@ -398,6 +398,57 @@ let sc =
         run_config random_cfg (fork_tree 9 10)));
   ]
 
+(* --- DOM: the multi-domain work-stealing scheduler --------------------------- *)
+
+(* The BENCH_domains.json scenarios: the SC storm (1023 simultaneously
+   runnable threads, 30 yield laps each) executed live on 1/2/4/8
+   scheduler domains, plus a single-domain deterministic replay of a
+   captured 4-domain log. The multi-domain cells include everything a
+   real `chrun run --domains N` pays: domain spawn/join, the global-lock
+   sequenced steps, work stealing, cross-domain mailbox drains, and
+   always-on replay-log recording. On a single-core container domains >
+   1 can only lose (same caveat as the PAR group); the >=2.5x storm
+   criterion is judged on a multi-core runner. *)
+
+let run_domains domains io =
+  let config = { Runtime.Config.default with Runtime.Config.domains } in
+  match (Runtime.run ~config io).Runtime.outcome with
+  | Runtime.Value v -> v
+  | _ -> failwith "bench program failed"
+
+let dom_storm () = fork_tree 9 30
+
+(* One 4-domain log, captured at first use: the replay cell prices
+   following a recorded schedule, not recording it. *)
+let dom_log =
+  lazy
+    (let config = { Runtime.Config.default with Runtime.Config.domains = 4 } in
+     match (Runtime.run ~config (dom_storm ())).Runtime.replay_log with
+     | Some log -> log
+     | None -> assert false)
+
+let dom_replay () =
+  let config =
+    { Runtime.Config.default with Runtime.Config.replay = Some (Lazy.force dom_log) }
+  in
+  let r = Runtime.run ~config (dom_storm ()) in
+  assert (not r.Runtime.replay_diverged);
+  match r.Runtime.outcome with
+  | Runtime.Value v -> v
+  | _ -> failwith "bench program failed"
+
+let dom_group =
+  List.map
+    (fun domains ->
+      Test.make
+        ~name:(Printf.sprintf "dom/fork-tree-1023x30-d%d" domains)
+        (stage (fun () -> run_domains domains (dom_storm ()))))
+    [ 1; 2; 4; 8 ]
+  @ [
+      Test.make ~name:"dom/replay-1023x30-of-d4" (stage (fun () ->
+          dom_replay ()));
+    ]
+
 (* --- OB: observability overhead ---------------------------------------------- *)
 
 (* The BENCH_obs.json criterion: attaching the Obs.Rec ring recorder must
@@ -700,6 +751,7 @@ let groups =
     ("SV server substrate", sv);
     ("RT runtime primitives", rt);
     ("SC scheduler hot path", sc);
+    ("DOM multi-domain scheduler", dom_group);
     ("OB observability overhead", ob);
     ("PAR domain-parallel engines", par_group);
     ("SUP supervision layer", sup_group);
@@ -707,9 +759,15 @@ let groups =
   ]
 
 (* CLI: [-quota SECONDS] bounds the per-test measuring time (CI smoke runs
-   use a small value), [-only PREFIX] selects matching groups. *)
-let quota, only =
-  let quota = ref 0.4 and only = ref [] in
+   use a small value), [-only PREFIX] selects matching groups, [-json
+   FILE] writes the OLS estimates machine-readably (the input of
+   scripts/bench_check.sh's regression gate). *)
+let quota, only, json_path =
+  let quota = ref 0.4 and only = ref [] and json = ref None in
+  let usage () =
+    Printf.eprintf
+      "usage: main.exe [-quota SECONDS] [-only PREFIX]... [-json FILE]\n"
+  in
   let rec parse = function
     | [] -> ()
     | "-quota" :: v :: rest -> (
@@ -718,17 +776,20 @@ let quota, only =
             quota := f;
             parse rest
         | None ->
-            Printf.eprintf "usage: main.exe [-quota SECONDS] [-only PREFIX]...\n";
+            usage ();
             failwith ("bad -quota value " ^ v))
     | "-only" :: v :: rest ->
         only := String.lowercase_ascii v :: !only;
         parse rest
+    | "-json" :: v :: rest ->
+        json := Some v;
+        parse rest
     | arg :: _ ->
-        Printf.eprintf "usage: main.exe [-quota SECONDS] [-only PREFIX]...\n";
+        usage ();
         failwith ("unknown argument " ^ arg)
   in
   parse (List.tl (Array.to_list Sys.argv));
-  (!quota, !only)
+  (!quota, !only, !json)
 
 let groups =
   match only with
@@ -764,6 +825,9 @@ let pretty_time ns =
 let () =
   Printf.printf "benchmarks: %d groups, monotonic clock, OLS on run count\n"
     (List.length groups);
+  (* (name, ns/run) in run order, for -json; names are bench identifiers
+     (no quoting needed) and estimates plain floats. *)
+  let rows = ref [] in
   List.iter
     (fun (group, tests) ->
       Printf.printf "\n-- %s --\n%!" group;
@@ -773,10 +837,18 @@ let () =
           let analyzed = Analyze.all ols Instance.monotonic_clock results in
           Hashtbl.iter
             (fun name ols_result ->
-              let estimate =
+              let ns =
                 match Analyze.OLS.estimates ols_result with
-                | Some (e :: _) -> pretty_time e
-                | Some [] | None -> "       n/a"
+                | Some (e :: _) -> Some e
+                | Some [] | None -> None
+              in
+              (match ns with
+              | Some e -> rows := (name, e) :: !rows
+              | None -> ());
+              let estimate =
+                match ns with
+                | Some e -> pretty_time e
+                | None -> "       n/a"
               in
               let r2 =
                 match Analyze.OLS.r_square ols_result with
@@ -786,4 +858,24 @@ let () =
               Printf.printf "  %-28s %s/run  %s\n%!" name estimate r2)
             analyzed)
         tests)
-    groups
+    groups;
+  match json_path with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Printf.fprintf oc "{\n  \"schema_version\": 1,\n";
+      Printf.fprintf oc
+        "  \"description\": \"bechamel OLS estimates, nanoseconds per run, \
+         monotonic clock; written by bench/main.exe -json and consumed by \
+         scripts/bench_check.sh\",\n";
+      Printf.fprintf oc "  \"quota_seconds\": %g,\n" quota;
+      Printf.fprintf oc "  \"estimates\": {\n";
+      let rows = List.rev !rows in
+      List.iteri
+        (fun i (name, ns) ->
+          Printf.fprintf oc "    \"%s\": %.1f%s\n" name ns
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  }\n}\n";
+      close_out oc;
+      Printf.printf "\nestimates written to %s\n" path

@@ -38,6 +38,7 @@ let handle_syntax f =
       Error (Printf.sprintf "syntax error at %d:%d: %s" line col message)
   | exception Invalid_argument m -> Error m
   | exception Sys_error m -> Error m
+  | exception Failure m -> Error m
 
 (* --- common flags --------------------------------------------------------- *)
 
@@ -139,11 +140,116 @@ let chrome_arg =
            changes as instants, stamped with the virtual-step clock. \
            Deterministic under $(b,--policy rr).")
 
+(* --- the hio-runtime path: run --domains / --record, and replay ----------- *)
+
+let domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Execute on the §8 hio runtime (via denotation) sharded across \
+           $(docv) scheduler domains with per-domain run queues and work \
+           stealing. Any value (including 1) switches to the hio path, on \
+           which the semantics-scheduler flags ($(b,--policy), \
+           $(b,--trace), $(b,--stats), $(b,--metrics), $(b,--chrome), \
+           $(b,--stuck-io)) do not apply.")
+
+let record_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "record" ] ~docv:"FILE"
+        ~doc:
+          "Write the run's interleaving log (the deterministic-replay \
+           format) to $(docv); $(b,chrun replay) re-executes it on one \
+           domain and must print a byte-identical summary. Requires \
+           $(b,--domains) of at least 2 — a single-domain run is already \
+           deterministic and writes no log.")
+
+let hio_arg =
+  Arg.(
+    value & flag
+    & info [ "hio" ]
+        ~doc:
+          "Run on the §8 hio runtime via denotation even at \
+           $(b,--domains) 1.")
+
+(* The canonical summary shared by [run --domains] and [replay]: a live
+   multi-domain run and the single-domain replay of its captured log
+   must print byte-identical text (CI diffs exactly that), so every line
+   is either schedule-independent or reproduced exactly by the replay —
+   outcome, output, totals, per-thread accounting in tid order, and the
+   log's own shape. Divergence gets its own line: a clean replay never
+   prints it, so any drift breaks the diff loudly. *)
+let hio_summary ~log ppf (r : Ch_lang.Term.term Hio.Runtime.result) =
+  (match r.Hio.Runtime.outcome with
+  | Hio.Runtime.Value t ->
+      Fmt.pf ppf "result: %a@." Ch_lang.Pretty.pp_term t
+  | Hio.Runtime.Uncaught (Ch_denote.Denote.Obj_exn e) ->
+      Fmt.pf ppf "uncaught exception: #%s@." e
+  | Hio.Runtime.Uncaught Hio.Io.Kill_thread ->
+      Fmt.pf ppf "uncaught exception: #KillThread@."
+  | Hio.Runtime.Uncaught Hio.Io.Timeout ->
+      Fmt.pf ppf "uncaught exception: #Timeout@."
+  | Hio.Runtime.Uncaught e ->
+      Fmt.pf ppf "uncaught exception: %s@." (Printexc.to_string e)
+  | Hio.Runtime.Deadlock -> Fmt.pf ppf "deadlock@."
+  | Hio.Runtime.Out_of_steps -> Fmt.pf ppf "out of steps@.");
+  if r.Hio.Runtime.output <> "" then
+    Fmt.pf ppf "output: %S@." r.Hio.Runtime.output;
+  Fmt.pf ppf "steps:  %d@." r.Hio.Runtime.steps;
+  Fmt.pf ppf "time:   %dus@." r.Hio.Runtime.time;
+  Fmt.pf ppf "forks:  %d@." r.Hio.Runtime.forks;
+  let stats =
+    List.sort
+      (fun (a : Hio.Runtime.thread_stat) b ->
+        compare a.Hio.Runtime.ts_id b.Hio.Runtime.ts_id)
+      r.Hio.Runtime.thread_stats
+  in
+  Fmt.pf ppf "threads:%a@."
+    (fun ppf ->
+      List.iter (fun (ts : Hio.Runtime.thread_stat) ->
+          Fmt.pf ppf " t%d=%d" ts.Hio.Runtime.ts_id ts.Hio.Runtime.ts_steps))
+    stats;
+  (match log with
+  | Some (l : Hio.Step_journal.Replay.t) ->
+      Fmt.pf ppf "log:    %d domains, %d records, %d steps@."
+        l.Hio.Step_journal.Replay.domains
+        (Array.length l.Hio.Step_journal.Replay.records)
+        (Hio.Step_journal.Replay.total_steps l)
+  | None -> ());
+  if r.Hio.Runtime.replay_diverged then Fmt.pf ppf "replay DIVERGED@."
+
+let hio_run program input max_steps domains record =
+  if domains < 1 then invalid_arg "--domains must be at least 1";
+  if record <> None && domains < 2 then
+    invalid_arg "--record needs --domains >= 2 (one domain writes no log)";
+  let config =
+    {
+      Hio.Runtime.Config.default with
+      Hio.Runtime.Config.input;
+      max_steps;
+      domains;
+    }
+  in
+  let r = Ch_denote.Denote.run_result ~config program in
+  Fmt.pr "%a" (hio_summary ~log:r.Hio.Runtime.replay_log) r;
+  match (record, r.Hio.Runtime.replay_log) with
+  | Some path, Some log ->
+      let oc = open_out path in
+      output_string oc (Hio.Step_journal.Replay.to_string log);
+      close_out oc;
+      Fmt.pr "replay log written to %s@." path
+  | _ -> ()
+
 let run_cmd =
   let run file expr prelude input fuel stuck_io policy seed max_steps trace
-      stats metrics chrome =
+      stats metrics chrome domains record hio =
     handle_syntax (fun () ->
         let program = read_program file expr prelude in
+        if domains > 1 || record <> None || hio then
+          hio_run program input max_steps domains record
+        else
         let config = config_of fuel stuck_io in
         let policy =
           match policy with
@@ -199,12 +305,62 @@ let run_cmd =
         | None -> ())
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run a program under a scheduler.")
+    (Cmd.info "run"
+       ~doc:
+         "Run a program — under the semantics scheduler by default, or on \
+          the multi-domain hio runtime with $(b,--domains)/$(b,--hio).")
     Term.(
       term_result'
         (const run $ file_arg $ expr_arg $ prelude_arg $ input_arg $ fuel_arg
        $ stuck_io_arg $ policy_arg $ seed_arg $ steps_arg $ trace_arg
-       $ stats_arg $ metrics_arg $ chrome_arg))
+       $ stats_arg $ metrics_arg $ chrome_arg $ domains_arg $ record_arg
+       $ hio_arg))
+
+(* --- chrun replay ----------------------------------------------------------- *)
+
+let replay_cmd =
+  let log_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"LOG" ~doc:"Replay log written by run --record.")
+  in
+  let prog_arg =
+    Arg.(
+      value
+      & pos 1 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Program file (or use -e).")
+  in
+  let run log_path file expr prelude input max_steps =
+    handle_syntax (fun () ->
+        let program = read_program file expr prelude in
+        let ic = open_in log_path in
+        let n = in_channel_length ic in
+        let text = really_input_string ic n in
+        close_in ic;
+        let log = Hio.Step_journal.Replay.decode text in
+        let config =
+          {
+            Hio.Runtime.Config.default with
+            Hio.Runtime.Config.input;
+            max_steps;
+            replay = Some log;
+          }
+        in
+        let r = Ch_denote.Denote.run_result ~config program in
+        Fmt.pr "%a" (hio_summary ~log:(Some log)) r)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:
+         "Re-execute a recorded multi-domain run deterministically on one \
+          domain, following its interleaving log record by record. The \
+          summary must be byte-identical to the recording run's — CI \
+          diffs the two.")
+    Term.(
+      term_result'
+        (const run $ log_arg $ prog_arg $ expr_arg $ prelude_arg $ input_arg
+       $ steps_arg))
 
 (* --- chrun check ------------------------------------------------------------ *)
 
@@ -441,6 +597,24 @@ let json_arg =
            stripped from the recorded command — so runs at different job \
            counts must be byte-identical (CI diffs them).")
 
+let sweep_domains_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "domains" ] ~docv:"N"
+        ~doc:
+          "Record each hio case's baseline live on $(docv) scheduler \
+           domains and sweep over its captured replay log: the kill and \
+           fault points land in a schedule with real cross-domain \
+           interleavings, and each faulted run is still fully \
+           deterministic (it replays the log up to the injection). \
+           Applies to the hio suites ($(b,std), $(b,server), $(b,sup), \
+           $(b,actor), $(b,chaos)); the corpus programs run on the \
+           semantics scheduler and ignore it. Note the live baseline's \
+           interleaving differs run to run, so reports recorded at \
+           $(docv) > 1 are deterministic per log but not across \
+           invocations — CI's cross-jobs byte-diff only applies at the \
+           default 1.")
+
 let strict_arg =
   Arg.(
     value & flag
@@ -470,11 +644,12 @@ let strip_jobs argv =
 
 (* JSON by hand (no JSON library in the tree): every string we emit is a
    known identifier, so escaping is not needed. *)
-let sweep_json path ~argv ~corpus ~std ~server ~sup ~actor ~chaos ~failures =
+let sweep_json path ~argv ~domains ~corpus ~std ~server ~sup ~actor ~chaos
+    ~failures =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema_version\": 5,\n";
+  add "  \"schema_version\": 6,\n";
   add "  \"description\": \"Fault sweep record: every armed scheduler \
        step of each case re-executed with KillThread injected into the \
        acting (or targeted) thread, invariants checked after each faulted \
@@ -487,8 +662,14 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~actor ~chaos ~failures =
        site, optionally composed with kills — and the per-row fault_kinds \
        breakdown; schema 5 added the actor suite: exception-linked \
        actors — link/monitor delivery, call/stop, mailbox FIFO — and the \
-       sharded supervised server).\",\n";
+       sharded supervised server; schema 6 added the domains field — \
+       hio-suite baselines recorded live on that many scheduler domains \
+       and swept over their captured replay logs, so kill and fault \
+       points probe real cross-domain interleavings; reports with \
+       domains > 1 are deterministic per recorded log but not across \
+       invocations).\",\n";
   add "  \"command\": \"%s\",\n" (String.concat " " (strip_jobs argv));
+  add "  \"domains\": %d,\n" domains;
   add "  \"corpus\": [\n";
   List.iteri
     (fun i (r : Fault.Ch_sweep.report) ->
@@ -577,7 +758,8 @@ let sweep_json path ~argv ~corpus ~std ~server ~sup ~actor ~chaos ~failures =
   close_out oc
 
 let sweep_cmd =
-  let run suite max_points max_sites kills_per_point jobs json strict =
+  let run suite max_points max_sites kills_per_point jobs domains json
+      strict =
     handle_syntax (fun () ->
         let suite =
           match suite_of_string suite with
@@ -607,7 +789,7 @@ let sweep_cmd =
           else
             List.map
               (fun c ->
-                let r = Fault.Sweep.sweep ?max_points ~jobs c in
+                let r = Fault.Sweep.sweep ?max_points ~jobs ~domains c in
                 Fmt.pr "%a@." Fault.Sweep.pp_report r;
                 failures := !failures + List.length r.Fault.Sweep.r_failures;
                 r)
@@ -619,7 +801,7 @@ let sweep_cmd =
             List.map
               (fun target ->
                 let r =
-                  Fault.Sweep.sweep ?max_points ~jobs ~target
+                  Fault.Sweep.sweep ?max_points ~jobs ~domains ~target
                     Fault.Cases.server
                 in
                 Fmt.pr "%a@." Fault.Sweep.pp_report r;
@@ -632,7 +814,9 @@ let sweep_cmd =
           else
             List.map
               (fun (case, target) ->
-                let r = Fault.Sweep.sweep ?max_points ~jobs ~target case in
+                let r =
+                  Fault.Sweep.sweep ?max_points ~jobs ~domains ~target case
+                in
                 Fmt.pr "%a@." Fault.Sweep.pp_report r;
                 failures := !failures + List.length r.Fault.Sweep.r_failures;
                 r)
@@ -643,7 +827,9 @@ let sweep_cmd =
           else
             List.map
               (fun (case, target) ->
-                let r = Fault.Sweep.sweep ?max_points ~jobs ~target case in
+                let r =
+                  Fault.Sweep.sweep ?max_points ~jobs ~domains ~target case
+                in
                 Fmt.pr "%a@." Fault.Sweep.pp_report r;
                 failures := !failures + List.length r.Fault.Sweep.r_failures;
                 r)
@@ -656,7 +842,7 @@ let sweep_cmd =
               (fun c ->
                 let r =
                   Fault.Io_sweep.sweep ~max_sites_per_op:max_sites
-                    ~kills_per_point ~jobs c
+                    ~kills_per_point ~jobs ~domains c
                 in
                 Fmt.pr "%a@." Fault.Io_sweep.pp_report r;
                 failures :=
@@ -668,7 +854,8 @@ let sweep_cmd =
         | Some path ->
             sweep_json path
               ~argv:(Array.to_list Sys.argv)
-              ~corpus ~std ~server ~sup ~actor ~chaos ~failures:!failures
+              ~domains ~corpus ~std ~server ~sup ~actor ~chaos
+              ~failures:!failures
         | None -> ());
         if !failures > 0 then begin
           Fmt.pr "%d FAILING sweep%s@." !failures
@@ -687,7 +874,8 @@ let sweep_cmd =
     Term.(
       term_result'
         (const run $ suite_arg $ max_points_arg $ max_sites_arg
-       $ kills_per_point_arg $ jobs_arg $ json_arg $ strict_arg))
+       $ kills_per_point_arg $ jobs_arg $ sweep_domains_arg $ json_arg
+       $ strict_arg))
 
 (* --- chrun repl -------------------------------------------------------------- *)
 
@@ -785,4 +973,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ parse_cmd; run_cmd; check_cmd; equiv_cmd; sweep_cmd; repl_cmd ]))
+          [ parse_cmd; run_cmd; replay_cmd; check_cmd; equiv_cmd; sweep_cmd;
+            repl_cmd ]))

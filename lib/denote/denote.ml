@@ -275,13 +275,16 @@ and ending =
   | Deadlocked
   | Out_of_steps
 
-let run ?config ?readback_budget term =
+let run_result ?config ?readback_budget term =
   let program =
     io_of_term term >>= fun v ->
     perform_value v >>= fun result ->
     result () >>= fun v -> readback ?budget:readback_budget v
   in
-  let r = Runtime.run ?config program in
+  Runtime.run ?config program
+
+let run ?config ?readback_budget term =
+  let r = run_result ?config ?readback_budget term in
   {
     ending =
       (match r.Runtime.outcome with

@@ -82,4 +82,20 @@ let observe_result ?(labels = []) reg (r : _ Runtime.result) =
           (Metrics.counter reg
              ~labels:(("thread", thread) :: labels)
              "hio_thread_delivered_total"))
-    r.Runtime.thread_stats
+    r.Runtime.thread_stats;
+  (* Multi-domain runs: one row per domain — steps executed there, work
+     stolen, cross-domain exceptions drained, replay records written. *)
+  List.iter
+    (fun (ds : Runtime.domain_stat) ->
+      let dom = Printf.sprintf "d%d" ds.Runtime.ds_dom in
+      let counter name by =
+        Metrics.inc ~by
+          (Metrics.counter reg ~labels:(("domain", dom) :: labels) name)
+      in
+      counter "hio_domain_steps_total" ds.Runtime.ds_steps;
+      counter "hio_domain_steals_total" ds.Runtime.ds_steals;
+      counter "hio_domain_mailbox_posts_total" ds.Runtime.ds_posts;
+      counter "hio_domain_replay_records_total" ds.Runtime.ds_records)
+    r.Runtime.domain_stats;
+  if r.Runtime.replay_diverged then
+    Metrics.inc (Metrics.counter reg ~labels "hio_replay_divergences_total")

@@ -166,3 +166,41 @@ graph of the terminal state:
   counter    sem_thread_steps_total{thread=t0}          16
   counter    sem_thread_steps_total{thread=t1}          2
   counter    sem_thread_steps_total{thread=t2}          3
+
+The hio path: --hio (or --domains/--record) executes the program on the
+§8 runtime via denotation. A single-domain run is deterministic, so its
+summary is stable:
+
+  $ chrun run -e "do { putChar 'h'; putChar 'i'; return 42 }" --hio
+  result: 42
+  output: "hi"
+  steps:  39
+  time:   0us
+  forks:  1
+  threads: t0=39
+
+A multi-domain run records its interleaving log; replaying the log on
+one domain must reproduce the run's summary byte for byte (the summary
+itself varies run to run — only the record/replay agreement is checked):
+
+  $ cat > race4.ch <<'PROG'
+  > do { m <- newEmptyMVar;
+  >      t <- forkIO (do { putChar 'a'; putMVar m 1 });
+  >      u <- forkIO (do { putChar 'b'; putMVar m 2 });
+  >      a <- takeMVar m; b <- takeMVar m; return (a + b) }
+  > PROG
+  $ chrun run race4.ch --domains 4 --record race4.log > run4.out
+  $ grep -c 'replay log written to race4.log' run4.out
+  1
+  $ grep -v 'replay log written' run4.out > run4.summary
+  $ chrun replay race4.log race4.ch > replay.out
+  $ diff run4.summary replay.out && echo summaries identical
+  summaries identical
+  $ head -1 race4.log
+  hio-replay 1
+
+--record without enough domains is refused:
+
+  $ chrun run race4.ch --record nope.log
+  chrun: --record needs --domains >= 2 (one domain writes no log)
+  [124]

@@ -350,6 +350,61 @@ let jobs_invariance_tests =
           (Sweep.sweep ~jobs:4 ~max_points:40 Cases.server = seq));
   ]
 
+(* Sweeps over a multi-domain replay log: the baseline runs live on two
+   domains, its interleaving log is captured, and every faulted run
+   replays that log up to the kill — the §7 claims probed over a real
+   parallel schedule, each faulted run still fully deterministic. *)
+let domain_sweep_tests =
+  let std name = List.find (fun c -> Sweep.case_name c = name) Cases.std in
+  let sem_units = std "sem-units" and chan_conserve = std "chan-conserve" in
+  [
+    case "sem-units sweeps clean over a 2-domain replay log" (fun () ->
+        let r = Sweep.sweep ~domains:2 sem_units in
+        Alcotest.check Alcotest.bool "has kill points" true
+          (r.Sweep.r_kill_points > 0);
+        Alcotest.check Alcotest.int "every injection found a live target"
+          r.Sweep.r_kill_points r.Sweep.r_applied;
+        match r.Sweep.r_failures with
+        | [] -> ()
+        | f :: _ ->
+            Alcotest.failf "%d failures, first: %a — %s"
+              (List.length r.Sweep.r_failures)
+              Plan.pp f.Sweep.f_shrunk f.Sweep.f_reason);
+    case "a 2-domain record carries the log; 1-domain does not" (fun () ->
+        let s2 = Sweep.record ~domains:2 chan_conserve in
+        Alcotest.check Alcotest.bool "log captured" true
+          (s2.Sweep.s_log <> None);
+        let s1 = Sweep.record chan_conserve in
+        Alcotest.check Alcotest.bool "no log at one domain" true
+          (s1.Sweep.s_log = None));
+    case "faulted runs over one 2-domain log repeat identically" (fun () ->
+        (* jobs-invariance at domains > 1 must be judged against ONE
+           recorded log: each [sweep] call records its own live baseline,
+           whose interleaving may differ run to run. Given a fixed
+           schedule, a faulted replay is a pure function of the plan. *)
+        let s = Sweep.record ~domains:2 chan_conserve in
+        let step, _ = s.Sweep.s_armed.(Array.length s.Sweep.s_armed / 2) in
+        let plan =
+          [ { Plan.at_step = step; target = Plan.Acting; exn = Io.Kill_thread } ]
+        in
+        let v1, r1 = Sweep.run_plan chan_conserve s plan in
+        let v2, r2 = Sweep.run_plan chan_conserve s plan in
+        Alcotest.check Alcotest.bool "same verdict" true (v1 = v2);
+        Alcotest.check Alcotest.int "same steps" r1.Runtime.steps
+          r2.Runtime.steps;
+        Alcotest.check Alcotest.bool "same thread stats" true
+          (r1.Runtime.thread_stats = r2.Runtime.thread_stats));
+    case "the naive lock still fails over a 2-domain log" (fun () ->
+        let r = Sweep.sweep ~domains:2 Cases.naive_lock in
+        Alcotest.check Alcotest.bool "found the §5.2 violation" true
+          (r.Sweep.r_failures <> []);
+        List.iter
+          (fun f ->
+            Alcotest.check Alcotest.int "shrunk to a single injection" 1
+              (List.length f.Sweep.f_shrunk))
+          r.Sweep.r_failures);
+  ]
+
 let suites =
   [
     ("fault:shrink", shrink_tests);
@@ -357,4 +412,5 @@ let suites =
     ("fault:regressions", regression_tests);
     ("fault:ch-sweep", ch_sweep_tests);
     ("fault:jobs-invariance", jobs_invariance_tests);
+    ("fault:domain-sweep", domain_sweep_tests);
   ]
