@@ -732,6 +732,33 @@ let act =
         run_rr (act_selective_stash 200)));
   ]
 
+(* --- OVL: overload posture --------------------------------------------------- *)
+
+(* The cost of one open-loop load ramp (lib/fault/load_cases) against
+   each server, clean, at the bottom and the top of the multiplier
+   range: the measured unit behind BENCH_overload.json's goodput/shed
+   curves and the `chrun sweep --suite overload` gate. The ramp runs on
+   the simulated clock, so wall time here is pure scheduler + shedding
+   machinery — admission checks, CoDel queue deadlines, breaker peeks —
+   not I/O. *)
+
+let ovl_ramp case mult =
+  match
+    Fault.Load_sweep.record case ~mult ~resources:Ev.Chaos.no_resources
+  with
+  | _, Some t -> t.Fault.Load_sweep.lt_ok
+  | _, None -> failwith "overload ramp recorded no tally"
+
+let ovl =
+  [
+    Test.make ~name:"ovl/server-ramp-1x" (stage (fun () ->
+        ovl_ramp Fault.Load_cases.overload_server 1));
+    Test.make ~name:"ovl/server-ramp-10x" (stage (fun () ->
+        ovl_ramp Fault.Load_cases.overload_server 10));
+    Test.make ~name:"ovl/shard-ramp-10x" (stage (fun () ->
+        ovl_ramp Fault.Load_cases.overload_shard 10));
+  ]
+
 (* --- harness ---------------------------------------------------------------- *)
 
 let groups =
@@ -756,6 +783,7 @@ let groups =
     ("PAR domain-parallel engines", par_group);
     ("SUP supervision layer", sup_group);
     ("ACT actor layer", act);
+    ("OVL overload posture", ovl);
   ]
 
 (* CLI: [-quota SECONDS] bounds the per-test measuring time (CI smoke runs

@@ -521,7 +521,8 @@ let equiv_cmd =
    them. Parsed by hand (not Arg.enum) so an unknown suite can exit 2
    with the full list — cmdliner's enum error exits 124 and its
    message drifts from the actual suite set. *)
-let suite_names = [ "corpus"; "std"; "server"; "sup"; "chaos"; "actor"; "all" ]
+let suite_names =
+  [ "corpus"; "std"; "server"; "sup"; "chaos"; "actor"; "overload"; "all" ]
 
 let suite_of_string = function
   | "corpus" -> Some `Corpus
@@ -530,6 +531,7 @@ let suite_of_string = function
   | "sup" -> Some `Sup
   | "chaos" -> Some `Chaos
   | "actor" -> Some `Actor
+  | "overload" -> Some `Overload
   | "all" -> Some `All
   | _ -> None
 
@@ -539,7 +541,8 @@ let suite_arg =
     & info [ "suite" ] ~docv:"SUITE"
         ~doc:
           "What to sweep — one of $(b,corpus), $(b,std), $(b,server), \
-           $(b,sup), $(b,chaos), $(b,actor), or $(b,all): $(b,corpus) (the \
+           $(b,sup), $(b,chaos), $(b,actor), $(b,overload), or $(b,all): \
+           $(b,corpus) (the \
            Ch object-language programs, through the Figure 4/5 rules), \
            $(b,std) (the §7 hio abstractions: Sem, Barrier, Chan, Bchan, \
            Mvar locks, cleanup combinators), $(b,server) (the §11 server, \
@@ -553,8 +556,12 @@ let suite_arg =
            (the exception-linked actor layer: link/monitor delivery \
            races, call/stop, the mailbox-FIFO token ring, and the \
            sharded supervised server with targeted router / shard / \
-           supervisor kills), or $(b,all). An unknown suite exits 2 \
-           with this list.")
+           supervisor kills), $(b,overload) (open-loop load ramps at 1x \
+           to 10x of nominal against the supervised and sharded servers, \
+           with resource-exhaustion chaos — fd budgets, backlog caps, \
+           send caps — and kills layered on top; gates goodput and the \
+           CoDel queue-delay bound), or $(b,all). An unknown suite exits \
+           2 with this list.")
 
 let max_points_arg =
   Arg.(
@@ -583,7 +590,9 @@ let kills_per_point_arg =
           "Chaos suite: for each clean fault point, additionally re-record \
            the faulted schedule and inject KillThread at $(docv) of its \
            armed steps — asynchronous exceptions composed with transport \
-           faults. 0 disables the combined mode.")
+           faults. 0 disables the combined mode. The overload suite reuses \
+           it as kills-per-ramp: that many kills layered on every clean \
+           and resource-faulted ramp.")
 
 let json_arg =
   Arg.(
@@ -645,11 +654,11 @@ let strip_jobs argv =
 (* JSON by hand (no JSON library in the tree): every string we emit is a
    known identifier, so escaping is not needed. *)
 let sweep_json path ~argv ~domains ~corpus ~std ~server ~sup ~actor ~chaos
-    ~failures =
+    ~overload ~failures =
   let buf = Buffer.create 4096 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "{\n";
-  add "  \"schema_version\": 6,\n";
+  add "  \"schema_version\": 7,\n";
   add "  \"description\": \"Fault sweep record: every armed scheduler \
        step of each case re-executed with KillThread injected into the \
        acting (or targeted) thread, invariants checked after each faulted \
@@ -667,7 +676,11 @@ let sweep_json path ~argv ~domains ~corpus ~std ~server ~sup ~actor ~chaos
        and swept over their captured replay logs, so kill and fault \
        points probe real cross-domain interleavings; reports with \
        domains > 1 are deterministic per recorded log but not across \
-       invocations).\",\n";
+       invocations; schema 7 added the overload suite — deterministic \
+       open-loop load ramps at 1x/2x/5x/10x of nominal against the \
+       supervised and sharded servers, composed with resource-exhaustion \
+       chaos and kills, gating goodput (>= half of capacity at 10x) and \
+       the CoDel queue-delay bound).\",\n";
   add "  \"command\": \"%s\",\n" (String.concat " " (strip_jobs argv));
   add "  \"domains\": %d,\n" domains;
   add "  \"corpus\": [\n";
@@ -734,6 +747,32 @@ let sweep_json path ~argv ~domains ~corpus ~std ~server ~sup ~actor ~chaos
         (if i = List.length chaos - 1 then "" else ","))
     chaos;
   add "  ],\n";
+  add "  \"overload\": [\n";
+  List.iteri
+    (fun i (r : Fault.Load_sweep.report) ->
+      let points =
+        String.concat ", "
+          (List.map
+             (fun (p : Fault.Load_sweep.point) ->
+               Printf.sprintf
+                 "{ \"mult\": %d, \"offered\": %d, \"ok\": %d, \
+                  \"shed\": %d, \"late\": %d, \"transport\": %d, \
+                  \"max_queue_delay\": %d, \"steps\": %d }"
+                 p.Fault.Load_sweep.lp_mult p.lp_tally.lt_offered
+                 p.lp_tally.lt_ok p.lp_tally.lt_shed p.lp_tally.lt_late
+                 p.lp_tally.lt_transport p.lp_tally.lt_max_qdelay p.lp_steps)
+             r.Fault.Load_sweep.lr_points)
+      in
+      add
+        "    { \"case\": \"%s\", \"capacity\": %d, \"ramps\": [ %s ], \
+         \"kill_runs\": %d, \"resource_ramps\": %d, \"faulted_steps\": \
+         %d, \"failures\": %d }%s\n"
+        r.Fault.Load_sweep.lr_case r.lr_capacity points r.lr_kill_runs
+        r.lr_resource_ramps r.lr_faulted_steps
+        (List.length r.lr_failures)
+        (if i = List.length overload - 1 then "" else ","))
+    overload;
+  add "  ],\n";
   let kp =
     List.fold_left (fun a (r : Fault.Ch_sweep.report) -> a + r.rc_kill_points)
       0 corpus
@@ -748,10 +787,16 @@ let sweep_json path ~argv ~domains ~corpus ~std ~server ~sup ~actor ~chaos
         a + r.ir_points + r.ir_kill_runs)
       0 chaos
   in
+  let lr =
+    List.fold_left
+      (fun a (r : Fault.Load_sweep.report) ->
+        a + List.length r.lr_points + r.lr_kill_runs + r.lr_resource_ramps)
+      0 overload
+  in
   add
     "  \"totals\": { \"kill_points\": %d, \"fault_points\": %d, \
-     \"failures\": %d }\n"
-    kp fp failures;
+     \"load_runs\": %d, \"failures\": %d }\n"
+    kp fp lr failures;
   add "}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -850,11 +895,26 @@ let sweep_cmd =
                 r)
               Fault.Io_cases.chaos
         in
+        let overload =
+          if suite <> `Overload && suite <> `All then []
+          else
+            List.map
+              (fun c ->
+                let r =
+                  Fault.Load_sweep.sweep ~kills_per_ramp:kills_per_point
+                    ~resources:Fault.Load_cases.overload_resources ~jobs c
+                in
+                Fmt.pr "%a@." Fault.Load_sweep.pp_report r;
+                failures :=
+                  !failures + List.length r.Fault.Load_sweep.lr_failures;
+                r)
+              Fault.Load_cases.overload
+        in
         (match json with
         | Some path ->
             sweep_json path
               ~argv:(Array.to_list Sys.argv)
-              ~domains ~corpus ~std ~server ~sup ~actor ~chaos
+              ~domains ~corpus ~std ~server ~sup ~actor ~chaos ~overload
               ~failures:!failures
         | None -> ());
         if !failures > 0 then begin

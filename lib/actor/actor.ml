@@ -59,8 +59,16 @@ let () =
 
 (* --- lifecycle --------------------------------------------------------- *)
 
-let create ?(name = "actor") () =
-  Mailbox.create () >>= fun mbox ->
+let create ?(name = "actor") ?bound ?on_drop ?metrics () =
+  (* The bound applies to [Msg] envelopes; control envelopes use
+     [push_urgent]. [on_drop] unwraps, so callers account in their own
+     message type. *)
+  let on_drop =
+    Option.map
+      (fun f -> function Msg m -> f m | Stop_req _ -> ())
+      on_drop
+  in
+  Mailbox.create ?bound ?on_drop ?metrics ~name () >>= fun mbox ->
   Mvar.new_empty >>= fun done_mv ->
   (* The id comes from the MVar's per-run id, not a global counter: a
      module-level counter would be shared across the sweep's parallel
@@ -229,7 +237,8 @@ let watch_cell cell deliver =
       >>= fun () -> return w
 
 let monitor ~watcher ~inject watched =
-  watch_cell watched.a_cell (fun d -> Mailbox.push watcher.a_mbox (Msg (inject d)))
+  watch_cell watched.a_cell (fun d ->
+      Mailbox.push_urgent watcher.a_mbox (Msg (inject d)))
 
 let demonitor w =
   lift (fun () ->
@@ -329,7 +338,7 @@ let stop t =
   | Some r -> return r
   | None ->
       Mvar.new_empty >>= fun ack ->
-      Mailbox.push t.a_mbox (Stop_req ack) >>= fun () ->
+      Mailbox.push_urgent t.a_mbox (Stop_req ack) >>= fun () ->
       Combinators.race [ Mvar.take ack; Mvar.read t.a_cell.c_done ]
 
 let kill t =

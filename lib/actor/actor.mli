@@ -53,11 +53,20 @@ exception Call_timeout
 
 (* --- lifecycle --------------------------------------------------------- *)
 
-val create : ?name:string -> unit -> 'm t Io.t
+val create :
+  ?name:string ->
+  ?bound:int ->
+  ?on_drop:('m -> unit) ->
+  ?metrics:Obs.Metrics.t ->
+  unit ->
+  'm t Io.t
 (** A cell + mailbox with no thread yet; run the body via {!fork_body}
     (directly, or inside a {!Hsup.Sup.child}). [name] defaults to
-    ["actor"] and is used for the fork name, {!Exit_signal} and
-    {!down}. *)
+    ["actor"] and is used for the fork name, {!Exit_signal}, {!down} and
+    the mailbox's metrics label. [bound]/[on_drop]/[metrics] configure
+    the mailbox ({!Mailbox.create}): a bounded mailbox sheds the newest
+    message on overflow — [on_drop] sees only user messages ({!send}),
+    never the control envelopes, which bypass the bound. *)
 
 val body : 'm t -> ('m t -> unit Io.t) -> unit Io.t
 (** The runnable body: masked, registers the current thread as the

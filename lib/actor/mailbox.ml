@@ -5,11 +5,70 @@ open Io
 type 'a t = {
   q : 'a Chan.t;
   mutable stash : 'a list;  (* arrival order; owner-thread only *)
+  bound : int option;
+  mutable len : int;  (* queued + stashed, i.e. pushed minus consumed *)
+  mutable hw : int;  (* high-water mark of [len] *)
+  mutable dropped : int;  (* pushes shed by the bound *)
+  on_drop : ('a -> unit) option;
+  g_depth : Obs.Metrics.gauge option;
 }
 
-let create () = Chan.create () >>= fun q -> return { q; stash = [] }
-let push t m = Chan.send t.q m
+let create ?bound ?on_drop ?metrics ?(name = "mailbox") () =
+  Chan.create () >>= fun q ->
+  lift (fun () ->
+      let g_depth =
+        match metrics with
+        | None -> None
+        | Some reg ->
+            Some
+              (Obs.Metrics.gauge reg
+                 ~labels:[ ("name", name) ]
+                 "mailbox_depth")
+      in
+      { q; stash = []; bound; len = 0; hw = 0; dropped = 0; on_drop; g_depth })
+
+(* Both run inside a [lift] of the pusher/owner. *)
+let bump t =
+  t.len <- t.len + 1;
+  if t.len > t.hw then t.hw <- t.len;
+  match t.g_depth with Some g -> Obs.Metrics.set g t.len | None -> ()
+
+let consumed t =
+  t.len <- t.len - 1;
+  match t.g_depth with Some g -> Obs.Metrics.set g t.len | None -> ()
+
+(* Masked so a kill cannot separate the depth accounting from the send
+   itself; [Chan.send] on an unbounded channel never blocks, so there is
+   no interruptible point inside the mask. *)
+let push t m =
+  mask_
+    ( lift (fun () ->
+          match t.bound with
+          | Some b when t.len >= b ->
+              (* Shed-newest: the arrival is dropped, the queue keeps its
+                 older (closer-to-service) messages. Deterministic — the
+                 decision depends only on mailbox state at this step. *)
+              t.dropped <- t.dropped + 1;
+              (match t.on_drop with Some f -> f m | None -> ());
+              false
+          | _ ->
+              bump t;
+              true)
+    >>= function
+    | false -> return ()
+    | true -> Chan.send t.q m )
+
+(* Control-plane push: counted in the depth but never shed — dropping a
+   stop request or a monitor's one [down] would break their
+   exactly-once/liveness contracts, and they are not amplified by load
+   the way data messages are. *)
+let push_urgent t m =
+  mask_ (lift (fun () -> bump t) >>= fun () -> Chan.send t.q m)
+
 let stashed t = lift (fun () -> List.length t.stash)
+let length t = lift (fun () -> t.len)
+let high_water t = lift (fun () -> t.hw)
+let dropped_count t = lift (fun () -> t.dropped)
 
 (* One atomic step: scan the stash in arrival order for the first match
    and remove it. *)
@@ -21,6 +80,7 @@ let take_stash t f =
             match f m with
             | Some x ->
                 t.stash <- List.rev_append acc rest;
+                consumed t;
                 Some x
             | None -> go (m :: acc) rest)
       in
@@ -28,11 +88,13 @@ let take_stash t f =
 
 (* The receive loop proper. Runs masked by the callers below: between
    [Chan.recv] handing us a message and the match/stash decision there
-   is no delivery point, so a kill cannot strand a taken message. *)
+   is no delivery point, so a kill cannot strand a taken message.
+   Messages parked in the stash stay counted in [len] — they are still
+   in the mailbox. *)
 let rec recv_match t f =
   Chan.recv t.q >>= fun m ->
   match f m with
-  | Some x -> return x
+  | Some x -> lift (fun () -> consumed t) >>= fun () -> return x
   | None -> lift (fun () -> t.stash <- t.stash @ [ m ]) >>= fun () ->
       recv_match t f
 

@@ -1,12 +1,22 @@
-(** A typed actor mailbox: an unbounded {!Hio_std.Chan} in arrival
-    order, plus a {e stash} for selective receive — messages the current
-    receive pattern does not match are parked (still in arrival order)
-    and offered again to later receives, Erlang-style.
+(** A typed actor mailbox: a {!Hio_std.Chan} in arrival order, plus a
+    {e stash} for selective receive — messages the current receive
+    pattern does not match are parked (still in arrival order) and
+    offered again to later receives, Erlang-style.
 
     Ownership discipline: any thread may {!push}; exactly one thread —
     the owning actor — calls {!receive}/{!receive_timeout}. The stash is
     plain mutable state touched only inside atomic [lift] steps of that
     single consumer, so no lock is needed.
+
+    Depth accounting: {!length} (queued + stashed) is tracked on every
+    push/consume, with a {!high_water} mark and an optional
+    [mailbox_depth{name}] gauge. With [bound] the mailbox becomes
+    bounded with a deterministic {e shed-newest} overflow policy: a push
+    into a full mailbox drops the {e new} message (counted in
+    {!dropped_count}, reported to [on_drop]) rather than blocking the
+    pusher or evicting an older message someone may already be waiting
+    on — under overload the router keeps routing and the load-shedding
+    layers above decide what the lost message costs.
 
     Asynchronous-exception safety (the reason this module exists rather
     than "just use [Chan]"): the whole receive loop runs under
@@ -20,11 +30,27 @@ open Hio
 
 type 'a t
 
-val create : unit -> 'a t Io.t
+val create :
+  ?bound:int ->
+  ?on_drop:('a -> unit) ->
+  ?metrics:Obs.Metrics.t ->
+  ?name:string ->
+  unit ->
+  'a t Io.t
+(** Unbounded by default. [bound] caps {!length}; an overflowing push is
+    dropped (shed-newest) after calling [on_drop] on the message (a pure
+    callback inside the push's atomic step — for accounting, not I/O).
+    [metrics] registers a [mailbox_depth{name}] gauge (default name
+    ["mailbox"]) whose high-water mark is the worst depth seen. *)
 
 val push : 'a t -> 'a -> unit Io.t
-(** Enqueue a message. Never blocks (the queue is unbounded) and is safe
-    from any thread. *)
+(** Enqueue a message. Never blocks and is safe from any thread; on a
+    full bounded mailbox the message is dropped (see {!create}). *)
+
+val push_urgent : 'a t -> 'a -> unit Io.t
+(** {!push} that ignores the bound — for control messages (stop
+    requests, monitor downs) whose exactly-once/liveness contracts must
+    survive overload. Still counted in {!length}. *)
 
 val receive : 'a t -> ('a -> 'b option) -> 'b Io.t
 (** [receive t f] returns [x] for the first message [m] (stash first,
@@ -44,3 +70,12 @@ val next : 'a t -> 'a Io.t
 
 val stashed : 'a t -> int Io.t
 (** Messages currently parked by selective receives (tests/metrics). *)
+
+val length : 'a t -> int Io.t
+(** Messages in the mailbox right now: queued arrivals + stashed. *)
+
+val high_water : 'a t -> int Io.t
+(** The largest {!length} ever reached. *)
+
+val dropped_count : 'a t -> int Io.t
+(** Pushes shed by the bound since creation. *)

@@ -5,12 +5,16 @@ open Hio.Io
 exception Connection_reset
 exception Connection_refused
 exception Accept_failed
+exception Too_many_fds
+exception Buffer_full
 
 let () =
   Printexc.register_printer (function
     | Connection_reset -> Some "Connection_reset"
     | Connection_refused -> Some "Connection_refused"
     | Accept_failed -> Some "Accept_failed"
+    | Too_many_fds -> Some "Too_many_fds"
+    | Buffer_full -> Some "Buffer_full"
     | _ -> None)
 
 type conn = {

@@ -39,6 +39,17 @@ exception Accept_failed
     transient errno cases to retries internally). The server's accept
     pump must survive it. *)
 
+exception Too_many_fds
+(** The deterministic stand-in for EMFILE/ENFILE: raised by [l_accept]
+    and [l_dial] when a {!Chaos} resource plan's fd budget is exhausted.
+    Recovers as connections close; [Hsup.Retry.transient_io] retries it,
+    the server's accept pump must survive it. *)
+
+exception Buffer_full
+(** The deterministic stand-in for a send-buffer overrun under a
+    {!Chaos} resource plan's per-send byte cap: the capped prefix was
+    written, the rest was not. Transient — smaller writes succeed. *)
+
 type conn = {
   c_send : string -> unit Io.t;
       (** Send all bytes, blocking (interruptibly) on back-pressure.

@@ -46,6 +46,26 @@ let pp_plan ppf = function
         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
         pp_rule ppf rules
 
+(* ---- resource plans ----------------------------------------------------
+
+   Deterministic resource exhaustion, orthogonal to the fault plan: an
+   fd budget shared by accept and dial (EMFILE), a listener backlog cap
+   (dialled-but-not-yet-accepted connections), and a per-send byte cap
+   (the send-buffer overrun). Denials are ordinary exceptions on the
+   attacked operation; the budget recovers as counted connections
+   close. With [no_resources] (the default) the wrapped backend takes
+   exactly the same scheduler steps as before, so fault-only plans and
+   their recorded site baselines are unaffected. *)
+
+type resources = {
+  fd_budget : int option;
+      (* max live conns created through the wrapped listener *)
+  backlog_cap : int option; (* max dialled-not-yet-accepted conns *)
+  send_cap : int option; (* max bytes a single send may carry *)
+}
+
+let no_resources = { fd_budget = None; backlog_cap = None; send_cap = None }
+
 type ctl = {
   plan : rule list;
   counts : int array; (* per-op armed sites reached, indexed by op_index *)
@@ -55,9 +75,13 @@ type ctl = {
      connection mid-read. *)
   mutable trickles : int ref list;
   metrics : Obs.Metrics.t option;
+  resources : resources;
+  mutable live : int; (* conns from the wrapped listener, minus closes *)
+  mutable pending : int; (* dialled, not yet accepted *)
+  mutable denials : (string * int) list; (* kind -> count, sorted *)
 }
 
-let create ?metrics plan =
+let create ?metrics ?(resources = no_resources) plan =
   {
     plan;
     counts = Array.make (List.length all_ops) 0;
@@ -65,6 +89,10 @@ let create ?metrics plan =
     injections = [];
     trickles = [];
     metrics;
+    resources;
+    live = 0;
+    pending = 0;
+    denials = [];
   }
 
 (* One atomic step: number this op occurrence, look it up in the plan,
@@ -93,6 +121,26 @@ let decide ctl op =
         Some r.r_fault
   end
 
+(* Record a resource denial (pure; runs inside the op's decision lift). *)
+let deny ctl kind =
+  ctl.denials <-
+    (match List.assoc_opt kind ctl.denials with
+    | Some _ ->
+        List.map (fun (k, c) -> if k = kind then (k, c + 1) else (k, c))
+          ctl.denials
+    | None -> List.sort compare ((kind, 1) :: ctl.denials));
+  match ctl.metrics with
+  | None -> ()
+  | Some m ->
+      Obs.Metrics.inc
+        (Obs.Metrics.counter m ~labels:[ ("kind", kind) ]
+           "chaos_resource_denied_total")
+
+(* Does any resource limit exist at all? When not, the decorator takes
+   the exact pre-resource step counts — the pass-through invariant the
+   recorded fault-sweep baselines rely on. *)
+let tracks ctl = ctl.resources <> no_resources
+
 let disarm ctl =
   lift (fun () ->
       ctl.armed <- false;
@@ -104,10 +152,12 @@ let site_counts ctl =
 
 let injected ctl = List.rev ctl.injections
 let injected_count ctl = List.length ctl.injections
+let denied ctl = ctl.denials
+let live_conns ctl = ctl.live
 
 (* ---- the decorator ---------------------------------------------------- *)
 
-let wrap_conn ctl (c : Backend.conn) =
+let wrap_conn_gen ctl ~counted (c : Backend.conn) =
   let trickle = ref 0 in
   let pre op = lift (fun () -> decide ctl op) in
   let trickled io =
@@ -115,16 +165,32 @@ let wrap_conn ctl (c : Backend.conn) =
     if d > 0 then sleep d >>= fun () -> io else io
   in
   let send s =
-    pre Send >>= function
-    | None -> c.Backend.c_send s
-    | Some Eof -> throw End_of_file
-    | Some Reset -> throw Backend.Connection_reset
-    | Some (Short_write n) ->
+    (* One atomic decision step: the fault plan first, then the
+       send-buffer cap — same step count as before when neither bites. *)
+    lift (fun () ->
+        match decide ctl Send with
+        | Some f -> `Fault f
+        | None -> (
+            match ctl.resources.send_cap with
+            | Some cap when ctl.armed && String.length s > cap ->
+                deny ctl "sendbuf";
+                `Cap cap
+            | _ -> `Ok))
+    >>= function
+    | `Ok -> c.Backend.c_send s
+    | `Cap cap ->
+        (* EMSGSIZE-ish: the capped prefix goes out, then the overrun
+           surfaces — transient, unlike [Short_write]'s reset. *)
+        c.Backend.c_send (String.sub s 0 cap) >>= fun () ->
+        throw Backend.Buffer_full
+    | `Fault Eof -> throw End_of_file
+    | `Fault Reset -> throw Backend.Connection_reset
+    | `Fault (Short_write n) ->
         let n = min (max n 0) (String.length s) in
         c.Backend.c_send (String.sub s 0 n) >>= fun () ->
         throw Backend.Connection_reset
-    | Some (Delay d) -> sleep d >>= fun () -> c.Backend.c_send s
-    | Some (Trickle d) ->
+    | `Fault (Delay d) -> sleep d >>= fun () -> c.Backend.c_send s
+    | `Fault (Trickle d) ->
         let rec go i =
           if i >= String.length s then return ()
           else
@@ -154,33 +220,96 @@ let wrap_conn ctl (c : Backend.conn) =
     | Some (Delay d | Trickle d) ->
         sleep d >>= fun () -> c.Backend.c_try_recv ()
   in
-  {
+  let close =
     (* Close is never faulted: teardown must stay reliable or every
-       cleanup path would have to defend against its own bracket. *)
+       cleanup path would have to defend against its own bracket. A
+       counted conn releases its fd-budget slot exactly once. *)
+    if counted then (
+      let live = ref true in
+      fun () ->
+        lift (fun () ->
+            if !live then begin
+              live := false;
+              ctl.live <- ctl.live - 1
+            end)
+        >>= fun () -> c.Backend.c_close ())
+    else c.Backend.c_close
+  in
+  {
     Backend.c_send = send;
     c_recv_char = recv_char;
     c_try_recv = try_recv;
-    c_close = c.Backend.c_close;
+    c_close = close;
     c_fd = c.Backend.c_fd;
   }
 
+let wrap_conn ctl c = wrap_conn_gen ctl ~counted:false c
+
 let wrap_listener ctl (l : Backend.listener) =
-  let pre op = lift (fun () -> decide ctl op) in
+  let track = tracks ctl in
+  (* The accept/dial decision is one atomic step: the fault plan first
+     (site numbering unchanged), then the resource budgets. Accounting
+     lifts only exist when a resource plan is present, so fault-only
+     plans keep their recorded step baselines. *)
+  let accepted () =
+    if track then
+      l.Backend.l_accept () >>= fun c ->
+      lift (fun () ->
+          ctl.live <- ctl.live + 1;
+          ctl.pending <- max 0 (ctl.pending - 1))
+      >>= fun () -> return (wrap_conn_gen ctl ~counted:true c)
+    else l.Backend.l_accept () >>= fun c -> return (wrap_conn ctl c)
+  in
+  let dialed () =
+    if track then
+      l.Backend.l_dial () >>= fun c ->
+      lift (fun () ->
+          ctl.live <- ctl.live + 1;
+          ctl.pending <- ctl.pending + 1)
+      >>= fun () -> return (wrap_conn_gen ctl ~counted:true c)
+    else l.Backend.l_dial () >>= fun c -> return (wrap_conn ctl c)
+  in
   let accept () =
-    pre Accept >>= function
-    | None -> l.Backend.l_accept () >>= fun c -> return (wrap_conn ctl c)
-    | Some (Eof | Reset | Short_write _) -> throw Backend.Accept_failed
-    | Some (Delay d | Trickle d) ->
-        sleep d >>= fun () ->
-        l.Backend.l_accept () >>= fun c -> return (wrap_conn ctl c)
+    lift (fun () ->
+        match decide ctl Accept with
+        | Some f -> `Fault f
+        | None -> (
+            if not (ctl.armed && track) then `Ok
+            else
+              match ctl.resources.fd_budget with
+              | Some b when ctl.live >= b ->
+                  deny ctl "fd";
+                  `Deny
+              | _ -> `Ok))
+    >>= function
+    | `Deny -> throw Backend.Too_many_fds
+    | `Fault (Eof | Reset | Short_write _) -> throw Backend.Accept_failed
+    | `Fault (Delay d | Trickle d) -> sleep d >>= fun () -> accepted ()
+    | `Ok -> accepted ()
   in
   let dial () =
-    pre Dial >>= function
-    | None -> l.Backend.l_dial () >>= fun c -> return (wrap_conn ctl c)
-    | Some (Eof | Reset | Short_write _) -> throw Backend.Connection_refused
-    | Some (Delay d | Trickle d) ->
-        sleep d >>= fun () ->
-        l.Backend.l_dial () >>= fun c -> return (wrap_conn ctl c)
+    lift (fun () ->
+        match decide ctl Dial with
+        | Some f -> `Fault f
+        | None -> (
+            if not (ctl.armed && track) then `Ok
+            else
+              match ctl.resources.backlog_cap with
+              | Some cap when ctl.pending >= cap ->
+                  deny ctl "backlog";
+                  `Refuse
+              | _ -> (
+                  match ctl.resources.fd_budget with
+                  | Some b when ctl.live >= b ->
+                      deny ctl "fd";
+                      `Deny
+                  | _ -> `Ok)))
+    >>= function
+    | `Refuse -> throw Backend.Connection_refused
+    | `Deny -> throw Backend.Too_many_fds
+    | `Fault (Eof | Reset | Short_write _) -> throw Backend.Connection_refused
+    | `Fault (Delay d | Trickle d) -> sleep d >>= fun () -> dialed ()
+    | `Ok -> dialed ()
   in
   {
     Backend.l_accept = accept;

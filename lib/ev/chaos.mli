@@ -53,6 +53,32 @@ type rule = { r_op : op; r_at : int; r_fault : fault }
 
 type plan = rule list
 
+type resources = {
+  fd_budget : int option;
+      (** Max connections live at once through the wrapped listener
+          (accepted + dialled, minus closed). Once reached, [l_accept]
+          and [l_dial] raise {!Backend.Too_many_fds} — the EMFILE
+          mapping — and recover as connections close. *)
+  backlog_cap : int option;
+      (** Max dialled-but-not-yet-accepted connections. An [l_dial]
+          past the cap raises {!Backend.Connection_refused} — listener
+          backlog overflow. *)
+  send_cap : int option;
+      (** Max bytes a single send may carry. A larger send delivers the
+          capped prefix then raises {!Backend.Buffer_full}. Applies to
+          every connection wrapped by this [ctl]. *)
+}
+(** A deterministic resource-exhaustion plan, orthogonal to the fault
+    plan: budgets are checked in the same atomic decision step as the
+    fault lookup (after it, so site numbering is unchanged), denials are
+    ordinary exceptions on the attacked operation, and the budgets
+    recover as connections close. Only enforced while armed. *)
+
+val no_resources : resources
+(** All budgets off — with this (the default), the wrapped backend takes
+    exactly the same scheduler steps as before resource plans existed,
+    so fault-only baselines are unaffected. *)
+
 type ctl
 (** Per-run injection state: the plan, the per-op site counters, the
     armed flag and the log of injections. Create a fresh one inside each
@@ -60,9 +86,11 @@ type ctl
     would leak site counts between them and break determinism, exactly
     like sharing a metrics registry would. *)
 
-val create : ?metrics:Obs.Metrics.t -> plan -> ctl
+val create : ?metrics:Obs.Metrics.t -> ?resources:resources -> plan -> ctl
 (** When [metrics] is given, every injection increments
-    [chaos_injected_total{op,kind}]. *)
+    [chaos_injected_total{op,kind}] and every resource denial
+    [chaos_resource_denied_total{kind}]. [resources] defaults to
+    {!no_resources}. *)
 
 val wrap : ctl -> Backend.t -> Backend.t
 val wrap_conn : ctl -> Backend.conn -> Backend.conn
@@ -83,6 +111,15 @@ val injected : ctl -> (op * int * fault) list
 (** The injections performed, in execution order. *)
 
 val injected_count : ctl -> int
+
+val denied : ctl -> (string * int) list
+(** Resource denials per kind (["fd"], ["backlog"], ["sendbuf"]),
+    kind-sorted. Empty without a resource plan. *)
+
+val live_conns : ctl -> int
+(** Connections currently counted against the fd budget — created
+    through the wrapped listener and not yet closed. Always [0] without
+    a resource plan. *)
 
 val all_ops : op list
 

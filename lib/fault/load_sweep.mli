@@ -1,0 +1,127 @@
+(** The overload sweep: open-loop load ramps against a server case,
+    composed with the kill sweep and with {!Ev.Chaos} resource
+    exhaustion.
+
+    Where {!Sweep} asks "does a kill anywhere break the invariants?" and
+    {!Io_sweep} asks the same of a transport fault, this driver asks the
+    capacity-planning question: {e when offered load exceeds what the
+    system can serve, does it degrade or collapse?} A {!case} runs one
+    deterministic open-loop ramp — arrivals on the timer wheel at a rate
+    scaled by a multiplier, each client recording a lawful outcome — and
+    returns a {!tally}. The driver runs the ramp clean at each
+    multiplier (1x, 2x, 5x, 10x of nominal by default), then re-runs it
+    with resource-exhaustion plans armed (fd budgets, backlog caps, send
+    caps) and with kills layered at sampled armed steps.
+
+    Verdicts come in two layers. Inside a run, the case's own
+    {!Sweep.require}s hold (every surviving client got a lawful
+    outcome, steady state returns once load drains). Across runs, the
+    driver gates the curve itself: goodput at the top multiplier must
+    stay at least {e half of capacity} (capacity = goodput of the lowest
+    clean ramp), and no admitted request may have outstayed the case's
+    declared CoDel queue-delay bound. Overload must shed — 503s, brownout,
+    dropped mailbox pushes — not wedge or starve.
+
+    Everything is deterministic: arrivals are virtual-clock sleeps,
+    multipliers and resource plans travel through domain-local cells
+    (set per run, read in the case's first [lift] step), and re-runs are
+    farmed to worker domains with results merged in item order, so
+    reports are byte-identical for every [jobs] value. *)
+
+type tally = {
+  lt_offered : int;  (** arrivals the ramp issued *)
+  lt_ok : int;  (** 200s — goodput *)
+  lt_shed : int;  (** 503s: bulkhead/queue/deadline/brownout sheds *)
+  lt_late : int;  (** 504s and client-side timeouts *)
+  lt_transport : int;
+      (** transport-level degradation: resets, refusals, dial failures,
+          resource exhaustion *)
+  lt_max_qdelay : int;
+      (** worst bulkhead queue sojourn observed (virtual µs) *)
+}
+(** What one ramp measured. [lt_ok + lt_shed + lt_late + lt_transport]
+    accounts for every client that survived the run. *)
+
+type case
+(** A named server program prepared for load sweeping. The body gets the
+    per-run {!Ev.Chaos.ctl} (wrap the backend through it so resource
+    plans bite) and the ramp multiplier; it must run the ramp, disarm
+    both sweeps, check its own invariants, and return the tally. *)
+
+val case :
+  ?max_steps:int ->
+  ?qdelay_bound:int ->
+  string ->
+  (Ev.Chaos.ctl -> mult:int -> tally Hio.Io.t) ->
+  case
+(** Default [max_steps] is [2_000_000] — a 10x ramp runs many clients.
+    [qdelay_bound] declares the largest lawful [lt_max_qdelay] (set it
+    to the bulkhead's CoDel target plus scheduling slop); the driver
+    fails any clean ramp that exceeds it. *)
+
+val case_name : case -> string
+
+val record :
+  case ->
+  mult:int ->
+  resources:Ev.Chaos.resources ->
+  Sweep.schedule * tally option
+(** One ramp at [mult] with [resources] armed. [None] tally means the
+    body never reached its final step (cannot happen for a lawful case).
+    @raise Failure if the run does not end in [Value ()] with no blocked
+    threads. *)
+
+val run_kill :
+  case ->
+  Sweep.schedule ->
+  mult:int ->
+  resources:Ev.Chaos.resources ->
+  Plan.t ->
+  string option * unit Hio.Runtime.result
+(** One ramp with a kill plan layered on top; [None] means all
+    invariants held. Exposed for replaying a reported failure. *)
+
+type point = {
+  lp_mult : int;
+  lp_tally : tally;
+  lp_steps : int;
+}
+(** One clean ramp's result. *)
+
+type load_failure = {
+  lf_case : string;
+  lf_mult : int;
+  lf_resource : string option;
+      (** the armed resource plan's name, [None] for a clean ramp *)
+  lf_kill : Plan.t;  (** [[]] when no kill was layered *)
+  lf_reason : string;
+}
+
+type report = {
+  lr_case : string;
+  lr_capacity : int;  (** goodput of the lowest clean multiplier *)
+  lr_points : point list;  (** clean ramps, multiplier order *)
+  lr_kill_runs : int;
+  lr_resource_ramps : int;
+  lr_faulted_steps : int;  (** total steps across phase-2 runs *)
+  lr_failures : load_failure list;
+}
+
+val sweep :
+  ?multipliers:int list ->
+  ?kills_per_ramp:int ->
+  ?resources:(string * Ev.Chaos.resources) list ->
+  ?jobs:int ->
+  case ->
+  report
+(** Run the clean ramps ([multipliers], default [1; 2; 5; 10]), judge
+    the goodput and queue-delay gates, then compose: [kills_per_ramp]
+    (default 0) kills at that many evenly-sampled armed steps of every
+    clean and resource-faulted schedule; [resources] re-records the
+    ramp per named resource plan at every multiplier. [jobs] farms
+    phase 2 to worker domains; the report is identical for every
+    value. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per case — capacity, the goodput curve per multiplier, the
+    worst queue delay, run counts — plus one block per failure. *)

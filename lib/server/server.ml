@@ -10,6 +10,8 @@ type config = {
   max_concurrent : int;
   accept_queue : int;
   max_waiting : int;
+  queue_target : int option;
+  mailbox_bound : int option;
   supervised : bool;
   restart_intensity : Hsup.Sup.intensity;
   keep_alive : bool;
@@ -22,6 +24,8 @@ let default_config =
     max_concurrent = 4;
     accept_queue = 8;
     max_waiting = 16;
+    queue_target = None;
+    mailbox_bound = None;
     supervised = true;
     restart_intensity = { Hsup.Sup.max_restarts = 16; window = 1_000 };
     keep_alive = false;
@@ -52,6 +56,10 @@ type instruments = {
       (* server_io_faults_total{kind}: transport faults absorbed instead
          of escaping as crashes — registered lazily per kind so quiet
          runs don't grow the metrics table. *)
+  m_dial : string -> Obs.Metrics.counter;
+      (* client_dial_errors_total{kind}: dials that came back with
+         nothing — timeout, refused, fd budget — counted on the server's
+         registry before the exception reaches the client. *)
 }
 
 (* When an explicit backend is in play every series carries a
@@ -84,6 +92,11 @@ let instruments ?backend_name reg =
         Obs.Metrics.counter reg
           ~labels:(("kind", kind) :: extra)
           "server_io_faults_total");
+    m_dial =
+      (fun kind ->
+        Obs.Metrics.counter reg
+          ~labels:(("kind", kind) :: extra)
+          "client_dial_errors_total");
   }
 
 exception Server_stopped
@@ -97,6 +110,8 @@ let io_fault_kind = function
   | Ev.Backend.Connection_reset -> Some "reset"
   | Ev.Backend.Connection_refused -> Some "refused"
   | Ev.Backend.Accept_failed -> Some "accept"
+  | Ev.Backend.Too_many_fds -> Some "fds"
+  | Ev.Backend.Buffer_full -> Some "buffer"
   | _ -> None
 
 let service_unavailable =
@@ -114,7 +129,7 @@ type mode =
 type ext = { el : Ev.Backend.listener; pump : Io.thread_id option }
 
 type t = {
-  backlog : Http.Conn.t Bchan.t;
+  backlog : (Http.Conn.t * Hsup.Deadline.t) Bchan.t;
   registry : Obs.Metrics.t;
   ins : instruments;
   config : config;
@@ -194,10 +209,10 @@ let read_and_handle handler conn =
    {e and the response write} — a stalled reader can no longer hold a
    worker past the deadline. Latency is measured on the virtual-step
    clock, first step to final response byte. *)
-let serve_plain config ins admission handler conn =
+let serve_plain config ins admission handler conn dl =
   steps >>= fun t0 ->
   lift (fun () -> ref Fresh) >>= fun progress ->
-  Combinators.timeout config.request_timeout
+  Hsup.Deadline.timeout dl
     ( Sem.with_unit admission (read_and_handle handler conn) >>= function
       | `Reply response -> respond progress conn ins.m_served response
       | `Bad m -> respond progress conn ins.m_bad (Http.bad_request m)
@@ -216,11 +231,11 @@ let serve_plain config ins admission handler conn =
    a parse error or timeout leaves the byte stream unsynchronized, so
    the connection cannot be reused and is closed after the error
    response. *)
-let serve_keep_alive config ins admission handler conn =
-  let serve_one () =
+let serve_keep_alive config ins admission handler conn dl0 =
+  let serve_one dl =
     steps >>= fun t0 ->
     lift (fun () -> ref Fresh) >>= fun progress ->
-    Combinators.timeout config.request_timeout
+    Hsup.Deadline.timeout dl
       ( Sem.with_unit admission (read_and_handle handler conn) >>= function
         | `Reply response ->
             respond progress conn ins.m_served response >>= fun () ->
@@ -243,15 +258,19 @@ let serve_keep_alive config ins admission handler conn =
     lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0)) >>= fun () ->
     return verdict
   in
-  let rec loop () =
-    catch (serve_one ()) (function
+  (* The accept-time deadline covers the first request (time queued in
+     the backlog counts); each later request on the connection is a new
+     arrival and mints a fresh budget. *)
+  let rec loop dl =
+    catch (serve_one dl) (function
       | End_of_file | Ev.Backend.Connection_reset -> return `Close
       | e -> throw e)
     >>= function
-    | `Keep -> loop ()
+    | `Keep ->
+        Hsup.Deadline.mint config.request_timeout >>= fun dl -> loop dl
     | `Close -> Http.Conn.close conn
   in
-  loop ()
+  loop dl0
 
 (* --- the supervised path --------------------------------------------------
 
@@ -273,9 +292,9 @@ let counted_escape ins io =
       | Some kind -> count_io ins kind >>= fun () -> throw e
       | None -> throw e)
 
-let serve_supervised config ins bulk handler conn progress =
+let serve_supervised config ins bulk handler conn progress dl =
   steps >>= fun t0 ->
-  Combinators.timeout config.request_timeout
+  Hsup.Deadline.timeout dl
     ( Hsup.Bulkhead.run bulk (read_and_handle handler conn) >>= function
       | Ok (`Reply response) ->
           counted_escape ins (respond progress conn ins.m_served response)
@@ -296,7 +315,7 @@ let serve_supervised config ins bulk handler conn progress =
   >>= fun () ->
   steps >>= fun t1 -> lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0))
 
-let worker_body config ins bulk handler conn progress =
+let worker_body config ins bulk handler conn progress dl =
   Combinators.bracket_
     (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
     ( lift (fun () -> !progress) >>= function
@@ -310,17 +329,24 @@ let worker_body config ins bulk handler conn progress =
           safe_respond config ins progress conn ins.m_degraded
             service_unavailable
       | Fresh ->
-          lift (fun () -> progress := Serving) >>= fun () ->
-          serve_supervised config ins bulk handler conn progress )
+          Hsup.Deadline.expired dl >>= fun late ->
+          if late then
+            (* the budget burned away in the backlog: shed early (503)
+               instead of spending a worker on a guaranteed 504 *)
+            safe_respond config ins progress conn ins.m_shed
+              service_unavailable
+          else
+            lift (fun () -> progress := Serving) >>= fun () ->
+            serve_supervised config ins bulk handler conn progress dl )
     (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1)))
 
 let listener_body config ins sup bulk backlog handler =
   Combinators.forever
-    ( Bchan.recv backlog >>= fun conn ->
+    ( Bchan.recv backlog >>= fun (conn, dl) ->
       lift (fun () -> ref Fresh) >>= fun progress ->
       Hsup.Sup.start_child sup
         (Hsup.Sup.child ~lifetime:Hsup.Sup.Transient "conn-worker"
-           (worker_body config ins bulk handler conn progress)) )
+           (worker_body config ins bulk handler conn progress dl)) )
 
 let start_core ~config ~metrics ?backend_name handler =
   Bchan.create config.accept_queue >>= fun backlog ->
@@ -340,7 +366,8 @@ let start_core ~config ~metrics ?backend_name handler =
       ~intensity:config.restart_intensity ~metrics:registry []
     >>= fun sup ->
     Hsup.Bulkhead.create ~name:"server" ~metrics:registry
-      ~capacity:config.max_concurrent ~max_waiting:config.max_waiting ()
+      ?queue_target:config.queue_target ~capacity:config.max_concurrent
+      ~max_waiting:config.max_waiting ()
     >>= fun bulk ->
     Hsup.Sup.start_child sup
       (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent "listener"
@@ -363,11 +390,11 @@ let start_core ~config ~metrics ?backend_name handler =
     in
     let accept_loop =
       Combinators.forever
-        ( Bchan.recv backlog >>= fun conn ->
+        ( Bchan.recv backlog >>= fun (conn, dl) ->
           fork ~name:"conn-worker"
             (Combinators.bracket_
                (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
-               (serve config ins admission handler conn)
+               (serve config ins admission handler conn dl)
                (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1))))
           >>= fun _tid -> return () )
     in
@@ -403,10 +430,18 @@ let start ?(config = default_config) ?metrics ?backend handler =
         Combinators.forever
           (catch
              ( el.Ev.Backend.l_accept () >>= fun conn ->
-               Bchan.send server.backlog conn )
+               (* the deadline is minted at accept: time spent queued in
+                  the backlog counts against the request budget *)
+               Hsup.Deadline.mint config.request_timeout >>= fun dl ->
+               Bchan.send server.backlog (conn, dl) )
              (fun e ->
                match io_fault_kind e with
-               | Some kind -> count_io server.ins kind
+               | Some kind ->
+                   (* count, then back off: a synchronously-failing
+                      accept (EMFILE under an fd budget) would otherwise
+                      spin the pump without ever reaching a blocking
+                      point *)
+                   count_io server.ins kind >>= fun () -> sleep 10
                | None -> throw e))
       in
       (match server.mode with
@@ -427,22 +462,40 @@ let supervisor server =
   | Supervised { sup; _ } -> Some sup
   | Plain _ -> None
 
+(* Which [client_dial_errors_total] kind a failed dial books under. *)
+let dial_error_kind = function
+  | Dial_timeout -> Some "timeout"
+  | Ev.Backend.Connection_refused -> Some "refused"
+  | Ev.Backend.Too_many_fds -> Some "fds"
+  | Ev.Backend.Connection_reset -> Some "reset"
+  | End_of_file -> Some "eof"
+  | _ -> None
+
 let connect server =
   if not server.accepting then throw Server_stopped
   else
     match server.ext with
-    | Some { el; _ } -> (
+    | Some { el; _ } ->
         (* a dead, saturated or chaos-refusing listener yields
-           [Dial_timeout], not a forever-blocked client thread *)
-        Combinators.timeout server.config.dial_timeout
-          (el.Ev.Backend.l_dial ())
-        >>= function
-        | Some conn -> return conn
-        | None -> throw Dial_timeout)
+           [Dial_timeout], not a forever-blocked client thread; every
+           flavour of dial failure is counted before it propagates *)
+        catch
+          ( Combinators.timeout server.config.dial_timeout
+              (el.Ev.Backend.l_dial ())
+          >>= function
+            | Some conn -> return conn
+            | None -> throw Dial_timeout )
+          (fun e ->
+            match dial_error_kind e with
+            | Some kind ->
+                lift (fun () -> Obs.Metrics.inc (server.ins.m_dial kind))
+                >>= fun () -> throw e
+            | None -> throw e)
     | None ->
         (* no backend was given: the implicit simulated transport *)
         Ev.Backend.sim_pipe () >>= fun (client_side, server_side) ->
-        Bchan.send server.backlog server_side >>= fun () ->
+        Hsup.Deadline.mint server.config.request_timeout >>= fun dl ->
+        Bchan.send server.backlog (server_side, dl) >>= fun () ->
         return client_side
 
 let shutdown server =
@@ -469,7 +522,7 @@ let shutdown server =
      connection is closed so the peer sees EOF, not silence. *)
   let rec drain () =
     Bchan.try_recv server.backlog >>= function
-    | Some conn ->
+    | Some (conn, _dl) ->
         count server.ins.m_rejected >>= fun () ->
         catch
           ( Combinators.timeout server.config.request_timeout

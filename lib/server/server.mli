@@ -19,6 +19,15 @@
     cannot wedge a connection (channel ends are restored per §5.2); and
     shutdown is a plain asynchronous exception into the accept loop.
 
+    Since the overload rework every request carries an {!Hsup.Deadline}
+    budget of [request_timeout] µs minted when the connection is
+    {e enqueued} (at {!connect} for the simulated transport, at accept in
+    the backend pump): time spent waiting in the backlog and the
+    admission queue counts against the request, every nested bound
+    derives from the remaining budget, and a request whose budget is
+    exhausted before a worker picks it up is shed early with a 503
+    instead of burning a worker on a guaranteed 504.
+
     Since the I/O-chaos hardening the per-request deadline also covers
     the {e response write} (a stalled or trickling reader cannot hold a
     worker past [request_timeout]); transport faults during the read —
@@ -42,14 +51,32 @@ type config = {
           event source ([Ev.Real]) *)
   dial_timeout : int;
       (** µs budget for {!connect}'s [l_dial] when the server runs on an
-          explicit backend; expiry raises {!Dial_timeout}. Generous by
-          default (50ms): it exists so a dead or fault-injected listener
-          cannot strand a client forever, not to race healthy dials. *)
+          explicit backend; expiry raises {!Dial_timeout}. This is the
+          {e single} knob for client-side dial patience — [Shard.connect]
+          reuses it — and is deliberately generous (50ms = 250× the
+          200µs [request_timeout]): it exists so a dead or fault-injected
+          listener cannot strand a client forever, not to race healthy
+          dials. Every failed dial is counted in
+          [client_dial_errors_total{kind=timeout|refused|fds|reset|eof}]
+          before the exception reaches the caller. *)
   max_concurrent : int;
   accept_queue : int;  (** listener backlog *)
   max_waiting : int;
       (** admission queue beyond [max_concurrent]; arrivals past it are
           shed with a 503 (supervised mode only) *)
+  queue_target : int option;
+      (** CoDel-style queue-deadline for the admission waiting room
+          (supervised mode): a request whose sojourn in the bulkhead
+          queue exceeds this many virtual µs is shed (503) instead of
+          eventually occupying a worker it can no longer use within its
+          deadline. [None] (default) keeps the plain bounded queue. See
+          {!Hsup.Bulkhead}. *)
+  mailbox_bound : int option;
+      (** cap on each shard actor's mailbox ({!Shard} only): a routed
+          connection arriving at a full mailbox is shed (dropped,
+          counted) instead of growing the queue without bound — the
+          client's own deadline turns the silence into a timeout.
+          [None] (default) keeps mailboxes unbounded. *)
   supervised : bool;  (** run under a supervision tree (default) *)
   restart_intensity : Hsup.Sup.intensity;
       (** worker/listener restart budget before the tree escalates *)

@@ -1,7 +1,12 @@
 open Hio_std
 open Hio.Io
 
-type msg = [ `Serve of Http.Conn.t ]
+type msg = [ `Serve of Http.Conn.t * Hsup.Deadline.t ]
+
+(* Breaker feed: what a shard's workers report about their own shard.
+   Private — these exist only to pass [count_error]. *)
+exception Shard_overload
+exception Shard_deadline
 
 (* Same instrument set as Server's, under a [layer="shard"] label so a
    shared registry distinguishes the two, plus the routed-backlog gauge
@@ -18,6 +23,7 @@ type instruments = {
   m_queued : Obs.Metrics.gauge;
   m_latency : Obs.Metrics.histogram;
   m_io_fault : string -> Obs.Metrics.counter;
+  m_dial : string -> Obs.Metrics.counter;
 }
 
 let instruments reg =
@@ -45,6 +51,11 @@ let instruments reg =
         Obs.Metrics.counter reg
           ~labels:(("kind", kind) :: extra)
           "server_io_faults_total");
+    m_dial =
+      (fun kind ->
+        Obs.Metrics.counter reg
+          ~labels:(("kind", kind) :: extra)
+          "client_dial_errors_total");
   }
 
 type ext = { el : Ev.Backend.listener }
@@ -59,6 +70,7 @@ type t = {
   rt : msg Hactor.Router.t;
   actors : msg Hactor.Actor.t array;
   subs : Hsup.Sup.t option array;
+  breakers : Hsup.Breaker.t array;
   mutable accepting : bool;
   mutable conn_seq : int;
   ext : ext option;
@@ -75,6 +87,17 @@ let io_fault_kind = function
   | Ev.Backend.Connection_reset -> Some "reset"
   | Ev.Backend.Connection_refused -> Some "refused"
   | Ev.Backend.Accept_failed -> Some "accept"
+  | Ev.Backend.Too_many_fds -> Some "fds"
+  | Ev.Backend.Buffer_full -> Some "buffer"
+  | _ -> None
+
+(* Client-side dial failure classification, mirroring Server's. *)
+let dial_error_kind = function
+  | Server.Dial_timeout -> Some "timeout"
+  | Ev.Backend.Connection_refused -> Some "refused"
+  | Ev.Backend.Too_many_fds -> Some "fds"
+  | Ev.Backend.Connection_reset -> Some "reset"
+  | End_of_file -> Some "eof"
   | _ -> None
 
 let service_unavailable =
@@ -136,14 +159,15 @@ let counted_escape ins io =
    gone at the request boundary is the normal end of a keep-alive
    conversation — counted, closed, no phantom request completes the
    outcome counters because only [respond] bumps them. *)
-let serve_one config ins bulk handler conn progress =
+let serve_one config ins bulk brk handler conn progress dl =
   steps >>= fun t0 ->
   lift (fun () -> progress := Serving) >>= fun () ->
-  Combinators.timeout config.Server.request_timeout
+  Hsup.Deadline.timeout dl
     ( Hsup.Bulkhead.run bulk (read_and_handle handler conn) >>= function
       | Ok (`Reply response) ->
           counted_escape ins (respond progress conn ins.m_served response)
           >>= fun () ->
+          Hsup.Breaker.note_success brk >>= fun () ->
           return (if config.Server.keep_alive then `Keep else `Close)
       | Ok (`Bad m) ->
           counted_escape ins (respond progress conn ins.m_bad (Http.bad_request m))
@@ -155,11 +179,13 @@ let serve_one config ins bulk handler conn progress =
               close_quietly conn )
           >>= fun () -> return `Close
       | Error `Shed ->
+          Hsup.Breaker.note_failure brk Shard_overload >>= fun () ->
           counted_escape ins (respond progress conn ins.m_shed service_unavailable)
           >>= fun () -> return `Close )
   >>= (function
         | Some verdict -> return verdict
         | None ->
+            Hsup.Breaker.note_failure brk Shard_deadline >>= fun () ->
             deadline_exceeded config ins progress conn >>= fun () ->
             return `Close)
   >>= fun verdict ->
@@ -167,7 +193,7 @@ let serve_one config ins bulk handler conn progress =
   lift (fun () -> Obs.Metrics.observe ins.m_latency (t1 - t0)) >>= fun () ->
   return verdict
 
-let worker_body config ins bulk handler conn progress =
+let worker_body config ins bulk brk handler conn progress dl0 =
   Combinators.bracket_
     (lift (fun () -> Obs.Metrics.add ins.m_inflight 1))
     ( lift (fun () -> !progress) >>= function
@@ -181,12 +207,27 @@ let worker_body config ins bulk handler conn progress =
             service_unavailable
           >>= fun () -> close_quietly conn
       | Fresh ->
-          let rec loop () =
-            serve_one config ins bulk handler conn progress >>= function
-            | `Keep -> lift (fun () -> progress := Fresh) >>= fun () -> loop ()
-            | `Close -> close_quietly conn
+          (* Early shed: a request whose deadline lapsed while it sat in
+             the router/shard mailboxes cannot be served in budget —
+             answer 503 now instead of burning a worker on a sure 504.
+             A keep-alive follow-up gets a fresh budget: queueing debt
+             is per-request, not per-connection. *)
+          let rec loop dl =
+            Hsup.Deadline.expired dl >>= fun late ->
+            if late then
+              safe_respond config ins progress conn ins.m_shed
+                service_unavailable
+              >>= fun () -> close_quietly conn
+            else
+              serve_one config ins bulk brk handler conn progress dl
+              >>= function
+              | `Keep ->
+                  lift (fun () -> progress := Fresh) >>= fun () ->
+                  Hsup.Deadline.mint config.Server.request_timeout
+                  >>= fun dl -> loop dl
+              | `Close -> close_quietly conn
           in
-          loop () )
+          loop dl0 )
     (lift (fun () -> Obs.Metrics.add ins.m_inflight (-1)))
 
 (* --- the shard actor ------------------------------------------------------
@@ -197,17 +238,17 @@ let worker_body config ins bulk handler conn progress =
    itself a Permanent child of that supervisor — killed, it restarts
    and resumes draining the same mailbox: that is the property the
    sweep leans on (a routed connection is never lost, only delayed). *)
-let serve_loop config ins sub bulk handler self =
+let serve_loop config ins sub bulk brk handler self =
   Combinators.forever
-    ( Hactor.Actor.receive self (fun (`Serve conn) -> Some conn)
-      >>= fun conn ->
+    ( Hactor.Actor.receive self (fun (`Serve (conn, dl)) -> Some (conn, dl))
+      >>= fun (conn, dl) ->
       lift (fun () ->
           Obs.Metrics.add ins.m_queued (-1);
           ref Fresh)
       >>= fun progress ->
       Hsup.Sup.start_child sub
         (Hsup.Sup.child ~lifetime:Hsup.Sup.Transient "conn-worker"
-           (worker_body config ins bulk handler conn progress)) )
+           (worker_body config ins bulk brk handler conn progress dl)) )
 
 (* The root-level child that owns one shard's whole subtree. Its own
    death (kill, escalation) takes the nested supervisor down with it
@@ -228,18 +269,50 @@ let shard_child_body t i =
     (fun sub ->
       Hsup.Bulkhead.create
         ~name:(Printf.sprintf "shard-%d" i)
-        ~metrics:t.registry ~capacity:t.config.Server.max_concurrent
+        ~metrics:t.registry
+        ?queue_target:t.config.Server.queue_target
+        ~capacity:t.config.Server.max_concurrent
         ~max_waiting:t.config.Server.max_waiting ()
       >>= fun bulk ->
       Hsup.Sup.start_child sub
         (Hsup.Sup.child ~lifetime:Hsup.Sup.Permanent "shard-serve"
            (Hactor.Actor.body t.actors.(i)
-              (serve_loop t.config t.ins sub bulk t.handler)))
+              (serve_loop t.config t.ins sub bulk t.breakers.(i) t.handler)))
       >>= fun () ->
       Hsup.Sup.await sub >>= function
       | Stdlib.Ok () -> return ()
       | Stdlib.Error e -> throw e)
     (fun sub -> catch (ignore_result (Hsup.Sup.stop sub)) (fun _ -> return ()))
+
+(* [Router.pick] and routing always agree, so the breaker consulted at
+   the route point is exactly the one the connection's workers feed. *)
+let shard_index t key =
+  let a = Hactor.Router.pick t.rt key in
+  let rec find i =
+    if i >= t.n_shards - 1 then i
+    else if t.actors.(i) == a then i
+    else find (i + 1)
+  in
+  find 0
+
+(* Brownout: the target shard's breaker is open, so queueing this
+   connection would only let it rot in a mailbox behind other doomed
+   work. Answer a degraded 503 right here at the route point — the
+   client learns immediately, the sick shard gets no new load, and the
+   breaker's reset window decides when traffic resumes. *)
+let brownout t conn =
+  let progress = ref Serving in
+  safe_respond t.config t.ins progress conn t.ins.m_degraded
+    service_unavailable
+  >>= fun () -> close_quietly conn
+
+let route_or_brownout t key conn =
+  Hsup.Breaker.rejecting t.breakers.(shard_index t key) >>= fun browned ->
+  if browned then brownout t conn
+  else
+    lift (fun () -> Obs.Metrics.add t.ins.m_queued 1) >>= fun () ->
+    Hsup.Deadline.mint t.config.Server.request_timeout >>= fun dl ->
+    Hactor.Router.route t.rt key (`Serve (conn, dl))
 
 let pump_body t el =
   Combinators.forever
@@ -247,12 +320,15 @@ let pump_body t el =
        ( el.Ev.Backend.l_accept () >>= fun conn ->
          lift (fun () ->
              t.conn_seq <- t.conn_seq + 1;
-             Obs.Metrics.add t.ins.m_queued 1;
              Printf.sprintf "conn-%d" t.conn_seq)
-         >>= fun key -> Hactor.Router.route t.rt key (`Serve conn) )
+         >>= fun key -> route_or_brownout t key conn )
        (fun e ->
          match io_fault_kind e with
-         | Some kind -> count_io t.ins kind
+         | Some kind ->
+             (* back off as Server's pump does: EMFILE fails accept
+                synchronously, and an unthrottled retry loop would spin
+                without a blocking point *)
+             count_io t.ins kind >>= fun () -> sleep 10
          | None -> throw e))
 
 let start ?(config = Server.default_config) ?metrics ?backend ~shards handler =
@@ -262,13 +338,32 @@ let start ?(config = Server.default_config) ?metrics ?backend ~shards handler =
       match metrics with Some reg -> reg | None -> Obs.Metrics.create ())
   >>= fun registry ->
   let ins = instruments registry in
+  (* A shed routed connection has already been counted into the routed
+     backlog: undo that, and count the shed so the sweep's conservation
+     law still balances. The client's own deadline turns the dropped
+     connection into a timeout on its side. *)
+  let on_drop (`Serve ((_ : Http.Conn.t), (_ : Hsup.Deadline.t))) =
+    Obs.Metrics.add ins.m_queued (-1);
+    Obs.Metrics.inc ins.m_rejected
+  in
   let rec mk i acc =
     if i < 0 then return acc
     else
-      Hactor.Actor.create ~name:(Printf.sprintf "shard-actor-%d" i) ()
+      Hactor.Actor.create
+        ~name:(Printf.sprintf "shard-actor-%d" i)
+        ?bound:config.Server.mailbox_bound ~on_drop ~metrics:registry ()
       >>= fun a -> mk (i - 1) (a :: acc)
   in
   mk (n_shards - 1) [] >>= fun actor_list ->
+  let rec mk_brk i acc =
+    if i < 0 then return acc
+    else
+      Hsup.Breaker.create
+        ~name:(Printf.sprintf "shard-%d" i)
+        ~metrics:registry ()
+      >>= fun b -> mk_brk (i - 1) (b :: acc)
+  in
+  mk_brk (n_shards - 1) [] >>= fun breaker_list ->
   Hactor.Router.create ~name:"router"
     (List.mapi (fun i a -> (Printf.sprintf "shard-%d" i, a)) actor_list)
   >>= fun rt ->
@@ -292,6 +387,7 @@ let start ?(config = Server.default_config) ?metrics ?backend ~shards handler =
       rt;
       actors = Array.of_list actor_list;
       subs = Array.make n_shards None;
+      breakers = Array.of_list breaker_list;
       accepting = true;
       conn_seq = 0;
       ext;
@@ -324,27 +420,29 @@ let connect ?key t =
   if not t.accepting then throw Server.Server_stopped
   else
     match t.ext with
-    | Some { el } -> (
-        Combinators.timeout t.config.Server.dial_timeout
-          (el.Ev.Backend.l_dial ())
-        >>= function
-        | Some conn -> return conn
-        | None -> throw Server.Dial_timeout)
+    | Some { el } ->
+        catch
+          ( Combinators.timeout t.config.Server.dial_timeout
+              (el.Ev.Backend.l_dial ())
+          >>= function
+            | Some conn -> return conn
+            | None -> throw Server.Dial_timeout )
+          (fun e ->
+            match dial_error_kind e with
+            | Some kind ->
+                lift (fun () -> Obs.Metrics.inc (t.ins.m_dial kind))
+                >>= fun () -> throw e
+            | None -> throw e)
     | None ->
         lift (fun () ->
-            let k =
-              match key with
-              | Some k -> k
-              | None ->
-                  t.conn_seq <- t.conn_seq + 1;
-                  Printf.sprintf "conn-%d" t.conn_seq
-            in
-            Obs.Metrics.add t.ins.m_queued 1;
-            k)
+            match key with
+            | Some k -> k
+            | None ->
+                t.conn_seq <- t.conn_seq + 1;
+                Printf.sprintf "conn-%d" t.conn_seq)
         >>= fun k ->
         Ev.Backend.sim_pipe () >>= fun (client_side, server_side) ->
-        Hactor.Router.route t.rt k (`Serve server_side) >>= fun () ->
-        return client_side
+        route_or_brownout t k server_side >>= fun () -> return client_side
 
 let stop_sup_child sup name =
   Hsup.Sup.stop_child sup name >>= fun () ->
@@ -411,6 +509,7 @@ let shutdown t =
     }
 
 let router t = t.rt
+let shard_breaker t i = t.breakers.(i)
 let shard_actor t i = t.actors.(i)
 let supervisor t = t.root
 let shard_sup t i = t.subs.(i)

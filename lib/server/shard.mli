@@ -24,7 +24,18 @@
     degrade-on-restart, bounded writes, absorbed read faults, escaping
     write faults) is the hardened {!Server} worker's, plus keep-alive:
     with [config.keep_alive] a worker serves requests off one
-    connection until close/timeout/parse error. *)
+    connection until close/timeout/parse error.
+
+    Overload posture (the pieces the [overload] sweep drives):
+    every routed connection carries an {!Hsup.Deadline} minted at the
+    route point, so mailbox/queue time counts against the request and a
+    worker sheds (503) anything whose budget lapsed before it started;
+    each shard's bulkhead honours [config.queue_target] (CoDel
+    queue-deadline shedding); [config.mailbox_bound] caps each shard
+    mailbox (shed-newest, counted in [server_rejected_total]); and each
+    shard owns a {!Hsup.Breaker} fed by its workers — while it rejects,
+    the route points answer an immediate degraded 503 {e instead of
+    queueing} (brownout), so a sick shard gets no new load. *)
 
 open Hio
 
@@ -48,8 +59,11 @@ val connect : ?key:string -> t -> Http.Conn.t Io.t
     pipe routed through the router actor under [key] (default: a
     per-server sequence ["conn-N"]) — the shard is chosen by consistent
     hash, and a connection queued in a dead shard's mailbox is served
-    after the restart. With a backend: [l_dial], like
-    {!Server.connect}.
+    after the restart; if that shard's breaker is rejecting, the pipe
+    carries an immediate degraded 503 instead (brownout). With a
+    backend: [l_dial] bounded by [config.dial_timeout] (the one
+    client-dial patience knob, shared with {!Server.connect}); failures
+    are counted in [client_dial_errors_total{kind}] before re-raising.
     @raise Server.Server_stopped after {!shutdown}.
     @raise Server.Dial_timeout as {!Server.connect}. *)
 
@@ -60,10 +74,11 @@ val shutdown : t -> Server.stats Io.t
     down through [Sup.stop], and return totals. [restarts] sums the
     root and every nested shard supervisor. *)
 
-val router : t -> [ `Serve of Http.Conn.t ] Hactor.Router.t
+val router : t -> [ `Serve of Http.Conn.t * Hsup.Deadline.t ] Hactor.Router.t
 (** The routing actor (sweep target, tests). *)
 
-val shard_actor : t -> int -> [ `Serve of Http.Conn.t ] Hactor.Actor.t
+val shard_actor :
+  t -> int -> [ `Serve of Http.Conn.t * Hsup.Deadline.t ] Hactor.Actor.t
 (** Shard [i]'s serving actor. *)
 
 val supervisor : t -> Hsup.Sup.t
@@ -72,6 +87,9 @@ val supervisor : t -> Hsup.Sup.t
 val shard_sup : t -> int -> Hsup.Sup.t option
 (** Shard [i]'s nested supervisor ([None] until its child body has
     run). *)
+
+val shard_breaker : t -> int -> Hsup.Breaker.t
+(** Shard [i]'s brownout breaker (tests, chaos drivers). *)
 
 val metrics : t -> Obs.Metrics.t
 val shards : t -> int

@@ -88,6 +88,39 @@ let record_failure b now e =
       if b.failures >= b.threshold then trip b now
   | Closed | Open -> ()
 
+(* ---- the peek/note surface for brownout ---------------------------------
+
+   A router doing brownout does not wrap calls in [run] — it {e peeks} at
+   the breaker before queueing work for a backend and records outcomes
+   observed elsewhere. [rejecting] never mutates (peeking must not claim
+   the half-open trial slot: the probe that closes the circuit is just
+   the first request allowed through once the reset window has passed).
+   [note_failure] gives that probe discipline without the trial flag:
+   a countable failure after the reset window re-trips the circuit —
+   the implicit half-open probe failed — refreshing [opened_at]. *)
+
+let rejecting b =
+  now >>= fun t ->
+  lift (fun () ->
+      match b.st with
+      | Closed -> false
+      | Half_open -> b.trial (* a trial is in flight; new work sheds *)
+      | Open -> t - b.opened_at < b.reset_timeout)
+
+let note_success b = lift (fun () -> record_success b)
+
+let note_failure b e =
+  now >>= fun t ->
+  lift (fun () ->
+      match b.st with
+      | Half_open -> trip b t
+      | Closed when b.count_error e ->
+          b.failures <- b.failures + 1;
+          if b.failures >= b.threshold then trip b t
+      | Open when t - b.opened_at >= b.reset_timeout && b.count_error e ->
+          trip b t
+      | Closed | Open -> ())
+
 (* The decision, the catch frame, and both recording paths sit inside one
    mask: a kill delivered between "trial claimed" and "outcome recorded"
    lands either in [restore io] (recorded as a non-countable failure, the

@@ -42,3 +42,26 @@ val run : t -> 'a Io.t -> 'a Io.t
 (** Run the call through the breaker: admission decision, the call itself
     (under the caller's mask state), and success/failure recording.
     @raise Open_circuit when rejected. *)
+
+(** {1 Peek/note — the brownout surface}
+
+    For callers (the shard router) that do not wrap work in {!run} but
+    decide {e before queueing} whether a backend is worth sending work
+    to, and record outcomes observed elsewhere (its workers). *)
+
+val rejecting : t -> bool Io.t
+(** Would new work for this backend be brownout-shed right now? [true]
+    while open within the reset window, or while a {!run} trial is in
+    flight. Never mutates: once the reset window has passed, traffic
+    flows again and the first recorded outcome plays the half-open
+    probe's role (see {!note_failure}). *)
+
+val note_success : t -> unit Io.t
+(** Record an externally-observed success: resets the failure count and
+    closes the circuit from any state. *)
+
+val note_failure : t -> exn -> unit Io.t
+(** Record an externally-observed failure. While closed, countable
+    failures ([count_error]) accumulate toward the threshold; past the
+    reset window of an open circuit, a countable failure re-trips it
+    (the implicit half-open probe failed), refreshing the window. *)

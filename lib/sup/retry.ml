@@ -29,7 +29,8 @@ let default_retry_on = function
 
 let transient_io = function
   | End_of_file | Ev.Backend.Connection_reset | Ev.Backend.Connection_refused
-  | Ev.Backend.Accept_failed ->
+  | Ev.Backend.Accept_failed | Ev.Backend.Too_many_fds
+  | Ev.Backend.Buffer_full ->
       true
   | _ -> false
 

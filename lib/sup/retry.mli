@@ -43,6 +43,9 @@ val transient_io : exn -> bool
 (** The retry-on-reset policy for clients of a chaos-prone transport:
     [true] exactly for the transient transport faults — [End_of_file],
     [Ev.Backend.Connection_reset], [Ev.Backend.Connection_refused],
-    [Ev.Backend.Accept_failed]. Pass as [~retry_on] to {!retry} to
+    [Ev.Backend.Accept_failed], and the resource-exhaustion pair
+    [Ev.Backend.Too_many_fds] / [Ev.Backend.Buffer_full] (EMFILE and a
+    full send buffer recover when load drains — exactly what a capped
+    backoff is for). Pass as [~retry_on] to {!retry} to
     redial through resets and refusals while still letting kills,
     timeouts and real bugs terminate the computation. *)

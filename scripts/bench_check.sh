@@ -14,6 +14,7 @@
 #
 # e.g.  scripts/bench_check.sh -o table.md BENCH_scheduler.json sc
 #       scripts/bench_check.sh -o table.md BENCH_domains.json dom
+#       scripts/bench_check.sh -o table.md BENCH_overload.json ovl
 #
 # The baselines were recorded on a single-core container; CI runners are
 # a different machine class, so the gate is meaningful only against

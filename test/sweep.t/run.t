@@ -47,7 +47,11 @@ pipes with EOF-on-close — blocked reads park on MVars instead of
 polling, so conversations cost far fewer steps — and the server grew
 its I/O hardening: response writes inside the request deadline, a
 supervised accept pump, transport faults mapped to counters instead of
-crashes. The kill-point verdicts are unchanged.)
+crashes. The overload rework re-pinned the server/actor baselines once
+more — sup-server 10480 -> 10558, io-server 11363 -> 11438, and the
+actor cases below — because every request now mints and checks an
+Hsup.Deadline, and mailboxes track depth on each push/consume; a few
+dozen extra accounting steps per conversation, same verdicts.)
 
   $ chrun sweep --suite sup --max-points 3
   sup-one-for-one    target=acting: 3 kill points (3 applied), baseline 547 steps, 0 failures
@@ -56,10 +60,10 @@ crashes. The kill-point verdicts are unchanged.)
   sup-all-for-one    target=acting: 3 kill points (3 applied), baseline 553 steps, 0 failures
   sup-retry-breaker  target=acting: 3 kill points (3 applied), baseline 171 steps, 0 failures
   sup-bulkhead       target=acting: 3 kill points (3 applied), baseline 375 steps, 0 failures
-  sup-server         target=acting: 3 kill points (3 applied), baseline 10480 steps, 0 failures
-  sup-server         target="supervisor": 3 kill points (2 applied), baseline 10480 steps, 0 failures
-  sup-server         target="listener": 3 kill points (2 applied), baseline 10480 steps, 0 failures
-  sup-server         target="conn-worker": 3 kill points (1 applied), baseline 10480 steps, 0 failures
+  sup-server         target=acting: 3 kill points (3 applied), baseline 10558 steps, 0 failures
+  sup-server         target="supervisor": 3 kill points (2 applied), baseline 10558 steps, 0 failures
+  sup-server         target="listener": 3 kill points (2 applied), baseline 10558 steps, 0 failures
+  sup-server         target="conn-worker": 3 kill points (1 applied), baseline 10558 steps, 0 failures
 
 The chaos suite aims the same discipline at the transport: every I/O
 operation site the recorded schedule reaches (sends, byte reads,
@@ -71,7 +75,7 @@ absorb every one:
 
   $ chrun sweep --suite chaos --max-sites 2 --kills-per-point 1
   io-pipe            io: sites {send=1 recv=14}, 13 fault points, 13 kill runs, baseline 784 steps, 0 failures
-  io-server          io: sites {send=6 recv=189 accept=4 dial=3}, 26 fault points, 26 kill runs, baseline 11363 steps, 0 failures
+  io-server          io: sites {send=6 recv=189 accept=4 dial=3}, 26 fault points, 26 kill runs, baseline 11438 steps, 0 failures
 
 The actor layer (lib/actor) rides on the same machinery: links and
 monitors are implemented with throwTo, so killing a linked watcher, a
@@ -80,39 +84,61 @@ either propagate as an Exit_signal / Down message or leave the tree to
 restart the victim — never wedge, never lose a reply:
 
   $ chrun sweep --suite actor --max-points 2
-  actor-link         target=acting: 2 kill points (2 applied), baseline 460 steps, 0 failures
-  actor-link         target="watcher": 2 kill points (1 applied), baseline 460 steps, 0 failures
-  actor-link         target="parent": 2 kill points (0 applied), baseline 460 steps, 0 failures
-  actor-link         target="child": 2 kill points (0 applied), baseline 460 steps, 0 failures
-  actor-call         target=acting: 2 kill points (2 applied), baseline 660 steps, 0 failures
-  actor-call         target="counter": 2 kill points (1 applied), baseline 660 steps, 0 failures
-  actor-ring         target=acting: 2 kill points (2 applied), baseline 768 steps, 0 failures
-  actor-ring         target="ring-1": 2 kill points (0 applied), baseline 768 steps, 0 failures
-  actor-shard        target=acting: 2 kill points (2 applied), baseline 9619 steps, 0 failures
-  actor-shard        target="router": 2 kill points (1 applied), baseline 9619 steps, 0 failures
-  actor-shard        target="shard-0": 2 kill points (1 applied), baseline 9619 steps, 0 failures
-  actor-shard        target="shard-sup-0": 2 kill points (1 applied), baseline 9619 steps, 0 failures
-  actor-shard        target="shard-serve": 2 kill points (1 applied), baseline 9619 steps, 0 failures
-  actor-shard        target="conn-worker": 2 kill points (0 applied), baseline 9619 steps, 0 failures
-  actor-shard        target="shard-root": 2 kill points (1 applied), baseline 9619 steps, 0 failures
+  actor-link         target=acting: 2 kill points (2 applied), baseline 484 steps, 0 failures
+  actor-link         target="watcher": 2 kill points (1 applied), baseline 484 steps, 0 failures
+  actor-link         target="parent": 2 kill points (0 applied), baseline 484 steps, 0 failures
+  actor-link         target="child": 2 kill points (0 applied), baseline 484 steps, 0 failures
+  actor-call         target=acting: 2 kill points (2 applied), baseline 703 steps, 0 failures
+  actor-call         target="counter": 2 kill points (1 applied), baseline 703 steps, 0 failures
+  actor-ring         target=acting: 2 kill points (2 applied), baseline 828 steps, 0 failures
+  actor-ring         target="ring-1": 2 kill points (0 applied), baseline 828 steps, 0 failures
+  actor-shard        target=acting: 2 kill points (2 applied), baseline 9825 steps, 0 failures
+  actor-shard        target="router": 2 kill points (1 applied), baseline 9825 steps, 0 failures
+  actor-shard        target="shard-0": 2 kill points (1 applied), baseline 9825 steps, 0 failures
+  actor-shard        target="shard-sup-0": 2 kill points (1 applied), baseline 9825 steps, 0 failures
+  actor-shard        target="shard-serve": 2 kill points (1 applied), baseline 9825 steps, 0 failures
+  actor-shard        target="conn-worker": 2 kill points (0 applied), baseline 9825 steps, 0 failures
+  actor-shard        target="shard-root": 2 kill points (1 applied), baseline 9825 steps, 0 failures
+
+The overload suite asks the capacity question the kill and chaos sweeps
+cannot: when offered load exceeds what the servers can serve, do they
+degrade (shed 503s at bounded queue delay, goodput holding) or collapse?
+Each case runs deterministic open-loop ramps at 1x/2x/5x/10x of nominal
+arrivals, then re-runs them with resource-exhaustion plans armed (fd
+budget, backlog cap, send-buffer cap) and kills layered at sampled armed
+steps. The driver gates the curve itself: goodput at 10x must hold at
+least half of 1x capacity, and no admitted request may out-sit the CoDel
+queue-delay bound:
+
+  $ chrun sweep --suite overload --kills-per-point 1
+  overload-server    load: capacity 6, 1x ok=6 shed=0 late=0, 2x ok=12 shed=0 late=0, 5x ok=24 shed=6 late=0, 10x ok=24 shed=36 late=0, max qdelay 60, 16 kill runs, 12 resource ramps, 0 failures
+  overload-shard     load: capacity 6, 1x ok=6 shed=0 late=0, 2x ok=12 shed=0 late=0, 5x ok=30 shed=0 late=0, 10x ok=37 shed=23 late=0, max qdelay 60, 16 kill runs, 12 resource ramps, 0 failures
 
 A suite name outside the known set is a usage error (exit 2), and the
 message lists every suite so scripts fail loudly rather than sweeping
 nothing:
 
   $ chrun sweep --suite nope
-  chrun sweep: unknown suite "nope" (expected one of: corpus, std, server, sup, chaos, actor, all)
+  chrun sweep: unknown suite "nope" (expected one of: corpus, std, server, sup, chaos, actor, overload, all)
   [2]
 
 --json records the sweep for BENCH_fault.json / BENCH_chaos.json
-(schema 5 is free of wall-clock fields, so the record is fully
-deterministic):
+(the schema is free of wall-clock fields, so the record is fully
+deterministic; schema 7 added the per-suite overload rows and the
+load_runs total):
 
   $ chrun sweep --suite std --max-points 5 --json out.json > /dev/null
+  $ grep -o '"schema_version": [0-9]*' out.json
+  "schema_version": 7
   $ grep -c '"case"' out.json
   6
-  $ grep -o '"kill_points": [0-9]*, "fault_points": [0-9]*, "failures": [0-9]*' out.json
-  "kill_points": 30, "fault_points": 0, "failures": 0
+  $ grep -o '"kill_points": [0-9]*, "fault_points": [0-9]*, "load_runs": [0-9]*, "failures": [0-9]*' out.json
+  "kill_points": 30, "fault_points": 0, "load_runs": 0, "failures": 0
+  $ chrun sweep --suite overload --kills-per-point 1 --json ovl.json > /dev/null
+  $ grep -c '"mult"' ovl.json
+  2
+  $ grep -o '"load_runs": [0-9]*' ovl.json
+  "load_runs": 64
   $ chrun sweep --suite chaos --max-sites 2 --kills-per-point 1 --json chaos.json > /dev/null
   $ grep -o '"fault_kinds": { [^}]*"kill": [0-9]* }' chaos.json | head -1
   "fault_kinds": { "delay50": 3, "eof": 3, "reset": 3, "short2": 1, "trickle25": 3, "kill": 13 }

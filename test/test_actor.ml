@@ -71,6 +71,52 @@ let mailbox_tests =
              ( Mailbox.create () >>= fun mb ->
                fork (sleep 10 >>= fun () -> Mailbox.push mb 5) >>= fun _ ->
                Mailbox.receive_timeout 1_000 mb (fun n -> Some n) )));
+    case "bound sheds newest; urgent bypasses; drops are accounted"
+      (fun () ->
+        let taken, len, hw, dropped, shed_msgs =
+          value
+            ( lift (fun () -> ref []) >>= fun drops ->
+              Mailbox.create ~bound:2
+                ~on_drop:(fun m -> drops := m :: !drops)
+                ()
+              >>= fun mb ->
+              Mailbox.push mb 1 >>= fun () ->
+              Mailbox.push mb 2 >>= fun () ->
+              (* full: the NEW message is shed, older ones stay *)
+              Mailbox.push mb 3 >>= fun () ->
+              (* control messages ignore the bound *)
+              Mailbox.push_urgent mb 99 >>= fun () ->
+              Mailbox.length mb >>= fun len ->
+              Mailbox.high_water mb >>= fun hw ->
+              Mailbox.dropped_count mb >>= fun dropped ->
+              Mailbox.next mb >>= fun a ->
+              Mailbox.next mb >>= fun b ->
+              Mailbox.next mb >>= fun c ->
+              lift (fun () -> ([ a; b; c ], len, hw, dropped, !drops)) )
+        in
+        Alcotest.(check (list int_v)) "oldest kept, newest shed" [ 1; 2; 99 ]
+          taken;
+        Alcotest.check int_v "length counts queued + urgent" 3 len;
+        Alcotest.check int_v "high-water" 3 hw;
+        Alcotest.check int_v "one drop" 1 dropped;
+        Alcotest.(check (list int_v)) "on_drop saw the shed message" [ 3 ]
+          shed_msgs);
+    case "mailbox_depth gauge records the high-water mark" (fun () ->
+        let worst =
+          value
+            ( lift (fun () -> Obs.Metrics.create ()) >>= fun registry ->
+              Mailbox.create ~metrics:registry ~name:"mb-test" ()
+              >>= fun mb ->
+              Mailbox.push mb 1 >>= fun () ->
+              Mailbox.push mb 2 >>= fun () ->
+              Mailbox.next mb >>= fun _ ->
+              lift (fun () ->
+                  Obs.Metrics.gauge_max
+                    (Obs.Metrics.gauge registry
+                       ~labels:[ ("name", "mb-test") ]
+                       "mailbox_depth")) )
+        in
+        Alcotest.check int_v "worst depth" 2 worst);
   ]
 
 (* --- QCheck: per-sender FIFO under random schedules --------------------- *)

@@ -252,6 +252,36 @@ let retry_tests =
               >>= fun () -> lift (fun () -> !n) )
         in
         Alcotest.check int_v "one call only" 1 calls);
+    case "transient_io retries resource exhaustion, then gives up at the cap"
+      (fun () ->
+        (* Too_many_fds is transient (EMFILE clears when load drains), so
+           the retry loop redials — but a fault that never clears must
+           exhaust [attempts] and surface, not spin forever. *)
+        let calls, gave_up =
+          value
+            ( lift (fun () -> ref 0) >>= fun n ->
+              catch
+                ( Retry.retry ~attempts:3 ~retry_on:Retry.transient_io
+                    (lift (fun () -> incr n) >>= fun () ->
+                     throw Ev.Backend.Too_many_fds)
+                  >>= fun () -> return false )
+                (fun e -> return (e = Ev.Backend.Too_many_fds))
+              >>= fun gave_up -> lift (fun () -> (!n, gave_up)) )
+        in
+        Alcotest.check int_v "all attempts used" 3 calls;
+        Alcotest.check bool_v "last error re-thrown" true gave_up);
+    case "transient_io never retries an application error" (fun () ->
+        let calls =
+          value
+            ( lift (fun () -> ref 0) >>= fun n ->
+              catch
+                (Retry.retry ~attempts:5 ~retry_on:Retry.transient_io
+                   (lift (fun () -> incr n) >>= fun () ->
+                    throw (Failure "bug")))
+                (fun _ -> return ())
+              >>= fun () -> lift (fun () -> !n) )
+        in
+        Alcotest.check int_v "one call only" 1 calls);
     case "retry costs the advertised virtual time" (fun () ->
         let elapsed =
           value
@@ -314,6 +344,40 @@ let breaker_tests =
               fail_n_then_ok b 1 >>= fun () -> Breaker.state b )
         in
         Alcotest.check bool_v "open again" true (st = Breaker.Open));
+    case "half-open admits exactly one concurrent probe" (fun () ->
+        (* four callers race into the reset window; the breaker must
+           admit exactly one as the half-open trial and fail the rest
+           fast while it is in flight *)
+        let admitted, rejected, st =
+          value
+            ( Breaker.create ~failure_threshold:1 ~reset_timeout:100 ()
+              >>= fun b ->
+              fail_n_then_ok b 1 >>= fun () ->
+              sleep 150 >>= fun () ->
+              lift (fun () -> (ref 0, ref 0)) >>= fun (adm, rej) ->
+              let probe =
+                catch
+                  (Breaker.run b (sleep 50) >>= fun () ->
+                   lift (fun () -> incr adm))
+                  (function
+                    | Breaker.Open_circuit -> lift (fun () -> incr rej)
+                    | e -> throw e)
+              in
+              Combinators.parallel_map Task.spawn
+                [ probe; probe; probe; probe ]
+              >>= fun ts ->
+              let rec join_all = function
+                | [] -> return ()
+                | t :: rest -> Task.await t >>= fun () -> join_all rest
+              in
+              join_all ts >>= fun () ->
+              Breaker.state b >>= fun st ->
+              lift (fun () -> (!adm, !rej, st)) )
+        in
+        Alcotest.check int_v "exactly one probe admitted" 1 admitted;
+        Alcotest.check int_v "the rest failed fast" 3 rejected;
+        Alcotest.check bool_v "probe success closed it" true
+          (st = Breaker.Closed));
     case "a kill does not count as a service failure" (fun () ->
         let st =
           value
@@ -374,6 +438,94 @@ let bulkhead_tests =
         in
         Alcotest.check int_v "slot returned" 0 left;
         Alcotest.check bool_v "fresh call admitted" true after);
+    case "CoDel queue deadline sheds an overstaying waiter" (fun () ->
+        (* the slot is held far past [queue_target]; the waiter must be
+           shed from the queue once its sojourn crosses the target, not
+           park until the occupant is done *)
+        let r, waited, qshed, maxd =
+          value
+            ( Bulkhead.create ~capacity:1 ~max_waiting:1 ~queue_target:50 ()
+              >>= fun bh ->
+              Task.spawn ~name:"occupant"
+                (ignore_result (Bulkhead.run bh (sleep 500)))
+              >>= fun t ->
+              yields 2 >>= fun () ->
+              now >>= fun t0 ->
+              Bulkhead.run bh (return ()) >>= fun r ->
+              now >>= fun t1 ->
+              Bulkhead.queue_shed_count bh >>= fun qshed ->
+              Bulkhead.max_queue_delay bh >>= fun maxd ->
+              Task.cancel t >>= fun () ->
+              catch (Task.await t) (fun _ -> return ()) >>= fun () ->
+              return (r, t1 - t0, qshed, maxd) )
+        in
+        Alcotest.check bool_v "shed by queue deadline" true
+          (r = Stdlib.Error `Shed);
+        Alcotest.check bool_v "shed at the target, not at slot release" true
+          (waited >= 50 && waited < 500);
+        Alcotest.check int_v "queue shed counted" 1 qshed;
+        Alcotest.check bool_v "worst sojourn near the target" true
+          (maxd >= 50 && maxd < 500));
+  ]
+
+(* --- deadline ------------------------------------------------------------- *)
+
+let deadline_tests =
+  [
+    case "remaining counts down on the virtual clock" (fun () ->
+        let rem0, exp0, rem1, exp1 =
+          value
+            ( Deadline.mint 100 >>= fun d ->
+              Deadline.remaining d >>= fun r0 ->
+              Deadline.expired d >>= fun e0 ->
+              sleep 150 >>= fun () ->
+              Deadline.remaining d >>= fun r1 ->
+              Deadline.expired d >>= fun e1 -> return (r0, e0, r1, e1) )
+        in
+        Alcotest.check int_v "full budget at mint" 100 rem0;
+        Alcotest.check bool_v "fresh" false exp0;
+        Alcotest.check bool_v "spent after the budget" true exp1;
+        Alcotest.check bool_v "remaining non-positive" true (rem1 <= 0));
+    case "timeout bounds by the remaining budget, not a fresh one" (fun () ->
+        let won, lost, elapsed =
+          value
+            ( Deadline.mint 100 >>= fun d ->
+              sleep 40 >>= fun () ->
+              Deadline.timeout d (sleep 30 >>= fun () -> return `Done)
+              >>= fun won ->
+              Deadline.mint 100 >>= fun d2 ->
+              sleep 40 >>= fun () ->
+              now >>= fun t0 ->
+              Deadline.timeout d2 (sleep 300 >>= fun () -> return `Done)
+              >>= fun lost ->
+              now >>= fun t1 -> return (won, lost, t1 - t0) )
+        in
+        Alcotest.check bool_v "inside the budget" true (won = Some `Done);
+        Alcotest.check bool_v "past the budget" true (lost = None);
+        (* the nested bound is the 60us remainder, not the 100us budget *)
+        Alcotest.check int_v "cut at the remainder" 60 elapsed);
+    case "an expired deadline sheds early without running the body"
+      (fun () ->
+        let ran, r =
+          value
+            ( lift (fun () -> ref false) >>= fun ran ->
+              Deadline.mint 50 >>= fun d ->
+              sleep 60 >>= fun () ->
+              Deadline.timeout d (lift (fun () -> ran := true)) >>= fun r ->
+              lift (fun () -> (!ran, r)) )
+        in
+        Alcotest.check bool_v "body never ran" false ran;
+        Alcotest.check bool_v "early shed" true (r = None));
+    case "of_expiry round-trips a deadline through plain data" (fun () ->
+        let same =
+          value
+            ( Deadline.mint 250 >>= fun d ->
+              let d' = Deadline.of_expiry (Deadline.expires_at d) in
+              Deadline.remaining d >>= fun a ->
+              Deadline.remaining d' >>= fun b ->
+              return (a = b && a = 250) )
+        in
+        Alcotest.check bool_v "identical budget" true same);
   ]
 
 (* --- the supervised server ------------------------------------------------ *)
@@ -524,6 +676,7 @@ let suites =
     ("sup_retry", retry_tests);
     ("sup_breaker", breaker_tests);
     ("sup_bulkhead", bulkhead_tests);
+    ("sup_deadline", deadline_tests);
     ("sup_server", server_tests);
     ("sup_props", prop_tests);
   ]
